@@ -1,0 +1,26 @@
+//! Space-partitioning baselines evaluated against the unsupervised partitioner.
+//!
+//! The paper compares against two families of methods:
+//!
+//! * **Flat partitioners** (Figure 5, Tables 2 & 4): K-means clustering (the partitioner
+//!   inside production ANNS systems such as ScaNN/FAISS-IVF) and data-oblivious
+//!   cross-polytope LSH, plus the learned Neural LSH baseline (k-NN graph → balanced graph
+//!   partition → supervised classifier).
+//! * **Binary hyperplane trees** (Figure 6): Regression LSH, 2-means trees, PCA trees,
+//!   random-projection trees, learned KD-trees and Boosted Search Forest — all recursive
+//!   binary splits of the dataset by hyperplanes, to depth 10 (1024 bins).
+//!
+//! Every baseline implements [`usp_index::Partitioner`], so they plug into the same
+//! lookup-table index, multi-probe query path and evaluation sweeps as the paper's method.
+
+pub mod boosted_forest;
+pub mod kmeans_partitioner;
+pub mod lsh;
+pub mod neural_lsh;
+pub mod trees;
+
+pub use boosted_forest::{BoostedForestStrategy, BoostedSearchForest};
+pub use kmeans_partitioner::KMeansPartitioner;
+pub use lsh::{CrossPolytopeLsh, HyperplaneLsh};
+pub use neural_lsh::{NeuralLsh, NeuralLshConfig, RegressionLshSplit};
+pub use trees::{BinaryPartitionTree, SplitStrategy, TreeConfig};

@@ -1,0 +1,26 @@
+//! Criterion bench: exact re-ranking of candidate sets of increasing size (the O(c·d)
+//! online term of §4.5 that the balance objective of the loss is designed to control).
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use usp_index::rerank::rerank;
+
+fn bench_candidate_scan(c: &mut Criterion) {
+    let split = usp_bench::bench_dataset();
+    let data = split.base.points();
+    let query = split.queries.row_to_vec(0);
+    let mut group = c.benchmark_group("candidate_scan");
+    for size in [128usize, 512, 2000] {
+        let candidates: Vec<u32> = (0..size as u32).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(size), &candidates, |b, cand| {
+            b.iter(|| black_box(rerank(data, &query, cand, 10, usp_bench::DIST)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_candidate_scan
+}
+criterion_main!(benches);

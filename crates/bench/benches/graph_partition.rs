@@ -1,0 +1,26 @@
+//! Criterion bench: balanced graph partitioning — the Neural LSH preprocessing step whose
+//! cost (hours with KaHIP on SIFT1M) motivates the paper's unsupervised approach.
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use usp_data::KnnMatrix;
+use usp_graph::{partition_graph, GraphPartitionConfig, KnnGraph};
+
+fn bench_graph_partition(c: &mut Criterion) {
+    let data = usp_bench::tiny_dataset();
+    let knn = KnnMatrix::build(data.points(), 10, usp_bench::DIST);
+    let graph = KnnGraph::from_knn_matrix(&knn, true);
+    let mut group = c.benchmark_group("graph_partition_600pts");
+    for bins in [4usize, 16] {
+        group.bench_with_input(BenchmarkId::from_parameter(bins), &bins, |b, &bins| {
+            b.iter(|| black_box(partition_graph(&graph, &GraphPartitionConfig::new(bins))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_graph_partition
+}
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Criterion bench: HNSW query cost at several beam widths (the Figure 7 graph baseline).
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use usp_graph::{Hnsw, HnswConfig};
+
+fn bench_hnsw(c: &mut Criterion) {
+    let split = usp_bench::bench_dataset();
+    let hnsw = Hnsw::build(split.base.points(), HnswConfig { m: 16, ef_construction: 80, ..Default::default() });
+    let query = split.queries.row_to_vec(0);
+    let mut group = c.benchmark_group("hnsw_search");
+    for ef in [16usize, 64, 128] {
+        group.bench_with_input(BenchmarkId::from_parameter(ef), &ef, |b, &ef| {
+            b.iter(|| black_box(hnsw.search(&query, 10, ef)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_hnsw
+}
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Criterion bench: k'-NN matrix construction — the paper's only preprocessing step
+//! (§4.2.1), reported as ~30 minutes on SIFT1M and seconds at reproduction scale.
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use usp_data::KnnMatrix;
+
+fn bench_knn_graph(c: &mut Criterion) {
+    let data = usp_bench::tiny_dataset();
+    let mut group = c.benchmark_group("knn_matrix_600pts");
+    for k in [5usize, 10] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| black_box(KnnMatrix::build(data.points(), k, usp_bench::DIST)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_knn_graph
+}
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Criterion bench: quantized (ADC) distance evaluation vs exact distances, and encoding
+//! cost — the sketching speed-up exploited by the Figure 7 pipelines.
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use usp_linalg::distance::squared_euclidean;
+use usp_quant::{ProductQuantizer, ProductQuantizerConfig};
+
+fn bench_quantization(c: &mut Criterion) {
+    let split = usp_bench::bench_dataset();
+    let data = split.base.points();
+    let pq = ProductQuantizer::fit(data, &ProductQuantizerConfig::anisotropic(8, 16, 4.0));
+    let codes = pq.encode_all(data);
+    let query = split.queries.row_to_vec(0);
+    let table = pq.adc_table(&query);
+    let m = pq.n_subspaces();
+
+    let mut group = c.benchmark_group("quantization");
+    group.bench_function("adc_scan_2000", |b| {
+        b.iter(|| {
+            let mut best = f32::INFINITY;
+            for i in 0..data.rows() {
+                best = best.min(pq.adc_distance(&table, &codes[i * m..(i + 1) * m]));
+            }
+            black_box(best)
+        })
+    });
+    group.bench_function("exact_scan_2000", |b| {
+        b.iter(|| {
+            let mut best = f32::INFINITY;
+            for i in 0..data.rows() {
+                best = best.min(squared_euclidean(&query, data.row(i)));
+            }
+            black_box(best)
+        })
+    });
+    group.bench_function("encode_one", |b| b.iter(|| black_box(pq.encode(black_box(&query)))));
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_quantization
+}
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Criterion bench: one mini-batch step of the unsupervised loss (forward + loss +
+//! backward + Adam) for the paper's MLP and for logistic regression.
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use usp_core::{loss, ModelKind, PartitionModel, UspConfig};
+use usp_nn::{Adam, Optimizer};
+
+fn bench_training_step(c: &mut Criterion) {
+    let split = usp_bench::bench_dataset();
+    let knn = usp_bench::bench_knn(&split, 10);
+    let data = split.base.points();
+    let batch: Vec<usize> = (0..256).collect();
+    let x = data.select_rows(&batch);
+    let mut neighbor_rows = Vec::new();
+    for &i in &batch {
+        neighbor_rows.extend(knn.neighbors_of(i).iter().map(|&j| j as usize));
+    }
+    let neighbors = data.select_rows(&neighbor_rows);
+
+    let mut group = c.benchmark_group("training_step");
+    for (name, model_kind) in [
+        ("mlp_128", ModelKind::Mlp { hidden: vec![128], dropout: 0.1 }),
+        ("logistic", ModelKind::Logistic),
+    ] {
+        let cfg = UspConfig { bins: 16, model: model_kind, ..UspConfig::paper_default(16) };
+        let mut model = PartitionModel::new(&cfg, data.cols());
+        let mut opt = Adam::new(1e-3);
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let neighbor_bins = model.assign_batch(&neighbors);
+                let targets = loss::neighbor_bin_targets(&neighbor_bins, batch.len(), knn.k(), 16, true);
+                let logits = model.network_mut().forward(&x, true);
+                let (value, dlogits) = loss::unsupervised_loss(&logits, &targets, None, 7.0);
+                model.network_mut().zero_grad();
+                model.network_mut().backward(&dlogits);
+                opt.step(model.network_mut());
+                black_box(value.total)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_training_step
+}
+criterion_main!(benches);

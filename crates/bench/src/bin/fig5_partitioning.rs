@@ -1,0 +1,11 @@
+//! Regenerates Figure 5: 10-NN accuracy vs candidate-set size for the unsupervised
+//! partitioner and the space-partitioning baselines (SIFT/MNIST stand-ins, 16 & 256 bins).
+fn main() {
+    let scale = usp_eval::Scale::from_env();
+    let report = usp_eval::experiments::figure5(&scale);
+    println!("{}", report.render());
+    match report.save_json(usp_eval::report::default_results_dir()) {
+        Ok(path) => println!("saved {}", path.display()),
+        Err(e) => eprintln!("could not save results: {e}"),
+    }
+}

@@ -1,0 +1,27 @@
+//! Runs every experiment of the paper's evaluation in sequence and saves all reports under
+//! `results/`. Control the dataset sizes with `USP_SCALE` (small | medium | large).
+fn main() {
+    let scale = usp_eval::Scale::from_env();
+    println!("Running all experiments at scale '{}'", scale.name);
+    let dir = usp_eval::report::default_results_dir();
+    let started = std::time::Instant::now();
+
+    let reports = vec![
+        usp_eval::experiments::table2(),
+        usp_eval::experiments::table5(),
+        usp_eval::experiments::table3(&scale),
+        usp_eval::experiments::table4(&scale),
+        usp_eval::experiments::figure5(&scale),
+        usp_eval::experiments::figure6(&scale),
+        usp_eval::experiments::figure7(&scale),
+        usp_eval::experiments::ablations(&scale),
+    ];
+    for report in &reports {
+        println!("{}", report.render());
+        match report.save_json(&dir) {
+            Ok(path) => println!("saved {}\n", path.display()),
+            Err(e) => eprintln!("could not save results: {e}"),
+        }
+    }
+    println!("all experiments finished in {:.1}s", started.elapsed().as_secs_f64());
+}

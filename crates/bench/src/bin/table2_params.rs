@@ -1,0 +1,10 @@
+//! Regenerates Table 2: learnable parameter counts for Neural LSH, the unsupervised
+//! partitioner and K-means when dividing SIFT (d = 128) into 256 bins.
+fn main() {
+    let report = usp_eval::experiments::table2();
+    println!("{}", report.render());
+    match report.save_json(usp_eval::report::default_results_dir()) {
+        Ok(path) => println!("saved {}", path.display()),
+        Err(e) => eprintln!("could not save results: {e}"),
+    }
+}

@@ -1,0 +1,10 @@
+//! Regenerates the `table4_candidate_reduction` experiment of the paper's evaluation (see usp-eval::experiments).
+fn main() {
+    let scale = usp_eval::Scale::from_env();
+    let report = usp_eval::experiments::table4(&scale);
+    println!("{}", report.render());
+    match report.save_json(usp_eval::report::default_results_dir()) {
+        Ok(path) => println!("saved {}", path.display()),
+        Err(e) => eprintln!("could not save results: {e}"),
+    }
+}

@@ -1,0 +1,10 @@
+//! Regenerates Table 5: clustering quality (ARI/NMI/purity) of the unsupervised
+//! partitioner vs DBSCAN, K-means and spectral clustering on 2-D toy datasets.
+fn main() {
+    let report = usp_eval::experiments::table5();
+    println!("{}", report.render());
+    match report.save_json(usp_eval::report::default_results_dir()) {
+        Ok(path) => println!("saved {}", path.display()),
+        Err(e) => eprintln!("could not save results: {e}"),
+    }
+}

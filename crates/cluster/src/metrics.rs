@@ -1,0 +1,200 @@
+//! External clustering-quality metrics.
+//!
+//! Table 5 of the paper shows clusterings visually; the quantitative equivalents reported
+//! by this workspace are the standard external metrics against the generative labels:
+//! Adjusted Rand Index, normalized mutual information, and purity. Predicted labels are
+//! `isize` so DBSCAN's noise label (`-1`) can participate (noise is treated as its own
+//! cluster, which penalises excessive noise).
+
+use std::collections::HashMap;
+
+/// Contingency table between predicted and true labels.
+fn contingency(pred: &[isize], truth: &[usize]) -> (HashMap<(isize, usize), usize>, HashMap<isize, usize>, HashMap<usize, usize>) {
+    assert_eq!(pred.len(), truth.len(), "metrics: label length mismatch");
+    let mut joint = HashMap::new();
+    let mut pred_counts = HashMap::new();
+    let mut true_counts = HashMap::new();
+    for (&p, &t) in pred.iter().zip(truth) {
+        *joint.entry((p, t)).or_insert(0) += 1;
+        *pred_counts.entry(p).or_insert(0) += 1;
+        *true_counts.entry(t).or_insert(0) += 1;
+    }
+    (joint, pred_counts, true_counts)
+}
+
+fn choose2(x: usize) -> f64 {
+    (x as f64) * (x as f64 - 1.0) / 2.0
+}
+
+/// Adjusted Rand Index in `[-1, 1]`; 1 = identical clusterings, ~0 = random agreement.
+pub fn adjusted_rand_index(pred: &[isize], truth: &[usize]) -> f64 {
+    let n = pred.len();
+    if n <= 1 {
+        return 1.0;
+    }
+    let (joint, pred_counts, true_counts) = contingency(pred, truth);
+    let sum_joint: f64 = joint.values().map(|&c| choose2(c)).sum();
+    let sum_pred: f64 = pred_counts.values().map(|&c| choose2(c)).sum();
+    let sum_true: f64 = true_counts.values().map(|&c| choose2(c)).sum();
+    let total = choose2(n);
+    let expected = sum_pred * sum_true / total;
+    let max_index = 0.5 * (sum_pred + sum_true);
+    if (max_index - expected).abs() < 1e-12 {
+        return 1.0;
+    }
+    (sum_joint - expected) / (max_index - expected)
+}
+
+/// Normalized mutual information (arithmetic-mean normalisation) in `[0, 1]`.
+pub fn normalized_mutual_information(pred: &[isize], truth: &[usize]) -> f64 {
+    let n = pred.len() as f64;
+    if pred.is_empty() {
+        return 1.0;
+    }
+    let (joint, pred_counts, true_counts) = contingency(pred, truth);
+    let mut mi = 0.0f64;
+    for (&(p, t), &c) in &joint {
+        let pxy = c as f64 / n;
+        let px = pred_counts[&p] as f64 / n;
+        let py = true_counts[&t] as f64 / n;
+        if pxy > 0.0 {
+            mi += pxy * (pxy / (px * py)).ln();
+        }
+    }
+    let h_pred: f64 = pred_counts
+        .values()
+        .map(|&c| {
+            let p = c as f64 / n;
+            -p * p.ln()
+        })
+        .sum();
+    let h_true: f64 = true_counts
+        .values()
+        .map(|&c| {
+            let p = c as f64 / n;
+            -p * p.ln()
+        })
+        .sum();
+    let denom = 0.5 * (h_pred + h_true);
+    if denom < 1e-12 {
+        return 1.0;
+    }
+    (mi / denom).clamp(0.0, 1.0)
+}
+
+/// Purity in `[0, 1]`: each predicted cluster is credited with its majority true class.
+pub fn purity(pred: &[isize], truth: &[usize]) -> f64 {
+    if pred.is_empty() {
+        return 1.0;
+    }
+    let (joint, pred_counts, _) = contingency(pred, truth);
+    let mut correct = 0usize;
+    for (&p, _) in &pred_counts {
+        let best = joint
+            .iter()
+            .filter(|((pp, _), _)| *pp == p)
+            .map(|(_, &c)| c)
+            .max()
+            .unwrap_or(0);
+        correct += best;
+    }
+    correct as f64 / pred.len() as f64
+}
+
+/// Convenience: converts `usize` predictions (e.g. partitioner bins) into the `isize`
+/// labels these metrics accept.
+pub fn to_pred_labels(labels: &[usize]) -> Vec<isize> {
+    labels.iter().map(|&l| l as isize).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_clustering_scores_one() {
+        let truth = vec![0usize, 0, 1, 1, 2, 2];
+        let pred = vec![5isize, 5, 7, 7, 9, 9]; // same partition, different label names
+        assert!((adjusted_rand_index(&pred, &truth) - 1.0).abs() < 1e-9);
+        assert!((normalized_mutual_information(&pred, &truth) - 1.0).abs() < 1e-9);
+        assert!((purity(&pred, &truth) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_cluster_prediction_scores_low() {
+        let truth = vec![0usize, 0, 0, 1, 1, 1];
+        let pred = vec![0isize; 6];
+        assert!(adjusted_rand_index(&pred, &truth).abs() < 1e-9);
+        assert!(normalized_mutual_information(&pred, &truth) < 1e-9);
+        assert!((purity(&pred, &truth) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn random_like_disagreement_scores_near_zero_ari() {
+        let truth = vec![0usize, 1, 0, 1, 0, 1, 0, 1];
+        let pred = vec![0isize, 0, 1, 1, 0, 0, 1, 1];
+        let ari = adjusted_rand_index(&pred, &truth);
+        assert!(ari.abs() < 0.3, "ARI {ari}");
+    }
+
+    #[test]
+    fn splitting_one_true_cluster_keeps_purity_but_lowers_ari() {
+        let truth = vec![0usize, 0, 0, 0, 1, 1, 1, 1];
+        let pred = vec![0isize, 0, 2, 2, 1, 1, 1, 1]; // first class split in two
+        assert!((purity(&pred, &truth) - 1.0).abs() < 1e-9);
+        assert!(adjusted_rand_index(&pred, &truth) < 1.0);
+        assert!(normalized_mutual_information(&pred, &truth) < 1.0);
+    }
+
+    #[test]
+    fn noise_labels_penalise_scores() {
+        let truth = vec![0usize, 0, 0, 1, 1, 1];
+        let clean = vec![0isize, 0, 0, 1, 1, 1];
+        let noisy = vec![0isize, 0, -1, 1, 1, -1];
+        assert!(adjusted_rand_index(&noisy, &truth) < adjusted_rand_index(&clean, &truth));
+    }
+
+    #[test]
+    fn metric_ranges() {
+        let truth = vec![0usize, 1, 2, 0, 1, 2, 0, 1, 2];
+        let pred = vec![2isize, 0, 0, 1, 1, 2, 2, 0, 1];
+        let ari = adjusted_rand_index(&pred, &truth);
+        let nmi = normalized_mutual_information(&pred, &truth);
+        let pur = purity(&pred, &truth);
+        assert!((-1.0..=1.0).contains(&ari));
+        assert!((0.0..=1.0).contains(&nmi));
+        assert!((0.0..=1.0).contains(&pur));
+    }
+
+    #[test]
+    fn to_pred_labels_roundtrip() {
+        assert_eq!(to_pred_labels(&[0, 3, 2]), vec![0isize, 3, 2]);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn metrics_stay_in_range(labels in prop::collection::vec((0usize..5, 0usize..5), 2..60)) {
+            let truth: Vec<usize> = labels.iter().map(|&(t, _)| t).collect();
+            let pred: Vec<isize> = labels.iter().map(|&(_, p)| p as isize).collect();
+            let ari = adjusted_rand_index(&pred, &truth);
+            let nmi = normalized_mutual_information(&pred, &truth);
+            let pur = purity(&pred, &truth);
+            prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&ari));
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&nmi));
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&pur));
+        }
+
+        #[test]
+        fn identical_labelings_score_one(truth in prop::collection::vec(0usize..4, 2..40)) {
+            let pred: Vec<isize> = truth.iter().map(|&t| t as isize).collect();
+            prop_assert!((adjusted_rand_index(&pred, &truth) - 1.0).abs() < 1e-9);
+            prop_assert!((purity(&pred, &truth) - 1.0).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,221 @@
+//! Ensembling (§4.4.1, Algorithms 3 & 4).
+//!
+//! Multiple models are trained sequentially on the same dataset; after each model, every
+//! point's weight is multiplied by the number of its k′ neighbours that the model placed
+//! in a different bin, so the next model concentrates on the points the previous
+//! partitions served poorly (an AdaBoost-style scheme, as the paper notes). At query time
+//! each model reports a confidence (its maximum bin probability) and the candidate set of
+//! the most confident model is searched (Algorithm 4).
+
+use usp_data::KnnMatrix;
+use usp_index::{AnnSearcher, PartitionIndex, Partitioner, SearchResult};
+use usp_linalg::{Distance, Matrix};
+
+use crate::config::UspConfig;
+use crate::trainer::{train_partitioner, TrainedPartitioner};
+
+/// An ensemble of unsupervised partitioning models over one dataset.
+pub struct UspEnsemble {
+    indexes: Vec<PartitionIndex<TrainedPartitioner>>,
+    probes: usize,
+}
+
+impl UspEnsemble {
+    /// Trains `n_models` models sequentially with the boosting weight updates of
+    /// Algorithm 3 and builds one lookup-table index per model.
+    ///
+    /// If the weights ever collapse to all-zero (a perfect partition served every point),
+    /// they are reset to uniform so later models still train on a sensible objective.
+    pub fn train(
+        data: &Matrix,
+        knn: &KnnMatrix,
+        config: &UspConfig,
+        n_models: usize,
+        distance: Distance,
+    ) -> Self {
+        assert!(n_models >= 1, "UspEnsemble::train: need at least one model");
+        let n = data.rows();
+        let mut weights = vec![1.0f32; n];
+        let mut indexes = Vec::with_capacity(n_models);
+
+        for j in 0..n_models {
+            let cfg = UspConfig { seed: config.seed.wrapping_add(j as u64 * 7919), ..config.clone() };
+            let trained = train_partitioner(data, knn, &cfg, Some(&weights));
+
+            // Weight update (Algorithm 3, step b): the new weight of point i counts how
+            // many of its neighbours this model separated from it, multiplied into the
+            // running weight so only consistently mis-served points stay heavy.
+            let assignments = trained.model().assign_batch(data);
+            let mut any_positive = false;
+            for i in 0..n {
+                let separated = knn
+                    .neighbors_of(i)
+                    .iter()
+                    .filter(|&&p| assignments[p as usize] != assignments[i])
+                    .count() as f32;
+                weights[i] *= separated;
+                if weights[i] > 0.0 {
+                    any_positive = true;
+                }
+            }
+            if !any_positive {
+                weights.iter_mut().for_each(|w| *w = 1.0);
+            } else {
+                // Normalise to mean 1 so learning rates stay comparable across members.
+                let mean: f32 = weights.iter().sum::<f32>() / n as f32;
+                if mean > 0.0 {
+                    weights.iter_mut().for_each(|w| *w /= mean);
+                }
+            }
+
+            indexes.push(trained.build_index(data, distance));
+        }
+
+        Self { indexes, probes: 1 }
+    }
+
+    /// Number of models in the ensemble.
+    pub fn len(&self) -> usize {
+        self.indexes.len()
+    }
+
+    /// True when the ensemble is empty (never constructed this way).
+    pub fn is_empty(&self) -> bool {
+        self.indexes.is_empty()
+    }
+
+    /// Per-model indexes.
+    pub fn indexes(&self) -> &[PartitionIndex<TrainedPartitioner>] {
+        &self.indexes
+    }
+
+    /// Total learnable parameters across the ensemble.
+    pub fn num_parameters(&self) -> usize {
+        self.indexes.iter().map(|i| i.partitioner().num_parameters()).sum()
+    }
+
+    /// Sets the number of bins probed per query (shared by all members) and returns self,
+    /// for use as an [`AnnSearcher`].
+    pub fn with_probes(mut self, probes: usize) -> Self {
+        self.probes = probes.max(1);
+        self
+    }
+
+    /// Algorithm 4: every model scores the query; the candidate set of the most confident
+    /// model (highest maximum bin probability) is searched with `probes` bins.
+    pub fn search_with_probes(&self, query: &[f32], k: usize, probes: usize) -> SearchResult {
+        let mut best_model = 0usize;
+        let mut best_confidence = f32::NEG_INFINITY;
+        for (j, index) in self.indexes.iter().enumerate() {
+            let scores = index.partitioner().bin_scores(query);
+            let confidence = scores.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+            if confidence > best_confidence {
+                best_confidence = confidence;
+                best_model = j;
+            }
+        }
+        self.indexes[best_model].search(query, k, probes)
+    }
+
+    /// Mean candidate-set size over a set of queries at a given probe count — the x-axis
+    /// quantity of Figures 5–6.
+    pub fn mean_candidates(&self, queries: &Matrix, probes: usize) -> f64 {
+        let mut total = 0usize;
+        for qi in 0..queries.rows() {
+            let res = self.search_with_probes(queries.row(qi), 1, probes);
+            total += res.candidates_scanned;
+        }
+        total as f64 / queries.rows().max(1) as f64
+    }
+}
+
+impl AnnSearcher for UspEnsemble {
+    fn search(&self, query: &[f32], k: usize) -> SearchResult {
+        self.search_with_probes(query, k, self.probes)
+    }
+
+    fn name(&self) -> String {
+        format!(
+            "usp-ensemble(models={},bins={},probes={})",
+            self.indexes.len(),
+            self.indexes.first().map(|i| i.num_bins()).unwrap_or(0),
+            self.probes
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use usp_data::{exact_knn, synthetic};
+
+    fn setup() -> (Matrix, Matrix, KnnMatrix) {
+        let ds = synthetic::sift_like(900, 8, 11).split_queries(60);
+        let knn = KnnMatrix::build(ds.base.points(), 5, Distance::SquaredEuclidean);
+        (ds.base.points().clone(), ds.queries, knn)
+    }
+
+    fn recall_at(ensemble: &UspEnsemble, data: &Matrix, queries: &Matrix, probes: usize) -> f64 {
+        let truth = exact_knn(data, queries, 10, Distance::SquaredEuclidean);
+        let mut recall = 0.0;
+        for qi in 0..queries.rows() {
+            let res = ensemble.search_with_probes(queries.row(qi), 10, probes);
+            let t: std::collections::HashSet<usize> = truth[qi].iter().copied().collect();
+            recall += res.ids.iter().filter(|i| t.contains(i)).count() as f64 / 10.0;
+        }
+        recall / queries.rows() as f64
+    }
+
+    #[test]
+    fn ensemble_trains_requested_number_of_models() {
+        let (data, _q, knn) = setup();
+        let cfg = UspConfig { knn_k: 5, epochs: 8, ..UspConfig::fast(4) };
+        let ens = UspEnsemble::train(&data, &knn, &cfg, 2, Distance::SquaredEuclidean);
+        assert_eq!(ens.len(), 2);
+        assert!(!ens.is_empty());
+        assert!(ens.num_parameters() > 0);
+        assert!(ens.name().contains("usp-ensemble"));
+    }
+
+    #[test]
+    fn ensemble_members_learn_different_partitions() {
+        let (data, _q, knn) = setup();
+        let cfg = UspConfig { knn_k: 5, epochs: 10, ..UspConfig::fast(4) };
+        let ens = UspEnsemble::train(&data, &knn, &cfg, 2, Distance::SquaredEuclidean);
+        let a = ens.indexes()[0].assignments();
+        let b = ens.indexes()[1].assignments();
+        assert_ne!(a, b, "boosted members should produce complementary partitions");
+    }
+
+    #[test]
+    fn more_probes_never_reduce_recall() {
+        let (data, queries, knn) = setup();
+        let cfg = UspConfig { knn_k: 5, epochs: 20, ..UspConfig::fast(8) };
+        let ens = UspEnsemble::train(&data, &knn, &cfg, 1, Distance::SquaredEuclidean);
+        let r1 = recall_at(&ens, &data, &queries, 1);
+        let r8 = recall_at(&ens, &data, &queries, 8);
+        assert!(r8 >= r1, "recall dropped with more probes: {r1} -> {r8}");
+        assert!(r8 > 0.95, "probing every bin must recover nearly everything, got {r8}");
+    }
+
+    #[test]
+    fn beats_random_partition_recall_at_one_probe() {
+        let (data, queries, knn) = setup();
+        let cfg = UspConfig { knn_k: 5, epochs: 25, ..UspConfig::fast(8) };
+        let ens = UspEnsemble::train(&data, &knn, &cfg, 1, Distance::SquaredEuclidean);
+        let recall = recall_at(&ens, &data, &queries, 1);
+        // A random balanced 8-bin partition would give ~1/8 recall at one probe.
+        assert!(recall > 0.35, "1-probe recall {recall} barely beats random");
+    }
+
+    #[test]
+    fn searcher_interface_uses_configured_probes() {
+        let (data, queries, knn) = setup();
+        let cfg = UspConfig { knn_k: 5, epochs: 6, ..UspConfig::fast(4) };
+        let ens = UspEnsemble::train(&data, &knn, &cfg, 1, Distance::SquaredEuclidean).with_probes(2);
+        let res = ens.search(queries.row(0), 5);
+        assert_eq!(res.ids.len(), 5);
+        let mean = ens.mean_candidates(&queries, 2);
+        assert!(mean > 0.0 && mean <= data.rows() as f64);
+    }
+}

@@ -1,0 +1,228 @@
+//! Hierarchical partitioning (§4.4.2).
+//!
+//! When the desired number of bins `m` is large, one model partitioning the whole dataset
+//! into `m` bins at once is hard to train. Instead the dataset is split into `m_1` bins by
+//! a root model, each bin is recursively split into `m_2` bins by a child model trained on
+//! the bin's points, and so on; the final partition has `m_1 · m_2 · … · m_l` bins. A query
+//! descends the whole tree and the probability of each leaf bin is the product of the
+//! per-level probabilities along its path (Figure 4).
+//!
+//! With `levels = [2; depth]` and a logistic model this is the "Ours" entry of the
+//! binary-tree comparison (Figure 6); with `levels = [16, 16]` it is the 256-bin
+//! configuration of Figure 5c–d.
+
+use usp_data::KnnMatrix;
+use usp_index::Partitioner;
+use usp_linalg::{Distance, Matrix};
+
+use crate::config::UspConfig;
+use crate::model::PartitionModel;
+use crate::trainer::train_partitioner;
+
+struct Node {
+    model: PartitionModel,
+    /// One child per bin of this node's model; `None` below the last level or for bins
+    /// whose subset was too small to train on.
+    children: Vec<Option<Node>>,
+}
+
+/// A tree of unsupervised partitioning models.
+pub struct HierarchicalPartitioner {
+    root: Node,
+    levels: Vec<usize>,
+    total_bins: usize,
+    parameters: usize,
+}
+
+impl HierarchicalPartitioner {
+    /// Trains the hierarchy. `levels[i]` is the branching factor at depth `i`; `config`
+    /// supplies everything else (its `bins` field is overridden per level).
+    ///
+    /// Each node's training set is the subset of points routed to it by its ancestors;
+    /// each node gets its own k′-NN matrix computed on that subset (cheap, because subsets
+    /// shrink geometrically).
+    pub fn train(data: &Matrix, config: &UspConfig, levels: &[usize], distance: Distance) -> Self {
+        assert!(!levels.is_empty(), "HierarchicalPartitioner::train: need at least one level");
+        assert!(levels.iter().all(|&m| m >= 2), "every level needs at least two bins");
+        let indices: Vec<usize> = (0..data.rows()).collect();
+        let mut parameters = 0usize;
+        let root = Self::train_node(data, &indices, config, levels, 0, distance, &mut parameters);
+        let total_bins = levels.iter().product();
+        Self { root, levels: levels.to_vec(), total_bins, parameters }
+    }
+
+    fn train_node(
+        data: &Matrix,
+        indices: &[usize],
+        config: &UspConfig,
+        levels: &[usize],
+        depth: usize,
+        distance: Distance,
+        parameters: &mut usize,
+    ) -> Node {
+        let bins = levels[depth];
+        let node_cfg = UspConfig {
+            bins,
+            seed: config.seed.wrapping_add((depth as u64) << 32).wrapping_add(indices.len() as u64),
+            ..config.clone()
+        };
+
+        let subset = data.select_rows(indices);
+        let model = if indices.len() >= bins.max(4) * 2 {
+            let k = node_cfg.knn_k.min(indices.len() - 1).max(1);
+            let knn = KnnMatrix::build(&subset, k, distance);
+            let trained = train_partitioner(&subset, &knn, &UspConfig { knn_k: k, ..node_cfg.clone() }, None);
+            trained.model().clone()
+        } else {
+            // Too few points to learn anything meaningful: an untrained model still routes
+            // queries deterministically, and the handful of points land somewhere sensible.
+            PartitionModel::new(&node_cfg, data.cols())
+        };
+        *parameters += model.num_params();
+
+        let mut children: Vec<Option<Node>> = (0..bins).map(|_| None).collect();
+        if depth + 1 < levels.len() {
+            let assignments = model.assign_batch(&subset);
+            for b in 0..bins {
+                let child_indices: Vec<usize> = indices
+                    .iter()
+                    .zip(&assignments)
+                    .filter(|(_, &a)| a == b)
+                    .map(|(&i, _)| i)
+                    .collect();
+                children[b] = Some(Self::train_node(
+                    data,
+                    &child_indices,
+                    config,
+                    levels,
+                    depth + 1,
+                    distance,
+                    parameters,
+                ));
+            }
+        }
+
+        Node { model, children }
+    }
+
+    /// Branching factors per level.
+    pub fn levels(&self) -> &[usize] {
+        &self.levels
+    }
+
+    /// Total learnable parameters across all node models.
+    pub fn num_params(&self) -> usize {
+        self.parameters
+    }
+
+    fn leaf_scores(node: &Node, query: &[f32], levels: &[usize], depth: usize, prob: f32, out: &mut Vec<f32>) {
+        let probs = node.model.probabilities(query);
+        let remaining: usize = levels[depth + 1..].iter().product::<usize>().max(1);
+        for (b, &p) in probs.iter().enumerate() {
+            let chained = prob * p;
+            match &node.children[b] {
+                Some(child) => Self::leaf_scores(child, query, levels, depth + 1, chained, out),
+                None => {
+                    if depth + 1 < levels.len() {
+                        // Untrained subtree: spread the mass uniformly over its leaves.
+                        for _ in 0..remaining {
+                            out.push(chained / remaining as f32);
+                        }
+                    } else {
+                        out.push(chained);
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl Partitioner for HierarchicalPartitioner {
+    fn num_bins(&self) -> usize {
+        self.total_bins
+    }
+
+    fn bin_scores(&self, query: &[f32]) -> Vec<f32> {
+        let mut out = Vec::with_capacity(self.total_bins);
+        Self::leaf_scores(&self.root, query, &self.levels, 0, 1.0, &mut out);
+        debug_assert_eq!(out.len(), self.total_bins);
+        out
+    }
+
+    fn num_parameters(&self) -> usize {
+        self.parameters
+    }
+
+    fn name(&self) -> String {
+        let levels: Vec<String> = self.levels.iter().map(|l| l.to_string()).collect();
+        format!("usp-hierarchical({})", levels.join("x"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use usp_data::{exact_knn, synthetic};
+    use usp_index::PartitionIndex;
+
+    fn fast_cfg() -> UspConfig {
+        UspConfig { knn_k: 5, epochs: 12, ..UspConfig::fast(16) }
+    }
+
+    #[test]
+    fn two_level_partition_has_product_bins_and_valid_scores() {
+        let ds = synthetic::sift_like(700, 8, 5);
+        let h = HierarchicalPartitioner::train(ds.points(), &fast_cfg(), &[4, 4], Distance::SquaredEuclidean);
+        assert_eq!(h.num_bins(), 16);
+        assert_eq!(h.levels(), &[4, 4]);
+        assert!(h.num_params() > 0);
+        let scores = h.bin_scores(ds.point(0));
+        assert_eq!(scores.len(), 16);
+        // Chained probabilities still sum to one over the leaves.
+        let sum: f32 = scores.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-3, "leaf probabilities sum to {sum}");
+    }
+
+    #[test]
+    fn hierarchical_index_answers_queries() {
+        let split = synthetic::sift_like(800, 8, 6).split_queries(40);
+        let h = HierarchicalPartitioner::train(split.base.points(), &fast_cfg(), &[4, 4], Distance::SquaredEuclidean);
+        let idx = PartitionIndex::build(h, split.base.points(), Distance::SquaredEuclidean);
+        let truth = exact_knn(split.base.points(), &split.queries, 10, Distance::SquaredEuclidean);
+        // Probing all 16 leaves recovers everything; probing 4 should already do well on
+        // clustered data.
+        let mut recall_all = 0.0;
+        let mut recall_few = 0.0;
+        for qi in 0..split.queries.rows() {
+            let t: std::collections::HashSet<usize> = truth[qi].iter().copied().collect();
+            let all = idx.search(split.queries.row(qi), 10, 16);
+            let few = idx.search(split.queries.row(qi), 10, 4);
+            recall_all += all.ids.iter().filter(|i| t.contains(i)).count() as f64 / 10.0;
+            recall_few += few.ids.iter().filter(|i| t.contains(i)).count() as f64 / 10.0;
+        }
+        recall_all /= split.queries.rows() as f64;
+        recall_few /= split.queries.rows() as f64;
+        assert!(recall_all > 0.99, "full probe recall {recall_all}");
+        assert!(recall_few > 0.4, "4-probe recall {recall_few}");
+    }
+
+    #[test]
+    fn binary_logistic_tree_matches_figure6_configuration() {
+        let ds = synthetic::sift_like(400, 6, 7);
+        let cfg = UspConfig { knn_k: 5, epochs: 8, ..UspConfig::logistic(2) };
+        let h = HierarchicalPartitioner::train(ds.points(), &cfg, &[2, 2, 2], Distance::SquaredEuclidean);
+        assert_eq!(h.num_bins(), 8);
+        assert!(h.name().contains("2x2x2"));
+        let assignment_range: std::collections::HashSet<usize> =
+            (0..ds.len()).map(|i| h.assign(ds.point(i))).collect();
+        assert!(assignment_range.iter().all(|&b| b < 8));
+        assert!(assignment_range.len() >= 4, "tree uses too few leaves: {assignment_range:?}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_degenerate_levels() {
+        let ds = synthetic::sift_like(100, 4, 8);
+        let _ = HierarchicalPartitioner::train(ds.points(), &fast_cfg(), &[1, 4], Distance::SquaredEuclidean);
+    }
+}

@@ -1,0 +1,258 @@
+//! Algorithm 1 — the offline phase: train the model with the unsupervised loss, then run
+//! inference over the dataset to produce the partition and its lookup table.
+
+use serde::{Deserialize, Serialize};
+use usp_data::KnnMatrix;
+use usp_index::{PartitionIndex, Partitioner};
+use usp_linalg::{rng as lrng, Distance, Matrix};
+use usp_nn::{Adam, Optimizer};
+
+use crate::config::UspConfig;
+use crate::loss::{neighbor_bin_targets, unsupervised_loss};
+use crate::model::PartitionModel;
+
+/// Per-epoch training diagnostics.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrainingReport {
+    /// Mean total loss per epoch.
+    pub epoch_loss: Vec<f32>,
+    /// Mean quality-term value per epoch.
+    pub epoch_quality: Vec<f32>,
+    /// Mean balance-term value per epoch.
+    pub epoch_balance: Vec<f32>,
+    /// Wall-clock training time in seconds (excludes the k′-NN matrix, which is reusable).
+    pub seconds: f64,
+    /// Number of learnable parameters of the trained model.
+    pub parameters: usize,
+}
+
+/// A trained unsupervised partitioner: the model plus the bin count, usable directly as a
+/// [`Partitioner`].
+pub struct TrainedPartitioner {
+    model: PartitionModel,
+    report: TrainingReport,
+}
+
+impl TrainedPartitioner {
+    /// The underlying model.
+    pub fn model(&self) -> &PartitionModel {
+        &self.model
+    }
+
+    /// Training diagnostics.
+    pub fn report(&self) -> &TrainingReport {
+        &self.report
+    }
+
+    /// Builds the lookup-table index over a dataset (Algorithm 1, step 3).
+    pub fn build_index(self, data: &Matrix, distance: Distance) -> PartitionIndex<TrainedPartitioner> {
+        PartitionIndex::build(self, data, distance)
+    }
+}
+
+impl Partitioner for TrainedPartitioner {
+    fn num_bins(&self) -> usize {
+        self.model.bins()
+    }
+
+    fn bin_scores(&self, query: &[f32]) -> Vec<f32> {
+        self.model.probabilities(query)
+    }
+
+    fn num_parameters(&self) -> usize {
+        self.model.num_params()
+    }
+
+    fn name(&self) -> String {
+        format!("usp({} bins)", self.model.bins())
+    }
+}
+
+/// Trains one unsupervised partitioning model (Algorithm 1 steps 1–2; the k′-NN matrix is
+/// passed in because it is shared across ensemble members and experiments).
+///
+/// `weights` are the per-point ensembling weights of Eq. 14 (`None` = uniform), which is
+/// how [`crate::ensemble`] reuses this function for every member of an ensemble.
+pub fn train_partitioner(
+    data: &Matrix,
+    knn: &KnnMatrix,
+    config: &UspConfig,
+    weights: Option<&[f32]>,
+) -> TrainedPartitioner {
+    let n = data.rows();
+    assert!(n > 0, "train_partitioner: empty dataset");
+    assert_eq!(knn.len(), n, "train_partitioner: k'-NN matrix size mismatch");
+    if let Some(w) = weights {
+        assert_eq!(w.len(), n, "train_partitioner: weight count mismatch");
+    }
+    let start = std::time::Instant::now();
+
+    let mut model = PartitionModel::new(config, data.cols());
+    let mut optimizer = Adam::new(config.learning_rate);
+    let mut rng = lrng::seeded(config.seed ^ 0x5eed);
+    let batch_size = config.batch_size.clamp(2, n);
+    let knn_k = knn.k();
+
+    let mut epoch_loss = Vec::with_capacity(config.epochs);
+    let mut epoch_quality = Vec::with_capacity(config.epochs);
+    let mut epoch_balance = Vec::with_capacity(config.epochs);
+
+    for _epoch in 0..config.epochs {
+        let mut order: Vec<usize> = (0..n).collect();
+        lrng::shuffle(&mut rng, &mut order);
+        let mut sum_total = 0.0f64;
+        let mut sum_quality = 0.0f64;
+        let mut sum_balance = 0.0f64;
+        let mut batches = 0usize;
+
+        for chunk in order.chunks(batch_size) {
+            if chunk.len() < 2 {
+                continue;
+            }
+            let x = data.select_rows(chunk);
+
+            // Neighbour bin assignments under the *current* model (no gradient through
+            // them — Eq. 8–9 treat the neighbour distribution as the target).
+            let mut neighbor_rows: Vec<usize> = Vec::with_capacity(chunk.len() * knn_k);
+            for &i in chunk {
+                neighbor_rows.extend(knn.neighbors_of(i).iter().map(|&j| j as usize));
+            }
+            let neighbor_points = data.select_rows(&neighbor_rows);
+            let neighbor_bins = model.assign_batch(&neighbor_points);
+            let targets =
+                neighbor_bin_targets(&neighbor_bins, chunk.len(), knn_k, config.bins, config.soft_targets);
+
+            let batch_weights: Option<Vec<f32>> =
+                weights.map(|w| chunk.iter().map(|&i| w[i]).collect());
+
+            // Forward (training mode), loss, backward, step.
+            let logits = model.network_mut().forward(&x, true);
+            let (value, dlogits) =
+                unsupervised_loss(&logits, &targets, batch_weights.as_deref(), config.eta);
+            model.network_mut().zero_grad();
+            model.network_mut().backward(&dlogits);
+            optimizer.step(model.network_mut());
+
+            sum_total += value.total as f64;
+            sum_quality += value.quality as f64;
+            sum_balance += value.balance as f64;
+            batches += 1;
+        }
+
+        let b = batches.max(1) as f64;
+        epoch_loss.push((sum_total / b) as f32);
+        epoch_quality.push((sum_quality / b) as f32);
+        epoch_balance.push((sum_balance / b) as f32);
+    }
+
+    let report = TrainingReport {
+        epoch_loss,
+        epoch_quality,
+        epoch_balance,
+        seconds: start.elapsed().as_secs_f64(),
+        parameters: model.num_params(),
+    };
+    TrainedPartitioner { model, report }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use usp_data::synthetic;
+    use usp_index::balance::BalanceStats;
+
+    fn small_dataset() -> (Matrix, KnnMatrix) {
+        let ds = synthetic::sift_like(600, 8, 3);
+        let knn = KnnMatrix::build(ds.points(), 5, Distance::SquaredEuclidean);
+        (ds.points().clone(), knn)
+    }
+
+    #[test]
+    fn training_reduces_the_loss() {
+        let (data, knn) = small_dataset();
+        let cfg = UspConfig { knn_k: 5, ..UspConfig::fast(8) };
+        let trained = train_partitioner(&data, &knn, &cfg, None);
+        let report = trained.report();
+        assert_eq!(report.epoch_loss.len(), cfg.epochs);
+        let first: f32 = report.epoch_loss[..3].iter().sum::<f32>() / 3.0;
+        let last: f32 = report.epoch_loss[report.epoch_loss.len() - 3..].iter().sum::<f32>() / 3.0;
+        assert!(last < first, "loss did not decrease: {first} -> {last}");
+        assert!(report.parameters > 0);
+        assert!(report.seconds > 0.0);
+    }
+
+    #[test]
+    fn learned_partition_is_reasonably_balanced() {
+        let (data, knn) = small_dataset();
+        let cfg = UspConfig { knn_k: 5, eta: 10.0, ..UspConfig::fast(8) };
+        let trained = train_partitioner(&data, &knn, &cfg, None);
+        let assignments = trained.model().assign_batch(&data);
+        let stats = BalanceStats::from_assignments(&assignments, 8);
+        assert_eq!(stats.total, 600);
+        // The balance term must prevent near-total collapse into a couple of bins.
+        assert!(stats.empty_bins <= 2, "too many empty bins: {stats:?}");
+        assert!(stats.imbalance < 3.0, "partition too skewed: {stats:?}");
+    }
+
+    #[test]
+    fn learned_partition_keeps_neighbours_together() {
+        let (data, knn) = small_dataset();
+        let cfg = UspConfig { knn_k: 5, ..UspConfig::fast(8) };
+        let trained = train_partitioner(&data, &knn, &cfg, None);
+        let assignments = trained.model().assign_batch(&data);
+        // Fraction of k'-NN pairs co-located in the same bin must beat the random baseline
+        // (1/m = 12.5%) by a large margin on clustered data.
+        let mut together = 0usize;
+        let mut total = 0usize;
+        for (i, nbrs) in knn.iter() {
+            for &j in nbrs {
+                total += 1;
+                if assignments[i] == assignments[j as usize] {
+                    together += 1;
+                }
+            }
+        }
+        let frac = together as f64 / total as f64;
+        assert!(frac > 0.5, "only {frac:.2} of neighbour pairs co-located");
+    }
+
+    #[test]
+    fn partitioner_interface_and_index_build() {
+        let (data, knn) = small_dataset();
+        let cfg = UspConfig { knn_k: 5, ..UspConfig::fast(4) };
+        let trained = train_partitioner(&data, &knn, &cfg, None);
+        assert_eq!(trained.num_bins(), 4);
+        assert!(trained.num_parameters() > 0);
+        assert!(trained.name().contains("usp"));
+        let scores = trained.bin_scores(data.row(0));
+        assert_eq!(scores.len(), 4);
+        let idx = trained.build_index(&data, Distance::SquaredEuclidean);
+        let res = idx.search(data.row(0), 5, 1);
+        assert!(res.ids.contains(&0));
+    }
+
+    #[test]
+    fn ensemble_weights_change_the_learned_partition() {
+        let (data, knn) = small_dataset();
+        let cfg = UspConfig { knn_k: 5, epochs: 10, ..UspConfig::fast(4) };
+        let uniform = train_partitioner(&data, &knn, &cfg, None);
+        let mut weights = vec![1.0f32; data.rows()];
+        for w in weights.iter_mut().take(data.rows() / 4) {
+            *w = 25.0;
+        }
+        let weighted = train_partitioner(&data, &knn, &cfg, Some(&weights));
+        let a = uniform.model().assign_batch(&data);
+        let b = weighted.model().assign_batch(&data);
+        assert_ne!(a, b, "weighting the loss should change the learned partition");
+    }
+
+    #[test]
+    fn logistic_model_also_trains() {
+        let (data, knn) = small_dataset();
+        let cfg = UspConfig { knn_k: 5, epochs: 20, batch_size: 256, ..UspConfig::logistic(2) };
+        let trained = train_partitioner(&data, &knn, &cfg, None);
+        let assignments = trained.model().assign_batch(&data);
+        let stats = BalanceStats::from_assignments(&assignments, 2);
+        assert_eq!(stats.empty_bins, 0);
+    }
+}

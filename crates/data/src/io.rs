@@ -1,0 +1,277 @@
+//! Readers and writers for the ann-benchmarks on-disk vector formats.
+//!
+//! * `.fvecs` — each vector is a little-endian `i32` dimension followed by `dim` `f32`s;
+//! * `.ivecs` — same layout with `i32` components (used for ground-truth files);
+//! * `.bvecs` — `i32` dimension followed by `dim` bytes (SIFT1B descriptors).
+//!
+//! When the real SIFT/MNIST files are present these loaders let the experiments run on
+//! them unchanged; otherwise the synthetic generators in [`crate::synthetic`] are used.
+
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+use bytes::{Buf, BufMut, BytesMut};
+use usp_linalg::Matrix;
+
+/// Errors produced by the vector-file readers.
+#[derive(Debug)]
+pub enum IoError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Structural problem in the file (bad dimension header, truncated record, ...).
+    Format(String),
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "io error: {e}"),
+            IoError::Format(m) => write!(f, "format error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+impl From<io::Error> for IoError {
+    fn from(e: io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+/// Parses an fvecs byte buffer into a matrix. `limit` caps the number of vectors read.
+pub fn parse_fvecs(bytes: &[u8], limit: Option<usize>) -> Result<Matrix, IoError> {
+    let mut buf = bytes;
+    let mut rows: Vec<Vec<f32>> = Vec::new();
+    let mut dim: Option<usize> = None;
+    while buf.remaining() >= 4 {
+        if let Some(l) = limit {
+            if rows.len() >= l {
+                break;
+            }
+        }
+        let d = buf.get_i32_le();
+        if d <= 0 {
+            return Err(IoError::Format(format!("non-positive dimension {d}")));
+        }
+        let d = d as usize;
+        match dim {
+            None => dim = Some(d),
+            Some(prev) if prev != d => {
+                return Err(IoError::Format(format!("inconsistent dimensions {prev} vs {d}")))
+            }
+            _ => {}
+        }
+        if buf.remaining() < 4 * d {
+            return Err(IoError::Format("truncated vector record".into()));
+        }
+        let mut row = Vec::with_capacity(d);
+        for _ in 0..d {
+            row.push(buf.get_f32_le());
+        }
+        rows.push(row);
+    }
+    Ok(Matrix::from_rows(&rows))
+}
+
+/// Serialises a matrix to fvecs bytes.
+pub fn write_fvecs_bytes(m: &Matrix) -> Vec<u8> {
+    let mut buf = BytesMut::with_capacity(m.rows() * (4 + 4 * m.cols()));
+    for row in m.row_iter() {
+        buf.put_i32_le(m.cols() as i32);
+        for &v in row {
+            buf.put_f32_le(v);
+        }
+    }
+    buf.to_vec()
+}
+
+/// Parses an ivecs byte buffer into integer neighbour lists.
+pub fn parse_ivecs(bytes: &[u8], limit: Option<usize>) -> Result<Vec<Vec<u32>>, IoError> {
+    let mut buf = bytes;
+    let mut rows = Vec::new();
+    while buf.remaining() >= 4 {
+        if let Some(l) = limit {
+            if rows.len() >= l {
+                break;
+            }
+        }
+        let d = buf.get_i32_le();
+        if d < 0 {
+            return Err(IoError::Format(format!("negative dimension {d}")));
+        }
+        let d = d as usize;
+        if buf.remaining() < 4 * d {
+            return Err(IoError::Format("truncated ivecs record".into()));
+        }
+        let mut row = Vec::with_capacity(d);
+        for _ in 0..d {
+            row.push(buf.get_i32_le() as u32);
+        }
+        rows.push(row);
+    }
+    Ok(rows)
+}
+
+/// Serialises integer neighbour lists to ivecs bytes.
+pub fn write_ivecs_bytes(rows: &[Vec<u32>]) -> Vec<u8> {
+    let mut buf = BytesMut::new();
+    for row in rows {
+        buf.put_i32_le(row.len() as i32);
+        for &v in row {
+            buf.put_i32_le(v as i32);
+        }
+    }
+    buf.to_vec()
+}
+
+/// Parses a bvecs buffer (byte-quantised vectors) into a float matrix.
+pub fn parse_bvecs(bytes: &[u8], limit: Option<usize>) -> Result<Matrix, IoError> {
+    let mut buf = bytes;
+    let mut rows: Vec<Vec<f32>> = Vec::new();
+    while buf.remaining() >= 4 {
+        if let Some(l) = limit {
+            if rows.len() >= l {
+                break;
+            }
+        }
+        let d = buf.get_i32_le();
+        if d <= 0 {
+            return Err(IoError::Format(format!("non-positive dimension {d}")));
+        }
+        let d = d as usize;
+        if buf.remaining() < d {
+            return Err(IoError::Format("truncated bvecs record".into()));
+        }
+        let mut row = Vec::with_capacity(d);
+        for _ in 0..d {
+            row.push(buf.get_u8() as f32);
+        }
+        rows.push(row);
+    }
+    Ok(Matrix::from_rows(&rows))
+}
+
+/// Reads an fvecs file from disk.
+pub fn read_fvecs(path: impl AsRef<Path>, limit: Option<usize>) -> Result<Matrix, IoError> {
+    let mut bytes = Vec::new();
+    std::fs::File::open(path)?.read_to_end(&mut bytes)?;
+    parse_fvecs(&bytes, limit)
+}
+
+/// Writes a matrix as an fvecs file.
+pub fn write_fvecs(path: impl AsRef<Path>, m: &Matrix) -> Result<(), IoError> {
+    let bytes = write_fvecs_bytes(m);
+    std::fs::File::create(path)?.write_all(&bytes)?;
+    Ok(())
+}
+
+/// Reads an ivecs file from disk.
+pub fn read_ivecs(path: impl AsRef<Path>, limit: Option<usize>) -> Result<Vec<Vec<u32>>, IoError> {
+    let mut bytes = Vec::new();
+    std::fs::File::open(path)?.read_to_end(&mut bytes)?;
+    parse_ivecs(&bytes, limit)
+}
+
+/// Reads a bvecs file from disk.
+pub fn read_bvecs(path: impl AsRef<Path>, limit: Option<usize>) -> Result<Matrix, IoError> {
+    let mut bytes = Vec::new();
+    std::fs::File::open(path)?.read_to_end(&mut bytes)?;
+    parse_bvecs(&bytes, limit)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fvecs_roundtrip() {
+        let m = Matrix::from_vec(3, 4, (0..12).map(|x| x as f32 * 0.5).collect());
+        let bytes = write_fvecs_bytes(&m);
+        let back = parse_fvecs(&bytes, None).unwrap();
+        assert_eq!(m, back);
+    }
+
+    #[test]
+    fn fvecs_limit_caps_rows() {
+        let m = Matrix::from_vec(5, 2, (0..10).map(|x| x as f32).collect());
+        let bytes = write_fvecs_bytes(&m);
+        let back = parse_fvecs(&bytes, Some(2)).unwrap();
+        assert_eq!(back.rows(), 2);
+        assert_eq!(back.row(1), m.row(1));
+    }
+
+    #[test]
+    fn fvecs_truncated_is_error() {
+        let m = Matrix::from_vec(1, 4, vec![1., 2., 3., 4.]);
+        let mut bytes = write_fvecs_bytes(&m);
+        bytes.truncate(bytes.len() - 3);
+        assert!(parse_fvecs(&bytes, None).is_err());
+    }
+
+    #[test]
+    fn fvecs_bad_dimension_is_error() {
+        let bytes = (-1i32).to_le_bytes().to_vec();
+        assert!(parse_fvecs(&bytes, None).is_err());
+    }
+
+    #[test]
+    fn fvecs_inconsistent_dims_is_error() {
+        let a = Matrix::from_vec(1, 2, vec![1., 2.]);
+        let b = Matrix::from_vec(1, 3, vec![1., 2., 3.]);
+        let mut bytes = write_fvecs_bytes(&a);
+        bytes.extend(write_fvecs_bytes(&b));
+        assert!(parse_fvecs(&bytes, None).is_err());
+    }
+
+    #[test]
+    fn ivecs_roundtrip() {
+        let rows = vec![vec![1u32, 2, 3], vec![7, 8, 9]];
+        let bytes = write_ivecs_bytes(&rows);
+        let back = parse_ivecs(&bytes, None).unwrap();
+        assert_eq!(rows, back);
+    }
+
+    #[test]
+    fn bvecs_parses_bytes_to_floats() {
+        let mut bytes = Vec::new();
+        bytes.extend(3i32.to_le_bytes());
+        bytes.extend([10u8, 20, 30]);
+        let m = parse_bvecs(&bytes, None).unwrap();
+        assert_eq!(m.row(0), &[10.0, 20.0, 30.0]);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("usp_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("vectors.fvecs");
+        let m = Matrix::from_vec(4, 3, (0..12).map(|x| x as f32).collect());
+        write_fvecs(&path, &m).unwrap();
+        let back = read_fvecs(&path, None).unwrap();
+        assert_eq!(m, back);
+        std::fs::remove_file(&path).ok();
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn fvecs_roundtrip_any_matrix(rows in 1usize..8, cols in 1usize..8, seed in 0u64..1000) {
+            let data: Vec<f32> = (0..rows * cols).map(|i| ((i as u64 * 2654435761 + seed) % 1000) as f32 * 0.37).collect();
+            let m = Matrix::from_vec(rows, cols, data);
+            let back = parse_fvecs(&write_fvecs_bytes(&m), None).unwrap();
+            prop_assert_eq!(m, back);
+        }
+
+        #[test]
+        fn ivecs_roundtrip_any_rows(rows in prop::collection::vec(prop::collection::vec(0u32..10000, 0..16), 0..8)) {
+            let back = parse_ivecs(&write_ivecs_bytes(&rows), None).unwrap();
+            prop_assert_eq!(rows, back);
+        }
+    }
+}

@@ -1,0 +1,160 @@
+//! Result containers, console rendering and JSON export.
+//!
+//! Every experiment produces an [`ExperimentReport`]: named series of sweep points (for
+//! figures) and/or named rows of key→value cells (for tables). Reports print themselves in
+//! a paper-like layout and serialise to `results/<id>.json`, which is what EXPERIMENTS.md
+//! is written from.
+
+use std::path::Path;
+
+use serde::{Deserialize, Serialize};
+
+use crate::recall::SweepPoint;
+
+/// One named curve of a figure (e.g. "Ours (3 models)", "Neural LSH").
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Series {
+    /// Method name.
+    pub name: String,
+    /// Sweep points, ordered by increasing candidate count.
+    pub points: Vec<SweepPoint>,
+}
+
+/// One named row of a table (ordered key/value cells).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Row {
+    /// Row label (e.g. a method or configuration name).
+    pub name: String,
+    /// Ordered `(column, value)` cells.
+    pub cells: Vec<(String, String)>,
+}
+
+/// A full experiment result: figure-style series grouped by panel, and/or table rows.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ExperimentReport {
+    /// Stable identifier, e.g. `fig5_sift_16bins` or `table3`.
+    pub id: String,
+    /// Human-readable title (matches the paper's caption).
+    pub title: String,
+    /// Figure panels: `(panel name, series)`.
+    pub panels: Vec<(String, Vec<Series>)>,
+    /// Table rows.
+    pub rows: Vec<Row>,
+    /// Free-form notes (scale used, substitutions, wall-clock).
+    pub notes: Vec<String>,
+}
+
+impl ExperimentReport {
+    /// Creates an empty report.
+    pub fn new(id: impl Into<String>, title: impl Into<String>) -> Self {
+        Self { id: id.into(), title: title.into(), ..Default::default() }
+    }
+
+    /// Adds a figure panel.
+    pub fn add_panel(&mut self, name: impl Into<String>, series: Vec<Series>) {
+        self.panels.push((name.into(), series));
+    }
+
+    /// Adds a table row.
+    pub fn add_row(&mut self, name: impl Into<String>, cells: Vec<(String, String)>) {
+        self.rows.push(Row { name: name.into(), cells });
+    }
+
+    /// Adds a note.
+    pub fn add_note(&mut self, note: impl Into<String>) {
+        self.notes.push(note.into());
+    }
+
+    /// Renders the report as plain text (what the experiment binaries print).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("==== {} — {} ====\n", self.id, self.title));
+        for note in &self.notes {
+            out.push_str(&format!("  note: {note}\n"));
+        }
+        for (panel, series) in &self.panels {
+            out.push_str(&format!("\n-- {panel} --\n"));
+            for s in series {
+                out.push_str(&format!("  {}\n", s.name));
+                out.push_str("    probes  candidates   recall\n");
+                for p in &s.points {
+                    out.push_str(&format!(
+                        "    {:>6}  {:>10.1}  {:>7.4}\n",
+                        p.probes, p.mean_candidates, p.recall
+                    ));
+                }
+            }
+        }
+        if !self.rows.is_empty() {
+            out.push('\n');
+            for row in &self.rows {
+                let cells: Vec<String> = row.cells.iter().map(|(k, v)| format!("{k}={v}")).collect();
+                out.push_str(&format!("  {:<28} {}\n", row.name, cells.join("  ")));
+            }
+        }
+        out
+    }
+
+    /// Writes the report as JSON into `dir/<id>.json`, creating the directory if needed.
+    pub fn save_json(&self, dir: impl AsRef<Path>) -> std::io::Result<std::path::PathBuf> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{}.json", self.id));
+        let json = serde_json::to_string_pretty(self).expect("report serialisation cannot fail");
+        std::fs::write(&path, json)?;
+        Ok(path)
+    }
+
+    /// Loads a previously saved report.
+    pub fn load_json(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        let text = std::fs::read_to_string(path)?;
+        serde_json::from_str(&text).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
+}
+
+/// The default output directory for experiment JSON (workspace-root `results/`).
+pub fn default_results_dir() -> std::path::PathBuf {
+    // The bench binaries run from the workspace root; fall back to the current directory.
+    let candidate = std::path::Path::new("results");
+    candidate.to_path_buf()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ExperimentReport {
+        let mut r = ExperimentReport::new("test_report", "A test");
+        r.add_note("scale=small");
+        r.add_panel(
+            "SIFT, 16 bins",
+            vec![Series {
+                name: "Ours".into(),
+                points: vec![SweepPoint { probes: 1, mean_candidates: 100.0, recall: 0.8 }],
+            }],
+        );
+        r.add_row("Ours", vec![("params".into(), "183k".into())]);
+        r
+    }
+
+    #[test]
+    fn render_contains_all_sections() {
+        let text = sample().render();
+        assert!(text.contains("test_report"));
+        assert!(text.contains("SIFT, 16 bins"));
+        assert!(text.contains("Ours"));
+        assert!(text.contains("params=183k"));
+        assert!(text.contains("scale=small"));
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let dir = std::env::temp_dir().join("usp_eval_report_test");
+        let path = sample().save_json(&dir).unwrap();
+        let loaded = ExperimentReport::load_json(&path).unwrap();
+        assert_eq!(loaded.id, "test_report");
+        assert_eq!(loaded.panels.len(), 1);
+        assert_eq!(loaded.rows.len(), 1);
+        std::fs::remove_file(path).ok();
+    }
+}

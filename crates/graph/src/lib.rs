@@ -1,0 +1,23 @@
+//! Graph substrates: k-NN graphs, balanced graph partitioning, and HNSW.
+//!
+//! Two of the paper's comparators need graph machinery that the paper itself treats as an
+//! external dependency:
+//!
+//! * **Neural LSH** (Dong et al., ICLR 2020) first builds a k-NN graph of the dataset and
+//!   runs a combinatorial *balanced graph partitioner* (KaHIP) over it to obtain training
+//!   labels — the expensive preprocessing the paper criticises. [`partition`] implements a
+//!   from-scratch balanced partitioner (Fennel-style streaming assignment followed by
+//!   constrained greedy refinement) playing that role.
+//! * **HNSW** (Malkov & Yashunin) is one of the end-to-end ANNS baselines of Figure 7.
+//!   [`hnsw`] implements the hierarchical navigable-small-world index from scratch.
+//!
+//! [`knn_graph`] adapts the k′-NN matrix of `usp-data` into an undirected graph shared by
+//! both consumers.
+
+pub mod hnsw;
+pub mod knn_graph;
+pub mod partition;
+
+pub use hnsw::{Hnsw, HnswConfig};
+pub use knn_graph::KnnGraph;
+pub use partition::{partition_graph, GraphPartitionConfig};

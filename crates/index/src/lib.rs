@@ -1,0 +1,26 @@
+//! Shared index abstractions for every partitioning method in the workspace.
+//!
+//! The paper's online phase (Algorithm 2) is the same regardless of how the partition was
+//! produced: identify the `m′` most probable bins of the query, gather the points stored
+//! in those bins through a lookup table, and re-rank the candidates by exact distance.
+//! This crate factors that machinery out so the unsupervised partitioner (`usp-core`) and
+//! every baseline (`usp-baselines`) share one implementation:
+//!
+//! * [`partitioner::Partitioner`] — anything that can score bins for a query;
+//! * [`partition_index::PartitionIndex`] — the bin → point-ids lookup table plus candidate
+//!   retrieval and exact re-ranking (Algorithm 2 steps 2–3);
+//! * [`searcher::AnnSearcher`] / [`searcher::SearchResult`] — the common interface the
+//!   evaluation harness uses to sweep recall against candidate-set size, also implemented
+//!   by the non-partitioning indexes (HNSW, IVF) compared in Figure 7;
+//! * [`rerank`] — brute-force re-ranking of a candidate list;
+//! * [`balance`] — partition balance statistics (the computational-cost side of the loss).
+
+pub mod balance;
+pub mod partition_index;
+pub mod partitioner;
+pub mod rerank;
+pub mod searcher;
+
+pub use partition_index::PartitionIndex;
+pub use partitioner::Partitioner;
+pub use searcher::{AnnSearcher, SearchResult};

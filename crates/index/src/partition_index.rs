@@ -1,0 +1,241 @@
+//! The bin → points lookup table and the shared online phase (Algorithm 2).
+//!
+//! After the offline phase produces a partitioner, [`PartitionIndex::build`] runs
+//! inference over the whole dataset, records which points fall into which bin (the lookup
+//! table of Algorithm 1 step 3), and serves queries by probing the `m′` most probable bins
+//! and exactly re-ranking the union of their contents.
+
+use rayon::prelude::*;
+use usp_linalg::{Distance, Matrix};
+
+use crate::balance::BalanceStats;
+use crate::partitioner::Partitioner;
+use crate::rerank;
+use crate::searcher::{AnnSearcher, SearchResult};
+
+/// A searchable index: a partitioner plus the lookup table over a concrete dataset.
+pub struct PartitionIndex<P: Partitioner> {
+    partitioner: P,
+    data: Matrix,
+    buckets: Vec<Vec<u32>>,
+    assignments: Vec<usize>,
+    distance: Distance,
+}
+
+impl<P: Partitioner> PartitionIndex<P> {
+    /// Builds the lookup table by assigning every data point to its most probable bin
+    /// (parallel over points).
+    pub fn build(partitioner: P, data: &Matrix, distance: Distance) -> Self {
+        let m = partitioner.num_bins();
+        let assignments: Vec<usize> = (0..data.rows())
+            .into_par_iter()
+            .map(|i| partitioner.assign(data.row(i)))
+            .collect();
+        let mut buckets = vec![Vec::new(); m];
+        for (i, &b) in assignments.iter().enumerate() {
+            assert!(b < m, "partitioner assigned bin {b} but reports only {m} bins");
+            buckets[b].push(i as u32);
+        }
+        Self { partitioner, data: data.clone(), buckets, assignments, distance }
+    }
+
+    /// Builds the index from precomputed assignments (used when the offline phase already
+    /// produced per-point bins, e.g. from graph partitioning labels).
+    pub fn from_assignments(
+        partitioner: P,
+        data: &Matrix,
+        assignments: Vec<usize>,
+        distance: Distance,
+    ) -> Self {
+        let m = partitioner.num_bins();
+        assert_eq!(assignments.len(), data.rows());
+        let mut buckets = vec![Vec::new(); m];
+        for (i, &b) in assignments.iter().enumerate() {
+            assert!(b < m, "assignment {b} out of range for {m} bins");
+            buckets[b].push(i as u32);
+        }
+        Self { partitioner, data: data.clone(), buckets, assignments, distance }
+    }
+
+    /// The underlying partitioner.
+    pub fn partitioner(&self) -> &P {
+        &self.partitioner
+    }
+
+    /// The indexed dataset.
+    pub fn data(&self) -> &Matrix {
+        &self.data
+    }
+
+    /// Number of bins.
+    pub fn num_bins(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Per-point bin assignments recorded at build time.
+    pub fn assignments(&self) -> &[usize] {
+        &self.assignments
+    }
+
+    /// Point ids stored in a bin.
+    pub fn bucket(&self, bin: usize) -> &[u32] {
+        &self.buckets[bin]
+    }
+
+    /// Sizes of every bucket.
+    pub fn bucket_sizes(&self) -> Vec<usize> {
+        self.buckets.iter().map(Vec::len).collect()
+    }
+
+    /// Balance statistics of the built partition.
+    pub fn balance(&self) -> BalanceStats {
+        BalanceStats::from_sizes(&self.bucket_sizes())
+    }
+
+    /// Candidate ids for a query when probing the `probes` most probable bins
+    /// (Algorithm 2 step 2).
+    pub fn candidates(&self, query: &[f32], probes: usize) -> Vec<u32> {
+        let bins = self.partitioner.rank_bins(query, probes);
+        let mut out = Vec::new();
+        for b in bins {
+            out.extend_from_slice(&self.buckets[b]);
+        }
+        out
+    }
+
+    /// Full query: probe bins, gather candidates, exact re-rank, return the top `k`
+    /// together with the number of candidates scanned.
+    pub fn search(&self, query: &[f32], k: usize, probes: usize) -> SearchResult {
+        let candidates = self.candidates(query, probes);
+        let scanned = candidates.len();
+        let ids = rerank::rerank(&self.data, query, &candidates, k, self.distance);
+        SearchResult::new(ids, scanned)
+    }
+
+    /// Wraps the index with a fixed probe count so it can be used as an [`AnnSearcher`].
+    pub fn with_probes(&self, probes: usize) -> ProbedIndex<'_, P> {
+        ProbedIndex { index: self, probes }
+    }
+}
+
+/// A [`PartitionIndex`] with a fixed number of probed bins, usable as an [`AnnSearcher`].
+pub struct ProbedIndex<'a, P: Partitioner> {
+    index: &'a PartitionIndex<P>,
+    probes: usize,
+}
+
+impl<'a, P: Partitioner> AnnSearcher for ProbedIndex<'a, P> {
+    fn search(&self, query: &[f32], k: usize) -> SearchResult {
+        self.index.search(query, k, self.probes)
+    }
+
+    fn name(&self) -> String {
+        format!("{} (probes={})", self.index.partitioner.name(), self.probes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partitioner::Partitioner;
+
+    /// A 1-D grid partitioner: bin = floor(x) clamped to [0, bins).
+    struct GridPartitioner {
+        bins: usize,
+    }
+
+    impl Partitioner for GridPartitioner {
+        fn num_bins(&self) -> usize {
+            self.bins
+        }
+        fn bin_scores(&self, query: &[f32]) -> Vec<f32> {
+            let x = query[0];
+            (0..self.bins)
+                .map(|b| {
+                    let center = b as f32 + 0.5;
+                    -(x - center).abs()
+                })
+                .collect()
+        }
+        fn name(&self) -> String {
+            "grid".into()
+        }
+    }
+
+    fn line_data(n: usize, per_unit: usize) -> Matrix {
+        // `per_unit` points uniformly inside each unit interval [i, i+1).
+        let mut v = Vec::new();
+        for i in 0..n {
+            for j in 0..per_unit {
+                v.push(i as f32 + (j as f32 + 0.5) / per_unit as f32);
+            }
+        }
+        Matrix::from_vec(n * per_unit, 1, v)
+    }
+
+    #[test]
+    fn build_produces_expected_buckets() {
+        let data = line_data(4, 5);
+        let idx = PartitionIndex::build(GridPartitioner { bins: 4 }, &data, Distance::SquaredEuclidean);
+        assert_eq!(idx.num_bins(), 4);
+        assert_eq!(idx.bucket_sizes(), vec![5, 5, 5, 5]);
+        assert!((idx.balance().imbalance - 1.0).abs() < 1e-9);
+        // All points in bucket 2 have 2 <= x < 3.
+        for &id in idx.bucket(2) {
+            let x = idx.data().row(id as usize)[0];
+            assert!((2.0..3.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn more_probes_give_supersets_of_candidates() {
+        let data = line_data(4, 5);
+        let idx = PartitionIndex::build(GridPartitioner { bins: 4 }, &data, Distance::SquaredEuclidean);
+        let q = [1.6f32];
+        let c1: std::collections::HashSet<u32> = idx.candidates(&q, 1).into_iter().collect();
+        let c2: std::collections::HashSet<u32> = idx.candidates(&q, 2).into_iter().collect();
+        let c4: std::collections::HashSet<u32> = idx.candidates(&q, 4).into_iter().collect();
+        assert!(c1.is_subset(&c2));
+        assert!(c2.is_subset(&c4));
+        assert_eq!(c4.len(), 20);
+    }
+
+    #[test]
+    fn search_returns_true_neighbours_with_enough_probes() {
+        let data = line_data(4, 5);
+        let idx = PartitionIndex::build(GridPartitioner { bins: 4 }, &data, Distance::SquaredEuclidean);
+        // Query near the boundary between bins 1 and 2.
+        let res = idx.search(&[1.95], 3, 2);
+        assert_eq!(res.candidates_scanned, 10);
+        // Exact nearest points are at 1.9, 2.1 and 1.7.
+        let xs: Vec<f32> = res.ids.iter().map(|&i| data.row(i)[0]).collect();
+        assert!((xs[0] - 1.9).abs() < 1e-6);
+        assert!((xs[1] - 2.1).abs() < 1e-6);
+        assert!((xs[2] - 1.7).abs() < 1e-6);
+    }
+
+    #[test]
+    fn from_assignments_respects_given_buckets() {
+        let data = line_data(2, 2);
+        let idx = PartitionIndex::from_assignments(
+            GridPartitioner { bins: 2 },
+            &data,
+            vec![1, 1, 0, 0],
+            Distance::SquaredEuclidean,
+        );
+        assert_eq!(idx.bucket(1), &[0, 1]);
+        assert_eq!(idx.bucket(0), &[2, 3]);
+        assert_eq!(idx.assignments(), &[1, 1, 0, 0]);
+    }
+
+    #[test]
+    fn probed_index_implements_searcher() {
+        let data = line_data(3, 4);
+        let idx = PartitionIndex::build(GridPartitioner { bins: 3 }, &data, Distance::SquaredEuclidean);
+        let searcher = idx.with_probes(1);
+        let r = searcher.search(&[0.5], 2);
+        assert_eq!(r.ids.len(), 2);
+        assert_eq!(r.candidates_scanned, 4);
+        assert!(searcher.name().contains("grid"));
+    }
+}

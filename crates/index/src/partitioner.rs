@@ -1,0 +1,134 @@
+//! The [`Partitioner`] trait: the common contract between every space-partitioning method
+//! and the shared online-phase machinery.
+
+use usp_linalg::topk;
+
+/// A space partition of `R^d` into `m` bins that can score bins for an arbitrary query.
+///
+/// The unsupervised partitioner outputs a softmax distribution over bins; K-means scores
+/// bins by (negative) centroid distance; LSH and tree methods score their own bin 1.0 and
+/// everything else 0.0 (or a ranked fallback). The only requirement is that **larger
+/// scores mean more probable bins**, so that ranking bins by score implements the
+/// "search the `m′` most probable bins" step of Algorithm 2.
+pub trait Partitioner: Send + Sync {
+    /// Number of bins `m` in the partition.
+    fn num_bins(&self) -> usize;
+
+    /// Scores every bin for the query (length must equal [`Partitioner::num_bins`]).
+    fn bin_scores(&self, query: &[f32]) -> Vec<f32>;
+
+    /// The most probable bin for a query.
+    fn assign(&self, query: &[f32]) -> usize {
+        topk::argmax(&self.bin_scores(query))
+    }
+
+    /// The `probes` most probable bins, most probable first.
+    fn rank_bins(&self, query: &[f32], probes: usize) -> Vec<usize> {
+        let scores = self.bin_scores(query);
+        topk::largest_k(&scores, probes.min(scores.len()))
+    }
+
+    /// Number of learnable parameters (Table 2 of the paper); 0 for non-learned methods.
+    fn num_parameters(&self) -> usize {
+        0
+    }
+
+    /// Short human-readable name used in reports.
+    fn name(&self) -> String;
+}
+
+impl<P: Partitioner + ?Sized> Partitioner for Box<P> {
+    fn num_bins(&self) -> usize {
+        (**self).num_bins()
+    }
+    fn bin_scores(&self, query: &[f32]) -> Vec<f32> {
+        (**self).bin_scores(query)
+    }
+    fn assign(&self, query: &[f32]) -> usize {
+        (**self).assign(query)
+    }
+    fn rank_bins(&self, query: &[f32], probes: usize) -> Vec<usize> {
+        (**self).rank_bins(query, probes)
+    }
+    fn num_parameters(&self) -> usize {
+        (**self).num_parameters()
+    }
+    fn name(&self) -> String {
+        (**self).name()
+    }
+}
+
+/// A trivial partitioner assigning every point to one of `m` bins round-robin by a hash of
+/// the first coordinate. Useful as a worst-case control and in tests.
+#[derive(Debug, Clone)]
+pub struct RoundRobinPartitioner {
+    bins: usize,
+}
+
+impl RoundRobinPartitioner {
+    /// Creates a round-robin partitioner over `bins` bins.
+    pub fn new(bins: usize) -> Self {
+        assert!(bins > 0);
+        Self { bins }
+    }
+}
+
+impl Partitioner for RoundRobinPartitioner {
+    fn num_bins(&self) -> usize {
+        self.bins
+    }
+
+    fn bin_scores(&self, query: &[f32]) -> Vec<f32> {
+        // Hash the query's bits into a bin; every other bin gets a deterministic
+        // decreasing score so rank_bins stays well defined.
+        let mut h = 0u64;
+        for &v in query {
+            h = h.wrapping_mul(31).wrapping_add(v.to_bits() as u64);
+        }
+        let chosen = (h % self.bins as u64) as usize;
+        (0..self.bins)
+            .map(|b| if b == chosen { 1.0 } else { 1.0 / (2.0 + ((b + self.bins - chosen) % self.bins) as f32) })
+            .collect()
+    }
+
+    fn name(&self) -> String {
+        "round-robin".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_assign_is_argmax_of_scores() {
+        let p = RoundRobinPartitioner::new(8);
+        let q = [1.0f32, 2.0, 3.0];
+        let scores = p.bin_scores(&q);
+        assert_eq!(p.assign(&q), topk::argmax(&scores));
+        assert_eq!(scores.len(), 8);
+    }
+
+    #[test]
+    fn rank_bins_starts_with_assign_and_has_no_duplicates() {
+        let p = RoundRobinPartitioner::new(5);
+        let q = [0.25f32, -1.0];
+        let ranked = p.rank_bins(&q, 5);
+        assert_eq!(ranked[0], p.assign(&q));
+        let unique: std::collections::HashSet<_> = ranked.iter().collect();
+        assert_eq!(unique.len(), ranked.len());
+    }
+
+    #[test]
+    fn rank_bins_respects_probe_budget() {
+        let p = RoundRobinPartitioner::new(10);
+        assert_eq!(p.rank_bins(&[1.0], 3).len(), 3);
+        assert_eq!(p.rank_bins(&[1.0], 99).len(), 10);
+    }
+
+    #[test]
+    fn deterministic_assignment() {
+        let p = RoundRobinPartitioner::new(16);
+        assert_eq!(p.assign(&[0.5, 0.25]), p.assign(&[0.5, 0.25]));
+    }
+}

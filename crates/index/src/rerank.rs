@@ -1,0 +1,71 @@
+//! Exact re-ranking of candidate sets (step 3 of Algorithm 2).
+
+use usp_linalg::{topk, Distance, Matrix};
+
+/// Returns the `k` candidate ids closest to the query under `distance`, scanning every
+/// candidate exactly once (the `O(c·d)` term of the paper's §4.5 complexity analysis).
+pub fn rerank(
+    data: &Matrix,
+    query: &[f32],
+    candidates: &[u32],
+    k: usize,
+    distance: Distance,
+) -> Vec<usize> {
+    let order = topk::smallest_k_by(candidates.len(), k.min(candidates.len()), |i| {
+        distance.eval(query, data.row(candidates[i] as usize))
+    });
+    order.into_iter().map(|i| candidates[i] as usize).collect()
+}
+
+/// Re-ranking that also returns the distances (ascending).
+pub fn rerank_with_distances(
+    data: &Matrix,
+    query: &[f32],
+    candidates: &[u32],
+    k: usize,
+    distance: Distance,
+) -> Vec<(usize, f32)> {
+    rerank(data, query, candidates, k, distance)
+        .into_iter()
+        .map(|id| (id, distance.eval(query, data.row(id))))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(n: usize) -> Matrix {
+        Matrix::from_vec(n, 1, (0..n).map(|i| i as f32).collect())
+    }
+
+    #[test]
+    fn rerank_returns_nearest_of_candidates_only() {
+        let data = line(10);
+        // Candidates exclude the true nearest neighbour (index 3) of query 3.1.
+        let candidates = vec![0u32, 5, 4, 9];
+        let got = rerank(&data, &[3.1], &candidates, 2, Distance::SquaredEuclidean);
+        assert_eq!(got, vec![4, 5]);
+    }
+
+    #[test]
+    fn rerank_k_larger_than_candidates() {
+        let data = line(4);
+        let got = rerank(&data, &[0.0], &[2, 1], 10, Distance::SquaredEuclidean);
+        assert_eq!(got, vec![1, 2]);
+    }
+
+    #[test]
+    fn rerank_with_distances_is_sorted() {
+        let data = line(8);
+        let got = rerank_with_distances(&data, &[4.2], &[0, 1, 2, 3, 4, 5, 6, 7], 4, Distance::Euclidean);
+        assert_eq!(got[0].0, 4);
+        assert!(got.windows(2).all(|w| w[0].1 <= w[1].1));
+    }
+
+    #[test]
+    fn empty_candidates_give_empty_result() {
+        let data = line(3);
+        assert!(rerank(&data, &[1.0], &[], 5, Distance::Euclidean).is_empty());
+    }
+}

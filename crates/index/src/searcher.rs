@@ -1,0 +1,73 @@
+//! The common search interface used by the evaluation harness.
+//!
+//! Figure 5/6 sweeps plot k-NN accuracy against *candidate-set size*; Figure 7 compares
+//! end-to-end methods (partition + sketch pipelines, HNSW, IVF). [`SearchResult`] carries
+//! both the returned ids and the number of points actually scanned so every method is
+//! measured on the same axes.
+
+use serde::{Deserialize, Serialize};
+
+/// The outcome of one approximate k-NN query.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SearchResult {
+    /// Returned point ids, closest first.
+    pub ids: Vec<usize>,
+    /// Number of base points whose distance to the query was evaluated (the candidate-set
+    /// size `|C|` for partitioning methods; visited nodes for graph methods).
+    pub candidates_scanned: usize,
+}
+
+impl SearchResult {
+    /// Creates a result.
+    pub fn new(ids: Vec<usize>, candidates_scanned: usize) -> Self {
+        Self { ids, candidates_scanned }
+    }
+
+    /// An empty result.
+    pub fn empty() -> Self {
+        Self { ids: Vec::new(), candidates_scanned: 0 }
+    }
+}
+
+/// Anything that can answer approximate k-NN queries.
+///
+/// Implementations should make `search` deterministic for a fixed index so experiment
+/// sweeps are reproducible.
+pub trait AnnSearcher: Send + Sync {
+    /// Returns (up to) `k` approximate nearest neighbours of `query`.
+    fn search(&self, query: &[f32], k: usize) -> SearchResult;
+
+    /// Short human-readable name used in reports.
+    fn name(&self) -> String;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Dummy;
+    impl AnnSearcher for Dummy {
+        fn search(&self, _query: &[f32], k: usize) -> SearchResult {
+            SearchResult::new((0..k).collect(), k * 2)
+        }
+        fn name(&self) -> String {
+            "dummy".into()
+        }
+    }
+
+    #[test]
+    fn trait_object_usable() {
+        let s: Box<dyn AnnSearcher> = Box::new(Dummy);
+        let r = s.search(&[0.0], 3);
+        assert_eq!(r.ids, vec![0, 1, 2]);
+        assert_eq!(r.candidates_scanned, 6);
+        assert_eq!(s.name(), "dummy");
+    }
+
+    #[test]
+    fn empty_result() {
+        let r = SearchResult::empty();
+        assert!(r.ids.is_empty());
+        assert_eq!(r.candidates_scanned, 0);
+    }
+}

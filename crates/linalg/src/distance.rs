@@ -1,0 +1,141 @@
+//! Distance and similarity kernels.
+//!
+//! The paper defines ANNS under an arbitrary distance function `D` (Euclidean in all its
+//! experiments). The [`Distance`] enum lets every index in the workspace be generic over
+//! the metric without trait objects on the hot path.
+
+use serde::{Deserialize, Serialize};
+
+use crate::matrix::dot;
+
+/// Squared Euclidean distance between two equal-length vectors.
+#[inline]
+pub fn squared_euclidean(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = 0.0f32;
+    for (x, y) in a.iter().zip(b.iter()) {
+        let d = x - y;
+        acc += d * d;
+    }
+    acc
+}
+
+/// Euclidean (L2) distance.
+#[inline]
+pub fn euclidean(a: &[f32], b: &[f32]) -> f32 {
+    squared_euclidean(a, b).sqrt()
+}
+
+/// Negative inner product, so that *smaller is more similar* like every other metric here.
+#[inline]
+pub fn negative_dot(a: &[f32], b: &[f32]) -> f32 {
+    -dot(a, b)
+}
+
+/// L2 norm of a vector.
+#[inline]
+pub fn norm(a: &[f32]) -> f32 {
+    dot(a, a).sqrt()
+}
+
+/// Cosine distance `1 - cos(a, b)`; zero vectors are treated as maximally distant.
+#[inline]
+pub fn cosine(a: &[f32], b: &[f32]) -> f32 {
+    let na = norm(a);
+    let nb = norm(b);
+    if na == 0.0 || nb == 0.0 {
+        return 1.0;
+    }
+    1.0 - dot(a, b) / (na * nb)
+}
+
+/// Distance function used by an index.
+///
+/// All variants return values where **smaller means closer**, so candidate re-ranking code
+/// can be metric-agnostic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum Distance {
+    /// Squared Euclidean distance (monotone in Euclidean distance; avoids the sqrt).
+    #[default]
+    SquaredEuclidean,
+    /// Euclidean (L2) distance.
+    Euclidean,
+    /// Negative inner product (maximum inner-product search).
+    InnerProduct,
+    /// Cosine distance.
+    Cosine,
+}
+
+impl Distance {
+    /// Evaluates the distance between two vectors.
+    #[inline]
+    pub fn eval(&self, a: &[f32], b: &[f32]) -> f32 {
+        match self {
+            Distance::SquaredEuclidean => squared_euclidean(a, b),
+            Distance::Euclidean => euclidean(a, b),
+            Distance::InnerProduct => negative_dot(a, b),
+            Distance::Cosine => cosine(a, b),
+        }
+    }
+
+    /// Human-readable name used in reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Distance::SquaredEuclidean => "squared_euclidean",
+            Distance::Euclidean => "euclidean",
+            Distance::InnerProduct => "inner_product",
+            Distance::Cosine => "cosine",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn squared_euclidean_known_value() {
+        assert_eq!(squared_euclidean(&[0., 0.], &[3., 4.]), 25.0);
+        assert_eq!(euclidean(&[0., 0.], &[3., 4.]), 5.0);
+    }
+
+    #[test]
+    fn distance_to_self_is_zero() {
+        let v = [1.0, -2.0, 3.5];
+        assert_eq!(squared_euclidean(&v, &v), 0.0);
+        assert!(cosine(&v, &v).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cosine_orthogonal_is_one() {
+        assert!((cosine(&[1., 0.], &[0., 1.]) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cosine_zero_vector_is_max() {
+        assert_eq!(cosine(&[0., 0.], &[1., 1.]), 1.0);
+    }
+
+    #[test]
+    fn inner_product_smaller_is_closer() {
+        // A more aligned vector must give a *smaller* value.
+        let q = [1.0, 1.0];
+        assert!(negative_dot(&q, &[2.0, 2.0]) < negative_dot(&q, &[0.1, 0.1]));
+    }
+
+    #[test]
+    fn enum_dispatch_matches_free_functions() {
+        let a = [1., 2., 3.];
+        let b = [4., 5., 6.];
+        assert_eq!(Distance::SquaredEuclidean.eval(&a, &b), squared_euclidean(&a, &b));
+        assert_eq!(Distance::Euclidean.eval(&a, &b), euclidean(&a, &b));
+        assert_eq!(Distance::InnerProduct.eval(&a, &b), negative_dot(&a, &b));
+        assert_eq!(Distance::Cosine.eval(&a, &b), cosine(&a, &b));
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(Distance::default().name(), "squared_euclidean");
+        assert_eq!(Distance::Cosine.name(), "cosine");
+    }
+}

@@ -1,0 +1,188 @@
+//! Dense symmetric eigendecomposition via the cyclic Jacobi rotation method.
+//!
+//! Spectral clustering needs the leading eigenvectors of a normalized affinity matrix.
+//! Power iteration struggles there because the relevant eigenvalues are nearly degenerate
+//! (connected components and slow-mixing ring modes), so this module provides a robust
+//! full eigendecomposition for the moderate matrix sizes (`n` up to a few thousand) used
+//! by the clustering comparator and by tests.
+
+/// Result of a symmetric eigendecomposition.
+#[derive(Debug, Clone)]
+pub struct SymmetricEigen {
+    /// Eigenvalues, sorted in decreasing order.
+    pub eigenvalues: Vec<f64>,
+    /// Eigenvectors as rows, in the same order as `eigenvalues` (each has unit norm).
+    pub eigenvectors: Vec<Vec<f64>>,
+}
+
+/// Computes the full eigendecomposition of a dense symmetric matrix given in row-major
+/// order (`n * n` entries). Uses cyclic Jacobi rotations until off-diagonal mass is
+/// negligible or `max_sweeps` is reached.
+///
+/// # Panics
+/// Panics if `matrix.len() != n * n`.
+pub fn symmetric_eigen(matrix: &[f64], n: usize, max_sweeps: usize) -> SymmetricEigen {
+    assert_eq!(matrix.len(), n * n, "symmetric_eigen: shape mismatch");
+    let mut a = matrix.to_vec();
+    // v starts as the identity; accumulates the rotations (rows are eigenvectors at the end
+    // after transposition handling below — we keep V with columns as eigenvectors and read
+    // them out column-wise).
+    let mut v = vec![0.0f64; n * n];
+    for i in 0..n {
+        v[i * n + i] = 1.0;
+    }
+
+    let off = |a: &[f64]| -> f64 {
+        let mut s = 0.0;
+        for i in 0..n {
+            for j in 0..n {
+                if i != j {
+                    s += a[i * n + j] * a[i * n + j];
+                }
+            }
+        }
+        s
+    };
+
+    let eps = 1e-12 * (1.0 + off(&a));
+    for _sweep in 0..max_sweeps {
+        if off(&a) <= eps {
+            break;
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = a[p * n + q];
+                if apq.abs() < 1e-18 {
+                    continue;
+                }
+                let app = a[p * n + p];
+                let aqq = a[q * n + q];
+                let theta = (aqq - app) / (2.0 * apq);
+                let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
+                let c = 1.0 / (t * t + 1.0).sqrt();
+                let s = t * c;
+
+                // Apply the rotation to A (rows/columns p and q).
+                for k in 0..n {
+                    let akp = a[k * n + p];
+                    let akq = a[k * n + q];
+                    a[k * n + p] = c * akp - s * akq;
+                    a[k * n + q] = s * akp + c * akq;
+                }
+                for k in 0..n {
+                    let apk = a[p * n + k];
+                    let aqk = a[q * n + k];
+                    a[p * n + k] = c * apk - s * aqk;
+                    a[q * n + k] = s * apk + c * aqk;
+                }
+                // Accumulate into V (columns of V are the eigenvectors).
+                for k in 0..n {
+                    let vkp = v[k * n + p];
+                    let vkq = v[k * n + q];
+                    v[k * n + p] = c * vkp - s * vkq;
+                    v[k * n + q] = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+
+    // Extract eigenpairs and sort by decreasing eigenvalue.
+    let mut pairs: Vec<(f64, Vec<f64>)> = (0..n)
+        .map(|j| {
+            let lambda = a[j * n + j];
+            let vec: Vec<f64> = (0..n).map(|i| v[i * n + j]).collect();
+            (lambda, vec)
+        })
+        .collect();
+    pairs.sort_by(|x, y| y.0.partial_cmp(&x.0).unwrap_or(std::cmp::Ordering::Equal));
+
+    SymmetricEigen {
+        eigenvalues: pairs.iter().map(|(l, _)| *l).collect(),
+        eigenvectors: pairs.into_iter().map(|(_, v)| v).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn matvec(m: &[f64], n: usize, v: &[f64]) -> Vec<f64> {
+        (0..n)
+            .map(|i| (0..n).map(|j| m[i * n + j] * v[j]).sum())
+            .collect()
+    }
+
+    #[test]
+    fn diagonal_matrix_eigenvalues_are_diagonal_entries() {
+        let m = vec![3.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 2.0];
+        let e = symmetric_eigen(&m, 3, 30);
+        assert!((e.eigenvalues[0] - 3.0).abs() < 1e-9);
+        assert!((e.eigenvalues[1] - 2.0).abs() < 1e-9);
+        assert!((e.eigenvalues[2] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn known_2x2_eigenpairs() {
+        // [[2, 1], [1, 2]] has eigenvalues 3 and 1 with eigenvectors (1,1) and (1,-1).
+        let m = vec![2.0, 1.0, 1.0, 2.0];
+        let e = symmetric_eigen(&m, 2, 30);
+        assert!((e.eigenvalues[0] - 3.0).abs() < 1e-9);
+        assert!((e.eigenvalues[1] - 1.0).abs() < 1e-9);
+        let v0 = &e.eigenvectors[0];
+        assert!((v0[0].abs() - v0[1].abs()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn eigenpairs_satisfy_definition_and_are_orthonormal() {
+        // A random-ish symmetric matrix.
+        let n = 6;
+        let mut m = vec![0.0f64; n * n];
+        for i in 0..n {
+            for j in 0..=i {
+                let val = ((i * 7 + j * 13) % 10) as f64 * 0.3 - 1.0;
+                m[i * n + j] = val;
+                m[j * n + i] = val;
+            }
+        }
+        let e = symmetric_eigen(&m, n, 60);
+        for (lambda, vec) in e.eigenvalues.iter().zip(&e.eigenvectors) {
+            let mv = matvec(&m, n, vec);
+            for (a, b) in mv.iter().zip(vec) {
+                assert!((a - lambda * b).abs() < 1e-6, "Av != lambda v");
+            }
+            let norm: f64 = vec.iter().map(|x| x * x).sum::<f64>().sqrt();
+            assert!((norm - 1.0).abs() < 1e-9);
+        }
+        // Orthogonality.
+        for i in 0..n {
+            for j in 0..i {
+                let dot: f64 = e.eigenvectors[i]
+                    .iter()
+                    .zip(&e.eigenvectors[j])
+                    .map(|(a, b)| a * b)
+                    .sum();
+                assert!(dot.abs() < 1e-7, "eigenvectors {i},{j} not orthogonal");
+            }
+        }
+    }
+
+    #[test]
+    fn block_diagonal_components_have_degenerate_top_eigenvalue() {
+        // Two disconnected 2-cliques (normalized adjacency): eigenvalue 1 with multiplicity 2.
+        let m = vec![
+            0.0, 1.0, 0.0, 0.0, //
+            1.0, 0.0, 0.0, 0.0, //
+            0.0, 0.0, 0.0, 1.0, //
+            0.0, 0.0, 1.0, 0.0,
+        ];
+        let e = symmetric_eigen(&m, 4, 40);
+        assert!((e.eigenvalues[0] - 1.0).abs() < 1e-9);
+        assert!((e.eigenvalues[1] - 1.0).abs() < 1e-9);
+        // The top-2 eigenspace separates the components: within it, points of different
+        // components have different embedding rows.
+        let emb = |i: usize| [e.eigenvectors[0][i], e.eigenvectors[1][i]];
+        let d_same = (emb(0)[0] - emb(1)[0]).abs() + (emb(0)[1] - emb(1)[1]).abs();
+        let d_diff = (emb(0)[0] - emb(2)[0]).abs() + (emb(0)[1] - emb(2)[1]).abs();
+        assert!(d_diff > d_same - 1e-9);
+    }
+}

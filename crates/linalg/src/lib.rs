@@ -1,0 +1,27 @@
+//! Dense linear-algebra primitives used throughout the Neural Partitioner workspace.
+//!
+//! This crate is the lowest layer of the workspace. It provides:
+//!
+//! * [`Matrix`] — a row-major `f32` matrix with (rayon-)parallel matrix multiplication,
+//!   the only "tensor" type the neural-network crate needs;
+//! * [`distance`] — Euclidean / inner-product / cosine distance kernels and the
+//!   [`distance::Distance`] dispatch enum;
+//! * [`topk`] — top-k selection (both smallest and largest), argmax/argsort helpers;
+//! * [`stats`] — softmax and friends, means and variances;
+//! * [`pca`] — principal components via power iteration on the (implicit) covariance;
+//! * [`rng`] — seeded RNG construction and Gaussian sampling helpers.
+//!
+//! Everything is deliberately simple, allocation-conscious and exhaustively unit tested:
+//! the higher layers (the unsupervised partitioning loss in particular) depend on these
+//! kernels being correct.
+
+pub mod distance;
+pub mod eigen;
+pub mod matrix;
+pub mod pca;
+pub mod rng;
+pub mod stats;
+pub mod topk;
+
+pub use distance::Distance;
+pub use matrix::Matrix;

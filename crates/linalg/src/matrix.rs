@@ -1,0 +1,484 @@
+//! A minimal row-major dense `f32` matrix.
+//!
+//! The neural-network crate and the quantizers only need a handful of operations:
+//! construction, row access, matrix multiplication (optionally with a transposed
+//! right-hand side), element-wise maps and reductions. All heavy operations are
+//! parallelised over rows with rayon.
+
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Row-major dense matrix of `f32` values.
+///
+/// Invariant: `data.len() == rows * cols`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Matrix {
+    /// Creates a matrix of zeros with the given shape.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Creates a matrix filled with a constant value.
+    pub fn full(rows: usize, cols: usize, value: f32) -> Self {
+        Self { rows, cols, data: vec![value; rows * cols] }
+    }
+
+    /// Builds a matrix from a flat row-major buffer.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "Matrix::from_vec: buffer length {} does not match {}x{}",
+            data.len(),
+            rows,
+            cols
+        );
+        Self { rows, cols, data }
+    }
+
+    /// Builds a matrix by stacking rows (all rows must have equal length).
+    pub fn from_rows(rows: &[Vec<f32>]) -> Self {
+        if rows.is_empty() {
+            return Self::zeros(0, 0);
+        }
+        let cols = rows[0].len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for r in rows {
+            assert_eq!(r.len(), cols, "Matrix::from_rows: ragged rows");
+            data.extend_from_slice(r);
+        }
+        Self { rows: rows.len(), cols, data }
+    }
+
+    /// Identity matrix of size `n`.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` pair.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// The underlying flat row-major buffer.
+    #[inline]
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable access to the underlying flat row-major buffer.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the matrix and returns its flat buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Borrow of row `i`.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f32] {
+        debug_assert!(i < self.rows);
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Mutable borrow of row `i`.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [f32] {
+        debug_assert!(i < self.rows);
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Copies row `i` into a new `Vec`.
+    pub fn row_to_vec(&self, i: usize) -> Vec<f32> {
+        self.row(i).to_vec()
+    }
+
+    /// Copies column `j` into a new `Vec`.
+    pub fn col_to_vec(&self, j: usize) -> Vec<f32> {
+        (0..self.rows).map(|i| self[(i, j)]).collect()
+    }
+
+    /// Iterator over row slices.
+    pub fn row_iter(&self) -> impl Iterator<Item = &[f32]> {
+        self.data.chunks_exact(self.cols.max(1))
+    }
+
+    /// Returns a new matrix containing the selected rows, in order.
+    pub fn select_rows(&self, indices: &[usize]) -> Matrix {
+        let mut out = Matrix::zeros(indices.len(), self.cols);
+        for (dst, &src) in indices.iter().enumerate() {
+            out.row_mut(dst).copy_from_slice(self.row(src));
+        }
+        out
+    }
+
+    /// Transposes the matrix.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out[(j, i)] = self[(i, j)];
+            }
+        }
+        out
+    }
+
+    /// Dense matrix multiplication `self * other`, parallelised over rows of `self`.
+    ///
+    /// # Panics
+    /// Panics if the inner dimensions do not match.
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul: inner dimensions mismatch {}x{} * {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        let (n, k, m) = (self.rows, self.cols, other.cols);
+        let other_data = &other.data;
+        out.data
+            .par_chunks_mut(m)
+            .enumerate()
+            .for_each(|(i, out_row)| {
+                let a_row = &self.data[i * k..(i + 1) * k];
+                // ikj loop order: stream through `other` row by row for cache friendliness.
+                for (p, &a) in a_row.iter().enumerate() {
+                    if a == 0.0 {
+                        continue;
+                    }
+                    let b_row = &other_data[p * m..(p + 1) * m];
+                    for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
+                        *o += a * b;
+                    }
+                }
+            });
+        let _ = n;
+        out
+    }
+
+    /// Computes `self * other^T` without materialising the transpose.
+    ///
+    /// This is the hot path for linear layers where weights are stored as
+    /// `(out_features, in_features)`.
+    pub fn matmul_transpose_b(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, other.cols,
+            "matmul_transpose_b: inner dimensions mismatch {}x{} * ({}x{})^T",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let mut out = Matrix::zeros(self.rows, other.rows);
+        let m = other.rows;
+        let k = self.cols;
+        out.data
+            .par_chunks_mut(m)
+            .enumerate()
+            .for_each(|(i, out_row)| {
+                let a_row = &self.data[i * k..(i + 1) * k];
+                for (j, o) in out_row.iter_mut().enumerate() {
+                    let b_row = &other.data[j * k..(j + 1) * k];
+                    *o = dot(a_row, b_row);
+                }
+            });
+        out
+    }
+
+    /// Computes `self^T * other` without materialising the transpose.
+    ///
+    /// Used by linear-layer backward passes (gradient w.r.t. weights).
+    pub fn transpose_matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.rows, other.rows,
+            "transpose_matmul: row counts mismatch ({}x{})^T * {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let (k, n, m) = (self.rows, self.cols, other.cols);
+        let mut out = Matrix::zeros(n, m);
+        // Parallelise over output rows (columns of self).
+        out.data
+            .par_chunks_mut(m)
+            .enumerate()
+            .for_each(|(i, out_row)| {
+                for p in 0..k {
+                    let a = self.data[p * n + i];
+                    if a == 0.0 {
+                        continue;
+                    }
+                    let b_row = &other.data[p * m..(p + 1) * m];
+                    for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
+                        *o += a * b;
+                    }
+                }
+            });
+        out
+    }
+
+    /// Adds a row vector to every row of the matrix (broadcast add), in place.
+    pub fn add_row_broadcast(&mut self, v: &[f32]) {
+        assert_eq!(v.len(), self.cols, "add_row_broadcast: length mismatch");
+        for row in self.data.chunks_exact_mut(self.cols) {
+            for (r, &x) in row.iter_mut().zip(v.iter()) {
+                *r += x;
+            }
+        }
+    }
+
+    /// Element-wise addition, in place.
+    pub fn add_assign(&mut self, other: &Matrix) {
+        assert_eq!(self.shape(), other.shape(), "add_assign: shape mismatch");
+        for (a, &b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a += b;
+        }
+    }
+
+    /// Element-wise `self += alpha * other`.
+    pub fn axpy(&mut self, alpha: f32, other: &Matrix) {
+        assert_eq!(self.shape(), other.shape(), "axpy: shape mismatch");
+        for (a, &b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a += alpha * b;
+        }
+    }
+
+    /// Scales every element in place.
+    pub fn scale(&mut self, alpha: f32) {
+        for a in &mut self.data {
+            *a *= alpha;
+        }
+    }
+
+    /// Applies `f` to every element in place.
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32 + Sync) {
+        self.data.iter_mut().for_each(|x| *x = f(*x));
+    }
+
+    /// Returns a new matrix with `f` applied element-wise.
+    pub fn map(&self, f: impl Fn(f32) -> f32 + Sync) -> Matrix {
+        let mut out = self.clone();
+        out.map_inplace(f);
+        out
+    }
+
+    /// Sum of every element.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Mean of every element (0.0 for an empty matrix).
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.data.len() as f32
+        }
+    }
+
+    /// Column-wise sums (length `cols`).
+    pub fn col_sums(&self) -> Vec<f32> {
+        let mut sums = vec![0.0f32; self.cols];
+        for row in self.data.chunks_exact(self.cols) {
+            for (s, &x) in sums.iter_mut().zip(row.iter()) {
+                *s += x;
+            }
+        }
+        sums
+    }
+
+    /// Column-wise means (length `cols`).
+    pub fn col_means(&self) -> Vec<f32> {
+        let mut sums = self.col_sums();
+        let n = self.rows.max(1) as f32;
+        for s in &mut sums {
+            *s /= n;
+        }
+        sums
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f32 {
+        self.data.iter().map(|x| x * x).sum::<f32>().sqrt()
+    }
+
+    /// Per-row argmax (ties resolved to the first maximum). Empty rows map to 0.
+    pub fn row_argmax(&self) -> Vec<usize> {
+        self.row_iter().map(crate::topk::argmax).collect()
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Matrix {
+    type Output = f32;
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &f32 {
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f32 {
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+/// Dot product of two equal-length slices.
+#[inline]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    // Unrolled-by-4 accumulation: lets LLVM vectorise without relying on fast-math.
+    let chunks = a.len() / 4;
+    let (mut s0, mut s1, mut s2, mut s3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+    for c in 0..chunks {
+        let i = c * 4;
+        s0 += a[i] * b[i];
+        s1 += a[i + 1] * b[i + 1];
+        s2 += a[i + 2] * b[i + 2];
+        s3 += a[i + 3] * b[i + 3];
+    }
+    let mut rest = 0.0f32;
+    for i in chunks * 4..a.len() {
+        rest += a[i] * b[i];
+    }
+    s0 + s1 + s2 + s3 + rest
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_shape() {
+        let m = Matrix::zeros(3, 4);
+        assert_eq!(m.shape(), (3, 4));
+        assert_eq!(m.as_slice().len(), 12);
+        assert!(m.as_slice().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn from_vec_roundtrip() {
+        let m = Matrix::from_vec(2, 3, vec![1., 2., 3., 4., 5., 6.]);
+        assert_eq!(m.row(0), &[1., 2., 3.]);
+        assert_eq!(m.row(1), &[4., 5., 6.]);
+        assert_eq!(m[(1, 2)], 6.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn from_vec_bad_length_panics() {
+        let _ = Matrix::from_vec(2, 3, vec![1., 2., 3.]);
+    }
+
+    #[test]
+    fn from_rows_builds_expected_matrix() {
+        let m = Matrix::from_rows(&[vec![1., 2.], vec![3., 4.]]);
+        assert_eq!(m.shape(), (2, 2));
+        assert_eq!(m[(1, 0)], 3.0);
+    }
+
+    #[test]
+    fn identity_matmul_is_noop() {
+        let a = Matrix::from_vec(2, 2, vec![1., 2., 3., 4.]);
+        let i = Matrix::identity(2);
+        assert_eq!(a.matmul(&i), a);
+        assert_eq!(i.matmul(&a), a);
+    }
+
+    #[test]
+    fn matmul_known_values() {
+        let a = Matrix::from_vec(2, 3, vec![1., 2., 3., 4., 5., 6.]);
+        let b = Matrix::from_vec(3, 2, vec![7., 8., 9., 10., 11., 12.]);
+        let c = a.matmul(&b);
+        assert_eq!(c.shape(), (2, 2));
+        assert_eq!(c.as_slice(), &[58., 64., 139., 154.]);
+    }
+
+    #[test]
+    fn matmul_transpose_b_matches_explicit_transpose() {
+        let a = Matrix::from_vec(2, 3, vec![1., 2., 3., 4., 5., 6.]);
+        let b = Matrix::from_vec(4, 3, (0..12).map(|x| x as f32).collect());
+        let expected = a.matmul(&b.transpose());
+        let got = a.matmul_transpose_b(&b);
+        assert_eq!(expected, got);
+    }
+
+    #[test]
+    fn transpose_matmul_matches_explicit_transpose() {
+        let a = Matrix::from_vec(4, 2, (0..8).map(|x| x as f32).collect());
+        let b = Matrix::from_vec(4, 3, (0..12).map(|x| x as f32 * 0.5).collect());
+        let expected = a.transpose().matmul(&b);
+        let got = a.transpose_matmul(&b);
+        for (x, y) in expected.as_slice().iter().zip(got.as_slice()) {
+            assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn broadcast_add_and_scale() {
+        let mut m = Matrix::zeros(2, 3);
+        m.add_row_broadcast(&[1., 2., 3.]);
+        m.scale(2.0);
+        assert_eq!(m.row(0), &[2., 4., 6.]);
+        assert_eq!(m.row(1), &[2., 4., 6.]);
+    }
+
+    #[test]
+    fn col_sums_and_means() {
+        let m = Matrix::from_vec(2, 2, vec![1., 2., 3., 4.]);
+        assert_eq!(m.col_sums(), vec![4., 6.]);
+        assert_eq!(m.col_means(), vec![2., 3.]);
+    }
+
+    #[test]
+    fn select_rows_picks_rows_in_order() {
+        let m = Matrix::from_vec(3, 2, vec![0., 1., 2., 3., 4., 5.]);
+        let s = m.select_rows(&[2, 0]);
+        assert_eq!(s.row(0), &[4., 5.]);
+        assert_eq!(s.row(1), &[0., 1.]);
+    }
+
+    #[test]
+    fn row_argmax_ties_take_first() {
+        let m = Matrix::from_vec(2, 3, vec![1., 3., 3., 0., 0., 0.]);
+        assert_eq!(m.row_argmax(), vec![1, 0]);
+    }
+
+    #[test]
+    fn dot_matches_naive() {
+        let a: Vec<f32> = (0..13).map(|x| x as f32).collect();
+        let b: Vec<f32> = (0..13).map(|x| (x * 2) as f32).collect();
+        let naive: f32 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
+        assert!((dot(&a, &b) - naive).abs() < 1e-3);
+    }
+
+    #[test]
+    fn frobenius_norm_known_value() {
+        let m = Matrix::from_vec(1, 2, vec![3., 4.]);
+        assert!((m.frobenius_norm() - 5.0).abs() < 1e-6);
+    }
+}

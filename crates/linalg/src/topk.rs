@@ -1,0 +1,239 @@
+//! Top-k selection and ranking helpers.
+//!
+//! The online phase of every partitioning index ranks bins by probability and re-ranks
+//! candidate points by distance; the offline phase selects exact nearest neighbours.
+//! These helpers implement those selections with bounded heaps instead of full sorts.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// An `(index, score)` pair ordered by score. Used by the bounded heaps below.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Scored {
+    index: usize,
+    score: f32,
+}
+
+impl Eq for Scored {}
+
+impl PartialOrd for Scored {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Scored {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Total order over f32 scores; NaN sorts last so it is evicted first from
+        // a "smallest-k" max-heap.
+        self.score
+            .partial_cmp(&other.score)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| self.index.cmp(&other.index))
+    }
+}
+
+/// Index of the maximum element (first one on ties). Returns 0 for an empty slice.
+#[inline]
+pub fn argmax(values: &[f32]) -> usize {
+    let mut best = 0usize;
+    let mut best_v = f32::NEG_INFINITY;
+    for (i, &v) in values.iter().enumerate() {
+        if v > best_v {
+            best_v = v;
+            best = i;
+        }
+    }
+    best
+}
+
+/// Index of the minimum element (first one on ties). Returns 0 for an empty slice.
+#[inline]
+pub fn argmin(values: &[f32]) -> usize {
+    let mut best = 0usize;
+    let mut best_v = f32::INFINITY;
+    for (i, &v) in values.iter().enumerate() {
+        if v < best_v {
+            best_v = v;
+            best = i;
+        }
+    }
+    best
+}
+
+/// Indices of the `k` smallest values, ordered ascending by value.
+///
+/// Ties are broken by index so the result is deterministic.
+pub fn smallest_k(values: &[f32], k: usize) -> Vec<usize> {
+    smallest_k_by(values.len(), k, |i| values[i])
+}
+
+/// Indices of the `k` largest values, ordered descending by value.
+pub fn largest_k(values: &[f32], k: usize) -> Vec<usize> {
+    let pairs = smallest_k_by(values.len(), k, |i| -values[i]);
+    pairs
+}
+
+/// Indices `0..n` with the `k` smallest keys (ascending by key).
+///
+/// The key function is called once per index; a bounded max-heap keeps memory at `O(k)`.
+pub fn smallest_k_by(n: usize, k: usize, key: impl Fn(usize) -> f32) -> Vec<usize> {
+    if k == 0 || n == 0 {
+        return Vec::new();
+    }
+    let k = k.min(n);
+    let mut heap: BinaryHeap<Scored> = BinaryHeap::with_capacity(k + 1);
+    for i in 0..n {
+        // NaN keys are treated as +infinity so they never displace finite candidates.
+        let raw = key(i);
+        let s = Scored { index: i, score: if raw.is_nan() { f32::INFINITY } else { raw } };
+        if heap.len() < k {
+            heap.push(s);
+        } else if let Some(top) = heap.peek() {
+            if s < *top {
+                heap.pop();
+                heap.push(s);
+            }
+        }
+    }
+    let mut out: Vec<Scored> = heap.into_vec();
+    out.sort();
+    out.into_iter().map(|s| s.index).collect()
+}
+
+/// `(index, value)` pairs of the `k` smallest values, ascending.
+pub fn smallest_k_with_values(values: &[f32], k: usize) -> Vec<(usize, f32)> {
+    smallest_k(values, k).into_iter().map(|i| (i, values[i])).collect()
+}
+
+/// Returns all indices sorted ascending by value (deterministic on ties).
+pub fn argsort(values: &[f32]) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..values.len()).collect();
+    idx.sort_by(|&a, &b| {
+        values[a]
+            .partial_cmp(&values[b])
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| a.cmp(&b))
+    });
+    idx
+}
+
+/// Returns all indices sorted descending by value (deterministic on ties).
+pub fn argsort_desc(values: &[f32]) -> Vec<usize> {
+    let mut idx = argsort(values);
+    idx.reverse();
+    idx
+}
+
+/// Selects, for each column of a row-major `rows x cols` buffer, the `k` largest entries,
+/// and returns their flat positions (`row * cols + col`).
+///
+/// This is the "window" selection used by the computational-cost term of the paper's loss
+/// (Eq. 12): the top `n/m` probabilities of every bin column.
+pub fn top_k_per_column(data: &[f32], rows: usize, cols: usize, k: usize) -> Vec<usize> {
+    assert_eq!(data.len(), rows * cols, "top_k_per_column: shape mismatch");
+    let k = k.min(rows);
+    let mut out = Vec::with_capacity(cols * k);
+    for c in 0..cols {
+        let col_top = smallest_k_by(rows, k, |r| -data[r * cols + c]);
+        out.extend(col_top.into_iter().map(|r| r * cols + c));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn argmax_argmin_basic() {
+        let v = [1.0, 5.0, 3.0, 5.0];
+        assert_eq!(argmax(&v), 1);
+        assert_eq!(argmin(&v), 0);
+        assert_eq!(argmax(&[]), 0);
+    }
+
+    #[test]
+    fn smallest_k_returns_sorted_indices() {
+        let v = [5.0, 1.0, 4.0, 2.0, 3.0];
+        assert_eq!(smallest_k(&v, 3), vec![1, 3, 4]);
+        assert_eq!(smallest_k(&v, 0), Vec::<usize>::new());
+        assert_eq!(smallest_k(&v, 10), vec![1, 3, 4, 2, 0]);
+    }
+
+    #[test]
+    fn largest_k_returns_descending() {
+        let v = [5.0, 1.0, 4.0, 2.0, 3.0];
+        assert_eq!(largest_k(&v, 2), vec![0, 2]);
+    }
+
+    #[test]
+    fn smallest_k_with_values_pairs() {
+        let v = [0.5, 0.1, 0.9];
+        assert_eq!(smallest_k_with_values(&v, 2), vec![(1, 0.1), (0, 0.5)]);
+    }
+
+    #[test]
+    fn argsort_is_stable_on_ties() {
+        let v = [1.0, 0.0, 1.0, 0.0];
+        assert_eq!(argsort(&v), vec![1, 3, 0, 2]);
+        assert_eq!(argsort_desc(&v), vec![2, 0, 3, 1]);
+    }
+
+    #[test]
+    fn top_k_per_column_selects_column_maxima() {
+        // 3x2 matrix:
+        // 0.1 0.9
+        // 0.8 0.2
+        // 0.3 0.7
+        let data = vec![0.1, 0.9, 0.8, 0.2, 0.3, 0.7];
+        let idx = top_k_per_column(&data, 3, 2, 1);
+        // Column 0 max is row 1 (flat 2), column 1 max is row 0 (flat 1).
+        assert_eq!(idx, vec![2, 1]);
+    }
+
+    #[test]
+    fn top_k_per_column_k_larger_than_rows() {
+        let data = vec![1.0, 2.0];
+        let idx = top_k_per_column(&data, 1, 2, 5);
+        assert_eq!(idx.len(), 2);
+    }
+
+    #[test]
+    fn nan_scores_do_not_poison_selection() {
+        let v = [f32::NAN, 1.0, 0.5];
+        let got = smallest_k(&v, 2);
+        assert!(got.contains(&1) && got.contains(&2));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn smallest_k_matches_full_sort(values in prop::collection::vec(-1e4f32..1e4, 0..200), k in 0usize..50) {
+            let by_heap = smallest_k(&values, k);
+            let by_sort: Vec<usize> = argsort(&values).into_iter().take(k.min(values.len())).collect();
+            prop_assert_eq!(by_heap, by_sort);
+        }
+
+        #[test]
+        fn largest_k_is_reverse_of_smallest_of_negated(values in prop::collection::vec(-1e4f32..1e4, 1..100), k in 1usize..20) {
+            let largest = largest_k(&values, k);
+            let negated: Vec<f32> = values.iter().map(|x| -x).collect();
+            let smallest_neg = smallest_k(&negated, k);
+            prop_assert_eq!(largest, smallest_neg);
+        }
+
+        #[test]
+        fn argmax_is_actually_max(values in prop::collection::vec(-1e4f32..1e4, 1..100)) {
+            let i = argmax(&values);
+            for &v in &values {
+                prop_assert!(values[i] >= v);
+            }
+        }
+    }
+}

@@ -1,0 +1,155 @@
+//! Inverted-file (IVF) index — the FAISS baseline stand-in of Figure 7.
+//!
+//! A coarse k-means quantizer assigns every point to one of `n_lists` inverted lists; a
+//! query probes its `nprobe` nearest lists and scans their contents exactly (IVF-Flat).
+//! This is the same structure as FAISS's `IndexIVFFlat`, which is the configuration the
+//! paper's FAISS baseline uses.
+
+use serde::{Deserialize, Serialize};
+use usp_index::{rerank, AnnSearcher, SearchResult};
+use usp_linalg::{Distance, Matrix};
+
+use crate::kmeans::{KMeans, KMeansConfig};
+
+/// IVF construction and query parameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct IvfConfig {
+    /// Number of inverted lists (coarse centroids).
+    pub n_lists: usize,
+    /// Number of lists probed per query.
+    pub nprobe: usize,
+    /// k-means iterations for the coarse quantizer.
+    pub max_iters: usize,
+    /// Distance used for list selection and exact scanning.
+    pub distance: Distance,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl IvfConfig {
+    /// A reasonable default: `n_lists` lists, probing one.
+    pub fn new(n_lists: usize) -> Self {
+        Self { n_lists, nprobe: 1, max_iters: 25, distance: Distance::SquaredEuclidean, seed: 42 }
+    }
+
+    /// Sets the number of probed lists.
+    pub fn with_nprobe(mut self, nprobe: usize) -> Self {
+        self.nprobe = nprobe;
+        self
+    }
+}
+
+/// An IVF-Flat index.
+pub struct IvfIndex {
+    coarse: KMeans,
+    lists: Vec<Vec<u32>>,
+    data: Matrix,
+    config: IvfConfig,
+}
+
+impl IvfIndex {
+    /// Builds the index: trains the coarse quantizer and fills the inverted lists.
+    pub fn build(data: &Matrix, config: IvfConfig) -> Self {
+        let coarse = KMeans::fit(
+            data,
+            &KMeansConfig { k: config.n_lists, max_iters: config.max_iters, tol: 1e-4, seed: config.seed },
+        );
+        let assignments = coarse.assign_all(data);
+        let mut lists = vec![Vec::new(); coarse.k()];
+        for (i, &a) in assignments.iter().enumerate() {
+            lists[a].push(i as u32);
+        }
+        Self { coarse, lists, data: data.clone(), config }
+    }
+
+    /// Number of inverted lists.
+    pub fn n_lists(&self) -> usize {
+        self.lists.len()
+    }
+
+    /// Sizes of every inverted list.
+    pub fn list_sizes(&self) -> Vec<usize> {
+        self.lists.iter().map(Vec::len).collect()
+    }
+
+    /// Searches with an explicit probe count (overriding the configured `nprobe`).
+    pub fn search_with_nprobe(&self, query: &[f32], k: usize, nprobe: usize) -> SearchResult {
+        let probed = self.coarse.nearest_centroids(query, nprobe.max(1));
+        let mut candidates = Vec::new();
+        for list in probed {
+            candidates.extend_from_slice(&self.lists[list]);
+        }
+        let scanned = candidates.len();
+        let ids = rerank::rerank(&self.data, query, &candidates, k, self.config.distance);
+        SearchResult::new(ids, scanned)
+    }
+}
+
+impl AnnSearcher for IvfIndex {
+    fn search(&self, query: &[f32], k: usize) -> SearchResult {
+        self.search_with_nprobe(query, k, self.config.nprobe)
+    }
+
+    fn name(&self) -> String {
+        format!("ivf-flat(lists={},nprobe={})", self.config.n_lists, self.config.nprobe)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use usp_data::exact_knn;
+    use usp_linalg::rng as lrng;
+
+    fn clustered(n: usize, d: usize, seed: u64) -> Matrix {
+        let mut rng = lrng::seeded(seed);
+        let mut m = Matrix::zeros(n, d);
+        for i in 0..n {
+            let c = (i % 5) as f32 * 12.0;
+            for j in 0..d {
+                m[(i, j)] = c + lrng::standard_normal(&mut rng);
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn lists_partition_the_dataset() {
+        let data = clustered(400, 8, 1);
+        let ivf = IvfIndex::build(&data, IvfConfig::new(10));
+        assert_eq!(ivf.n_lists(), 10);
+        assert_eq!(ivf.list_sizes().iter().sum::<usize>(), 400);
+    }
+
+    #[test]
+    fn probing_all_lists_gives_exact_results() {
+        let data = clustered(300, 6, 2);
+        let ivf = IvfIndex::build(&data, IvfConfig::new(8));
+        let q = clustered(1, 6, 50);
+        let truth = exact_knn(&data, &q, 5, Distance::SquaredEuclidean);
+        let res = ivf.search_with_nprobe(q.row(0), 5, 8);
+        assert_eq!(res.ids, truth[0]);
+        assert_eq!(res.candidates_scanned, 300);
+    }
+
+    #[test]
+    fn more_probes_scan_more_and_lose_no_recall() {
+        let data = clustered(500, 8, 3);
+        let ivf = IvfIndex::build(&data, IvfConfig::new(16));
+        let q = data.row_to_vec(42);
+        let r1 = ivf.search_with_nprobe(&q, 10, 1);
+        let r4 = ivf.search_with_nprobe(&q, 10, 4);
+        assert!(r4.candidates_scanned >= r1.candidates_scanned);
+        // The query point itself is always found since its own list is the nearest.
+        assert_eq!(r1.ids[0], 42);
+    }
+
+    #[test]
+    fn searcher_interface_uses_configured_nprobe() {
+        let data = clustered(200, 4, 4);
+        let ivf = IvfIndex::build(&data, IvfConfig::new(8).with_nprobe(2));
+        let res = ivf.search(data.row(0), 3);
+        assert_eq!(res.ids.len(), 3);
+        assert!(ivf.name().contains("ivf-flat"));
+    }
+}

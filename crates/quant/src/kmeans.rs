@@ -1,0 +1,280 @@
+//! Lloyd's k-means with k-means++ seeding.
+//!
+//! K-means appears in three roles in the paper's evaluation: as the dominant classical
+//! partitioning baseline (Figures 5, Table 2/4), as the coarse quantizer of IVF/ScaNN-style
+//! systems (Figure 7), and as the per-subspace codebook trainer of product quantization.
+//! This single implementation serves all three.
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+use usp_linalg::{distance, rng as lrng, topk, Matrix};
+
+/// K-means configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct KMeansConfig {
+    /// Number of clusters.
+    pub k: usize,
+    /// Maximum number of Lloyd iterations.
+    pub max_iters: usize,
+    /// Convergence tolerance on the relative change of inertia.
+    pub tol: f64,
+    /// RNG seed (k-means++ seeding and empty-cluster reseeding).
+    pub seed: u64,
+}
+
+impl KMeansConfig {
+    /// A reasonable default configuration.
+    pub fn new(k: usize) -> Self {
+        Self { k, max_iters: 50, tol: 1e-4, seed: 42 }
+    }
+}
+
+/// A fitted k-means model.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct KMeans {
+    /// Cluster centroids, one per row.
+    pub centroids: Matrix,
+    /// Final within-cluster sum of squared distances.
+    pub inertia: f64,
+    /// Number of Lloyd iterations actually run.
+    pub iterations: usize,
+}
+
+impl KMeans {
+    /// Fits k-means to the rows of `data`.
+    pub fn fit(data: &Matrix, config: &KMeansConfig) -> Self {
+        let n = data.rows();
+        let d = data.cols();
+        assert!(n > 0, "KMeans::fit: empty dataset");
+        let k = config.k.clamp(1, n);
+        let mut rng = lrng::seeded(config.seed);
+
+        let mut centroids = kmeanspp_init(data, k, &mut rng);
+        let mut assignments = vec![0usize; n];
+        let mut inertia = f64::INFINITY;
+        let mut iterations = 0usize;
+
+        for iter in 0..config.max_iters {
+            iterations = iter + 1;
+            // Assignment step (parallel over points).
+            let new: Vec<(usize, f32)> = (0..n)
+                .into_par_iter()
+                .map(|i| {
+                    let p = data.row(i);
+                    let mut best = 0usize;
+                    let mut best_d = f32::INFINITY;
+                    for c in 0..k {
+                        let dist = distance::squared_euclidean(p, centroids.row(c));
+                        if dist < best_d {
+                            best_d = dist;
+                            best = c;
+                        }
+                    }
+                    (best, best_d)
+                })
+                .collect();
+            let new_inertia: f64 = new.iter().map(|&(_, d)| d as f64).sum();
+            for (i, &(c, _)) in new.iter().enumerate() {
+                assignments[i] = c;
+            }
+
+            // Update step.
+            let mut sums = Matrix::zeros(k, d);
+            let mut counts = vec![0usize; k];
+            for (i, &(c, _)) in new.iter().enumerate() {
+                counts[c] += 1;
+                let row = data.row(i);
+                let s = sums.row_mut(c);
+                for (sv, &v) in s.iter_mut().zip(row) {
+                    *sv += v;
+                }
+            }
+            for c in 0..k {
+                if counts[c] == 0 {
+                    // Reseed an empty cluster at a random data point.
+                    let idx = rng.random_range(0..n);
+                    centroids.row_mut(c).copy_from_slice(data.row(idx));
+                } else {
+                    let inv = 1.0 / counts[c] as f32;
+                    let s = sums.row(c).to_vec();
+                    for (cv, sv) in centroids.row_mut(c).iter_mut().zip(s) {
+                        *cv = sv * inv;
+                    }
+                }
+            }
+
+            let rel_change = (inertia - new_inertia).abs() / new_inertia.max(1e-12);
+            inertia = new_inertia;
+            if rel_change < config.tol {
+                break;
+            }
+        }
+
+        Self { centroids, inertia, iterations }
+    }
+
+    /// Number of clusters.
+    pub fn k(&self) -> usize {
+        self.centroids.rows()
+    }
+
+    /// Index of the nearest centroid to a point.
+    pub fn assign(&self, point: &[f32]) -> usize {
+        let mut best = 0usize;
+        let mut best_d = f32::INFINITY;
+        for c in 0..self.k() {
+            let d = distance::squared_euclidean(point, self.centroids.row(c));
+            if d < best_d {
+                best_d = d;
+                best = c;
+            }
+        }
+        best
+    }
+
+    /// Negative distances to every centroid (larger = closer), usable as bin scores.
+    pub fn scores(&self, point: &[f32]) -> Vec<f32> {
+        (0..self.k())
+            .map(|c| -distance::squared_euclidean(point, self.centroids.row(c)))
+            .collect()
+    }
+
+    /// Indices of the `probes` nearest centroids, nearest first.
+    pub fn nearest_centroids(&self, point: &[f32], probes: usize) -> Vec<usize> {
+        let dists: Vec<f32> = (0..self.k())
+            .map(|c| distance::squared_euclidean(point, self.centroids.row(c)))
+            .collect();
+        topk::smallest_k(&dists, probes.min(self.k()))
+    }
+
+    /// Assigns every row of a matrix (parallel).
+    pub fn assign_all(&self, data: &Matrix) -> Vec<usize> {
+        (0..data.rows())
+            .into_par_iter()
+            .map(|i| self.assign(data.row(i)))
+            .collect()
+    }
+}
+
+/// k-means++ seeding: the first centre is uniform, each subsequent centre is sampled with
+/// probability proportional to its squared distance to the nearest chosen centre.
+fn kmeanspp_init(data: &Matrix, k: usize, rng: &mut StdRng) -> Matrix {
+    let n = data.rows();
+    let mut centroids = Matrix::zeros(k, data.cols());
+    let first = rng.random_range(0..n);
+    centroids.row_mut(0).copy_from_slice(data.row(first));
+
+    let mut min_dist: Vec<f32> = (0..n)
+        .map(|i| distance::squared_euclidean(data.row(i), centroids.row(0)))
+        .collect();
+
+    for c in 1..k {
+        let total: f64 = min_dist.iter().map(|&d| d as f64).sum();
+        let chosen = if total <= 0.0 {
+            rng.random_range(0..n)
+        } else {
+            let mut target = rng.random::<f64>() * total;
+            let mut pick = n - 1;
+            for (i, &d) in min_dist.iter().enumerate() {
+                target -= d as f64;
+                if target <= 0.0 {
+                    pick = i;
+                    break;
+                }
+            }
+            pick
+        };
+        centroids.row_mut(c).copy_from_slice(data.row(chosen));
+        for i in 0..n {
+            let d = distance::squared_euclidean(data.row(i), centroids.row(c));
+            if d < min_dist[i] {
+                min_dist[i] = d;
+            }
+        }
+    }
+    centroids
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn four_blobs(per: usize, seed: u64) -> (Matrix, Vec<usize>) {
+        let centers = [[0.0f32, 0.0], [10.0, 0.0], [0.0, 10.0], [10.0, 10.0]];
+        let mut rng = lrng::seeded(seed);
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for (ci, c) in centers.iter().enumerate() {
+            for _ in 0..per {
+                rows.push(vec![
+                    c[0] + 0.5 * lrng::standard_normal(&mut rng),
+                    c[1] + 0.5 * lrng::standard_normal(&mut rng),
+                ]);
+                labels.push(ci);
+            }
+        }
+        (Matrix::from_rows(&rows), labels)
+    }
+
+    #[test]
+    fn recovers_well_separated_blobs() {
+        let (data, labels) = four_blobs(50, 3);
+        let km = KMeans::fit(&data, &KMeansConfig::new(4));
+        let assignments = km.assign_all(&data);
+        // Every generative cluster maps to exactly one k-means cluster.
+        for target in 0..4 {
+            let assigned: std::collections::HashSet<usize> = labels
+                .iter()
+                .zip(&assignments)
+                .filter(|(&l, _)| l == target)
+                .map(|(_, &a)| a)
+                .collect();
+            assert_eq!(assigned.len(), 1, "generative cluster {target} split across {assigned:?}");
+        }
+        assert!(km.inertia < 200.0 * 2.0, "inertia too high: {}", km.inertia);
+    }
+
+    #[test]
+    fn assign_matches_nearest_centroid_scores() {
+        let (data, _) = four_blobs(30, 5);
+        let km = KMeans::fit(&data, &KMeansConfig::new(4));
+        let p = data.row(7);
+        let scores = km.scores(p);
+        assert_eq!(km.assign(p), usp_linalg::topk::argmax(&scores));
+        let ranked = km.nearest_centroids(p, 4);
+        assert_eq!(ranked[0], km.assign(p));
+        assert_eq!(ranked.len(), 4);
+    }
+
+    #[test]
+    fn k_clamped_to_dataset_size() {
+        let data = Matrix::from_vec(3, 1, vec![0.0, 1.0, 2.0]);
+        let km = KMeans::fit(&data, &KMeansConfig::new(10));
+        assert_eq!(km.k(), 3);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let (data, _) = four_blobs(20, 7);
+        let a = KMeans::fit(&data, &KMeansConfig::new(4));
+        let b = KMeans::fit(&data, &KMeansConfig::new(4));
+        assert_eq!(a.centroids, b.centroids);
+    }
+
+    #[test]
+    fn inertia_decreases_with_more_clusters() {
+        let (data, _) = four_blobs(25, 9);
+        let k2 = KMeans::fit(&data, &KMeansConfig::new(2));
+        let k8 = KMeans::fit(&data, &KMeansConfig::new(8));
+        assert!(k8.inertia < k2.inertia);
+    }
+
+    #[test]
+    fn single_cluster_centroid_is_mean() {
+        let data = Matrix::from_vec(4, 2, vec![0., 0., 2., 0., 0., 2., 2., 2.]);
+        let km = KMeans::fit(&data, &KMeansConfig::new(1));
+        assert_eq!(km.centroids.row(0), &[1.0, 1.0]);
+    }
+}

@@ -1,0 +1,30 @@
+//! Vector quantization: k-means, product quantization, ScaNN-style anisotropic
+//! quantization, and IVF indexes.
+//!
+//! Figure 7 of the paper composes its partitioner with ScaNN's anisotropic vector
+//! quantization and compares the pipeline against vanilla ScaNN, K-means + ScaNN, HNSW and
+//! FAISS. None of those systems are linkable here, so this crate implements the relevant
+//! algorithms from scratch (see DESIGN.md §1 for the substitution table):
+//!
+//! * [`kmeans`] — Lloyd's algorithm with k-means++ seeding (shared by PQ codebooks, the
+//!   IVF coarse quantizer and the K-means partitioning baseline);
+//! * [`pq`] — product quantization with asymmetric distance computation (ADC) tables;
+//! * [`anisotropic`] — score-aware (anisotropic) codebook training as published for ScaNN
+//!   (Guo et al. 2020): the residual component parallel to the data point is penalised
+//!   more than the orthogonal component;
+//! * [`scann`] — a ScaNN-like searcher: anisotropic-PQ ADC scan (optionally restricted to
+//!   a candidate list) followed by exact re-ranking of the best codes;
+//! * [`ivf`] — an inverted-file index (FAISS IVF-Flat stand-in) implementing the common
+//!   [`usp_index::AnnSearcher`] interface.
+
+pub mod anisotropic;
+pub mod ivf;
+pub mod kmeans;
+pub mod pq;
+pub mod scann;
+
+pub use anisotropic::AnisotropicConfig;
+pub use ivf::{IvfConfig, IvfIndex};
+pub use kmeans::{KMeans, KMeansConfig};
+pub use pq::{CodebookKind, ProductQuantizer, ProductQuantizerConfig};
+pub use scann::{ScannConfig, ScannSearcher};

@@ -1,0 +1,333 @@
+//! Product quantization (Jégou et al., 2011) with asymmetric distance computation.
+//!
+//! The vector space is split into `M` contiguous subspaces; each subspace gets its own
+//! small codebook (trained with plain k-means or with the anisotropic loss of
+//! [`crate::anisotropic`]), and every data point is represented by one code per subspace.
+//! Query-time distances are computed from a per-query lookup table (ADC), which is the
+//! sketching speed-up the paper's Figure 7 pipeline relies on.
+
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+use usp_linalg::{distance, Matrix};
+
+use crate::anisotropic::{self, AnisotropicConfig};
+use crate::kmeans::{KMeans, KMeansConfig};
+
+/// Which loss the per-subspace codebooks are trained with.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum CodebookKind {
+    /// Plain k-means codebooks (classic PQ).
+    Standard,
+    /// Score-aware codebooks (ScaNN-style anisotropic quantization).
+    Anisotropic(AnisotropicConfig),
+}
+
+/// Product-quantizer configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ProductQuantizerConfig {
+    /// Number of subspaces `M` (each point is encoded as `M` bytes).
+    pub n_subspaces: usize,
+    /// Number of centroids per subspace (≤ 256 so codes fit in a byte).
+    pub n_centroids: usize,
+    /// k-means iterations per codebook.
+    pub max_iters: usize,
+    /// Codebook training loss.
+    pub codebook: CodebookKind,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl ProductQuantizerConfig {
+    /// Classic PQ defaults.
+    pub fn standard(n_subspaces: usize, n_centroids: usize) -> Self {
+        assert!(n_centroids <= 256, "codes are stored as bytes; need n_centroids <= 256");
+        Self { n_subspaces, n_centroids, max_iters: 25, codebook: CodebookKind::Standard, seed: 42 }
+    }
+
+    /// ScaNN-style anisotropic PQ.
+    pub fn anisotropic(n_subspaces: usize, n_centroids: usize, eta: f32) -> Self {
+        assert!(n_centroids <= 256, "codes are stored as bytes; need n_centroids <= 256");
+        Self {
+            n_subspaces,
+            n_centroids,
+            max_iters: 25,
+            codebook: CodebookKind::Anisotropic(AnisotropicConfig { eta, max_iters: 6, seed: 42 }),
+            seed: 42,
+        }
+    }
+}
+
+/// A fitted product quantizer.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ProductQuantizer {
+    /// `(start, len)` of each subspace within the full vector.
+    ranges: Vec<(usize, usize)>,
+    /// One codebook per subspace, shape `(n_centroids, subspace_len)`.
+    codebooks: Vec<Matrix>,
+    /// η used for encoding when the codebooks are anisotropic (1.0 for standard PQ).
+    encode_eta: f32,
+    dim: usize,
+}
+
+impl ProductQuantizer {
+    /// Trains the quantizer on the rows of `data`.
+    pub fn fit(data: &Matrix, config: &ProductQuantizerConfig) -> Self {
+        let d = data.cols();
+        let m = config.n_subspaces.clamp(1, d);
+        // Spread dimensions as evenly as possible: the first `d % m` subspaces get one extra.
+        let base = d / m;
+        let extra = d % m;
+        let mut ranges = Vec::with_capacity(m);
+        let mut start = 0usize;
+        for s in 0..m {
+            let len = base + usize::from(s < extra);
+            ranges.push((start, len));
+            start += len;
+        }
+
+        let encode_eta = match &config.codebook {
+            CodebookKind::Standard => 1.0,
+            CodebookKind::Anisotropic(a) => a.eta,
+        };
+
+        let codebooks: Vec<Matrix> = ranges
+            .par_iter()
+            .enumerate()
+            .map(|(s, &(start, len))| {
+                // Extract the subspace view into a dense matrix.
+                let mut sub = Matrix::zeros(data.rows(), len);
+                for i in 0..data.rows() {
+                    sub.row_mut(i).copy_from_slice(&data.row(i)[start..start + len]);
+                }
+                match &config.codebook {
+                    CodebookKind::Standard => {
+                        KMeans::fit(
+                            &sub,
+                            &KMeansConfig {
+                                k: config.n_centroids,
+                                max_iters: config.max_iters,
+                                tol: 1e-4,
+                                seed: config.seed.wrapping_add(s as u64),
+                            },
+                        )
+                        .centroids
+                    }
+                    CodebookKind::Anisotropic(a) => anisotropic::train_codebook(
+                        &sub,
+                        config.n_centroids,
+                        &AnisotropicConfig { seed: a.seed.wrapping_add(s as u64), ..a.clone() },
+                    ),
+                }
+            })
+            .collect();
+
+        Self { ranges, codebooks, encode_eta, dim: d }
+    }
+
+    /// Number of subspaces.
+    pub fn n_subspaces(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// Number of centroids per subspace.
+    pub fn n_centroids(&self) -> usize {
+        self.codebooks.first().map(Matrix::rows).unwrap_or(0)
+    }
+
+    /// Input dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Encodes a single point as one code per subspace.
+    pub fn encode(&self, point: &[f32]) -> Vec<u8> {
+        assert_eq!(point.len(), self.dim, "encode: dimensionality mismatch");
+        self.ranges
+            .iter()
+            .zip(&self.codebooks)
+            .map(|(&(start, len), cb)| {
+                let sub = &point[start..start + len];
+                if self.encode_eta > 1.0 {
+                    anisotropic::assign(sub, cb, self.encode_eta) as u8
+                } else {
+                    let mut best = 0usize;
+                    let mut best_d = f32::INFINITY;
+                    for c in 0..cb.rows() {
+                        let d = distance::squared_euclidean(sub, cb.row(c));
+                        if d < best_d {
+                            best_d = d;
+                            best = c;
+                        }
+                    }
+                    best as u8
+                }
+            })
+            .collect()
+    }
+
+    /// Encodes every row of a matrix, returning a flat code buffer of stride
+    /// [`ProductQuantizer::n_subspaces`].
+    pub fn encode_all(&self, data: &Matrix) -> Vec<u8> {
+        let m = self.n_subspaces();
+        let codes: Vec<Vec<u8>> = (0..data.rows())
+            .into_par_iter()
+            .map(|i| self.encode(data.row(i)))
+            .collect();
+        let mut flat = Vec::with_capacity(data.rows() * m);
+        for c in codes {
+            flat.extend(c);
+        }
+        flat
+    }
+
+    /// Reconstructs the point represented by a code.
+    pub fn decode(&self, code: &[u8]) -> Vec<f32> {
+        assert_eq!(code.len(), self.n_subspaces(), "decode: code length mismatch");
+        let mut out = vec![0.0f32; self.dim];
+        for ((&(start, len), cb), &c) in self.ranges.iter().zip(&self.codebooks).zip(code) {
+            out[start..start + len].copy_from_slice(cb.row(c as usize));
+        }
+        out
+    }
+
+    /// Builds the per-query ADC lookup table: squared Euclidean distance from the query's
+    /// subvector to every centroid of every subspace (`n_subspaces * n_centroids` entries).
+    pub fn adc_table(&self, query: &[f32]) -> Vec<f32> {
+        assert_eq!(query.len(), self.dim, "adc_table: dimensionality mismatch");
+        let k = self.n_centroids();
+        let mut table = Vec::with_capacity(self.n_subspaces() * k);
+        for (&(start, len), cb) in self.ranges.iter().zip(&self.codebooks) {
+            let sub = &query[start..start + len];
+            for c in 0..k {
+                table.push(distance::squared_euclidean(sub, cb.row(c)));
+            }
+        }
+        table
+    }
+
+    /// Approximate squared distance between the query (via its ADC table) and a code.
+    #[inline]
+    pub fn adc_distance(&self, table: &[f32], code: &[u8]) -> f32 {
+        let k = self.n_centroids();
+        let mut acc = 0.0f32;
+        for (s, &c) in code.iter().enumerate() {
+            acc += table[s * k + c as usize];
+        }
+        acc
+    }
+
+    /// Mean squared reconstruction error over a dataset (a quantization-quality metric).
+    pub fn reconstruction_error(&self, data: &Matrix) -> f64 {
+        (0..data.rows())
+            .into_par_iter()
+            .map(|i| {
+                let rec = self.decode(&self.encode(data.row(i)));
+                distance::squared_euclidean(data.row(i), &rec) as f64
+            })
+            .sum::<f64>()
+            / data.rows().max(1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use usp_linalg::rng as lrng;
+
+    fn clustered(n: usize, d: usize, seed: u64) -> Matrix {
+        let mut rng = lrng::seeded(seed);
+        let mut m = Matrix::zeros(n, d);
+        for i in 0..n {
+            let c = (i % 4) as f32 * 5.0;
+            for j in 0..d {
+                m[(i, j)] = c + lrng::standard_normal(&mut rng);
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn subspace_ranges_cover_all_dimensions() {
+        let data = clustered(100, 10, 1);
+        let pq = ProductQuantizer::fit(&data, &ProductQuantizerConfig::standard(3, 8));
+        assert_eq!(pq.n_subspaces(), 3);
+        let total: usize = pq.ranges.iter().map(|&(_, l)| l).sum();
+        assert_eq!(total, 10);
+        assert_eq!(pq.ranges[0], (0, 4)); // 10 = 4 + 3 + 3
+        assert_eq!(pq.dim(), 10);
+    }
+
+    #[test]
+    fn encode_decode_reduces_error_vs_random_code() {
+        let data = clustered(200, 8, 2);
+        let pq = ProductQuantizer::fit(&data, &ProductQuantizerConfig::standard(4, 16));
+        let err = pq.reconstruction_error(&data);
+        // Compare against decoding a fixed arbitrary code for every point.
+        let silly: f64 = (0..data.rows())
+            .map(|i| {
+                let rec = pq.decode(&vec![0u8; 4]);
+                distance::squared_euclidean(data.row(i), &rec) as f64
+            })
+            .sum::<f64>()
+            / data.rows() as f64;
+        assert!(err < silly * 0.5, "PQ reconstruction error {err} not much better than {silly}");
+    }
+
+    #[test]
+    fn adc_distance_matches_decoded_distance() {
+        let data = clustered(150, 6, 3);
+        let pq = ProductQuantizer::fit(&data, &ProductQuantizerConfig::standard(3, 8));
+        let q = data.row_to_vec(7);
+        let table = pq.adc_table(&q);
+        for i in (0..data.rows()).step_by(17) {
+            let code = pq.encode(data.row(i));
+            let adc = pq.adc_distance(&table, &code);
+            let explicit = distance::squared_euclidean(&q, &pq.decode(&code));
+            assert!((adc - explicit).abs() < 1e-3, "ADC {adc} vs decoded {explicit}");
+        }
+    }
+
+    #[test]
+    fn adc_ranks_close_points_before_far_points() {
+        let data = clustered(400, 8, 4);
+        let pq = ProductQuantizer::fit(&data, &ProductQuantizerConfig::standard(4, 32));
+        let codes = pq.encode_all(&data);
+        let q = data.row_to_vec(0);
+        let table = pq.adc_table(&q);
+        // Compare mean ADC distance of the 20 exact-nearest points vs 20 exact-farthest.
+        let mut exact: Vec<(usize, f32)> = (0..data.rows())
+            .map(|i| (i, distance::squared_euclidean(&q, data.row(i))))
+            .collect();
+        exact.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+        let near: f32 = exact[..20]
+            .iter()
+            .map(|&(i, _)| pq.adc_distance(&table, &codes[i * 4..(i + 1) * 4]))
+            .sum();
+        let far: f32 = exact[exact.len() - 20..]
+            .iter()
+            .map(|&(i, _)| pq.adc_distance(&table, &codes[i * 4..(i + 1) * 4]))
+            .sum();
+        assert!(near < far, "ADC does not separate near ({near}) from far ({far})");
+    }
+
+    #[test]
+    fn anisotropic_codebooks_also_roundtrip() {
+        let data = clustered(120, 8, 5);
+        let pq = ProductQuantizer::fit(&data, &ProductQuantizerConfig::anisotropic(4, 8, 4.0));
+        let code = pq.encode(data.row(3));
+        assert_eq!(code.len(), 4);
+        assert!(code.iter().all(|&c| (c as usize) < 8));
+        let rec = pq.decode(&code);
+        assert_eq!(rec.len(), 8);
+        let err = pq.reconstruction_error(&data);
+        assert!(err.is_finite() && err >= 0.0);
+    }
+
+    #[test]
+    fn more_centroids_reduce_reconstruction_error() {
+        let data = clustered(300, 8, 6);
+        let small = ProductQuantizer::fit(&data, &ProductQuantizerConfig::standard(4, 4));
+        let large = ProductQuantizer::fit(&data, &ProductQuantizerConfig::standard(4, 64));
+        assert!(large.reconstruction_error(&data) < small.reconstruction_error(&data));
+    }
+}

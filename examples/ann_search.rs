@@ -1,0 +1,52 @@
+//! ANN-benchmark style comparison on a SIFT-like workload: the unsupervised partitioner
+//! (with and without ensembling) against K-means and cross-polytope LSH, reporting the
+//! recall / candidate-set-size trade-off of Figure 5.
+//!
+//! Run with: `cargo run --release --example ann_search`
+
+use neural_partitioner::core::{UspConfig, UspEnsemble};
+use usp_baselines::{CrossPolytopeLsh, KMeansPartitioner};
+use usp_data::{exact_knn, synthetic, KnnMatrix};
+use usp_index::PartitionIndex;
+use usp_linalg::Distance;
+
+const DIST: Distance = Distance::SquaredEuclidean;
+const BINS: usize = 16;
+const K: usize = 10;
+
+fn main() {
+    let split = synthetic::sift_like(6_300, 32, 7).split_queries(300);
+    let data = split.base.points();
+    let queries = &split.queries;
+    let truth = exact_knn(data, queries, K, DIST);
+    println!("SIFT-like workload: {} points, {} dims, {} queries, {} bins\n", data.rows(), data.cols(), queries.rows(), BINS);
+
+    // The paper's offline phase: k'-NN matrix once, then train the ensemble.
+    let knn = KnnMatrix::build(data, 10, DIST);
+    let cfg = UspConfig { epochs: 40, ..UspConfig::paper_default(BINS) };
+    let ensemble = UspEnsemble::train(data, &knn, &cfg, 3, DIST);
+
+    // Baselines.
+    let kmeans = PartitionIndex::build(KMeansPartitioner::fit(data, BINS, 3), data, DIST);
+    let lsh = PartitionIndex::build(CrossPolytopeLsh::fit(data, BINS, 4), data, DIST);
+
+    println!("{:<24} {:>7} {:>12} {:>9}", "method", "probes", "candidates", "recall@10");
+    for probes in [1usize, 2, 4, 8] {
+        let eval = |name: &str, search: &mut dyn FnMut(&[f32]) -> usp_index::SearchResult| {
+            let mut recall = 0.0;
+            let mut cand = 0usize;
+            for qi in 0..queries.rows() {
+                let res = search(queries.row(qi));
+                cand += res.candidates_scanned;
+                recall += usp_data::ground_truth::knn_accuracy(&res.ids, &truth[qi]);
+            }
+            let n = queries.rows() as f64;
+            println!("{:<24} {:>7} {:>12.0} {:>9.3}", name, probes, cand as f64 / n, recall / n);
+        };
+        eval("Ours (ensemble of 3)", &mut |q| ensemble.search_with_probes(q, K, probes));
+        eval("K-means", &mut |q| kmeans.search(q, K, probes));
+        eval("Cross-polytope LSH", &mut |q| lsh.search(q, K, probes));
+        println!();
+    }
+    println!("(Up and to the left is better: high recall from few candidates.)");
+}

@@ -1,0 +1,71 @@
+//! Hierarchical partitioning and ensembling (§4.4): recursively split the dataset
+//! 16 × 16 = 256 ways with a tree of small models, and boost a flat partition with an
+//! ensemble of three complementary models.
+//!
+//! Run with: `cargo run --release --example hierarchical_tree`
+
+use neural_partitioner::core::{HierarchicalPartitioner, UspConfig, UspEnsemble};
+use usp_data::{exact_knn, synthetic, KnnMatrix};
+use usp_index::{PartitionIndex, Partitioner};
+use usp_linalg::Distance;
+
+const DIST: Distance = Distance::SquaredEuclidean;
+const K: usize = 10;
+
+fn main() {
+    let split = synthetic::sift_like(6_200, 32, 99).split_queries(200);
+    let data = split.base.points();
+    let truth = exact_knn(data, &split.queries, K, DIST);
+    let cfg = UspConfig { epochs: 30, ..UspConfig::paper_default(16) };
+
+    // ---- Hierarchical 16 x 16 = 256 bins ----
+    println!("training a 16 x 16 hierarchical partition...");
+    let hier = HierarchicalPartitioner::train(data, &cfg, &[16, 16], DIST);
+    println!(
+        "  {} leaf bins, {} learnable parameters across the model tree",
+        hier.num_bins(),
+        hier.num_params()
+    );
+    let hier_index = PartitionIndex::build(hier, data, DIST);
+    let balance = hier_index.balance();
+    println!(
+        "  leaf occupancy {}..{} (imbalance {:.2}, {} empty leaves)",
+        balance.min, balance.max, balance.imbalance, balance.empty_bins
+    );
+    for probes in [1usize, 4, 16, 64] {
+        let mut recall = 0.0;
+        let mut cand = 0usize;
+        for qi in 0..split.queries.rows() {
+            let res = hier_index.search(split.queries.row(qi), K, probes);
+            cand += res.candidates_scanned;
+            recall += usp_data::ground_truth::knn_accuracy(&res.ids, &truth[qi]);
+        }
+        let n = split.queries.rows() as f64;
+        println!(
+            "  probes={probes:>3}: recall@10 {:.3} from {:>6.0} candidates/query",
+            recall / n,
+            cand as f64 / n
+        );
+    }
+
+    // ---- Flat 16 bins, ensemble of 3 (Algorithm 3/4) ----
+    println!("\ntraining a flat 16-bin partition with an ensemble of 3 models...");
+    let knn = KnnMatrix::build(data, 10, DIST);
+    let ensemble = UspEnsemble::train(data, &knn, &cfg, 3, DIST);
+    for probes in [1usize, 2, 4] {
+        let mut recall = 0.0;
+        let mut cand = 0usize;
+        for qi in 0..split.queries.rows() {
+            let res = ensemble.search_with_probes(split.queries.row(qi), K, probes);
+            cand += res.candidates_scanned;
+            recall += usp_data::ground_truth::knn_accuracy(&res.ids, &truth[qi]);
+        }
+        let n = split.queries.rows() as f64;
+        println!(
+            "  probes={probes}: recall@10 {:.3} from {:>6.0} candidates/query (best-of-{} by confidence)",
+            recall / n,
+            cand as f64 / n,
+            ensemble.len()
+        );
+    }
+}

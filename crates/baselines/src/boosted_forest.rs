@@ -35,13 +35,25 @@ impl BoostedForestStrategy {
     /// Creates a strategy with uniform weights.
     pub fn new(knn: KnnMatrix, candidates: usize) -> Self {
         let n = knn.len();
-        Self { knn, weights: vec![1.0; n], candidates: candidates.max(1) }
+        Self {
+            knn,
+            weights: vec![1.0; n],
+            candidates: candidates.max(1),
+        }
     }
 
     /// Creates a strategy with explicit boosting weights (one per data point).
     pub fn with_weights(knn: KnnMatrix, weights: Vec<f32>, candidates: usize) -> Self {
-        assert_eq!(weights.len(), knn.len(), "weight count must match dataset size");
-        Self { knn, weights, candidates: candidates.max(1) }
+        assert_eq!(
+            weights.len(),
+            knn.len(),
+            "weight count must match dataset size"
+        );
+        Self {
+            knn,
+            weights,
+            candidates: candidates.max(1),
+        }
     }
 
     /// Weighted number of k′-NN pairs (restricted to `indices`) separated by `(w, t)`.
@@ -103,13 +115,23 @@ impl BoostedSearchForest {
     /// point is multiplied by the number of its k′ neighbours that ended up in a different
     /// leaf (plus one), so later trees focus on the poorly-served points — the same
     /// boosting idea the paper adopts for its own ensembles (Algorithm 3).
-    pub fn train(data: &Matrix, knn: &KnnMatrix, n_trees: usize, config: &TreeConfig, candidates: usize) -> Self {
+    pub fn train(
+        data: &Matrix,
+        knn: &KnnMatrix,
+        n_trees: usize,
+        config: &TreeConfig,
+        candidates: usize,
+    ) -> Self {
         let n = data.rows();
         let mut weights = vec![1.0f32; n];
         let mut trees = Vec::with_capacity(n_trees);
         for tree_idx in 0..n_trees {
-            let strategy = BoostedForestStrategy::with_weights(knn.clone(), weights.clone(), candidates);
-            let tree_cfg = TreeConfig { depth: config.depth, seed: config.seed.wrapping_add(tree_idx as u64 * 7919) };
+            let strategy =
+                BoostedForestStrategy::with_weights(knn.clone(), weights.clone(), candidates);
+            let tree_cfg = TreeConfig {
+                depth: config.depth,
+                seed: config.seed.wrapping_add(tree_idx as u64 * 7919),
+            };
             let tree = BinaryPartitionTree::build(data, &tree_cfg, &strategy);
             // Re-weight: count separated neighbours under this tree's leaves.
             let leaves: Vec<usize> = (0..n).map(|i| tree.assign(data.row(i))).collect();
@@ -128,7 +150,10 @@ impl BoostedSearchForest {
             }
             trees.push(tree);
         }
-        Self { trees, bins_per_tree: 1usize << config.depth }
+        Self {
+            trees,
+            bins_per_tree: 1usize << config.depth,
+        }
     }
 
     /// The trees of the forest.
@@ -169,7 +194,11 @@ impl Partitioner for BoostedSearchForest {
     }
 
     fn name(&self) -> String {
-        format!("boosted-search-forest(trees={},depth={})", self.trees.len(), (self.bins_per_tree as f32).log2() as usize)
+        format!(
+            "boosted-search-forest(trees={},depth={})",
+            self.trees.len(),
+            (self.bins_per_tree as f32).log2() as usize
+        )
     }
 }
 
@@ -211,7 +240,10 @@ mod tests {
             })
             .sum();
         let total: usize = data.rows() * knn.k();
-        assert!(broken * 10 < total, "broken {broken}/{total} neighbour links");
+        assert!(
+            broken * 10 < total,
+            "broken {broken}/{total} neighbour links"
+        );
     }
 
     #[test]

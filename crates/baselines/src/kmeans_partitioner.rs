@@ -19,13 +19,23 @@ pub struct KMeansPartitioner {
 impl KMeansPartitioner {
     /// Fits K-means with `bins` clusters to the dataset.
     pub fn fit(data: &Matrix, bins: usize, seed: u64) -> Self {
-        let model = KMeans::fit(data, &KMeansConfig { k: bins, max_iters: 50, tol: 1e-4, seed });
+        let model = KMeans::fit(
+            data,
+            &KMeansConfig {
+                k: bins,
+                max_iters: 50,
+                tol: 1e-4,
+                seed,
+            },
+        );
         Self { model }
     }
 
     /// Fits with an explicit k-means configuration.
     pub fn fit_with_config(data: &Matrix, config: &KMeansConfig) -> Self {
-        Self { model: KMeans::fit(data, config) }
+        Self {
+            model: KMeans::fit(data, config),
+        }
     }
 
     /// The underlying centroid model.

@@ -39,7 +39,11 @@ impl HyperplaneLsh {
             normals.row_mut(b).copy_from_slice(&u);
             offsets[b] = dot(&u, &mean);
         }
-        Self { normals, offsets, bits }
+        Self {
+            normals,
+            offsets,
+            bits,
+        }
     }
 
     /// Signed margins of a query against every hyperplane.
@@ -104,12 +108,19 @@ pub struct CrossPolytopeLsh {
 impl CrossPolytopeLsh {
     /// Creates a cross-polytope hash with `bins` bins (`bins` must be even and ≥ 2).
     pub fn fit(data: &Matrix, bins: usize, seed: u64) -> Self {
-        assert!(bins >= 2 && bins % 2 == 0, "cross-polytope LSH needs an even number of bins");
+        assert!(
+            bins >= 2 && bins.is_multiple_of(2),
+            "cross-polytope LSH needs an even number of bins"
+        );
         let d = data.cols();
         let mut rng = lrng::seeded(seed);
         let projection = lrng::normal_matrix(&mut rng, bins / 2, d, 1.0 / (d as f32).sqrt());
         let mean = data.col_means();
-        Self { projection, mean, bins }
+        Self {
+            projection,
+            mean,
+            bins,
+        }
     }
 
     fn project(&self, query: &[f32]) -> Vec<f32> {

@@ -14,8 +14,8 @@
 //! route queries, which is exactly the "partitioning step not part of the learning
 //! pipeline" property the paper criticises.
 
-use rand::RngExt;
 use rand::rngs::StdRng;
+use rand::Rng;
 use serde::{Deserialize, Serialize};
 use usp_data::KnnMatrix;
 use usp_graph::{partition_graph, GraphPartitionConfig, KnnGraph};
@@ -82,7 +82,11 @@ pub struct NeuralLsh {
 impl NeuralLsh {
     /// Runs the full Neural LSH pipeline: graph partition → supervised classifier.
     pub fn fit(data: &Matrix, knn: &KnnMatrix, config: &NeuralLshConfig) -> Self {
-        assert_eq!(data.rows(), knn.len(), "NeuralLsh::fit: data/knn size mismatch");
+        assert_eq!(
+            data.rows(),
+            knn.len(),
+            "NeuralLsh::fit: data/knn size mismatch"
+        );
         // Step 1-2: balanced partition of the k-NN graph (the supervision signal).
         let graph = KnnGraph::from_knn_matrix(knn, true);
         let labels = partition_graph(
@@ -128,7 +132,12 @@ impl NeuralLsh {
         let logits = model.forward_eval(data);
         let classifier_accuracy = loss::accuracy(&logits, &labels);
 
-        Self { model, labels, bins: config.bins, classifier_accuracy }
+        Self {
+            model,
+            labels,
+            bins: config.bins,
+            classifier_accuracy,
+        }
     }
 
     /// The graph-partition labels used to build the lookup table.
@@ -182,7 +191,11 @@ pub struct RegressionLshSplit {
 
 impl Default for RegressionLshSplit {
     fn default() -> Self {
-        Self { knn_k: 5, epochs: 40, learning_rate: 0.05 }
+        Self {
+            knn_k: 5,
+            epochs: 40,
+            learning_rate: 0.05,
+        }
     }
 }
 
@@ -199,7 +212,12 @@ impl SplitStrategy for RegressionLshSplit {
         let graph = KnnGraph::from_knn_matrix(&knn, true);
         let labels = partition_graph(
             &graph,
-            &GraphPartitionConfig { bins: 2, balance_slack: 0.05, refinement_passes: 6, seed: rng.random::<u64>() },
+            &GraphPartitionConfig {
+                bins: 2,
+                balance_slack: 0.05,
+                refinement_passes: 6,
+                seed: rng.random::<u64>(),
+            },
         );
 
         // Logistic regression trained to predict the side.
@@ -287,8 +305,24 @@ mod tests {
     fn neural_lsh_parameter_count_scales_with_hidden_width() {
         let data = blobs(30, &[[0., 0.], [10., 10.]], 2);
         let knn = KnnMatrix::build(&data, 4, Distance::SquaredEuclidean);
-        let small = NeuralLsh::fit(&data, &knn, &NeuralLshConfig { hidden: vec![16], epochs: 2, ..NeuralLshConfig::small(2) });
-        let big = NeuralLsh::fit(&data, &knn, &NeuralLshConfig { hidden: vec![64], epochs: 2, ..NeuralLshConfig::small(2) });
+        let small = NeuralLsh::fit(
+            &data,
+            &knn,
+            &NeuralLshConfig {
+                hidden: vec![16],
+                epochs: 2,
+                ..NeuralLshConfig::small(2)
+            },
+        );
+        let big = NeuralLsh::fit(
+            &data,
+            &knn,
+            &NeuralLshConfig {
+                hidden: vec![64],
+                epochs: 2,
+                ..NeuralLshConfig::small(2)
+            },
+        );
         assert!(big.num_parameters() > small.num_parameters());
         assert!(small.name().contains("neural-lsh"));
     }
@@ -296,15 +330,24 @@ mod tests {
     #[test]
     fn regression_lsh_tree_separates_blobs() {
         let data = blobs(40, &[[0., 0.], [20., 20.]], 3);
-        let strategy = RegressionLshSplit { epochs: 60, ..Default::default() };
+        let strategy = RegressionLshSplit {
+            epochs: 60,
+            ..Default::default()
+        };
         let tree = BinaryPartitionTree::build(&data, &TreeConfig::new(1), &strategy);
         let idx = PartitionIndex::build(tree, &data, Distance::SquaredEuclidean);
         let a = idx.assignments();
         // The two blobs must land (almost entirely) in different leaves.
         let first_blob_majority = a[..40].iter().filter(|&&x| x == a[0]).count();
         let second_blob_other = a[40..].iter().filter(|&&x| x != a[0]).count();
-        assert!(first_blob_majority >= 38, "first blob split: {first_blob_majority}/40");
-        assert!(second_blob_other >= 38, "second blob split: {second_blob_other}/40");
+        assert!(
+            first_blob_majority >= 38,
+            "first blob split: {first_blob_majority}/40"
+        );
+        assert!(
+            second_blob_other >= 38,
+            "second blob split: {second_blob_other}/40"
+        );
     }
 
     #[test]

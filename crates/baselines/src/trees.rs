@@ -8,7 +8,7 @@
 //! the methods differ only in their [`SplitStrategy`].
 
 use rand::rngs::StdRng;
-use rand::RngExt;
+use rand::Rng;
 use serde::{Deserialize, Serialize};
 use usp_index::Partitioner;
 use usp_linalg::{matrix::dot, pca::Pca, rng as lrng, Matrix};
@@ -144,7 +144,12 @@ impl SplitStrategy for TwoMeansSplit {
         let node_data = data.select_rows(indices);
         let km = KMeans::fit(
             &node_data,
-            &KMeansConfig { k: 2, max_iters: 20, tol: 1e-4, seed: rng.random::<u64>() },
+            &KMeansConfig {
+                k: 2,
+                max_iters: 20,
+                tol: 1e-4,
+                seed: rng.random::<u64>(),
+            },
         );
         let c0 = km.centroids.row(0);
         let c1 = km.centroids.row(1);
@@ -180,9 +185,18 @@ pub struct BinaryPartitionTree {
 impl BinaryPartitionTree {
     /// Builds the tree by recursively splitting `data` with the given strategy.
     pub fn build<S: SplitStrategy>(data: &Matrix, config: &TreeConfig, strategy: &S) -> Self {
-        assert!(config.depth >= 1 && config.depth <= 16, "depth must be in 1..=16");
+        assert!(
+            config.depth >= 1 && config.depth <= 16,
+            "depth must be in 1..=16"
+        );
         let n_nodes = (1usize << config.depth) - 1;
-        let mut nodes = vec![SplitNode { w: vec![0.0; data.cols()], t: 0.0 }; n_nodes];
+        let mut nodes = vec![
+            SplitNode {
+                w: vec![0.0; data.cols()],
+                t: 0.0
+            };
+            n_nodes
+        ];
         let mut rng = lrng::seeded(config.seed);
 
         // Recursive construction over (node id, point indices); iterative stack to avoid
@@ -208,7 +222,11 @@ impl BinaryPartitionTree {
             }
         }
 
-        Self { nodes, depth: config.depth, method: strategy.name() }
+        Self {
+            nodes,
+            depth: config.depth,
+            method: strategy.name(),
+        }
     }
 
     /// Tree depth.
@@ -236,11 +254,7 @@ impl Partitioner for BinaryPartitionTree {
     fn bin_scores(&self, query: &[f32]) -> Vec<f32> {
         // Spill-style multi-probe: the score of a leaf is the negative total margin by
         // which the query violates the decisions needed to reach that leaf.
-        let margins: Vec<f32> = self
-            .nodes
-            .iter()
-            .map(|n| dot(query, &n.w) - n.t)
-            .collect();
+        let margins: Vec<f32> = self.nodes.iter().map(|n| dot(query, &n.w) - n.t).collect();
         let bins = self.num_bins();
         let mut scores = vec![0.0f32; bins];
         // Walk every leaf's path from the root; depth ≤ 16 keeps this cheap.
@@ -323,7 +337,11 @@ mod tests {
             assert_eq!(stats.bins, 8);
             assert_eq!(stats.total, 256);
             // Median thresholds keep every leaf within a couple of points of 32.
-            assert!(stats.max <= 36 && stats.min >= 28, "sizes {:?}", idx.bucket_sizes());
+            assert!(
+                stats.max <= 36 && stats.min >= 28,
+                "sizes {:?}",
+                idx.bucket_sizes()
+            );
         }
     }
 
@@ -383,7 +401,12 @@ mod tests {
         let data = gaussian(400, 8, 9);
         let tree = BinaryPartitionTree::kd(&data, &TreeConfig::new(4));
         let idx = PartitionIndex::build(tree, &data, Distance::SquaredEuclidean);
-        let truth = usp_data::exact_knn(&data, &data.select_rows(&[5]), 10, Distance::SquaredEuclidean);
+        let truth = usp_data::exact_knn(
+            &data,
+            &data.select_rows(&[5]),
+            10,
+            Distance::SquaredEuclidean,
+        );
         let few = idx.search(data.row(5), 10, 1);
         let many = idx.search(data.row(5), 10, 8);
         let t: std::collections::HashSet<usize> = truth[0].iter().copied().collect();

@@ -12,16 +12,33 @@ fn bench_assignment(c: &mut Criterion) {
     let knn = usp_bench::bench_knn(&split, 5);
     let query = split.queries.row_to_vec(0);
 
-    let usp = train_partitioner(data, &knn, &UspConfig { knn_k: 5, epochs: 5, ..UspConfig::fast(16) }, None);
+    let usp = train_partitioner(
+        data,
+        &knn,
+        &UspConfig {
+            knn_k: 5,
+            epochs: 5,
+            ..UspConfig::fast(16)
+        },
+        None,
+    );
     let kmeans = KMeansPartitioner::fit(data, 16, 3);
     let lsh = CrossPolytopeLsh::fit(data, 16, 4);
     let tree = BinaryPartitionTree::kd(data, &TreeConfig::new(4));
 
     let mut group = c.benchmark_group("assignment");
-    group.bench_function("usp_mlp", |b| b.iter(|| black_box(usp.assign(black_box(&query)))));
-    group.bench_function("kmeans_16", |b| b.iter(|| black_box(kmeans.assign(black_box(&query)))));
-    group.bench_function("cross_polytope_lsh", |b| b.iter(|| black_box(lsh.assign(black_box(&query)))));
-    group.bench_function("kd_tree_depth4", |b| b.iter(|| black_box(tree.assign(black_box(&query)))));
+    group.bench_function("usp_mlp", |b| {
+        b.iter(|| black_box(usp.assign(black_box(&query))))
+    });
+    group.bench_function("kmeans_16", |b| {
+        b.iter(|| black_box(kmeans.assign(black_box(&query))))
+    });
+    group.bench_function("cross_polytope_lsh", |b| {
+        b.iter(|| black_box(lsh.assign(black_box(&query))))
+    });
+    group.bench_function("kd_tree_depth4", |b| {
+        b.iter(|| black_box(tree.assign(black_box(&query))))
+    });
     group.finish();
 }
 

@@ -5,7 +5,14 @@ use usp_graph::{Hnsw, HnswConfig};
 
 fn bench_hnsw(c: &mut Criterion) {
     let split = usp_bench::bench_dataset();
-    let hnsw = Hnsw::build(split.base.points(), HnswConfig { m: 16, ef_construction: 80, ..Default::default() });
+    let hnsw = Hnsw::build(
+        split.base.points(),
+        HnswConfig {
+            m: 16,
+            ef_construction: 80,
+            ..Default::default()
+        },
+    );
     let query = split.queries.row_to_vec(0);
     let mut group = c.benchmark_group("hnsw_search");
     for ef in [16usize, 64, 128] {

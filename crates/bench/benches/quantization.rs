@@ -33,7 +33,9 @@ fn bench_quantization(c: &mut Criterion) {
             black_box(best)
         })
     });
-    group.bench_function("encode_one", |b| b.iter(|| black_box(pq.encode(black_box(&query)))));
+    group.bench_function("encode_one", |b| {
+        b.iter(|| black_box(pq.encode(black_box(&query))))
+    });
     group.finish();
 }
 

@@ -19,16 +19,27 @@ fn bench_training_step(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("training_step");
     for (name, model_kind) in [
-        ("mlp_128", ModelKind::Mlp { hidden: vec![128], dropout: 0.1 }),
+        (
+            "mlp_128",
+            ModelKind::Mlp {
+                hidden: vec![128],
+                dropout: 0.1,
+            },
+        ),
         ("logistic", ModelKind::Logistic),
     ] {
-        let cfg = UspConfig { bins: 16, model: model_kind, ..UspConfig::paper_default(16) };
+        let cfg = UspConfig {
+            bins: 16,
+            model: model_kind,
+            ..UspConfig::paper_default(16)
+        };
         let mut model = PartitionModel::new(&cfg, data.cols());
         let mut opt = Adam::new(1e-3);
         group.bench_function(name, |b| {
             b.iter(|| {
                 let neighbor_bins = model.assign_batch(&neighbors);
-                let targets = loss::neighbor_bin_targets(&neighbor_bins, batch.len(), knn.k(), 16, true);
+                let targets =
+                    loss::neighbor_bin_targets(&neighbor_bins, batch.len(), knn.k(), 16, true);
                 let logits = model.network_mut().forward(&x, true);
                 let (value, dlogits) = loss::unsupervised_loss(&logits, &targets, None, 7.0);
                 model.network_mut().zero_grad();

@@ -23,5 +23,8 @@ fn main() {
             Err(e) => eprintln!("could not save results: {e}"),
         }
     }
-    println!("all experiments finished in {:.1}s", started.elapsed().as_secs_f64());
+    println!(
+        "all experiments finished in {:.1}s",
+        started.elapsed().as_secs_f64()
+    );
 }

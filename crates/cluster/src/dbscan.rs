@@ -54,7 +54,8 @@ pub fn dbscan(data: &Matrix, config: &DbscanConfig) -> Vec<isize> {
         }
         // Start a new cluster and expand it breadth-first over density-reachable points.
         labels[i] = cluster;
-        let mut queue: std::collections::VecDeque<usize> = neighbourhoods[i].iter().copied().collect();
+        let mut queue: std::collections::VecDeque<usize> =
+            neighbourhoods[i].iter().copied().collect();
         while let Some(j) = queue.pop_front() {
             if labels[j] == NOISE {
                 labels[j] = cluster; // border point
@@ -102,7 +103,11 @@ mod tests {
                 .filter(|(&t, &l)| t == c && l >= 0)
                 .map(|(_, &l)| l)
                 .collect();
-            assert_eq!(found.len(), 1, "generative cluster {c} split into {found:?}");
+            assert_eq!(
+                found.len(),
+                1,
+                "generative cluster {c} split into {found:?}"
+            );
         }
     }
 
@@ -110,7 +115,11 @@ mod tests {
     fn finds_non_convex_moons() {
         let ds = synthetic::moons(300, 0.05, 2);
         let labels = dbscan(ds.points(), &DbscanConfig::new(0.2, 4));
-        assert_eq!(num_clusters(&labels), 2, "moons should form exactly two clusters");
+        assert_eq!(
+            num_clusters(&labels),
+            2,
+            "moons should form exactly two clusters"
+        );
         let noise = labels.iter().filter(|&&l| l == NOISE).count();
         assert!(noise < 15, "too much noise: {noise}");
     }

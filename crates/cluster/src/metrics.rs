@@ -9,7 +9,14 @@
 use std::collections::HashMap;
 
 /// Contingency table between predicted and true labels.
-fn contingency(pred: &[isize], truth: &[usize]) -> (HashMap<(isize, usize), usize>, HashMap<isize, usize>, HashMap<usize, usize>) {
+fn contingency(
+    pred: &[isize],
+    truth: &[usize],
+) -> (
+    HashMap<(isize, usize), usize>,
+    HashMap<isize, usize>,
+    HashMap<usize, usize>,
+) {
     assert_eq!(pred.len(), truth.len(), "metrics: label length mismatch");
     let mut joint = HashMap::new();
     let mut pred_counts = HashMap::new();
@@ -89,7 +96,7 @@ pub fn purity(pred: &[isize], truth: &[usize]) -> f64 {
     }
     let (joint, pred_counts, _) = contingency(pred, truth);
     let mut correct = 0usize;
-    for (&p, _) in &pred_counts {
+    for &p in pred_counts.keys() {
         let best = joint
             .iter()
             .filter(|((pp, _), _)| *pp == p)

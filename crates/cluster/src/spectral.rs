@@ -30,17 +30,29 @@ pub struct SpectralConfig {
 impl SpectralConfig {
     /// A sensible default for 2-D toy datasets.
     pub fn new(k: usize) -> Self {
-        Self { k, n_neighbors: 10, max_sweeps: 20, seed: 42 }
+        Self {
+            k,
+            n_neighbors: 10,
+            max_sweeps: 20,
+            seed: 42,
+        }
     }
 }
 
 /// Runs spectral clustering over the rows of `data`, returning one label per point.
 pub fn spectral_clustering(data: &Matrix, config: &SpectralConfig) -> Vec<usize> {
     let n = data.rows();
-    assert!(n >= config.k, "spectral_clustering: fewer points than clusters");
+    assert!(
+        n >= config.k,
+        "spectral_clustering: fewer points than clusters"
+    );
 
     // 1. k-NN affinity matrix (symmetrised, unit weights).
-    let knn = KnnMatrix::build(data, config.n_neighbors.min(n - 1), Distance::SquaredEuclidean);
+    let knn = KnnMatrix::build(
+        data,
+        config.n_neighbors.min(n - 1),
+        Distance::SquaredEuclidean,
+    );
     let mut w = vec![0.0f64; n * n];
     for (i, nbrs) in knn.iter() {
         for &j in nbrs {
@@ -79,7 +91,12 @@ pub fn spectral_clustering(data: &Matrix, config: &SpectralConfig) -> Vec<usize>
     let spectral_points = Matrix::from_rows(&rows);
     let km = KMeans::fit(
         &spectral_points,
-        &KMeansConfig { k: config.k, max_iters: 100, tol: 1e-5, seed: config.seed },
+        &KMeansConfig {
+            k: config.k,
+            max_iters: 100,
+            tol: 1e-5,
+            seed: config.seed,
+        },
     );
     km.assign_all(&spectral_points)
 }
@@ -103,7 +120,10 @@ mod tests {
         let ds = synthetic::circles(300, 0.03, 0.4, 2);
         let labels = spectral_clustering(ds.points(), &SpectralConfig::new(2));
         let ari = adjusted_rand_index(&to_pred_labels(&labels), ds.labels().unwrap());
-        assert!(ari > 0.9, "ARI on circles {ari} — spectral clustering should separate the rings");
+        assert!(
+            ari > 0.9,
+            "ARI on circles {ari} — spectral clustering should separate the rings"
+        );
     }
 
     #[test]

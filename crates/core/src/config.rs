@@ -24,7 +24,10 @@ pub enum ModelKind {
 impl ModelKind {
     /// The paper's default MLP: one hidden layer of 128 units, dropout 0.1.
     pub fn paper_mlp() -> Self {
-        ModelKind::Mlp { hidden: vec![128], dropout: 0.1 }
+        ModelKind::Mlp {
+            hidden: vec![128],
+            dropout: 0.1,
+        }
     }
 }
 
@@ -78,7 +81,10 @@ impl UspConfig {
             epochs: 30,
             batch_size: 256,
             learning_rate: 5e-3,
-            model: ModelKind::Mlp { hidden: vec![32], dropout: 0.05 },
+            model: ModelKind::Mlp {
+                hidden: vec![32],
+                dropout: 0.05,
+            },
             ..Self::paper_default(bins)
         }
     }
@@ -118,7 +124,10 @@ mod tests {
         assert_eq!(cfg.epochs, 100);
         assert!(cfg.soft_targets);
         match cfg.model {
-            ModelKind::Mlp { ref hidden, dropout } => {
+            ModelKind::Mlp {
+                ref hidden,
+                dropout,
+            } => {
                 assert_eq!(hidden, &vec![128]);
                 assert!((dropout - 0.1).abs() < 1e-6);
             }

@@ -39,7 +39,10 @@ impl UspEnsemble {
         let mut indexes = Vec::with_capacity(n_models);
 
         for j in 0..n_models {
-            let cfg = UspConfig { seed: config.seed.wrapping_add(j as u64 * 7919), ..config.clone() };
+            let cfg = UspConfig {
+                seed: config.seed.wrapping_add(j as u64 * 7919),
+                ..config.clone()
+            };
             let trained = train_partitioner(data, knn, &cfg, Some(&weights));
 
             // Weight update (Algorithm 3, step b): the new weight of point i counts how
@@ -91,7 +94,10 @@ impl UspEnsemble {
 
     /// Total learnable parameters across the ensemble.
     pub fn num_parameters(&self) -> usize {
-        self.indexes.iter().map(|i| i.partitioner().num_parameters()).sum()
+        self.indexes
+            .iter()
+            .map(|i| i.partitioner().num_parameters())
+            .sum()
     }
 
     /// Sets the number of bins probed per query (shared by all members) and returns self,
@@ -169,7 +175,11 @@ mod tests {
     #[test]
     fn ensemble_trains_requested_number_of_models() {
         let (data, _q, knn) = setup();
-        let cfg = UspConfig { knn_k: 5, epochs: 8, ..UspConfig::fast(4) };
+        let cfg = UspConfig {
+            knn_k: 5,
+            epochs: 8,
+            ..UspConfig::fast(4)
+        };
         let ens = UspEnsemble::train(&data, &knn, &cfg, 2, Distance::SquaredEuclidean);
         assert_eq!(ens.len(), 2);
         assert!(!ens.is_empty());
@@ -180,28 +190,46 @@ mod tests {
     #[test]
     fn ensemble_members_learn_different_partitions() {
         let (data, _q, knn) = setup();
-        let cfg = UspConfig { knn_k: 5, epochs: 10, ..UspConfig::fast(4) };
+        let cfg = UspConfig {
+            knn_k: 5,
+            epochs: 10,
+            ..UspConfig::fast(4)
+        };
         let ens = UspEnsemble::train(&data, &knn, &cfg, 2, Distance::SquaredEuclidean);
         let a = ens.indexes()[0].assignments();
         let b = ens.indexes()[1].assignments();
-        assert_ne!(a, b, "boosted members should produce complementary partitions");
+        assert_ne!(
+            a, b,
+            "boosted members should produce complementary partitions"
+        );
     }
 
     #[test]
     fn more_probes_never_reduce_recall() {
         let (data, queries, knn) = setup();
-        let cfg = UspConfig { knn_k: 5, epochs: 20, ..UspConfig::fast(8) };
+        let cfg = UspConfig {
+            knn_k: 5,
+            epochs: 20,
+            ..UspConfig::fast(8)
+        };
         let ens = UspEnsemble::train(&data, &knn, &cfg, 1, Distance::SquaredEuclidean);
         let r1 = recall_at(&ens, &data, &queries, 1);
         let r8 = recall_at(&ens, &data, &queries, 8);
         assert!(r8 >= r1, "recall dropped with more probes: {r1} -> {r8}");
-        assert!(r8 > 0.95, "probing every bin must recover nearly everything, got {r8}");
+        assert!(
+            r8 > 0.95,
+            "probing every bin must recover nearly everything, got {r8}"
+        );
     }
 
     #[test]
     fn beats_random_partition_recall_at_one_probe() {
         let (data, queries, knn) = setup();
-        let cfg = UspConfig { knn_k: 5, epochs: 25, ..UspConfig::fast(8) };
+        let cfg = UspConfig {
+            knn_k: 5,
+            epochs: 25,
+            ..UspConfig::fast(8)
+        };
         let ens = UspEnsemble::train(&data, &knn, &cfg, 1, Distance::SquaredEuclidean);
         let recall = recall_at(&ens, &data, &queries, 1);
         // A random balanced 8-bin partition would give ~1/8 recall at one probe.
@@ -211,8 +239,13 @@ mod tests {
     #[test]
     fn searcher_interface_uses_configured_probes() {
         let (data, queries, knn) = setup();
-        let cfg = UspConfig { knn_k: 5, epochs: 6, ..UspConfig::fast(4) };
-        let ens = UspEnsemble::train(&data, &knn, &cfg, 1, Distance::SquaredEuclidean).with_probes(2);
+        let cfg = UspConfig {
+            knn_k: 5,
+            epochs: 6,
+            ..UspConfig::fast(4)
+        };
+        let ens =
+            UspEnsemble::train(&data, &knn, &cfg, 1, Distance::SquaredEuclidean).with_probes(2);
         let res = ens.search(queries.row(0), 5);
         assert_eq!(res.ids.len(), 5);
         let mean = ens.mean_candidates(&queries, 2);

@@ -42,13 +42,24 @@ impl HierarchicalPartitioner {
     /// each node gets its own k′-NN matrix computed on that subset (cheap, because subsets
     /// shrink geometrically).
     pub fn train(data: &Matrix, config: &UspConfig, levels: &[usize], distance: Distance) -> Self {
-        assert!(!levels.is_empty(), "HierarchicalPartitioner::train: need at least one level");
-        assert!(levels.iter().all(|&m| m >= 2), "every level needs at least two bins");
+        assert!(
+            !levels.is_empty(),
+            "HierarchicalPartitioner::train: need at least one level"
+        );
+        assert!(
+            levels.iter().all(|&m| m >= 2),
+            "every level needs at least two bins"
+        );
         let indices: Vec<usize> = (0..data.rows()).collect();
         let mut parameters = 0usize;
         let root = Self::train_node(data, &indices, config, levels, 0, distance, &mut parameters);
         let total_bins = levels.iter().product();
-        Self { root, levels: levels.to_vec(), total_bins, parameters }
+        Self {
+            root,
+            levels: levels.to_vec(),
+            total_bins,
+            parameters,
+        }
     }
 
     fn train_node(
@@ -63,7 +74,10 @@ impl HierarchicalPartitioner {
         let bins = levels[depth];
         let node_cfg = UspConfig {
             bins,
-            seed: config.seed.wrapping_add((depth as u64) << 32).wrapping_add(indices.len() as u64),
+            seed: config
+                .seed
+                .wrapping_add((depth as u64) << 32)
+                .wrapping_add(indices.len() as u64),
             ..config.clone()
         };
 
@@ -71,7 +85,15 @@ impl HierarchicalPartitioner {
         let model = if indices.len() >= bins.max(4) * 2 {
             let k = node_cfg.knn_k.min(indices.len() - 1).max(1);
             let knn = KnnMatrix::build(&subset, k, distance);
-            let trained = train_partitioner(&subset, &knn, &UspConfig { knn_k: k, ..node_cfg.clone() }, None);
+            let trained = train_partitioner(
+                &subset,
+                &knn,
+                &UspConfig {
+                    knn_k: k,
+                    ..node_cfg.clone()
+                },
+                None,
+            );
             trained.model().clone()
         } else {
             // Too few points to learn anything meaningful: an untrained model still routes
@@ -115,7 +137,14 @@ impl HierarchicalPartitioner {
         self.parameters
     }
 
-    fn leaf_scores(node: &Node, query: &[f32], levels: &[usize], depth: usize, prob: f32, out: &mut Vec<f32>) {
+    fn leaf_scores(
+        node: &Node,
+        query: &[f32],
+        levels: &[usize],
+        depth: usize,
+        prob: f32,
+        out: &mut Vec<f32>,
+    ) {
         let probs = node.model.probabilities(query);
         let remaining: usize = levels[depth + 1..].iter().product::<usize>().max(1);
         for (b, &p) in probs.iter().enumerate() {
@@ -166,13 +195,22 @@ mod tests {
     use usp_index::PartitionIndex;
 
     fn fast_cfg() -> UspConfig {
-        UspConfig { knn_k: 5, epochs: 12, ..UspConfig::fast(16) }
+        UspConfig {
+            knn_k: 5,
+            epochs: 12,
+            ..UspConfig::fast(16)
+        }
     }
 
     #[test]
     fn two_level_partition_has_product_bins_and_valid_scores() {
         let ds = synthetic::sift_like(700, 8, 5);
-        let h = HierarchicalPartitioner::train(ds.points(), &fast_cfg(), &[4, 4], Distance::SquaredEuclidean);
+        let h = HierarchicalPartitioner::train(
+            ds.points(),
+            &fast_cfg(),
+            &[4, 4],
+            Distance::SquaredEuclidean,
+        );
         assert_eq!(h.num_bins(), 16);
         assert_eq!(h.levels(), &[4, 4]);
         assert!(h.num_params() > 0);
@@ -186,9 +224,19 @@ mod tests {
     #[test]
     fn hierarchical_index_answers_queries() {
         let split = synthetic::sift_like(800, 8, 6).split_queries(40);
-        let h = HierarchicalPartitioner::train(split.base.points(), &fast_cfg(), &[4, 4], Distance::SquaredEuclidean);
+        let h = HierarchicalPartitioner::train(
+            split.base.points(),
+            &fast_cfg(),
+            &[4, 4],
+            Distance::SquaredEuclidean,
+        );
         let idx = PartitionIndex::build(h, split.base.points(), Distance::SquaredEuclidean);
-        let truth = exact_knn(split.base.points(), &split.queries, 10, Distance::SquaredEuclidean);
+        let truth = exact_knn(
+            split.base.points(),
+            &split.queries,
+            10,
+            Distance::SquaredEuclidean,
+        );
         // Probing all 16 leaves recovers everything; probing 4 should already do well on
         // clustered data.
         let mut recall_all = 0.0;
@@ -209,20 +257,37 @@ mod tests {
     #[test]
     fn binary_logistic_tree_matches_figure6_configuration() {
         let ds = synthetic::sift_like(400, 6, 7);
-        let cfg = UspConfig { knn_k: 5, epochs: 8, ..UspConfig::logistic(2) };
-        let h = HierarchicalPartitioner::train(ds.points(), &cfg, &[2, 2, 2], Distance::SquaredEuclidean);
+        let cfg = UspConfig {
+            knn_k: 5,
+            epochs: 8,
+            ..UspConfig::logistic(2)
+        };
+        let h = HierarchicalPartitioner::train(
+            ds.points(),
+            &cfg,
+            &[2, 2, 2],
+            Distance::SquaredEuclidean,
+        );
         assert_eq!(h.num_bins(), 8);
         assert!(h.name().contains("2x2x2"));
         let assignment_range: std::collections::HashSet<usize> =
             (0..ds.len()).map(|i| h.assign(ds.point(i))).collect();
         assert!(assignment_range.iter().all(|&b| b < 8));
-        assert!(assignment_range.len() >= 4, "tree uses too few leaves: {assignment_range:?}");
+        assert!(
+            assignment_range.len() >= 4,
+            "tree uses too few leaves: {assignment_range:?}"
+        );
     }
 
     #[test]
     #[should_panic]
     fn rejects_degenerate_levels() {
         let ds = synthetic::sift_like(100, 4, 8);
-        let _ = HierarchicalPartitioner::train(ds.points(), &fast_cfg(), &[1, 4], Distance::SquaredEuclidean);
+        let _ = HierarchicalPartitioner::train(
+            ds.points(),
+            &fast_cfg(),
+            &[1, 4],
+            Distance::SquaredEuclidean,
+        );
     }
 }

@@ -36,8 +36,18 @@ pub struct LossValue {
 /// * `bins` — number of bins `m`;
 /// * `soft` — when `true` the full distribution is used (the paper's formulation); when
 ///   `false` the distribution collapses to the majority bin (an ablation).
-pub fn neighbor_bin_targets(neighbor_bins: &[usize], batch: usize, knn_k: usize, bins: usize, soft: bool) -> Matrix {
-    assert_eq!(neighbor_bins.len(), batch * knn_k, "neighbor_bin_targets: shape mismatch");
+pub fn neighbor_bin_targets(
+    neighbor_bins: &[usize],
+    batch: usize,
+    knn_k: usize,
+    bins: usize,
+    soft: bool,
+) -> Matrix {
+    assert_eq!(
+        neighbor_bins.len(),
+        batch * knn_k,
+        "neighbor_bin_targets: shape mismatch"
+    );
     let mut targets = Matrix::zeros(batch, bins);
     for i in 0..batch {
         let row = targets.row_mut(i);
@@ -91,7 +101,11 @@ pub fn unsupervised_loss(
     weights: Option<&[f32]>,
     eta: f32,
 ) -> (LossValue, Matrix) {
-    assert_eq!(logits.shape(), targets.shape(), "unsupervised_loss: shape mismatch");
+    assert_eq!(
+        logits.shape(),
+        targets.shape(),
+        "unsupervised_loss: shape mismatch"
+    );
     let probs = stats::softmax_rows(logits);
     let (batch, bins) = logits.shape();
 
@@ -110,7 +124,11 @@ pub fn unsupervised_loss(
             g[j] = w * (p[j] - t[j]);
         }
     }
-    let norm = if total_weight > 0.0 { total_weight as f32 } else { 1.0 };
+    let norm = if total_weight > 0.0 {
+        total_weight as f32
+    } else {
+        1.0
+    };
     dlogits.scale(1.0 / norm);
     let quality = quality as f32 / norm;
 
@@ -120,7 +138,11 @@ pub fn unsupervised_loss(
     dlogits.axpy(eta, &dbalance_logits);
 
     (
-        LossValue { total: quality + eta * balance, quality, balance },
+        LossValue {
+            total: quality + eta * balance,
+            quality,
+            balance,
+        },
         dlogits,
     )
 }
@@ -151,7 +173,10 @@ mod tests {
         let skewed = Matrix::from_vec(4, 2, vec![0.9, 0.1, 0.9, 0.1, 0.9, 0.1, 0.9, 0.1]);
         let (s_bal, _) = balance_cost(&balanced);
         let (s_skew, _) = balance_cost(&skewed);
-        assert!(s_bal < s_skew, "balanced {s_bal} should score lower (better) than skewed {s_skew}");
+        assert!(
+            s_bal < s_skew,
+            "balanced {s_bal} should score lower (better) than skewed {s_skew}"
+        );
     }
 
     #[test]
@@ -159,7 +184,12 @@ mod tests {
         let probs = Matrix::from_vec(4, 2, vec![0.9, 0.1, 0.8, 0.2, 0.3, 0.7, 0.2, 0.8]);
         let (_, grad) = balance_cost(&probs);
         // window = ceil(4/2) = 2 entries per column -> 4 nonzeros of value -1/4.
-        let nonzero: Vec<f32> = grad.as_slice().iter().copied().filter(|&g| g != 0.0).collect();
+        let nonzero: Vec<f32> = grad
+            .as_slice()
+            .iter()
+            .copied()
+            .filter(|&g| g != 0.0)
+            .collect();
         assert_eq!(nonzero.len(), 4);
         assert!(nonzero.iter().all(|&g| (g + 0.25).abs() < 1e-6));
     }
@@ -213,8 +243,10 @@ mod tests {
         let (_, g_uniform) = unsupervised_loss(&logits, &targets, Some(&[1.0, 1.0]), 0.0);
         let (_, g_weighted) = unsupervised_loss(&logits, &targets, Some(&[10.0, 1.0]), 0.0);
         // Under heavy weight on point 0, its share of the (normalised) gradient grows.
-        let share_uniform = g_uniform.row(0)[0].abs() / (g_uniform.row(0)[0].abs() + g_uniform.row(1)[0].abs());
-        let share_weighted = g_weighted.row(0)[0].abs() / (g_weighted.row(0)[0].abs() + g_weighted.row(1)[0].abs());
+        let share_uniform =
+            g_uniform.row(0)[0].abs() / (g_uniform.row(0)[0].abs() + g_uniform.row(1)[0].abs());
+        let share_weighted =
+            g_weighted.row(0)[0].abs() / (g_weighted.row(0)[0].abs() + g_weighted.row(1)[0].abs());
         assert!(share_weighted > share_uniform);
     }
 }

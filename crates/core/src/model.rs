@@ -28,7 +28,10 @@ impl PartitionModel {
             .build(),
             ModelKind::Logistic => logistic_regression(input_dim, config.bins, config.seed),
         };
-        Self { network, bins: config.bins }
+        Self {
+            network,
+            bins: config.bins,
+        }
     }
 
     /// Wraps an existing network (used by the hierarchical partitioner's sub-models).

@@ -24,12 +24,20 @@ impl<P: Partitioner> PartitionedScann<P> {
         let distance = scann_config.distance;
         let index = PartitionIndex::build(partitioner, data, distance);
         let scann = ScannSearcher::build(data, scann_config);
-        Self { index, scann, probes: probes.max(1) }
+        Self {
+            index,
+            scann,
+            probes: probes.max(1),
+        }
     }
 
     /// Wraps pre-built components (lets callers reuse an existing index or quantizer).
     pub fn from_parts(index: PartitionIndex<P>, scann: ScannSearcher, probes: usize) -> Self {
-        Self { index, scann, probes: probes.max(1) }
+        Self {
+            index,
+            scann,
+            probes: probes.max(1),
+        }
     }
 
     /// The partition index.
@@ -65,7 +73,11 @@ impl<P: Partitioner> AnnSearcher for PartitionedScann<P> {
     }
 
     fn name(&self) -> String {
-        format!("{} + {}", self.index.partitioner().name(), self.scann.name())
+        format!(
+            "{} + {}",
+            self.index.partitioner().name(),
+            self.scann.name()
+        )
     }
 }
 
@@ -78,7 +90,10 @@ pub fn usp_plus_scann<P: Partitioner>(
     PartitionedScann::build(
         partitioner,
         data,
-        ScannConfig { distance: Distance::SquaredEuclidean, ..ScannConfig::default() },
+        ScannConfig {
+            distance: Distance::SquaredEuclidean,
+            ..ScannConfig::default()
+        },
         probes,
     )
 }
@@ -95,7 +110,11 @@ mod tests {
         let split = synthetic::sift_like(900, 16, 21).split_queries(40);
         let data = split.base.points();
         let knn = KnnMatrix::build(data, 5, Distance::SquaredEuclidean);
-        let cfg = UspConfig { knn_k: 5, epochs: 20, ..UspConfig::fast(8) };
+        let cfg = UspConfig {
+            knn_k: 5,
+            epochs: 20,
+            ..UspConfig::fast(8)
+        };
         let partitioner = train_partitioner(data, &knn, &cfg, None);
         let pipeline = usp_plus_scann(partitioner, data, 2);
 
@@ -112,7 +131,10 @@ mod tests {
         let mean_exact = scanned as f64 / split.queries.rows() as f64;
         // The quantized shortlist keeps the exact re-ranking cost far below the dataset
         // size while retaining good recall on clustered data.
-        assert!(mean_exact <= 100.0 + 1e-9, "exact evaluations per query {mean_exact}");
+        assert!(
+            mean_exact <= 100.0 + 1e-9,
+            "exact evaluations per query {mean_exact}"
+        );
         assert!(recall > 0.5, "pipeline recall {recall}");
         assert!(pipeline.name().contains("usp"));
         assert!(pipeline.mean_partition_candidates(&split.queries) > 0.0);
@@ -123,7 +145,11 @@ mod tests {
         let split = synthetic::sift_like(600, 8, 22).split_queries(30);
         let data = split.base.points();
         let knn = KnnMatrix::build(data, 5, Distance::SquaredEuclidean);
-        let cfg = UspConfig { knn_k: 5, epochs: 15, ..UspConfig::fast(8) };
+        let cfg = UspConfig {
+            knn_k: 5,
+            epochs: 15,
+            ..UspConfig::fast(8)
+        };
         let partitioner = train_partitioner(data, &knn, &cfg, None);
         let pipeline = usp_plus_scann(partitioner, data, 1);
         let truth = exact_knn(data, &split.queries, 10, Distance::SquaredEuclidean);

@@ -45,7 +45,11 @@ impl TrainedPartitioner {
     }
 
     /// Builds the lookup-table index over a dataset (Algorithm 1, step 3).
-    pub fn build_index(self, data: &Matrix, distance: Distance) -> PartitionIndex<TrainedPartitioner> {
+    pub fn build_index(
+        self,
+        data: &Matrix,
+        distance: Distance,
+    ) -> PartitionIndex<TrainedPartitioner> {
         PartitionIndex::build(self, data, distance)
     }
 }
@@ -81,7 +85,11 @@ pub fn train_partitioner(
 ) -> TrainedPartitioner {
     let n = data.rows();
     assert!(n > 0, "train_partitioner: empty dataset");
-    assert_eq!(knn.len(), n, "train_partitioner: k'-NN matrix size mismatch");
+    assert_eq!(
+        knn.len(),
+        n,
+        "train_partitioner: k'-NN matrix size mismatch"
+    );
     if let Some(w) = weights {
         assert_eq!(w.len(), n, "train_partitioner: weight count mismatch");
     }
@@ -119,8 +127,13 @@ pub fn train_partitioner(
             }
             let neighbor_points = data.select_rows(&neighbor_rows);
             let neighbor_bins = model.assign_batch(&neighbor_points);
-            let targets =
-                neighbor_bin_targets(&neighbor_bins, chunk.len(), knn_k, config.bins, config.soft_targets);
+            let targets = neighbor_bin_targets(
+                &neighbor_bins,
+                chunk.len(),
+                knn_k,
+                config.bins,
+                config.soft_targets,
+            );
 
             let batch_weights: Option<Vec<f32>> =
                 weights.map(|w| chunk.iter().map(|&i| w[i]).collect());
@@ -170,12 +183,18 @@ mod tests {
     #[test]
     fn training_reduces_the_loss() {
         let (data, knn) = small_dataset();
-        let cfg = UspConfig { knn_k: 5, ..UspConfig::fast(8) };
+        let cfg = UspConfig {
+            knn_k: 5,
+            ..UspConfig::fast(8)
+        };
         let trained = train_partitioner(&data, &knn, &cfg, None);
         let report = trained.report();
         assert_eq!(report.epoch_loss.len(), cfg.epochs);
         let first: f32 = report.epoch_loss[..3].iter().sum::<f32>() / 3.0;
-        let last: f32 = report.epoch_loss[report.epoch_loss.len() - 3..].iter().sum::<f32>() / 3.0;
+        let last: f32 = report.epoch_loss[report.epoch_loss.len() - 3..]
+            .iter()
+            .sum::<f32>()
+            / 3.0;
         assert!(last < first, "loss did not decrease: {first} -> {last}");
         assert!(report.parameters > 0);
         assert!(report.seconds > 0.0);
@@ -184,7 +203,11 @@ mod tests {
     #[test]
     fn learned_partition_is_reasonably_balanced() {
         let (data, knn) = small_dataset();
-        let cfg = UspConfig { knn_k: 5, eta: 10.0, ..UspConfig::fast(8) };
+        let cfg = UspConfig {
+            knn_k: 5,
+            eta: 10.0,
+            ..UspConfig::fast(8)
+        };
         let trained = train_partitioner(&data, &knn, &cfg, None);
         let assignments = trained.model().assign_batch(&data);
         let stats = BalanceStats::from_assignments(&assignments, 8);
@@ -197,7 +220,10 @@ mod tests {
     #[test]
     fn learned_partition_keeps_neighbours_together() {
         let (data, knn) = small_dataset();
-        let cfg = UspConfig { knn_k: 5, ..UspConfig::fast(8) };
+        let cfg = UspConfig {
+            knn_k: 5,
+            ..UspConfig::fast(8)
+        };
         let trained = train_partitioner(&data, &knn, &cfg, None);
         let assignments = trained.model().assign_batch(&data);
         // Fraction of k'-NN pairs co-located in the same bin must beat the random baseline
@@ -219,7 +245,10 @@ mod tests {
     #[test]
     fn partitioner_interface_and_index_build() {
         let (data, knn) = small_dataset();
-        let cfg = UspConfig { knn_k: 5, ..UspConfig::fast(4) };
+        let cfg = UspConfig {
+            knn_k: 5,
+            ..UspConfig::fast(4)
+        };
         let trained = train_partitioner(&data, &knn, &cfg, None);
         assert_eq!(trained.num_bins(), 4);
         assert!(trained.num_parameters() > 0);
@@ -234,7 +263,11 @@ mod tests {
     #[test]
     fn ensemble_weights_change_the_learned_partition() {
         let (data, knn) = small_dataset();
-        let cfg = UspConfig { knn_k: 5, epochs: 10, ..UspConfig::fast(4) };
+        let cfg = UspConfig {
+            knn_k: 5,
+            epochs: 10,
+            ..UspConfig::fast(4)
+        };
         let uniform = train_partitioner(&data, &knn, &cfg, None);
         let mut weights = vec![1.0f32; data.rows()];
         for w in weights.iter_mut().take(data.rows() / 4) {
@@ -243,13 +276,21 @@ mod tests {
         let weighted = train_partitioner(&data, &knn, &cfg, Some(&weights));
         let a = uniform.model().assign_batch(&data);
         let b = weighted.model().assign_batch(&data);
-        assert_ne!(a, b, "weighting the loss should change the learned partition");
+        assert_ne!(
+            a, b,
+            "weighting the loss should change the learned partition"
+        );
     }
 
     #[test]
     fn logistic_model_also_trains() {
         let (data, knn) = small_dataset();
-        let cfg = UspConfig { knn_k: 5, epochs: 20, batch_size: 256, ..UspConfig::logistic(2) };
+        let cfg = UspConfig {
+            knn_k: 5,
+            epochs: 20,
+            batch_size: 256,
+            ..UspConfig::logistic(2)
+        };
         let trained = train_partitioner(&data, &knn, &cfg, None);
         let assignments = trained.model().assign_batch(&data);
         let stats = BalanceStats::from_assignments(&assignments, 2);

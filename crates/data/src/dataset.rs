@@ -19,7 +19,11 @@ pub struct Dataset {
 impl Dataset {
     /// Wraps a point matrix into a dataset.
     pub fn new(name: impl Into<String>, points: Matrix) -> Self {
-        Self { name: name.into(), points, labels: None }
+        Self {
+            name: name.into(),
+            points,
+            labels: None,
+        }
     }
 
     /// Wraps a point matrix and its generative labels.
@@ -27,8 +31,16 @@ impl Dataset {
     /// # Panics
     /// Panics if the number of labels does not match the number of points.
     pub fn with_labels(name: impl Into<String>, points: Matrix, labels: Vec<usize>) -> Self {
-        assert_eq!(points.rows(), labels.len(), "Dataset::with_labels: label count mismatch");
-        Self { name: name.into(), points, labels: Some(labels) }
+        assert_eq!(
+            points.rows(),
+            labels.len(),
+            "Dataset::with_labels: label count mismatch"
+        );
+        Self {
+            name: name.into(),
+            points,
+            labels: Some(labels),
+        }
     }
 
     /// Dataset name used in reports.
@@ -73,7 +85,11 @@ impl Dataset {
             .labels
             .as_ref()
             .map(|l| indices.iter().map(|&i| l[i]).collect());
-        Dataset { name: format!("{}[subset {}]", self.name, indices.len()), points, labels }
+        Dataset {
+            name: format!("{}[subset {}]", self.name, indices.len()),
+            points,
+            labels,
+        }
     }
 
     /// Splits the dataset into base points and held-out queries.
@@ -88,7 +104,11 @@ impl Dataset {
         let base = self.subset(&base_idx);
         let queries = self.points.select_rows(&query_idx);
         SplitDataset {
-            base: Dataset { name: self.name.clone(), points: base.points, labels: base.labels },
+            base: Dataset {
+                name: self.name.clone(),
+                points: base.points,
+                labels: base.labels,
+            },
             queries,
         }
     }

@@ -13,7 +13,11 @@ use usp_linalg::{topk, Distance, Matrix};
 ///
 /// Brute force, parallelised over queries: `O(n_queries * n_base * d)`.
 pub fn exact_knn(base: &Matrix, queries: &Matrix, k: usize, distance: Distance) -> Vec<Vec<usize>> {
-    assert_eq!(base.cols(), queries.cols(), "exact_knn: dimensionality mismatch");
+    assert_eq!(
+        base.cols(),
+        queries.cols(),
+        "exact_knn: dimensionality mismatch"
+    );
     let n = base.rows();
     (0..queries.rows())
         .into_par_iter()

@@ -58,7 +58,9 @@ pub fn parse_fvecs(bytes: &[u8], limit: Option<usize>) -> Result<Matrix, IoError
         match dim {
             None => dim = Some(d),
             Some(prev) if prev != d => {
-                return Err(IoError::Format(format!("inconsistent dimensions {prev} vs {d}")))
+                return Err(IoError::Format(format!(
+                    "inconsistent dimensions {prev} vs {d}"
+                )))
             }
             _ => {}
         }

@@ -8,7 +8,7 @@
 //! `classification`) mirror scikit-learn's toy datasets used in Table 5.
 
 use rand::rngs::StdRng;
-use rand::{Rng, RngExt};
+use rand::Rng;
 use serde::{Deserialize, Serialize};
 use usp_linalg::{rng as lrng, Matrix};
 
@@ -57,7 +57,9 @@ impl MixtureSpec {
         }
 
         // Mixture weights: mildly non-uniform, as in real data.
-        let mut weights: Vec<f32> = (0..self.n_clusters).map(|_| 0.5 + rng.random::<f32>()).collect();
+        let mut weights: Vec<f32> = (0..self.n_clusters)
+            .map(|_| 0.5 + rng.random::<f32>())
+            .collect();
         let total: f32 = weights.iter().sum();
         weights.iter_mut().for_each(|w| *w /= total);
 
@@ -123,7 +125,12 @@ pub fn mnist_like(n: usize, dim: usize, seed: u64) -> Dataset {
     let mut class_offsets = Vec::with_capacity(n_classes);
     for _ in 0..n_classes {
         class_maps.push(lrng::normal_matrix(&mut rng, intrinsic, dim, 1.0));
-        class_offsets.push(lrng::normal_vector(&mut rng, dim).iter().map(|x| x * 4.0).collect::<Vec<f32>>());
+        class_offsets.push(
+            lrng::normal_vector(&mut rng, dim)
+                .iter()
+                .map(|x| x * 4.0)
+                .collect::<Vec<f32>>(),
+        );
     }
     for i in 0..n {
         let c = rng.random_range(0..n_classes);
@@ -224,7 +231,12 @@ pub fn classification(n: usize, dim: usize, seed: u64) -> Dataset {
     ds
 }
 
-fn shuffle_labelled(rng: &mut StdRng, name: &str, rows: Vec<Vec<f32>>, labels: Vec<usize>) -> Dataset {
+fn shuffle_labelled(
+    rng: &mut StdRng,
+    name: &str,
+    rows: Vec<Vec<f32>>,
+    labels: Vec<usize>,
+) -> Dataset {
     let n = rows.len();
     let points = Matrix::from_rows(&rows);
     let mut perm: Vec<usize> = (0..n).collect();
@@ -275,7 +287,7 @@ mod tests {
         let mut intra = 0.0f64;
         let mut total = 0.0f64;
         let mut centroids = vec![vec![0.0f32; d.dim()]; 4];
-        let mut counts = vec![0usize; 4];
+        let mut counts = [0usize; 4];
         for i in 0..d.len() {
             counts[labels[i]] += 1;
             for j in 0..d.dim() {
@@ -288,10 +300,14 @@ mod tests {
             }
         }
         for i in 0..d.len() {
-            intra += usp_linalg::distance::squared_euclidean(d.point(i), &centroids[labels[i]]) as f64;
+            intra +=
+                usp_linalg::distance::squared_euclidean(d.point(i), &centroids[labels[i]]) as f64;
             total += usp_linalg::distance::squared_euclidean(d.point(i), &overall_centroid) as f64;
         }
-        assert!(intra * 5.0 < total, "clusters not separated: intra {intra} total {total}");
+        assert!(
+            intra * 5.0 < total,
+            "clusters not separated: intra {intra} total {total}"
+        );
     }
 
     #[test]
@@ -328,7 +344,11 @@ mod tests {
     #[test]
     fn uniform_is_in_unit_cube() {
         let d = uniform(100, 5, 3);
-        assert!(d.points().as_slice().iter().all(|&x| (0.0..=1.0).contains(&x)));
+        assert!(d
+            .points()
+            .as_slice()
+            .iter()
+            .all(|&x| (0.0..=1.0).contains(&x)));
         assert!(d.labels().is_none());
     }
 }

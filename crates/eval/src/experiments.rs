@@ -10,8 +10,10 @@ use usp_baselines::{
     BinaryPartitionTree, BoostedForestStrategy, CrossPolytopeLsh, KMeansPartitioner, NeuralLsh,
     NeuralLshConfig, RegressionLshSplit, TreeConfig,
 };
-use usp_cluster::{adjusted_rand_index, dbscan, normalized_mutual_information, purity, spectral_clustering,
-    DbscanConfig, SpectralConfig};
+use usp_cluster::{
+    adjusted_rand_index, dbscan, normalized_mutual_information, purity, spectral_clustering,
+    DbscanConfig, SpectralConfig,
+};
 use usp_core::{
     train_partitioner, HierarchicalPartitioner, ModelKind, PartitionedScann, UspConfig, UspEnsemble,
 };
@@ -40,7 +42,10 @@ fn usp_config(scale: &Scale, bins: usize, eta: f32, seed: u64) -> UspConfig {
         epochs: scale.epochs,
         batch_size: 256,
         learning_rate: 3e-3,
-        model: ModelKind::Mlp { hidden: vec![64], dropout: 0.1 },
+        model: ModelKind::Mlp {
+            hidden: vec![64],
+            dropout: 0.1,
+        },
         soft_targets: true,
         seed,
     }
@@ -52,7 +57,9 @@ fn sweep_index<P: Partitioner>(
     truth: &[Vec<usize>],
     probes: &[usize],
 ) -> Vec<SweepPoint> {
-    sweep_probes(&split.queries, truth, K, probes, |q, p| index.search(q, K, p))
+    sweep_probes(&split.queries, truth, K, probes, |q, p| {
+        index.search(q, K, p)
+    })
 }
 
 /// Figure 5 — comparison with space-partitioning methods (neural-network model).
@@ -61,9 +68,14 @@ fn sweep_index<P: Partitioner>(
 /// K-means, Cross-polytope LSH. The 256-bin configuration uses hierarchical 16×16
 /// partitioning exactly as §5.4.1 describes.
 pub fn figure5(scale: &Scale) -> ExperimentReport {
-    let mut report = ExperimentReport::new("fig5_partitioning", "10-NN accuracy vs candidate-set size (space-partitioning methods)");
-    report.add_note(format!("scale={} (sift {}x{}, mnist {}x{}, {} queries)",
-        scale.name, scale.sift_n, scale.sift_dim, scale.mnist_n, scale.mnist_dim, scale.queries));
+    let mut report = ExperimentReport::new(
+        "fig5_partitioning",
+        "10-NN accuracy vs candidate-set size (space-partitioning methods)",
+    );
+    report.add_note(format!(
+        "scale={} (sift {}x{}, mnist {}x{}, {} queries)",
+        scale.name, scale.sift_n, scale.sift_dim, scale.mnist_n, scale.mnist_dim, scale.queries
+    ));
 
     for (dataset_name, split, eta16, eta256) in [
         ("SIFT-like", scale.sift_like(101), 7.0f32, 10.0f32),
@@ -81,25 +93,45 @@ pub fn figure5(scale: &Scale) -> ExperimentReport {
         let ens = UspEnsemble::train(data, &knn, &usp_config(scale, bins, eta16, 1), 3, DIST);
         series.push(Series {
             name: "Ours (ensemble of 3)".into(),
-            points: sweep_probes(&split.queries, &truth, K, &probes, |q, p| ens.search_with_probes(q, K, p)),
+            points: sweep_probes(&split.queries, &truth, K, &probes, |q, p| {
+                ens.search_with_probes(q, K, p)
+            }),
         });
 
         let single = UspEnsemble::train(data, &knn, &usp_config(scale, bins, eta16, 5), 1, DIST);
         series.push(Series {
             name: "Ours (single model)".into(),
-            points: sweep_probes(&split.queries, &truth, K, &probes, |q, p| single.search_with_probes(q, K, p)),
+            points: sweep_probes(&split.queries, &truth, K, &probes, |q, p| {
+                single.search_with_probes(q, K, p)
+            }),
         });
 
-        let nlsh = NeuralLsh::fit(data, &knn, &NeuralLshConfig { epochs: scale.epochs, ..NeuralLshConfig::small(bins) });
+        let nlsh = NeuralLsh::fit(
+            data,
+            &knn,
+            &NeuralLshConfig {
+                epochs: scale.epochs,
+                ..NeuralLshConfig::small(bins)
+            },
+        );
         let labels = nlsh.labels().to_vec();
         let nlsh_index = PartitionIndex::from_assignments(nlsh, data, labels, DIST);
-        series.push(Series { name: "Neural LSH".into(), points: sweep_index(&nlsh_index, &split, &truth, &probes) });
+        series.push(Series {
+            name: "Neural LSH".into(),
+            points: sweep_index(&nlsh_index, &split, &truth, &probes),
+        });
 
         let kmeans_index = PartitionIndex::build(KMeansPartitioner::fit(data, bins, 3), data, DIST);
-        series.push(Series { name: "K-means".into(), points: sweep_index(&kmeans_index, &split, &truth, &probes) });
+        series.push(Series {
+            name: "K-means".into(),
+            points: sweep_index(&kmeans_index, &split, &truth, &probes),
+        });
 
         let lsh_index = PartitionIndex::build(CrossPolytopeLsh::fit(data, bins, 4), data, DIST);
-        series.push(Series { name: "Cross-polytope LSH".into(), points: sweep_index(&lsh_index, &split, &truth, &probes) });
+        series.push(Series {
+            name: "Cross-polytope LSH".into(),
+            points: sweep_index(&lsh_index, &split, &truth, &probes),
+        });
 
         report.add_panel(format!("{dataset_name}, 16 bins"), series);
 
@@ -108,20 +140,44 @@ pub fn figure5(scale: &Scale) -> ExperimentReport {
         let probes = default_probe_ladder(bins);
         let mut series = Vec::new();
 
-        let hier = HierarchicalPartitioner::train(data, &usp_config(scale, 16, eta256, 7), &[16, 16], DIST);
+        let hier = HierarchicalPartitioner::train(
+            data,
+            &usp_config(scale, 16, eta256, 7),
+            &[16, 16],
+            DIST,
+        );
         let hier_index = PartitionIndex::build(hier, data, DIST);
-        series.push(Series { name: "Ours (hierarchical 16x16)".into(), points: sweep_index(&hier_index, &split, &truth, &probes) });
+        series.push(Series {
+            name: "Ours (hierarchical 16x16)".into(),
+            points: sweep_index(&hier_index, &split, &truth, &probes),
+        });
 
-        let nlsh = NeuralLsh::fit(data, &knn, &NeuralLshConfig { epochs: scale.epochs, ..NeuralLshConfig::small(bins) });
+        let nlsh = NeuralLsh::fit(
+            data,
+            &knn,
+            &NeuralLshConfig {
+                epochs: scale.epochs,
+                ..NeuralLshConfig::small(bins)
+            },
+        );
         let labels = nlsh.labels().to_vec();
         let nlsh_index = PartitionIndex::from_assignments(nlsh, data, labels, DIST);
-        series.push(Series { name: "Neural LSH".into(), points: sweep_index(&nlsh_index, &split, &truth, &probes) });
+        series.push(Series {
+            name: "Neural LSH".into(),
+            points: sweep_index(&nlsh_index, &split, &truth, &probes),
+        });
 
         let kmeans_index = PartitionIndex::build(KMeansPartitioner::fit(data, bins, 9), data, DIST);
-        series.push(Series { name: "K-means".into(), points: sweep_index(&kmeans_index, &split, &truth, &probes) });
+        series.push(Series {
+            name: "K-means".into(),
+            points: sweep_index(&kmeans_index, &split, &truth, &probes),
+        });
 
         let lsh_index = PartitionIndex::build(CrossPolytopeLsh::fit(data, bins, 11), data, DIST);
-        series.push(Series { name: "Cross-polytope LSH".into(), points: sweep_index(&lsh_index, &split, &truth, &probes) });
+        series.push(Series {
+            name: "Cross-polytope LSH".into(),
+            points: sweep_index(&lsh_index, &split, &truth, &probes),
+        });
 
         report.add_panel(format!("{dataset_name}, 256 bins"), series);
     }
@@ -137,9 +193,15 @@ pub fn figure6(scale: &Scale) -> ExperimentReport {
         "fig6_trees",
         "10-NN accuracy vs candidate-set size (binary hyperplane trees)",
     );
-    report.add_note(format!("scale={}, tree depth {} ({} bins; the paper uses depth 10)", scale.name, depth, bins));
+    report.add_note(format!(
+        "scale={}, tree depth {} ({} bins; the paper uses depth 10)",
+        scale.name, depth, bins
+    ));
 
-    for (dataset_name, split) in [("SIFT-like", scale.sift_like(303)), ("MNIST-like", scale.mnist_like(404))] {
+    for (dataset_name, split) in [
+        ("SIFT-like", scale.sift_like(303)),
+        ("MNIST-like", scale.mnist_like(404)),
+    ] {
         let truth = truth_for(&split);
         let data = split.base.points();
         let probes = default_probe_ladder(bins);
@@ -154,29 +216,61 @@ pub fn figure6(scale: &Scale) -> ExperimentReport {
         };
         let ours = HierarchicalPartitioner::train(data, &cfg, &vec![2; depth], DIST);
         let ours_index = PartitionIndex::build(ours, data, DIST);
-        series.push(Series { name: "Ours (logistic regression)".into(), points: sweep_index(&ours_index, &split, &truth, &probes) });
+        series.push(Series {
+            name: "Ours (logistic regression)".into(),
+            points: sweep_index(&ours_index, &split, &truth, &probes),
+        });
 
         // Regression LSH: graph-partition-supervised logistic splits.
-        let reg = BinaryPartitionTree::build(data, &TreeConfig::new(depth), &RegressionLshSplit::default());
+        let reg = BinaryPartitionTree::build(
+            data,
+            &TreeConfig::new(depth),
+            &RegressionLshSplit::default(),
+        );
         let reg_index = PartitionIndex::build(reg, data, DIST);
-        series.push(Series { name: "Regression LSH".into(), points: sweep_index(&reg_index, &split, &truth, &probes) });
+        series.push(Series {
+            name: "Regression LSH".into(),
+            points: sweep_index(&reg_index, &split, &truth, &probes),
+        });
 
         // 2-means tree, PCA tree, RP tree, learned KD-tree.
         for (name, tree) in [
-            ("2-means tree", BinaryPartitionTree::two_means(data, &TreeConfig::new(depth))),
-            ("PCA tree", BinaryPartitionTree::pca(data, &TreeConfig::new(depth))),
-            ("Random projection tree", BinaryPartitionTree::random_projection(data, &TreeConfig::new(depth))),
-            ("Learned KD-tree", BinaryPartitionTree::kd(data, &TreeConfig::new(depth))),
+            (
+                "2-means tree",
+                BinaryPartitionTree::two_means(data, &TreeConfig::new(depth)),
+            ),
+            (
+                "PCA tree",
+                BinaryPartitionTree::pca(data, &TreeConfig::new(depth)),
+            ),
+            (
+                "Random projection tree",
+                BinaryPartitionTree::random_projection(data, &TreeConfig::new(depth)),
+            ),
+            (
+                "Learned KD-tree",
+                BinaryPartitionTree::kd(data, &TreeConfig::new(depth)),
+            ),
         ] {
             let index = PartitionIndex::build(tree, data, DIST);
-            series.push(Series { name: name.into(), points: sweep_index(&index, &split, &truth, &probes) });
+            series.push(Series {
+                name: name.into(),
+                points: sweep_index(&index, &split, &truth, &probes),
+            });
         }
 
         // Boosted Search Forest (single neighbour-preserving tree at the same depth).
         let knn = KnnMatrix::build(data, 10, DIST);
-        let bsf = BinaryPartitionTree::build(data, &TreeConfig::new(depth), &BoostedForestStrategy::new(knn, 12));
+        let bsf = BinaryPartitionTree::build(
+            data,
+            &TreeConfig::new(depth),
+            &BoostedForestStrategy::new(knn, 12),
+        );
         let bsf_index = PartitionIndex::build(bsf, data, DIST);
-        series.push(Series { name: "Boosted Search Forest".into(), points: sweep_index(&bsf_index, &split, &truth, &probes) });
+        series.push(Series {
+            name: "Boosted Search Forest".into(),
+            points: sweep_index(&bsf_index, &split, &truth, &probes),
+        });
 
         report.add_panel(format!("{dataset_name}, {bins} bins"), series);
     }
@@ -187,17 +281,29 @@ pub fn figure6(scale: &Scale) -> ExperimentReport {
 /// IVF (FAISS stand-in). The x-axis is the mean wall-clock query time in microseconds
 /// (the paper plots recall against time).
 pub fn figure7(scale: &Scale) -> ExperimentReport {
-    let mut report = ExperimentReport::new("fig7_scann_pipeline", "10-NN accuracy vs mean query time (end-to-end ANNS)");
-    report.add_note(format!("scale={}; x-axis (mean_candidates column) is mean query time in microseconds", scale.name));
+    let mut report = ExperimentReport::new(
+        "fig7_scann_pipeline",
+        "10-NN accuracy vs mean query time (end-to-end ANNS)",
+    );
+    report.add_note(format!(
+        "scale={}; x-axis (mean_candidates column) is mean query time in microseconds",
+        scale.name
+    ));
 
-    for (dataset_name, split) in [("SIFT-like", scale.sift_like(505)), ("MNIST-like", scale.mnist_like(606))] {
+    for (dataset_name, split) in [
+        ("SIFT-like", scale.sift_like(505)),
+        ("MNIST-like", scale.mnist_like(606)),
+    ] {
         let truth = truth_for(&split);
         let data = split.base.points();
         let knn = KnnMatrix::build(data, 10, DIST);
         let bins = 16usize;
         let mut series = Vec::new();
 
-        let timed_sweep = |label: &str, knobs: &[usize], mut search: Box<dyn FnMut(&[f32], usize) -> Vec<usize>>| -> Series {
+        let timed_sweep = |label: &str,
+                           knobs: &[usize],
+                           mut search: Box<dyn FnMut(&[f32], usize) -> Vec<usize>>|
+         -> Series {
             let mut points = Vec::new();
             for &knob in knobs {
                 let start = std::time::Instant::now();
@@ -213,12 +319,23 @@ pub fn figure7(scale: &Scale) -> ExperimentReport {
                     recall: recall / split.queries.rows() as f64,
                 });
             }
-            Series { name: label.into(), points }
+            Series {
+                name: label.into(),
+                points,
+            }
         };
 
         // USP + ScaNN.
         let usp = train_partitioner(data, &knn, &usp_config(scale, bins, 7.0, 13), None);
-        let usp_pipeline = PartitionedScann::build(usp, data, ScannConfig { rerank_size: 64, ..ScannConfig::default() }, 1);
+        let usp_pipeline = PartitionedScann::build(
+            usp,
+            data,
+            ScannConfig {
+                rerank_size: 64,
+                ..ScannConfig::default()
+            },
+            1,
+        );
         series.push(timed_sweep(
             "USP + ScaNN (ours)",
             &[1, 2, 4, 8],
@@ -227,7 +344,15 @@ pub fn figure7(scale: &Scale) -> ExperimentReport {
 
         // K-means + ScaNN.
         let km = KMeansPartitioner::fit(data, bins, 17);
-        let km_pipeline = PartitionedScann::build(km, data, ScannConfig { rerank_size: 64, ..ScannConfig::default() }, 1);
+        let km_pipeline = PartitionedScann::build(
+            km,
+            data,
+            ScannConfig {
+                rerank_size: 64,
+                ..ScannConfig::default()
+            },
+            1,
+        );
         series.push(timed_sweep(
             "K-means + ScaNN",
             &[1, 2, 4, 8],
@@ -238,7 +363,18 @@ pub fn figure7(scale: &Scale) -> ExperimentReport {
         // re-ranking budget.
         let scann_variants: Vec<(usize, ScannSearcher)> = [32usize, 64, 128, 256]
             .iter()
-            .map(|&r| (r, ScannSearcher::build(data, ScannConfig { rerank_size: r, ..ScannConfig::default() })))
+            .map(|&r| {
+                (
+                    r,
+                    ScannSearcher::build(
+                        data,
+                        ScannConfig {
+                            rerank_size: r,
+                            ..ScannConfig::default()
+                        },
+                    ),
+                )
+            })
             .collect();
         {
             let mut points = Vec::new();
@@ -250,13 +386,28 @@ pub fn figure7(scale: &Scale) -> ExperimentReport {
                     recall += usp_data::ground_truth::knn_accuracy(&res.ids, &truth[qi]);
                 }
                 let elapsed_us = start.elapsed().as_micros() as f64 / split.queries.rows() as f64;
-                points.push(SweepPoint { probes: *r, mean_candidates: elapsed_us, recall: recall / split.queries.rows() as f64 });
+                points.push(SweepPoint {
+                    probes: *r,
+                    mean_candidates: elapsed_us,
+                    recall: recall / split.queries.rows() as f64,
+                });
             }
-            series.push(Series { name: "Vanilla ScaNN".into(), points });
+            series.push(Series {
+                name: "Vanilla ScaNN".into(),
+                points,
+            });
         }
 
         // HNSW with an ef sweep.
-        let hnsw = Hnsw::build(data, HnswConfig { m: 16, ef_construction: 100, distance: DIST, seed: 3 });
+        let hnsw = Hnsw::build(
+            data,
+            HnswConfig {
+                m: 16,
+                ef_construction: 100,
+                distance: DIST,
+                seed: 3,
+            },
+        );
         series.push(timed_sweep(
             "HNSW",
             &[16, 32, 64, 128],
@@ -264,50 +415,95 @@ pub fn figure7(scale: &Scale) -> ExperimentReport {
         ));
 
         // IVF-Flat (FAISS stand-in) with an nprobe sweep.
-        let ivf = IvfIndex::build(data, IvfConfig { n_lists: bins, nprobe: 1, max_iters: 25, distance: DIST, seed: 5 });
+        let ivf = IvfIndex::build(
+            data,
+            IvfConfig {
+                n_lists: bins,
+                nprobe: 1,
+                max_iters: 25,
+                distance: DIST,
+                seed: 5,
+            },
+        );
         series.push(timed_sweep(
             "FAISS (IVF-Flat)",
             &[1, 2, 4, 8],
             Box::new(move |q, nprobe| ivf.search_with_nprobe(q, K, nprobe).ids),
         ));
 
-        report.add_panel(format!("{dataset_name}"), series);
+        report.add_panel(dataset_name.to_string(), series);
     }
     report
 }
 
 /// Table 2 — learnable parameter counts when partitioning SIFT into 256 bins.
 pub fn table2() -> ExperimentReport {
-    let mut report = ExperimentReport::new("table2_params", "Learnable parameters, 256 bins on SIFT (d = 128)");
+    let mut report = ExperimentReport::new(
+        "table2_params",
+        "Learnable parameters, 256 bins on SIFT (d = 128)",
+    );
     let d = 128usize;
     let bins = 256usize;
 
     // Neural LSH: one hidden layer of 512 units (plus batch-norm), as in the original.
-    let neural_lsh = usp_nn::MlpConfig { input_dim: d, hidden: vec![512], output_dim: bins, dropout: 0.1, batch_norm: true, seed: 1 }.build();
+    let neural_lsh = usp_nn::MlpConfig {
+        input_dim: d,
+        hidden: vec![512],
+        output_dim: bins,
+        dropout: 0.1,
+        batch_norm: true,
+        seed: 1,
+    }
+    .build();
     // Ours: one hidden layer of 128 units.
-    let ours = usp_nn::MlpConfig { input_dim: d, hidden: vec![128], output_dim: bins, dropout: 0.1, batch_norm: true, seed: 1 }.build();
+    let ours = usp_nn::MlpConfig {
+        input_dim: d,
+        hidden: vec![128],
+        output_dim: bins,
+        dropout: 0.1,
+        batch_norm: true,
+        seed: 1,
+    }
+    .build();
     // K-means: the centroid coordinates.
     let kmeans_params = bins * d;
 
-    report.add_row("Neural LSH", vec![
-        ("total parameters".into(), neural_lsh.num_params().to_string()),
-        ("hidden layer size".into(), "512".into()),
-    ]);
-    report.add_row("Ours", vec![
-        ("total parameters".into(), ours.num_params().to_string()),
-        ("hidden layer size".into(), "128".into()),
-    ]);
-    report.add_row("K-means", vec![
-        ("total parameters".into(), kmeans_params.to_string()),
-        ("hidden layer size".into(), "-".into()),
-    ]);
-    report.add_note("Paper reports ≈729k / 183k / 33k; exact counts depend on bias and batch-norm bookkeeping.");
+    report.add_row(
+        "Neural LSH",
+        vec![
+            (
+                "total parameters".into(),
+                neural_lsh.num_params().to_string(),
+            ),
+            ("hidden layer size".into(), "512".into()),
+        ],
+    );
+    report.add_row(
+        "Ours",
+        vec![
+            ("total parameters".into(), ours.num_params().to_string()),
+            ("hidden layer size".into(), "128".into()),
+        ],
+    );
+    report.add_row(
+        "K-means",
+        vec![
+            ("total parameters".into(), kmeans_params.to_string()),
+            ("hidden layer size".into(), "-".into()),
+        ],
+    );
+    report.add_note(
+        "Paper reports ≈729k / 183k / 33k; exact counts depend on bias and batch-norm bookkeeping.",
+    );
     report
 }
 
 /// Table 3 — offline training time and η per configuration.
 pub fn table3(scale: &Scale) -> ExperimentReport {
-    let mut report = ExperimentReport::new("table3_training_time", "Offline training time and η per configuration");
+    let mut report = ExperimentReport::new(
+        "table3_training_time",
+        "Offline training time and η per configuration",
+    );
     report.add_note(format!("scale={}; times are wall-clock for a 3-model ensemble (16 bins) or one hierarchical 16x16 model (256 bins), on CPU", scale.name));
 
     let configs: [(&str, usize, f32); 4] = [
@@ -317,14 +513,23 @@ pub fn table3(scale: &Scale) -> ExperimentReport {
         ("SIFT-like, 256 bins", 256, 10.0),
     ];
     for (name, bins, eta) in configs {
-        let split = if name.starts_with("MNIST") { scale.mnist_like(71) } else { scale.sift_like(72) };
+        let split = if name.starts_with("MNIST") {
+            scale.mnist_like(71)
+        } else {
+            scale.sift_like(72)
+        };
         let data = split.base.points();
         let start = std::time::Instant::now();
         if bins == 16 {
             let knn = KnnMatrix::build(data, 10, DIST);
             let _ = UspEnsemble::train(data, &knn, &usp_config(scale, 16, eta, 31), 3, DIST);
         } else {
-            let _ = HierarchicalPartitioner::train(data, &usp_config(scale, 16, eta, 32), &[16, 16], DIST);
+            let _ = HierarchicalPartitioner::train(
+                data,
+                &usp_config(scale, 16, eta, 32),
+                &[16, 16],
+                DIST,
+            );
         }
         let seconds = start.elapsed().as_secs_f64();
         let paper_minutes = match (name.starts_with("MNIST"), bins) {
@@ -333,19 +538,28 @@ pub fn table3(scale: &Scale) -> ExperimentReport {
             (false, 16) => 6,
             (false, _) => 40,
         };
-        report.add_row(name, vec![
-            ("bins".into(), bins.to_string()),
-            ("eta".into(), format!("{eta}")),
-            ("measured seconds".into(), format!("{seconds:.1}")),
-            ("paper minutes (1M/60k points, K80 GPU)".into(), paper_minutes.to_string()),
-        ]);
+        report.add_row(
+            name,
+            vec![
+                ("bins".into(), bins.to_string()),
+                ("eta".into(), format!("{eta}")),
+                ("measured seconds".into(), format!("{seconds:.1}")),
+                (
+                    "paper minutes (1M/60k points, K80 GPU)".into(),
+                    paper_minutes.to_string(),
+                ),
+            ],
+        );
     }
     report
 }
 
 /// Table 4 — relative decrease in candidate-set size at 85% 10-NN accuracy (SIFT, 16 bins).
 pub fn table4(scale: &Scale) -> ExperimentReport {
-    let mut report = ExperimentReport::new("table4_candidate_reduction", "Candidate-set size reduction at 85% 10-NN accuracy (SIFT-like, 16 bins)");
+    let mut report = ExperimentReport::new(
+        "table4_candidate_reduction",
+        "Candidate-set size reduction at 85% 10-NN accuracy (SIFT-like, 16 bins)",
+    );
     report.add_note(format!("scale={}", scale.name));
     let split = scale.sift_like(801);
     let truth = truth_for(&split);
@@ -355,9 +569,18 @@ pub fn table4(scale: &Scale) -> ExperimentReport {
     let probes = default_probe_ladder(bins);
 
     let ens = UspEnsemble::train(data, &knn, &usp_config(scale, bins, 7.0, 41), 3, DIST);
-    let ours = sweep_probes(&split.queries, &truth, K, &probes, |q, p| ens.search_with_probes(q, K, p));
+    let ours = sweep_probes(&split.queries, &truth, K, &probes, |q, p| {
+        ens.search_with_probes(q, K, p)
+    });
 
-    let nlsh = NeuralLsh::fit(data, &knn, &NeuralLshConfig { epochs: scale.epochs, ..NeuralLshConfig::small(bins) });
+    let nlsh = NeuralLsh::fit(
+        data,
+        &knn,
+        &NeuralLshConfig {
+            epochs: scale.epochs,
+            ..NeuralLshConfig::small(bins)
+        },
+    );
     let labels = nlsh.labels().to_vec();
     let nlsh_index = PartitionIndex::from_assignments(nlsh, data, labels, DIST);
     let nlsh_sweep = sweep_index(&nlsh_index, &split, &truth, &probes);
@@ -369,33 +592,65 @@ pub fn table4(scale: &Scale) -> ExperimentReport {
     let ours_c = candidates_at_recall(&ours, target);
     let nlsh_c = candidates_at_recall(&nlsh_sweep, target);
     let km_c = candidates_at_recall(&km_sweep, target);
-    let fmt = |c: Option<f64>| c.map(|v| format!("{v:.0}")).unwrap_or_else(|| "not reached".into());
+    let fmt = |c: Option<f64>| {
+        c.map(|v| format!("{v:.0}"))
+            .unwrap_or_else(|| "not reached".into())
+    };
     let reduction = |base: Option<f64>| match (ours_c, base) {
         (Some(o), Some(b)) if b > 0.0 => format!("{:.0}%", (1.0 - o / b) * 100.0),
         _ => "n/a".into(),
     };
-    report.add_row("Ours (ensemble of 3)", vec![("candidates @85%".into(), fmt(ours_c))]);
-    report.add_row("Neural LSH", vec![
-        ("candidates @85%".into(), fmt(nlsh_c)),
-        ("decrease vs ours".into(), reduction(nlsh_c)),
-    ]);
-    report.add_row("K-means", vec![
-        ("candidates @85%".into(), fmt(km_c)),
-        ("decrease vs ours".into(), reduction(km_c)),
-    ]);
+    report.add_row(
+        "Ours (ensemble of 3)",
+        vec![("candidates @85%".into(), fmt(ours_c))],
+    );
+    report.add_row(
+        "Neural LSH",
+        vec![
+            ("candidates @85%".into(), fmt(nlsh_c)),
+            ("decrease vs ours".into(), reduction(nlsh_c)),
+        ],
+    );
+    report.add_row(
+        "K-means",
+        vec![
+            ("candidates @85%".into(), fmt(km_c)),
+            ("decrease vs ours".into(), reduction(km_c)),
+        ],
+    );
     report.add_note("Paper reports 33% (vs Neural LSH) and 38% (vs K-means) reductions on SIFT.");
     report
 }
 
 /// Table 5 — clustering comparison on 2-D toy datasets (quantitative version: ARI/NMI/purity).
 pub fn table5() -> ExperimentReport {
-    let mut report = ExperimentReport::new("table5_clustering", "Clustering quality on 2-D toy datasets (ARI / NMI / purity)");
-    report.add_note("The paper shows this comparison visually; scores here are against the generative labels.");
+    let mut report = ExperimentReport::new(
+        "table5_clustering",
+        "Clustering quality on 2-D toy datasets (ARI / NMI / purity)",
+    );
+    report.add_note(
+        "The paper shows this comparison visually; scores here are against the generative labels.",
+    );
 
     let datasets: Vec<(&str, usp_data::Dataset, usize, DbscanConfig)> = vec![
-        ("moons", synthetic::moons(400, 0.05, 7), 2, DbscanConfig::new(0.2, 4)),
-        ("circles", synthetic::circles(400, 0.04, 0.45, 8), 2, DbscanConfig::new(0.2, 4)),
-        ("classification (4 clusters)", synthetic::blobs(400, 2, 4, 1.0, 9), 4, DbscanConfig::new(0.8, 4)),
+        (
+            "moons",
+            synthetic::moons(400, 0.05, 7),
+            2,
+            DbscanConfig::new(0.2, 4),
+        ),
+        (
+            "circles",
+            synthetic::circles(400, 0.04, 0.45, 8),
+            2,
+            DbscanConfig::new(0.2, 4),
+        ),
+        (
+            "classification (4 clusters)",
+            synthetic::blobs(400, 2, 4, 1.0, 9),
+            4,
+            DbscanConfig::new(0.8, 4),
+        ),
     ];
 
     for (name, ds, k, dbscan_cfg) in datasets {
@@ -412,29 +667,55 @@ pub fn table5() -> ExperimentReport {
             epochs: 60,
             batch_size: 128,
             learning_rate: 5e-3,
-            model: ModelKind::Mlp { hidden: vec![32], dropout: 0.0 },
+            model: ModelKind::Mlp {
+                hidden: vec![32],
+                dropout: 0.0,
+            },
             soft_targets: true,
             seed: 3,
         };
         let usp = train_partitioner(data, &knn, &cfg, None);
-        let usp_labels: Vec<isize> = usp.model().assign_batch(data).iter().map(|&l| l as isize).collect();
-        cells.push(("Ours ARI".into(), format!("{:.2}", adjusted_rand_index(&usp_labels, truth))));
-        cells.push(("Ours NMI".into(), format!("{:.2}", normalized_mutual_information(&usp_labels, truth))));
-        cells.push(("Ours purity".into(), format!("{:.2}", purity(&usp_labels, truth))));
+        let usp_labels: Vec<isize> = usp
+            .model()
+            .assign_batch(data)
+            .iter()
+            .map(|&l| l as isize)
+            .collect();
+        cells.push((
+            "Ours ARI".into(),
+            format!("{:.2}", adjusted_rand_index(&usp_labels, truth)),
+        ));
+        cells.push((
+            "Ours NMI".into(),
+            format!("{:.2}", normalized_mutual_information(&usp_labels, truth)),
+        ));
+        cells.push((
+            "Ours purity".into(),
+            format!("{:.2}", purity(&usp_labels, truth)),
+        ));
 
         // DBSCAN.
         let db = dbscan(data, &dbscan_cfg);
-        cells.push(("DBSCAN ARI".into(), format!("{:.2}", adjusted_rand_index(&db, truth))));
+        cells.push((
+            "DBSCAN ARI".into(),
+            format!("{:.2}", adjusted_rand_index(&db, truth)),
+        ));
 
         // K-means.
         let km = usp_quant::KMeans::fit(data, &KMeansConfig::new(k));
         let km_labels: Vec<isize> = km.assign_all(data).iter().map(|&l| l as isize).collect();
-        cells.push(("K-means ARI".into(), format!("{:.2}", adjusted_rand_index(&km_labels, truth))));
+        cells.push((
+            "K-means ARI".into(),
+            format!("{:.2}", adjusted_rand_index(&km_labels, truth)),
+        ));
 
         // Spectral clustering.
         let sp = spectral_clustering(data, &SpectralConfig::new(k));
         let sp_labels: Vec<isize> = sp.iter().map(|&l| l as isize).collect();
-        cells.push(("Spectral ARI".into(), format!("{:.2}", adjusted_rand_index(&sp_labels, truth))));
+        cells.push((
+            "Spectral ARI".into(),
+            format!("{:.2}", adjusted_rand_index(&sp_labels, truth)),
+        ));
 
         report.add_row(name, cells);
     }
@@ -443,7 +724,10 @@ pub fn table5() -> ExperimentReport {
 
 /// §5.1.4 parameter ablations: k′, η, ensemble size, batch fraction, target type, model class.
 pub fn ablations(scale: &Scale) -> ExperimentReport {
-    let mut report = ExperimentReport::new("ablation_params", "Parameter ablations (SIFT-like, 16 bins, recall@10 with 2 probed bins)");
+    let mut report = ExperimentReport::new(
+        "ablation_params",
+        "Parameter ablations (SIFT-like, 16 bins, recall@10 with 2 probed bins)",
+    );
     report.add_note(format!("scale={}", scale.name));
     let split = scale.sift_like(901);
     let truth = truth_for(&split);
@@ -454,7 +738,9 @@ pub fn ablations(scale: &Scale) -> ExperimentReport {
         let trained = train_partitioner(data, knn, cfg, None);
         let index = trained.build_index(data, DIST);
         let imbalance = index.balance().imbalance;
-        let pts = sweep_probes(&split.queries, &truth, K, &[2], |q, p| index.search(q, K, p));
+        let pts = sweep_probes(&split.queries, &truth, K, &[2], |q, p| {
+            index.search(q, K, p)
+        });
         (pts[0].recall, imbalance)
     };
 
@@ -463,66 +749,117 @@ pub fn ablations(scale: &Scale) -> ExperimentReport {
 
     // k' ablation.
     for kprime in [5usize, 10, 20] {
-        let knn = if kprime == 10 { knn10.clone() } else { KnnMatrix::build(data, kprime, DIST) };
-        let cfg = UspConfig { knn_k: kprime, ..base_cfg.clone() };
+        let knn = if kprime == 10 {
+            knn10.clone()
+        } else {
+            KnnMatrix::build(data, kprime, DIST)
+        };
+        let cfg = UspConfig {
+            knn_k: kprime,
+            ..base_cfg.clone()
+        };
         let (recall, imbalance) = evaluate(&cfg, &knn);
-        report.add_row(format!("k' = {kprime}"), vec![
-            ("recall@10 (2 probes)".into(), format!("{recall:.3}")),
-            ("imbalance".into(), format!("{imbalance:.2}")),
-        ]);
+        report.add_row(
+            format!("k' = {kprime}"),
+            vec![
+                ("recall@10 (2 probes)".into(), format!("{recall:.3}")),
+                ("imbalance".into(), format!("{imbalance:.2}")),
+            ],
+        );
     }
 
     // eta ablation.
     for eta in [0.0f32, 1.0, 7.0, 30.0] {
-        let cfg = UspConfig { eta, ..base_cfg.clone() };
+        let cfg = UspConfig {
+            eta,
+            ..base_cfg.clone()
+        };
         let (recall, imbalance) = evaluate(&cfg, &knn10);
-        report.add_row(format!("eta = {eta}"), vec![
-            ("recall@10 (2 probes)".into(), format!("{recall:.3}")),
-            ("imbalance".into(), format!("{imbalance:.2}")),
-        ]);
+        report.add_row(
+            format!("eta = {eta}"),
+            vec![
+                ("recall@10 (2 probes)".into(), format!("{recall:.3}")),
+                ("imbalance".into(), format!("{imbalance:.2}")),
+            ],
+        );
     }
 
     // Target type ablation (soft neighbour distribution vs hard majority bin).
     for (name, soft) in [("soft targets", true), ("hard targets", false)] {
-        let cfg = UspConfig { soft_targets: soft, ..base_cfg.clone() };
+        let cfg = UspConfig {
+            soft_targets: soft,
+            ..base_cfg.clone()
+        };
         let (recall, imbalance) = evaluate(&cfg, &knn10);
-        report.add_row(name, vec![
-            ("recall@10 (2 probes)".into(), format!("{recall:.3}")),
-            ("imbalance".into(), format!("{imbalance:.2}")),
-        ]);
+        report.add_row(
+            name,
+            vec![
+                ("recall@10 (2 probes)".into(), format!("{recall:.3}")),
+                ("imbalance".into(), format!("{imbalance:.2}")),
+            ],
+        );
     }
 
     // Batch-size (fraction of dataset) ablation — §4.2.2 claims ≈4% per batch suffices.
     for batch in [64usize, 256, 1024] {
-        let cfg = UspConfig { batch_size: batch, ..base_cfg.clone() };
+        let cfg = UspConfig {
+            batch_size: batch,
+            ..base_cfg.clone()
+        };
         let (recall, imbalance) = evaluate(&cfg, &knn10);
-        report.add_row(format!("batch = {batch} ({:.1}% of n)", 100.0 * batch as f64 / data.rows() as f64), vec![
-            ("recall@10 (2 probes)".into(), format!("{recall:.3}")),
-            ("imbalance".into(), format!("{imbalance:.2}")),
-        ]);
+        report.add_row(
+            format!(
+                "batch = {batch} ({:.1}% of n)",
+                100.0 * batch as f64 / data.rows() as f64
+            ),
+            vec![
+                ("recall@10 (2 probes)".into(), format!("{recall:.3}")),
+                ("imbalance".into(), format!("{imbalance:.2}")),
+            ],
+        );
     }
 
     // Model class ablation.
     for (name, model) in [
-        ("MLP (64 hidden)", ModelKind::Mlp { hidden: vec![64], dropout: 0.1 }),
+        (
+            "MLP (64 hidden)",
+            ModelKind::Mlp {
+                hidden: vec![64],
+                dropout: 0.1,
+            },
+        ),
         ("logistic regression", ModelKind::Logistic),
     ] {
-        let cfg = UspConfig { model, ..base_cfg.clone() };
+        let cfg = UspConfig {
+            model,
+            ..base_cfg.clone()
+        };
         let (recall, imbalance) = evaluate(&cfg, &knn10);
-        report.add_row(name, vec![
-            ("recall@10 (2 probes)".into(), format!("{recall:.3}")),
-            ("imbalance".into(), format!("{imbalance:.2}")),
-        ]);
+        report.add_row(
+            name,
+            vec![
+                ("recall@10 (2 probes)".into(), format!("{recall:.3}")),
+                ("imbalance".into(), format!("{imbalance:.2}")),
+            ],
+        );
     }
 
     // Ensemble size ablation.
     for e in [1usize, 2, 3] {
         let ens = UspEnsemble::train(data, &knn10, &base_cfg, e, DIST);
-        let pts = sweep_probes(&split.queries, &truth, K, &[2], |q, p| ens.search_with_probes(q, K, p));
-        report.add_row(format!("ensemble e = {e}"), vec![
-            ("recall@10 (2 probes)".into(), format!("{:.3}", pts[0].recall)),
-            ("parameters".into(), ens.num_parameters().to_string()),
-        ]);
+        let pts = sweep_probes(&split.queries, &truth, K, &[2], |q, p| {
+            ens.search_with_probes(q, K, p)
+        });
+        report.add_row(
+            format!("ensemble e = {e}"),
+            vec![
+                (
+                    "recall@10 (2 probes)".into(),
+                    format!("{:.3}", pts[0].recall),
+                ),
+                ("parameters".into(), ens.num_parameters().to_string()),
+            ],
+        );
     }
 
     report
@@ -562,7 +899,10 @@ mod tests {
         let nlsh = get("Neural LSH");
         let ours = get("Ours");
         let kmeans = get("K-means");
-        assert!(ours < nlsh, "ours {ours} should use fewer parameters than Neural LSH {nlsh}");
+        assert!(
+            ours < nlsh,
+            "ours {ours} should use fewer parameters than Neural LSH {nlsh}"
+        );
         assert!(kmeans < ours, "k-means {kmeans} should be smallest");
     }
 
@@ -583,7 +923,11 @@ mod tests {
                 assert!(!s.points.is_empty());
                 // Probing all bins must give (near-)perfect recall for partition methods.
                 let max_recall = s.points.iter().map(|p| p.recall).fold(0.0, f64::max);
-                assert!(max_recall > 0.95, "{panel}/{}: max recall {max_recall}", s.name);
+                assert!(
+                    max_recall > 0.95,
+                    "{panel}/{}: max recall {max_recall}",
+                    s.name
+                );
             }
         }
     }

@@ -22,7 +22,11 @@ pub struct SweepPoint {
 
 /// Mean k-NN accuracy of `results` against the exact ground truth.
 pub fn recall_at_k(results: &[Vec<usize>], truth: &[Vec<usize>]) -> f64 {
-    assert_eq!(results.len(), truth.len(), "recall_at_k: query count mismatch");
+    assert_eq!(
+        results.len(),
+        truth.len(),
+        "recall_at_k: query count mismatch"
+    );
     if results.is_empty() {
         return 0.0;
     }
@@ -42,7 +46,11 @@ pub fn sweep_probes(
     probe_counts: &[usize],
     mut search: impl FnMut(&[f32], usize) -> SearchResult,
 ) -> Vec<SweepPoint> {
-    assert_eq!(queries.rows(), truth.len(), "sweep_probes: query/truth mismatch");
+    assert_eq!(
+        queries.rows(),
+        truth.len(),
+        "sweep_probes: query/truth mismatch"
+    );
     let mut points = Vec::with_capacity(probe_counts.len());
     for &probes in probe_counts {
         let mut candidates = 0usize;
@@ -53,7 +61,11 @@ pub fn sweep_probes(
             recall += usp_data::ground_truth::knn_accuracy(&res.ids, &truth[qi]);
         }
         let n = queries.rows().max(1) as f64;
-        points.push(SweepPoint { probes, mean_candidates: candidates as f64 / n, recall: recall / n });
+        points.push(SweepPoint {
+            probes,
+            mean_candidates: candidates as f64 / n,
+            recall: recall / n,
+        });
         let _ = k;
     }
     points
@@ -121,7 +133,11 @@ mod tests {
         let truth = vec![vec![0], vec![1], vec![2]];
         let points = sweep_probes(&queries, &truth, 1, &[1, 2, 4], |q, probes| {
             // A fake index: more probes scan more and, with >= 2 probes, find the truth.
-            let found = if probes >= 2 { vec![q[0] as usize] } else { vec![99] };
+            let found = if probes >= 2 {
+                vec![q[0] as usize]
+            } else {
+                vec![99]
+            };
             SearchResult::new(found, probes * 10)
         });
         assert_eq!(points.len(), 3);
@@ -133,8 +149,16 @@ mod tests {
     #[test]
     fn interpolation_finds_target_between_points() {
         let points = vec![
-            SweepPoint { probes: 1, mean_candidates: 100.0, recall: 0.5 },
-            SweepPoint { probes: 2, mean_candidates: 200.0, recall: 0.9 },
+            SweepPoint {
+                probes: 1,
+                mean_candidates: 100.0,
+                recall: 0.5,
+            },
+            SweepPoint {
+                probes: 2,
+                mean_candidates: 200.0,
+                recall: 0.9,
+            },
         ];
         let c = candidates_at_recall(&points, 0.7).unwrap();
         assert!((c - 150.0).abs() < 1e-6);

@@ -47,7 +47,11 @@ pub struct ExperimentReport {
 impl ExperimentReport {
     /// Creates an empty report.
     pub fn new(id: impl Into<String>, title: impl Into<String>) -> Self {
-        Self { id: id.into(), title: title.into(), ..Default::default() }
+        Self {
+            id: id.into(),
+            title: title.into(),
+            ..Default::default()
+        }
     }
 
     /// Adds a figure panel.
@@ -57,7 +61,10 @@ impl ExperimentReport {
 
     /// Adds a table row.
     pub fn add_row(&mut self, name: impl Into<String>, cells: Vec<(String, String)>) {
-        self.rows.push(Row { name: name.into(), cells });
+        self.rows.push(Row {
+            name: name.into(),
+            cells,
+        });
     }
 
     /// Adds a note.
@@ -88,7 +95,8 @@ impl ExperimentReport {
         if !self.rows.is_empty() {
             out.push('\n');
             for row in &self.rows {
-                let cells: Vec<String> = row.cells.iter().map(|(k, v)| format!("{k}={v}")).collect();
+                let cells: Vec<String> =
+                    row.cells.iter().map(|(k, v)| format!("{k}={v}")).collect();
                 out.push_str(&format!("  {:<28} {}\n", row.name, cells.join("  ")));
             }
         }
@@ -108,7 +116,8 @@ impl ExperimentReport {
     /// Loads a previously saved report.
     pub fn load_json(path: impl AsRef<Path>) -> std::io::Result<Self> {
         let text = std::fs::read_to_string(path)?;
-        serde_json::from_str(&text).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+        serde_json::from_str(&text)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
     }
 }
 
@@ -130,7 +139,11 @@ mod tests {
             "SIFT, 16 bins",
             vec![Series {
                 name: "Ours".into(),
-                points: vec![SweepPoint { probes: 1, mean_candidates: 100.0, recall: 0.8 }],
+                points: vec![SweepPoint {
+                    probes: 1,
+                    mean_candidates: 100.0,
+                    recall: 0.8,
+                }],
             }],
         );
         r.add_row("Ours", vec![("params".into(), "183k".into())]);

@@ -77,7 +77,11 @@ impl Scale {
 
     /// Reads `USP_SCALE` (small/medium/large), defaulting to small.
     pub fn from_env() -> Self {
-        match std::env::var("USP_SCALE").unwrap_or_default().to_lowercase().as_str() {
+        match std::env::var("USP_SCALE")
+            .unwrap_or_default()
+            .to_lowercase()
+            .as_str()
+        {
             "medium" => Self::medium(),
             "large" => Self::large(),
             _ => Self::small(),
@@ -86,12 +90,14 @@ impl Scale {
 
     /// The SIFT-like workload at this scale, split into base points and queries.
     pub fn sift_like(&self, seed: u64) -> SplitDataset {
-        synthetic::sift_like(self.sift_n + self.queries, self.sift_dim, seed).split_queries(self.queries)
+        synthetic::sift_like(self.sift_n + self.queries, self.sift_dim, seed)
+            .split_queries(self.queries)
     }
 
     /// The MNIST-like workload at this scale, split into base points and queries.
     pub fn mnist_like(&self, seed: u64) -> SplitDataset {
-        synthetic::mnist_like(self.mnist_n + self.queries, self.mnist_dim, seed).split_queries(self.queries)
+        synthetic::mnist_like(self.mnist_n + self.queries, self.mnist_dim, seed)
+            .split_queries(self.queries)
     }
 }
 

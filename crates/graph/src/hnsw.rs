@@ -10,7 +10,7 @@ use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
 use rand::rngs::StdRng;
-use rand::RngExt;
+use rand::Rng;
 use serde::{Deserialize, Serialize};
 use usp_linalg::{rng as lrng, Distance, Matrix};
 
@@ -29,7 +29,12 @@ pub struct HnswConfig {
 
 impl Default for HnswConfig {
     fn default() -> Self {
-        Self { m: 16, ef_construction: 100, distance: Distance::SquaredEuclidean, seed: 7 }
+        Self {
+            m: 16,
+            ef_construction: 100,
+            distance: Distance::SquaredEuclidean,
+            seed: 7,
+        }
     }
 }
 
@@ -140,8 +145,18 @@ impl Hnsw {
         let top = level.min(self.max_level);
         for l in (0..=top).rev() {
             let mut visited_count = 0usize;
-            let found = self.search_layer(&query, &ep, self.config.ef_construction, l, &mut visited_count);
-            let max_links = if l == 0 { self.config.m * 2 } else { self.config.m };
+            let found = self.search_layer(
+                &query,
+                &ep,
+                self.config.ef_construction,
+                l,
+                &mut visited_count,
+            );
+            let max_links = if l == 0 {
+                self.config.m * 2
+            } else {
+                self.config.m
+            };
             let selected: Vec<u32> = found.iter().take(self.config.m).map(|h| h.id).collect();
             self.neighbors[id][l] = selected.clone();
             for &nbr in &selected {
@@ -152,7 +167,14 @@ impl Hnsw {
                     let nbr_point = self.data.row_to_vec(nbr as usize);
                     let mut with_d: Vec<(f32, u32)> = self.neighbors[nbr as usize][l]
                         .iter()
-                        .map(|&x| (self.config.distance.eval(&nbr_point, self.data.row(x as usize)), x))
+                        .map(|&x| {
+                            (
+                                self.config
+                                    .distance
+                                    .eval(&nbr_point, self.data.row(x as usize)),
+                                x,
+                            )
+                        })
                         .collect();
                     with_d.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(Ordering::Equal));
                     with_d.truncate(max_links);
@@ -280,7 +302,14 @@ mod tests {
     #[test]
     fn high_recall_on_clustered_data() {
         let data = clustered_data(600, 8, 3);
-        let hnsw = Hnsw::build(&data, HnswConfig { m: 12, ef_construction: 80, ..Default::default() });
+        let hnsw = Hnsw::build(
+            &data,
+            HnswConfig {
+                m: 12,
+                ef_construction: 80,
+                ..Default::default()
+            },
+        );
         let queries = clustered_data(20, 8, 99);
         let truth = exact_knn(&data, &queries, 10, Distance::SquaredEuclidean);
         let mut recall_sum = 0.0;
@@ -309,12 +338,20 @@ mod tests {
     #[test]
     fn degree_bound_respected() {
         let data = clustered_data(300, 4, 11);
-        let cfg = HnswConfig { m: 8, ef_construction: 60, ..Default::default() };
+        let cfg = HnswConfig {
+            m: 8,
+            ef_construction: 60,
+            ..Default::default()
+        };
         let hnsw = Hnsw::build(&data, cfg);
         for node in 0..hnsw.len() {
             for (level, nbrs) in hnsw.neighbors[node].iter().enumerate() {
                 let bound = if level == 0 { 16 } else { 8 };
-                assert!(nbrs.len() <= bound, "node {node} level {level} degree {}", nbrs.len());
+                assert!(
+                    nbrs.len() <= bound,
+                    "node {node} level {level} degree {}",
+                    nbrs.len()
+                );
             }
         }
     }

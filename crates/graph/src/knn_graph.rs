@@ -115,7 +115,11 @@ mod tests {
         let g = KnnGraph::from_knn_matrix(&chain_knn(), false);
         // Only 2<->3 is mutual.
         assert!(g.neighbors(2).contains(&3));
-        assert!(g.neighbors(0).is_empty() || !g.neighbors(0).contains(&1) || g.neighbors(1).contains(&0));
+        assert!(
+            g.neighbors(0).is_empty()
+                || !g.neighbors(0).contains(&1)
+                || g.neighbors(1).contains(&0)
+        );
         assert!(g.edge_count() <= KnnGraph::from_knn_matrix(&chain_knn(), true).edge_count());
     }
 

@@ -36,7 +36,12 @@ pub struct GraphPartitionConfig {
 impl GraphPartitionConfig {
     /// A sensible default mirroring Neural LSH's "perfectly balanced ± small slack" setup.
     pub fn new(bins: usize) -> Self {
-        Self { bins, balance_slack: 0.05, refinement_passes: 8, seed: 42 }
+        Self {
+            bins,
+            balance_slack: 0.05,
+            refinement_passes: 8,
+            seed: 42,
+        }
     }
 }
 
@@ -190,42 +195,77 @@ mod tests {
         assert!(g.edge_cut(&labels) <= 2, "edge cut {}", g.edge_cut(&labels));
         let majority_first: usize = {
             let ones = labels[..half].iter().filter(|&&l| l == 1).count();
-            if ones * 2 > half { 1 } else { 0 }
+            if ones * 2 > half {
+                1
+            } else {
+                0
+            }
         };
-        let pure_a = labels[..half].iter().filter(|&&l| l == majority_first).count();
-        let pure_b = labels[half..].iter().filter(|&&l| l != majority_first).count();
-        assert!(pure_a >= half * 95 / 100, "cluster A purity {pure_a}/{half}");
-        assert!(pure_b >= half * 95 / 100, "cluster B purity {pure_b}/{half}");
+        let pure_a = labels[..half]
+            .iter()
+            .filter(|&&l| l == majority_first)
+            .count();
+        let pure_b = labels[half..]
+            .iter()
+            .filter(|&&l| l != majority_first)
+            .count();
+        assert!(
+            pure_a >= half * 95 / 100,
+            "cluster A purity {pure_a}/{half}"
+        );
+        assert!(
+            pure_b >= half * 95 / 100,
+            "cluster B purity {pure_b}/{half}"
+        );
     }
 
     #[test]
     fn partition_respects_balance_constraint() {
         let g = two_cluster_graph(50);
-        let cfg = GraphPartitionConfig { bins: 4, balance_slack: 0.10, refinement_passes: 6, seed: 1 };
+        let cfg = GraphPartitionConfig {
+            bins: 4,
+            balance_slack: 0.10,
+            refinement_passes: 6,
+            seed: 1,
+        };
         let labels = partition_graph(&g, &cfg);
         let mut sizes = vec![0usize; 4];
         for &l in &labels {
             sizes[l] += 1;
         }
         let cap = ((100.0 / 4.0) * 1.10f64).ceil() as usize;
-        assert!(sizes.iter().all(|&s| s <= cap), "sizes {sizes:?} exceed cap {cap}");
+        assert!(
+            sizes.iter().all(|&s| s <= cap),
+            "sizes {sizes:?} exceed cap {cap}"
+        );
         assert_eq!(sizes.iter().sum::<usize>(), 100);
     }
 
     #[test]
     fn refinement_does_not_worsen_cut() {
         let g = two_cluster_graph(30);
-        let no_refine = GraphPartitionConfig { refinement_passes: 0, ..GraphPartitionConfig::new(4) };
-        let with_refine = GraphPartitionConfig { refinement_passes: 8, ..GraphPartitionConfig::new(4) };
+        let no_refine = GraphPartitionConfig {
+            refinement_passes: 0,
+            ..GraphPartitionConfig::new(4)
+        };
+        let with_refine = GraphPartitionConfig {
+            refinement_passes: 8,
+            ..GraphPartitionConfig::new(4)
+        };
         let cut0 = g.edge_cut(&partition_graph(&g, &no_refine));
         let cut1 = g.edge_cut(&partition_graph(&g, &with_refine));
-        assert!(cut1 <= cut0, "refinement made the cut worse: {cut0} -> {cut1}");
+        assert!(
+            cut1 <= cut0,
+            "refinement made the cut worse: {cut0} -> {cut1}"
+        );
     }
 
     #[test]
     fn single_bin_and_empty_graph_edge_cases() {
         let g = two_cluster_graph(5);
-        assert!(partition_graph(&g, &GraphPartitionConfig::new(1)).iter().all(|&l| l == 0));
+        assert!(partition_graph(&g, &GraphPartitionConfig::new(1))
+            .iter()
+            .all(|&l| l == 0));
         let empty = KnnGraph::from_adjacency(vec![]);
         assert!(partition_graph(&empty, &GraphPartitionConfig::new(4)).is_empty());
     }

@@ -36,7 +36,11 @@ impl BalanceStats {
         let total: usize = sizes.iter().sum();
         let min = sizes.iter().copied().min().unwrap_or(0);
         let max = sizes.iter().copied().max().unwrap_or(0);
-        let mean = if bins > 0 { total as f64 / bins as f64 } else { 0.0 };
+        let mean = if bins > 0 {
+            total as f64 / bins as f64
+        } else {
+            0.0
+        };
         let var = if bins > 0 {
             sizes
                 .iter()
@@ -48,7 +52,16 @@ impl BalanceStats {
         };
         let imbalance = if mean > 0.0 { max as f64 / mean } else { 0.0 };
         let empty_bins = sizes.iter().filter(|&&s| s == 0).count();
-        Self { bins, total, min, max, mean, std_dev: var.sqrt(), imbalance, empty_bins }
+        Self {
+            bins,
+            total,
+            min,
+            max,
+            mean,
+            std_dev: var.sqrt(),
+            imbalance,
+            empty_bins,
+        }
     }
 
     /// Computes statistics directly from per-point bin assignments.
@@ -70,7 +83,10 @@ pub fn expected_candidate_size(sizes: &[usize]) -> f64 {
     if n == 0 {
         return 0.0;
     }
-    sizes.iter().map(|&s| (s as f64 / n as f64) * s as f64).sum()
+    sizes
+        .iter()
+        .map(|&s| (s as f64 / n as f64) * s as f64)
+        .sum()
 }
 
 #[cfg(test)]

@@ -33,10 +33,19 @@ impl<P: Partitioner> PartitionIndex<P> {
             .collect();
         let mut buckets = vec![Vec::new(); m];
         for (i, &b) in assignments.iter().enumerate() {
-            assert!(b < m, "partitioner assigned bin {b} but reports only {m} bins");
+            assert!(
+                b < m,
+                "partitioner assigned bin {b} but reports only {m} bins"
+            );
             buckets[b].push(i as u32);
         }
-        Self { partitioner, data: data.clone(), buckets, assignments, distance }
+        Self {
+            partitioner,
+            data: data.clone(),
+            buckets,
+            assignments,
+            distance,
+        }
     }
 
     /// Builds the index from precomputed assignments (used when the offline phase already
@@ -54,7 +63,13 @@ impl<P: Partitioner> PartitionIndex<P> {
             assert!(b < m, "assignment {b} out of range for {m} bins");
             buckets[b].push(i as u32);
         }
-        Self { partitioner, data: data.clone(), buckets, assignments, distance }
+        Self {
+            partitioner,
+            data: data.clone(),
+            buckets,
+            assignments,
+            distance,
+        }
     }
 
     /// The underlying partitioner.
@@ -114,7 +129,10 @@ impl<P: Partitioner> PartitionIndex<P> {
 
     /// Wraps the index with a fixed probe count so it can be used as an [`AnnSearcher`].
     pub fn with_probes(&self, probes: usize) -> ProbedIndex<'_, P> {
-        ProbedIndex { index: self, probes }
+        ProbedIndex {
+            index: self,
+            probes,
+        }
     }
 }
 
@@ -176,7 +194,11 @@ mod tests {
     #[test]
     fn build_produces_expected_buckets() {
         let data = line_data(4, 5);
-        let idx = PartitionIndex::build(GridPartitioner { bins: 4 }, &data, Distance::SquaredEuclidean);
+        let idx = PartitionIndex::build(
+            GridPartitioner { bins: 4 },
+            &data,
+            Distance::SquaredEuclidean,
+        );
         assert_eq!(idx.num_bins(), 4);
         assert_eq!(idx.bucket_sizes(), vec![5, 5, 5, 5]);
         assert!((idx.balance().imbalance - 1.0).abs() < 1e-9);
@@ -190,7 +212,11 @@ mod tests {
     #[test]
     fn more_probes_give_supersets_of_candidates() {
         let data = line_data(4, 5);
-        let idx = PartitionIndex::build(GridPartitioner { bins: 4 }, &data, Distance::SquaredEuclidean);
+        let idx = PartitionIndex::build(
+            GridPartitioner { bins: 4 },
+            &data,
+            Distance::SquaredEuclidean,
+        );
         let q = [1.6f32];
         let c1: std::collections::HashSet<u32> = idx.candidates(&q, 1).into_iter().collect();
         let c2: std::collections::HashSet<u32> = idx.candidates(&q, 2).into_iter().collect();
@@ -203,7 +229,11 @@ mod tests {
     #[test]
     fn search_returns_true_neighbours_with_enough_probes() {
         let data = line_data(4, 5);
-        let idx = PartitionIndex::build(GridPartitioner { bins: 4 }, &data, Distance::SquaredEuclidean);
+        let idx = PartitionIndex::build(
+            GridPartitioner { bins: 4 },
+            &data,
+            Distance::SquaredEuclidean,
+        );
         // Query near the boundary between bins 1 and 2.
         let res = idx.search(&[1.95], 3, 2);
         assert_eq!(res.candidates_scanned, 10);
@@ -231,7 +261,11 @@ mod tests {
     #[test]
     fn probed_index_implements_searcher() {
         let data = line_data(3, 4);
-        let idx = PartitionIndex::build(GridPartitioner { bins: 3 }, &data, Distance::SquaredEuclidean);
+        let idx = PartitionIndex::build(
+            GridPartitioner { bins: 3 },
+            &data,
+            Distance::SquaredEuclidean,
+        );
         let searcher = idx.with_probes(1);
         let r = searcher.search(&[0.5], 2);
         assert_eq!(r.ids.len(), 2);

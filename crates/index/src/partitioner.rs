@@ -87,7 +87,13 @@ impl Partitioner for RoundRobinPartitioner {
         }
         let chosen = (h % self.bins as u64) as usize;
         (0..self.bins)
-            .map(|b| if b == chosen { 1.0 } else { 1.0 / (2.0 + ((b + self.bins - chosen) % self.bins) as f32) })
+            .map(|b| {
+                if b == chosen {
+                    1.0
+                } else {
+                    1.0 / (2.0 + ((b + self.bins - chosen) % self.bins) as f32)
+                }
+            })
             .collect()
     }
 

@@ -58,7 +58,13 @@ mod tests {
     #[test]
     fn rerank_with_distances_is_sorted() {
         let data = line(8);
-        let got = rerank_with_distances(&data, &[4.2], &[0, 1, 2, 3, 4, 5, 6, 7], 4, Distance::Euclidean);
+        let got = rerank_with_distances(
+            &data,
+            &[4.2],
+            &[0, 1, 2, 3, 4, 5, 6, 7],
+            4,
+            Distance::Euclidean,
+        );
         assert_eq!(got[0].0, 4);
         assert!(got.windows(2).all(|w| w[0].1 <= w[1].1));
     }

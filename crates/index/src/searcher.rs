@@ -20,12 +20,18 @@ pub struct SearchResult {
 impl SearchResult {
     /// Creates a result.
     pub fn new(ids: Vec<usize>, candidates_scanned: usize) -> Self {
-        Self { ids, candidates_scanned }
+        Self {
+            ids,
+            candidates_scanned,
+        }
     }
 
     /// An empty result.
     pub fn empty() -> Self {
-        Self { ids: Vec::new(), candidates_scanned: 0 }
+        Self {
+            ids: Vec::new(),
+            candidates_scanned: 0,
+        }
     }
 }
 

@@ -127,7 +127,10 @@ mod tests {
     fn enum_dispatch_matches_free_functions() {
         let a = [1., 2., 3.];
         let b = [4., 5., 6.];
-        assert_eq!(Distance::SquaredEuclidean.eval(&a, &b), squared_euclidean(&a, &b));
+        assert_eq!(
+            Distance::SquaredEuclidean.eval(&a, &b),
+            squared_euclidean(&a, &b)
+        );
         assert_eq!(Distance::Euclidean.eval(&a, &b), euclidean(&a, &b));
         assert_eq!(Distance::InnerProduct.eval(&a, &b), negative_dot(&a, &b));
         assert_eq!(Distance::Cosine.eval(&a, &b), cosine(&a, &b));

@@ -99,7 +99,11 @@ impl Pca {
             found.push(v);
         }
 
-        Pca { mean, components, eigenvalues }
+        Pca {
+            mean,
+            components,
+            eigenvalues,
+        }
     }
 
     /// Projects a single vector onto the fitted components (subtracting the mean first).
@@ -126,7 +130,7 @@ impl Pca {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::RngExt;
+    use rand::Rng;
 
     /// Generates points stretched strongly along a known direction.
     fn anisotropic_data(direction: &[f32], n: usize, seed: u64) -> Matrix {
@@ -143,7 +147,7 @@ mod tests {
             for r in row.iter_mut() {
                 *r += 3.0;
             }
-            let _ : f32 = rng.random();
+            let _: f32 = rng.random();
             rows.push(row);
         }
         Matrix::from_rows(&rows)
@@ -174,7 +178,10 @@ mod tests {
             assert!((dot(ci, ci) - 1.0).abs() < 1e-3, "component {i} not unit");
             for j in 0..i {
                 let cj = pca.components.row(j);
-                assert!(dot(ci, cj).abs() < 1e-2, "components {i},{j} not orthogonal");
+                assert!(
+                    dot(ci, cj).abs() < 1e-2,
+                    "components {i},{j} not orthogonal"
+                );
             }
         }
     }

@@ -5,7 +5,7 @@
 //! workspace only depends on `rand` itself (no `rand_distr`).
 
 use rand::rngs::StdRng;
-use rand::{Rng, RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
 
 use crate::matrix::Matrix;
 
@@ -35,8 +35,15 @@ pub fn normal_vector<R: Rng + ?Sized>(rng: &mut R, n: usize) -> Vec<f32> {
 }
 
 /// A `rows x cols` matrix of i.i.d. `N(0, std_dev^2)` entries.
-pub fn normal_matrix<R: Rng + ?Sized>(rng: &mut R, rows: usize, cols: usize, std_dev: f32) -> Matrix {
-    let data = (0..rows * cols).map(|_| std_dev * standard_normal(rng)).collect();
+pub fn normal_matrix<R: Rng + ?Sized>(
+    rng: &mut R,
+    rows: usize,
+    cols: usize,
+    std_dev: f32,
+) -> Matrix {
+    let data = (0..rows * cols)
+        .map(|_| std_dev * standard_normal(rng))
+        .collect();
     Matrix::from_vec(rows, cols, data)
 }
 

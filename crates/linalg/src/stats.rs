@@ -60,7 +60,11 @@ pub fn log_sum_exp(row: &[f32]) -> f32 {
 /// probabilities `dprobs`, returns the gradient with respect to the logits:
 /// `dz_i = p_i * (dp_i - sum_j dp_j * p_j)` per row.
 pub fn softmax_backward(probs: &Matrix, dprobs: &Matrix) -> Matrix {
-    assert_eq!(probs.shape(), dprobs.shape(), "softmax_backward: shape mismatch");
+    assert_eq!(
+        probs.shape(),
+        dprobs.shape(),
+        "softmax_backward: shape mismatch"
+    );
     let mut out = Matrix::zeros(probs.rows(), probs.cols());
     let cols = probs.cols();
     for i in 0..probs.rows() {

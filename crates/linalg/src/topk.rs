@@ -70,8 +70,7 @@ pub fn smallest_k(values: &[f32], k: usize) -> Vec<usize> {
 
 /// Indices of the `k` largest values, ordered descending by value.
 pub fn largest_k(values: &[f32], k: usize) -> Vec<usize> {
-    let pairs = smallest_k_by(values.len(), k, |i| -values[i]);
-    pairs
+    smallest_k_by(values.len(), k, |i| -values[i])
 }
 
 /// Indices `0..n` with the `k` smallest keys (ascending by key).
@@ -86,7 +85,10 @@ pub fn smallest_k_by(n: usize, k: usize, key: impl Fn(usize) -> f32) -> Vec<usiz
     for i in 0..n {
         // NaN keys are treated as +infinity so they never displace finite candidates.
         let raw = key(i);
-        let s = Scored { index: i, score: if raw.is_nan() { f32::INFINITY } else { raw } };
+        let s = Scored {
+            index: i,
+            score: if raw.is_nan() { f32::INFINITY } else { raw },
+        };
         if heap.len() < k {
             heap.push(s);
         } else if let Some(top) = heap.peek() {
@@ -103,7 +105,10 @@ pub fn smallest_k_by(n: usize, k: usize, key: impl Fn(usize) -> f32) -> Vec<usiz
 
 /// `(index, value)` pairs of the `k` smallest values, ascending.
 pub fn smallest_k_with_values(values: &[f32], k: usize) -> Vec<(usize, f32)> {
-    smallest_k(values, k).into_iter().map(|i| (i, values[i])).collect()
+    smallest_k(values, k)
+        .into_iter()
+        .map(|i| (i, values[i]))
+        .collect()
 }
 
 /// Returns all indices sorted ascending by value (deterministic on ties).

@@ -13,10 +13,7 @@ use usp_linalg::{rng as lrng, Matrix};
 pub fn glorot_uniform<R: Rng + ?Sized>(rng: &mut R, fan_out: usize, fan_in: usize) -> Matrix {
     let limit = (6.0f32 / (fan_in + fan_out) as f32).sqrt();
     let data = (0..fan_out * fan_in)
-        .map(|_| {
-            use rand::RngExt;
-            (rng.random::<f32>() * 2.0 - 1.0) * limit
-        })
+        .map(|_| (rng.random::<f32>() * 2.0 - 1.0) * limit)
         .collect();
     Matrix::from_vec(fan_out, fan_in, data)
 }
@@ -48,7 +45,10 @@ mod tests {
         let w = glorot_normal(&mut rng, 100, 100);
         let expected = (2.0f32 / 200.0).sqrt();
         let got = stats::std_dev(w.as_slice());
-        assert!((got - expected).abs() < expected * 0.1, "std {got} vs {expected}");
+        assert!(
+            (got - expected).abs() < expected * 0.1,
+            "std {got} vs {expected}"
+        );
     }
 
     #[test]

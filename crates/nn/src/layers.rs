@@ -5,7 +5,7 @@
 //! through [`Layer::visit_params`]. Layers are composed by [`crate::mlp::Sequential`].
 
 use rand::rngs::StdRng;
-use rand::RngExt;
+use rand::Rng;
 use usp_linalg::{rng as lrng, Matrix};
 
 use crate::init;
@@ -236,8 +236,16 @@ pub struct Dropout {
 impl Dropout {
     /// Creates a dropout layer with drop probability `p`, seeded for reproducibility.
     pub fn new(p: f32, seed: u64) -> Self {
-        assert!((0.0..1.0).contains(&p), "dropout probability must be in [0, 1)");
-        Self { p, seed, calls: 0, mask: None }
+        assert!(
+            (0.0..1.0).contains(&p),
+            "dropout probability must be in [0, 1)"
+        );
+        Self {
+            p,
+            seed,
+            calls: 0,
+            mask: None,
+        }
     }
 
     fn forward(&mut self, x: &Matrix, train: bool) -> Matrix {
@@ -246,10 +254,17 @@ impl Dropout {
             return x.clone();
         }
         self.calls = self.calls.wrapping_add(1);
-        let mut rng: StdRng = lrng::seeded(self.seed ^ self.calls.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut rng: StdRng =
+            lrng::seeded(self.seed ^ self.calls.wrapping_mul(0x9E37_79B9_7F4A_7C15));
         let keep = 1.0 - self.p;
         let mask: Vec<f32> = (0..x.as_slice().len())
-            .map(|_| if rng.random::<f32>() < keep { 1.0 / keep } else { 0.0 })
+            .map(|_| {
+                if rng.random::<f32>() < keep {
+                    1.0 / keep
+                } else {
+                    0.0
+                }
+            })
             .collect();
         let mut out = x.clone();
         for (o, &m) in out.as_mut_slice().iter_mut().zip(mask.iter()) {
@@ -444,7 +459,7 @@ mod tests {
         // Each output column must have ~zero mean and ~unit variance.
         let means = y.col_means();
         assert!(means.iter().all(|m| m.abs() < 1e-4));
-        let mut var = vec![0.0f32; 2];
+        let mut var = [0.0f32; 2];
         for row in y.row_iter() {
             for (j, &v) in row.iter().enumerate() {
                 var[j] += v * v;
@@ -488,7 +503,10 @@ mod tests {
         let kept = y.as_slice().iter().filter(|&&v| v > 0.0).count();
         // Roughly half the units survive, each scaled by 2.
         assert!((kept as f32 / 512.0 - 0.5).abs() < 0.1);
-        assert!(y.as_slice().iter().all(|&v| v == 0.0 || (v - 2.0).abs() < 1e-6));
+        assert!(y
+            .as_slice()
+            .iter()
+            .all(|&v| v == 0.0 || (v - 2.0).abs() < 1e-6));
         // Backward respects the same mask.
         let dx = d.backward(&Matrix::full(64, 8, 1.0));
         for (o, g) in y.as_slice().iter().zip(dx.as_slice()) {

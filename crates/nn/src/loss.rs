@@ -21,7 +21,11 @@ pub fn weighted_soft_cross_entropy(
     targets: &Matrix,
     weights: Option<&[f32]>,
 ) -> (f32, Matrix) {
-    assert_eq!(logits.shape(), targets.shape(), "loss: logits/targets shape mismatch");
+    assert_eq!(
+        logits.shape(),
+        targets.shape(),
+        "loss: logits/targets shape mismatch"
+    );
     let (n, _c) = logits.shape();
     if let Some(w) = weights {
         assert_eq!(w.len(), n, "loss: weight length mismatch");
@@ -41,7 +45,11 @@ pub fn weighted_soft_cross_entropy(
             g[j] = w * (p[j] - t[j]);
         }
     }
-    let norm = if total_weight > 0.0 { total_weight } else { 1.0 };
+    let norm = if total_weight > 0.0 {
+        total_weight
+    } else {
+        1.0
+    };
     grad.scale(1.0 / norm as f32);
     ((total / norm) as f32, grad)
 }
@@ -52,7 +60,11 @@ pub fn cross_entropy_with_labels(logits: &Matrix, labels: &[usize]) -> (f32, Mat
     assert_eq!(logits.rows(), labels.len(), "loss: label count mismatch");
     let mut targets = Matrix::zeros(logits.rows(), logits.cols());
     for (i, &l) in labels.iter().enumerate() {
-        assert!(l < logits.cols(), "label {l} out of range for {} classes", logits.cols());
+        assert!(
+            l < logits.cols(),
+            "label {l} out of range for {} classes",
+            logits.cols()
+        );
         targets[(i, l)] = 1.0;
     }
     weighted_soft_cross_entropy(logits, &targets, None)
@@ -88,11 +100,7 @@ mod tests {
     use super::*;
     use usp_linalg::rng as lrng;
 
-    fn finite_difference_check(
-        logits: Matrix,
-        targets: Matrix,
-        weights: Option<Vec<f32>>,
-    ) {
+    fn finite_difference_check(logits: Matrix, targets: Matrix, weights: Option<Vec<f32>>) {
         let w = weights.as_deref();
         let (_, grad) = weighted_soft_cross_entropy(&logits, &targets, w);
         let eps = 1e-3f32;
@@ -156,7 +164,8 @@ mod tests {
         let logits = Matrix::from_vec(2, 2, vec![5.0, -5.0, -5.0, 5.0]);
         let targets = Matrix::from_vec(2, 2, vec![0.0, 1.0, 1.0, 0.0]); // both wrong
         let (loss_full, _) = weighted_soft_cross_entropy(&logits, &targets, Some(&[1.0, 1.0]));
-        let (loss_half, grad_half) = weighted_soft_cross_entropy(&logits, &targets, Some(&[1.0, 0.0]));
+        let (loss_half, grad_half) =
+            weighted_soft_cross_entropy(&logits, &targets, Some(&[1.0, 0.0]));
         assert!((loss_full - loss_half).abs() < 1e-5); // both examples have identical loss values
         assert!(grad_half.row(1).iter().all(|&g| g == 0.0));
     }

@@ -136,7 +136,14 @@ impl MlpConfig {
     /// The architecture used throughout §5.4.1: one hidden layer of 128 units with batch
     /// norm, ReLU and dropout 0.1.
     pub fn paper_default(input_dim: usize, output_dim: usize, seed: u64) -> Self {
-        Self { input_dim, hidden: vec![128], output_dim, dropout: 0.1, batch_norm: true, seed }
+        Self {
+            input_dim,
+            hidden: vec![128],
+            output_dim,
+            dropout: 0.1,
+            batch_norm: true,
+            seed,
+        }
     }
 
     /// Builds the [`Sequential`] model.
@@ -151,7 +158,10 @@ impl MlpConfig {
             }
             layers.push(Layer::ReLU(ReLU::new()));
             if self.dropout > 0.0 {
-                layers.push(Layer::Dropout(Dropout::new(self.dropout, self.seed ^ (i as u64 + 1))));
+                layers.push(Layer::Dropout(Dropout::new(
+                    self.dropout,
+                    self.seed ^ (i as u64 + 1),
+                )));
             }
             prev = h;
         }
@@ -166,7 +176,9 @@ impl MlpConfig {
 /// of §5.4.2.
 pub fn logistic_regression(input_dim: usize, output_dim: usize, seed: u64) -> Sequential {
     let mut rng = lrng::seeded(seed);
-    Sequential::new(vec![Layer::Linear(Linear::new(input_dim, output_dim, &mut rng))])
+    Sequential::new(vec![Layer::Linear(Linear::new(
+        input_dim, output_dim, &mut rng,
+    ))])
 }
 
 #[cfg(test)]
@@ -238,7 +250,14 @@ mod tests {
 
     #[test]
     fn no_hidden_layers_degenerates_to_linear() {
-        let cfg = MlpConfig { input_dim: 5, hidden: vec![], output_dim: 3, dropout: 0.0, batch_norm: false, seed: 1 };
+        let cfg = MlpConfig {
+            input_dim: 5,
+            hidden: vec![],
+            output_dim: 3,
+            dropout: 0.0,
+            batch_norm: false,
+            seed: 1,
+        };
         let m = cfg.build();
         assert_eq!(m.num_params(), 5 * 3 + 3);
         assert_eq!(m.layers().len(), 1);

@@ -31,7 +31,11 @@ pub struct Sgd {
 impl Sgd {
     /// Creates an SGD optimizer.
     pub fn new(lr: f32, momentum: f32) -> Self {
-        Self { lr, momentum, velocity: Vec::new() }
+        Self {
+            lr,
+            momentum,
+            velocity: Vec::new(),
+        }
     }
 }
 
@@ -79,7 +83,16 @@ pub struct Adam {
 impl Adam {
     /// Creates an Adam optimizer with the standard betas.
     pub fn new(lr: f32) -> Self {
-        Self { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, weight_decay: 0.0, t: 0, m: Vec::new(), v: Vec::new() }
+        Self {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay: 0.0,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
     }
 
     /// Adds decoupled L2 weight decay.
@@ -93,7 +106,8 @@ impl Optimizer for Adam {
     fn step(&mut self, model: &mut Sequential) {
         self.t += 1;
         let t = self.t as f32;
-        let (beta1, beta2, eps, lr, wd) = (self.beta1, self.beta2, self.eps, self.lr, self.weight_decay);
+        let (beta1, beta2, eps, lr, wd) =
+            (self.beta1, self.beta2, self.eps, self.lr, self.weight_decay);
         let bias1 = 1.0 - beta1.powf(t);
         let bias2 = 1.0 - beta2.powf(t);
         let mut idx = 0usize;
@@ -228,6 +242,9 @@ mod tests {
             model.visit_params(&mut |p, _| norm += p.iter().map(|x| x * x).sum::<f32>());
             norm
         };
-        assert!(after < before, "weight decay did not shrink weights: {before} -> {after}");
+        assert!(
+            after < before,
+            "weight decay did not shrink weights: {before} -> {after}"
+        );
     }
 }

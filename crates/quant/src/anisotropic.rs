@@ -29,7 +29,11 @@ pub struct AnisotropicConfig {
 
 impl Default for AnisotropicConfig {
     fn default() -> Self {
-        Self { eta: 4.0, max_iters: 10, seed: 42 }
+        Self {
+            eta: 4.0,
+            max_iters: 10,
+            seed: 42,
+        }
     }
 }
 
@@ -74,12 +78,22 @@ pub fn train_codebook(data: &Matrix, k: usize, config: &AnisotropicConfig) -> Ma
     let k = k.clamp(1, n);
 
     // Warm start from ordinary k-means.
-    let km = KMeans::fit(data, &KMeansConfig { k, max_iters: 15, tol: 1e-3, seed: config.seed });
+    let km = KMeans::fit(
+        data,
+        &KMeansConfig {
+            k,
+            max_iters: 15,
+            tol: 1e-3,
+            seed: config.seed,
+        },
+    );
     let mut codebook = km.centroids;
 
     for _ in 0..config.max_iters {
         // Assignment under the anisotropic loss.
-        let assignments: Vec<usize> = (0..n).map(|i| assign(data.row(i), &codebook, config.eta)).collect();
+        let assignments: Vec<usize> = (0..n)
+            .map(|i| assign(data.row(i), &codebook, config.eta))
+            .collect();
 
         // Closed-form update per centroid: (Σ M_i) c = Σ M_i x_i, M_i = I + (η−1) x̂ x̂ᵀ.
         for c in 0..k {
@@ -93,10 +107,15 @@ pub fn train_codebook(data: &Matrix, k: usize, config: &AnisotropicConfig) -> Ma
                 let x = data.row(i);
                 let norm_sq: f64 = x.iter().map(|&v| (v as f64) * v as f64).sum();
                 // M = I + (eta-1) * (x x^T) / ||x||^2
-                let scale = if norm_sq > 1e-12 { (config.eta as f64 - 1.0) / norm_sq } else { 0.0 };
+                let scale = if norm_sq > 1e-12 {
+                    (config.eta as f64 - 1.0) / norm_sq
+                } else {
+                    0.0
+                };
                 for r in 0..d {
                     for cidx in 0..d {
-                        let m = if r == cidx { 1.0 } else { 0.0 } + scale * x[r] as f64 * x[cidx] as f64;
+                        let m = if r == cidx { 1.0 } else { 0.0 }
+                            + scale * x[r] as f64 * x[cidx] as f64;
                         a[r][cidx] += m;
                         b[r] += m * x[cidx] as f64;
                     }
@@ -217,7 +236,9 @@ mod tests {
         assert!(anisotropic_loss(&x, &parallel_c, eta) > anisotropic_loss(&x, &orthogonal_c, eta));
         // With eta = 1 both displacements cost the same.
         assert!(
-            (anisotropic_loss(&x, &parallel_c, 1.0) - anisotropic_loss(&x, &orthogonal_c, 1.0)).abs() < 1e-6
+            (anisotropic_loss(&x, &parallel_c, 1.0) - anisotropic_loss(&x, &orthogonal_c, 1.0))
+                .abs()
+                < 1e-6
         );
     }
 
@@ -241,8 +262,24 @@ mod tests {
             }
         }
         let eta = 6.0;
-        let km = KMeans::fit(&data, &KMeansConfig { k: 8, max_iters: 20, tol: 1e-4, seed: 1 });
-        let aniso = train_codebook(&data, 8, &AnisotropicConfig { eta, max_iters: 8, seed: 1 });
+        let km = KMeans::fit(
+            &data,
+            &KMeansConfig {
+                k: 8,
+                max_iters: 20,
+                tol: 1e-4,
+                seed: 1,
+            },
+        );
+        let aniso = train_codebook(
+            &data,
+            8,
+            &AnisotropicConfig {
+                eta,
+                max_iters: 8,
+                seed: 1,
+            },
+        );
         let loss_km = total_loss(&data, &km.centroids, eta);
         let loss_an = total_loss(&data, &aniso, eta);
         assert!(

@@ -29,7 +29,13 @@ pub struct IvfConfig {
 impl IvfConfig {
     /// A reasonable default: `n_lists` lists, probing one.
     pub fn new(n_lists: usize) -> Self {
-        Self { n_lists, nprobe: 1, max_iters: 25, distance: Distance::SquaredEuclidean, seed: 42 }
+        Self {
+            n_lists,
+            nprobe: 1,
+            max_iters: 25,
+            distance: Distance::SquaredEuclidean,
+            seed: 42,
+        }
     }
 
     /// Sets the number of probed lists.
@@ -52,14 +58,24 @@ impl IvfIndex {
     pub fn build(data: &Matrix, config: IvfConfig) -> Self {
         let coarse = KMeans::fit(
             data,
-            &KMeansConfig { k: config.n_lists, max_iters: config.max_iters, tol: 1e-4, seed: config.seed },
+            &KMeansConfig {
+                k: config.n_lists,
+                max_iters: config.max_iters,
+                tol: 1e-4,
+                seed: config.seed,
+            },
         );
         let assignments = coarse.assign_all(data);
         let mut lists = vec![Vec::new(); coarse.k()];
         for (i, &a) in assignments.iter().enumerate() {
             lists[a].push(i as u32);
         }
-        Self { coarse, lists, data: data.clone(), config }
+        Self {
+            coarse,
+            lists,
+            data: data.clone(),
+            config,
+        }
     }
 
     /// Number of inverted lists.
@@ -91,7 +107,10 @@ impl AnnSearcher for IvfIndex {
     }
 
     fn name(&self) -> String {
-        format!("ivf-flat(lists={},nprobe={})", self.config.n_lists, self.config.nprobe)
+        format!(
+            "ivf-flat(lists={},nprobe={})",
+            self.config.n_lists, self.config.nprobe
+        )
     }
 }
 

@@ -6,7 +6,7 @@
 //! This single implementation serves all three.
 
 use rand::rngs::StdRng;
-use rand::RngExt;
+use rand::Rng;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use usp_linalg::{distance, rng as lrng, topk, Matrix};
@@ -27,7 +27,12 @@ pub struct KMeansConfig {
 impl KMeansConfig {
     /// A reasonable default configuration.
     pub fn new(k: usize) -> Self {
-        Self { k, max_iters: 50, tol: 1e-4, seed: 42 }
+        Self {
+            k,
+            max_iters: 50,
+            tol: 1e-4,
+            seed: 42,
+        }
     }
 }
 
@@ -112,7 +117,11 @@ impl KMeans {
             }
         }
 
-        Self { centroids, inertia, iterations }
+        Self {
+            centroids,
+            inertia,
+            iterations,
+        }
     }
 
     /// Number of clusters.
@@ -231,7 +240,11 @@ mod tests {
                 .filter(|(&l, _)| l == target)
                 .map(|(_, &a)| a)
                 .collect();
-            assert_eq!(assigned.len(), 1, "generative cluster {target} split across {assigned:?}");
+            assert_eq!(
+                assigned.len(),
+                1,
+                "generative cluster {target} split across {assigned:?}"
+            );
         }
         assert!(km.inertia < 200.0 * 2.0, "inertia too high: {}", km.inertia);
     }

@@ -40,18 +40,34 @@ pub struct ProductQuantizerConfig {
 impl ProductQuantizerConfig {
     /// Classic PQ defaults.
     pub fn standard(n_subspaces: usize, n_centroids: usize) -> Self {
-        assert!(n_centroids <= 256, "codes are stored as bytes; need n_centroids <= 256");
-        Self { n_subspaces, n_centroids, max_iters: 25, codebook: CodebookKind::Standard, seed: 42 }
-    }
-
-    /// ScaNN-style anisotropic PQ.
-    pub fn anisotropic(n_subspaces: usize, n_centroids: usize, eta: f32) -> Self {
-        assert!(n_centroids <= 256, "codes are stored as bytes; need n_centroids <= 256");
+        assert!(
+            n_centroids <= 256,
+            "codes are stored as bytes; need n_centroids <= 256"
+        );
         Self {
             n_subspaces,
             n_centroids,
             max_iters: 25,
-            codebook: CodebookKind::Anisotropic(AnisotropicConfig { eta, max_iters: 6, seed: 42 }),
+            codebook: CodebookKind::Standard,
+            seed: 42,
+        }
+    }
+
+    /// ScaNN-style anisotropic PQ.
+    pub fn anisotropic(n_subspaces: usize, n_centroids: usize, eta: f32) -> Self {
+        assert!(
+            n_centroids <= 256,
+            "codes are stored as bytes; need n_centroids <= 256"
+        );
+        Self {
+            n_subspaces,
+            n_centroids,
+            max_iters: 25,
+            codebook: CodebookKind::Anisotropic(AnisotropicConfig {
+                eta,
+                max_iters: 6,
+                seed: 42,
+            }),
             seed: 42,
         }
     }
@@ -97,7 +113,8 @@ impl ProductQuantizer {
                 // Extract the subspace view into a dense matrix.
                 let mut sub = Matrix::zeros(data.rows(), len);
                 for i in 0..data.rows() {
-                    sub.row_mut(i).copy_from_slice(&data.row(i)[start..start + len]);
+                    sub.row_mut(i)
+                        .copy_from_slice(&data.row(i)[start..start + len]);
                 }
                 match &config.codebook {
                     CodebookKind::Standard => {
@@ -115,13 +132,21 @@ impl ProductQuantizer {
                     CodebookKind::Anisotropic(a) => anisotropic::train_codebook(
                         &sub,
                         config.n_centroids,
-                        &AnisotropicConfig { seed: a.seed.wrapping_add(s as u64), ..a.clone() },
+                        &AnisotropicConfig {
+                            seed: a.seed.wrapping_add(s as u64),
+                            ..a.clone()
+                        },
                     ),
                 }
             })
             .collect();
 
-        Self { ranges, codebooks, encode_eta, dim: d }
+        Self {
+            ranges,
+            codebooks,
+            encode_eta,
+            dim: d,
+        }
     }
 
     /// Number of subspaces.
@@ -182,7 +207,11 @@ impl ProductQuantizer {
 
     /// Reconstructs the point represented by a code.
     pub fn decode(&self, code: &[u8]) -> Vec<f32> {
-        assert_eq!(code.len(), self.n_subspaces(), "decode: code length mismatch");
+        assert_eq!(
+            code.len(),
+            self.n_subspaces(),
+            "decode: code length mismatch"
+        );
         let mut out = vec![0.0f32; self.dim];
         for ((&(start, len), cb), &c) in self.ranges.iter().zip(&self.codebooks).zip(code) {
             out[start..start + len].copy_from_slice(cb.row(c as usize));
@@ -265,12 +294,15 @@ mod tests {
         // Compare against decoding a fixed arbitrary code for every point.
         let silly: f64 = (0..data.rows())
             .map(|i| {
-                let rec = pq.decode(&vec![0u8; 4]);
+                let rec = pq.decode(&[0u8; 4]);
                 distance::squared_euclidean(data.row(i), &rec) as f64
             })
             .sum::<f64>()
             / data.rows() as f64;
-        assert!(err < silly * 0.5, "PQ reconstruction error {err} not much better than {silly}");
+        assert!(
+            err < silly * 0.5,
+            "PQ reconstruction error {err} not much better than {silly}"
+        );
     }
 
     #[test]
@@ -283,7 +315,10 @@ mod tests {
             let code = pq.encode(data.row(i));
             let adc = pq.adc_distance(&table, &code);
             let explicit = distance::squared_euclidean(&q, &pq.decode(&code));
-            assert!((adc - explicit).abs() < 1e-3, "ADC {adc} vs decoded {explicit}");
+            assert!(
+                (adc - explicit).abs() < 1e-3,
+                "ADC {adc} vs decoded {explicit}"
+            );
         }
     }
 
@@ -307,7 +342,10 @@ mod tests {
             .iter()
             .map(|&(i, _)| pq.adc_distance(&table, &codes[i * 4..(i + 1) * 4]))
             .sum();
-        assert!(near < far, "ADC does not separate near ({near}) from far ({far})");
+        assert!(
+            near < far,
+            "ADC does not separate near ({near}) from far ({far})"
+        );
     }
 
     #[test]

@@ -55,7 +55,11 @@ impl ScannSearcher {
     /// Trains the quantizer and encodes the dataset.
     pub fn build(data: &Matrix, config: ScannConfig) -> Self {
         let pq_cfg = if config.eta > 1.0 {
-            let mut c = ProductQuantizerConfig::anisotropic(config.n_subspaces, config.n_centroids, config.eta);
+            let mut c = ProductQuantizerConfig::anisotropic(
+                config.n_subspaces,
+                config.n_centroids,
+                config.eta,
+            );
             c.seed = config.seed;
             c
         } else {
@@ -65,7 +69,12 @@ impl ScannSearcher {
         };
         let pq = ProductQuantizer::fit(data, &pq_cfg);
         let codes = pq.encode_all(data);
-        Self { pq, codes, data: data.clone(), config }
+        Self {
+            pq,
+            codes,
+            data: data.clone(),
+            config,
+        }
     }
 
     /// Number of indexed points.
@@ -94,7 +103,12 @@ impl ScannSearcher {
     /// `candidates_scanned` in the returned result counts the *exact* distance evaluations
     /// (the re-ranked prefix), which is the cost axis shared with the partitioning methods;
     /// the ADC pass costs one table lookup per subspace per candidate.
-    pub fn search_in_candidates(&self, query: &[f32], candidates: &[u32], k: usize) -> SearchResult {
+    pub fn search_in_candidates(
+        &self,
+        query: &[f32],
+        candidates: &[u32],
+        k: usize,
+    ) -> SearchResult {
         if candidates.is_empty() {
             return SearchResult::empty();
         }
@@ -125,7 +139,10 @@ impl AnnSearcher for ScannSearcher {
     fn name(&self) -> String {
         format!(
             "scann(m={},k*={},eta={},rerank={})",
-            self.config.n_subspaces, self.config.n_centroids, self.config.eta, self.config.rerank_size
+            self.config.n_subspaces,
+            self.config.n_centroids,
+            self.config.eta,
+            self.config.rerank_size
         )
     }
 }
@@ -151,7 +168,13 @@ mod tests {
     #[test]
     fn full_search_has_high_recall() {
         let data = clustered(800, 16, 1);
-        let scann = ScannSearcher::build(&data, ScannConfig { rerank_size: 60, ..Default::default() });
+        let scann = ScannSearcher::build(
+            &data,
+            ScannConfig {
+                rerank_size: 60,
+                ..Default::default()
+            },
+        );
         let queries = clustered(15, 16, 77);
         let truth = exact_knn(&data, &queries, 10, Distance::SquaredEuclidean);
         let mut recall = 0.0;
@@ -167,7 +190,13 @@ mod tests {
     #[test]
     fn candidate_restricted_search_only_returns_candidates() {
         let data = clustered(300, 8, 2);
-        let scann = ScannSearcher::build(&data, ScannConfig { rerank_size: 20, ..Default::default() });
+        let scann = ScannSearcher::build(
+            &data,
+            ScannConfig {
+                rerank_size: 20,
+                ..Default::default()
+            },
+        );
         let candidates: Vec<u32> = (100..200).collect();
         let res = scann.search_in_candidates(data.row(150), &candidates, 5);
         assert_eq!(res.ids.len(), 5);
@@ -188,7 +217,13 @@ mod tests {
     #[test]
     fn rerank_budget_bounds_exact_evaluations() {
         let data = clustered(500, 8, 4);
-        let scann = ScannSearcher::build(&data, ScannConfig { rerank_size: 37, ..Default::default() });
+        let scann = ScannSearcher::build(
+            &data,
+            ScannConfig {
+                rerank_size: 37,
+                ..Default::default()
+            },
+        );
         let res = scann.search(data.row(0), 10);
         assert_eq!(res.candidates_scanned, 37);
     }

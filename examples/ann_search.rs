@@ -19,18 +19,30 @@ fn main() {
     let data = split.base.points();
     let queries = &split.queries;
     let truth = exact_knn(data, queries, K, DIST);
-    println!("SIFT-like workload: {} points, {} dims, {} queries, {} bins\n", data.rows(), data.cols(), queries.rows(), BINS);
+    println!(
+        "SIFT-like workload: {} points, {} dims, {} queries, {} bins\n",
+        data.rows(),
+        data.cols(),
+        queries.rows(),
+        BINS
+    );
 
     // The paper's offline phase: k'-NN matrix once, then train the ensemble.
     let knn = KnnMatrix::build(data, 10, DIST);
-    let cfg = UspConfig { epochs: 40, ..UspConfig::paper_default(BINS) };
+    let cfg = UspConfig {
+        epochs: 40,
+        ..UspConfig::paper_default(BINS)
+    };
     let ensemble = UspEnsemble::train(data, &knn, &cfg, 3, DIST);
 
     // Baselines.
     let kmeans = PartitionIndex::build(KMeansPartitioner::fit(data, BINS, 3), data, DIST);
     let lsh = PartitionIndex::build(CrossPolytopeLsh::fit(data, BINS, 4), data, DIST);
 
-    println!("{:<24} {:>7} {:>12} {:>9}", "method", "probes", "candidates", "recall@10");
+    println!(
+        "{:<24} {:>7} {:>12} {:>9}",
+        "method", "probes", "candidates", "recall@10"
+    );
     for probes in [1usize, 2, 4, 8] {
         let eval = |name: &str, search: &mut dyn FnMut(&[f32]) -> usp_index::SearchResult| {
             let mut recall = 0.0;
@@ -41,9 +53,17 @@ fn main() {
                 recall += usp_data::ground_truth::knn_accuracy(&res.ids, &truth[qi]);
             }
             let n = queries.rows() as f64;
-            println!("{:<24} {:>7} {:>12.0} {:>9.3}", name, probes, cand as f64 / n, recall / n);
+            println!(
+                "{:<24} {:>7} {:>12.0} {:>9.3}",
+                name,
+                probes,
+                cand as f64 / n,
+                recall / n
+            );
         };
-        eval("Ours (ensemble of 3)", &mut |q| ensemble.search_with_probes(q, K, probes));
+        eval("Ours (ensemble of 3)", &mut |q| {
+            ensemble.search_with_probes(q, K, probes)
+        });
         eval("K-means", &mut |q| kmeans.search(q, K, probes));
         eval("Cross-polytope LSH", &mut |q| lsh.search(q, K, probes));
         println!();

@@ -16,7 +16,10 @@ fn main() {
     let split = synthetic::sift_like(6_200, 32, 99).split_queries(200);
     let data = split.base.points();
     let truth = exact_knn(data, &split.queries, K, DIST);
-    let cfg = UspConfig { epochs: 30, ..UspConfig::paper_default(16) };
+    let cfg = UspConfig {
+        epochs: 30,
+        ..UspConfig::paper_default(16)
+    };
 
     // ---- Hierarchical 16 x 16 = 256 bins ----
     println!("training a 16 x 16 hierarchical partition...");

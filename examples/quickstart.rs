@@ -11,7 +11,12 @@ fn main() {
     // 1. A clustered dataset standing in for an ANN benchmark, with held-out queries.
     let split = synthetic::sift_like(5_200, 32, 42).split_queries(200);
     let data = split.base.points();
-    println!("dataset: {} base points, {} queries, {} dims", split.n_base(), split.n_queries(), split.dim());
+    println!(
+        "dataset: {} base points, {} queries, {} dims",
+        split.n_base(),
+        split.n_queries(),
+        split.dim()
+    );
 
     // 2. Offline phase (Algorithm 1): the k'-NN matrix is the only preprocessing, then the
     //    model learns the partition with the unsupervised loss.

@@ -15,7 +15,12 @@ use usp_quant::{IvfConfig, IvfIndex, ScannConfig, ScannSearcher};
 const DIST: Distance = Distance::SquaredEuclidean;
 const K: usize = 10;
 
-fn measure(name: &str, queries: &usp_linalg::Matrix, truth: &[Vec<usize>], mut search: impl FnMut(&[f32]) -> Vec<usize>) {
+fn measure(
+    name: &str,
+    queries: &usp_linalg::Matrix,
+    truth: &[Vec<usize>],
+    mut search: impl FnMut(&[f32]) -> Vec<usize>,
+) {
     let start = std::time::Instant::now();
     let mut recall = 0.0;
     for qi in 0..queries.rows() {
@@ -35,35 +40,87 @@ fn main() {
     let split = synthetic::sift_like(8_300, 32, 55).split_queries(300);
     let data = split.base.points();
     let truth = exact_knn(data, &split.queries, K, DIST);
-    println!("workload: {} points x {} dims, {} queries\n", data.rows(), data.cols(), split.n_queries());
+    println!(
+        "workload: {} points x {} dims, {} queries\n",
+        data.rows(),
+        data.cols(),
+        split.n_queries()
+    );
 
     // USP + ScaNN: partition first, then quantized search inside the candidate set.
     let knn = KnnMatrix::build(data, 10, DIST);
-    let usp = train_partitioner(data, &knn, &UspConfig { epochs: 40, ..UspConfig::paper_default(16) }, None);
-    let usp_scann = PartitionedScann::build(usp, data, ScannConfig { rerank_size: 80, ..ScannConfig::default() }, 2);
-    measure("USP + ScaNN (ours)", &split.queries, &truth, |q| usp_scann.search(q, K).ids);
+    let usp = train_partitioner(
+        data,
+        &knn,
+        &UspConfig {
+            epochs: 40,
+            ..UspConfig::paper_default(16)
+        },
+        None,
+    );
+    let usp_scann = PartitionedScann::build(
+        usp,
+        data,
+        ScannConfig {
+            rerank_size: 80,
+            ..ScannConfig::default()
+        },
+        2,
+    );
+    measure("USP + ScaNN (ours)", &split.queries, &truth, |q| {
+        usp_scann.search(q, K).ids
+    });
 
     // K-means + ScaNN.
     let km_scann = PartitionedScann::build(
         KMeansPartitioner::fit(data, 16, 3),
         data,
-        ScannConfig { rerank_size: 80, ..ScannConfig::default() },
+        ScannConfig {
+            rerank_size: 80,
+            ..ScannConfig::default()
+        },
         2,
     );
-    measure("K-means + ScaNN", &split.queries, &truth, |q| km_scann.search(q, K).ids);
+    measure("K-means + ScaNN", &split.queries, &truth, |q| {
+        km_scann.search(q, K).ids
+    });
 
     // Vanilla ScaNN: quantized scan of the whole dataset.
-    let scann = ScannSearcher::build(data, ScannConfig { rerank_size: 80, ..ScannConfig::default() });
-    measure("Vanilla ScaNN", &split.queries, &truth, |q| scann.search_all(q, K).ids);
+    let scann = ScannSearcher::build(
+        data,
+        ScannConfig {
+            rerank_size: 80,
+            ..ScannConfig::default()
+        },
+    );
+    measure("Vanilla ScaNN", &split.queries, &truth, |q| {
+        scann.search_all(q, K).ids
+    });
 
     // HNSW.
-    let hnsw = Hnsw::build(data, HnswConfig { m: 16, ef_construction: 100, distance: DIST, seed: 3 });
-    measure("HNSW (ef=64)", &split.queries, &truth, |q| hnsw.search(q, K, 64).0);
+    let hnsw = Hnsw::build(
+        data,
+        HnswConfig {
+            m: 16,
+            ef_construction: 100,
+            distance: DIST,
+            seed: 3,
+        },
+    );
+    measure("HNSW (ef=64)", &split.queries, &truth, |q| {
+        hnsw.search(q, K, 64).0
+    });
 
     // IVF-Flat (FAISS-like).
     let ivf = IvfIndex::build(data, IvfConfig::new(16).with_nprobe(2));
-    measure("FAISS-like IVF (nprobe=2)", &split.queries, &truth, |q| ivf.search(q, K).ids);
+    measure("FAISS-like IVF (nprobe=2)", &split.queries, &truth, |q| {
+        ivf.search(q, K).ids
+    });
 
-    println!("\n(The partition + quantization pipelines answer queries from a small candidate set;");
-    println!(" the unsupervised partition needs fewer candidates than K-means for the same recall.)");
+    println!(
+        "\n(The partition + quantization pipelines answer queries from a small candidate set;"
+    );
+    println!(
+        " the unsupervised partition needs fewer candidates than K-means for the same recall.)"
+    );
 }

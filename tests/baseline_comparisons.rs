@@ -31,23 +31,54 @@ fn every_partitioning_baseline_indexes_and_searches() {
     let truth = exact_knn(data, &split.queries, 10, DIST);
 
     let baselines: Vec<(String, Box<dyn Partitioner>)> = vec![
-        ("kmeans".into(), Box::new(KMeansPartitioner::fit(data, 8, 1))),
-        ("cross-polytope".into(), Box::new(CrossPolytopeLsh::fit(data, 8, 2))),
-        ("hyperplane-lsh".into(), Box::new(HyperplaneLsh::fit(data, 3, 3))),
-        ("kd-tree".into(), Box::new(BinaryPartitionTree::kd(data, &TreeConfig::new(3)))),
-        ("pca-tree".into(), Box::new(BinaryPartitionTree::pca(data, &TreeConfig::new(3)))),
-        ("rp-tree".into(), Box::new(BinaryPartitionTree::random_projection(data, &TreeConfig::new(3)))),
-        ("2-means-tree".into(), Box::new(BinaryPartitionTree::two_means(data, &TreeConfig::new(3)))),
+        (
+            "kmeans".into(),
+            Box::new(KMeansPartitioner::fit(data, 8, 1)),
+        ),
+        (
+            "cross-polytope".into(),
+            Box::new(CrossPolytopeLsh::fit(data, 8, 2)),
+        ),
+        (
+            "hyperplane-lsh".into(),
+            Box::new(HyperplaneLsh::fit(data, 3, 3)),
+        ),
+        (
+            "kd-tree".into(),
+            Box::new(BinaryPartitionTree::kd(data, &TreeConfig::new(3))),
+        ),
+        (
+            "pca-tree".into(),
+            Box::new(BinaryPartitionTree::pca(data, &TreeConfig::new(3))),
+        ),
+        (
+            "rp-tree".into(),
+            Box::new(BinaryPartitionTree::random_projection(
+                data,
+                &TreeConfig::new(3),
+            )),
+        ),
+        (
+            "2-means-tree".into(),
+            Box::new(BinaryPartitionTree::two_means(data, &TreeConfig::new(3))),
+        ),
         (
             "boosted-forest".into(),
-            Box::new(BinaryPartitionTree::build(data, &TreeConfig::new(3), &BoostedForestStrategy::new(knn.clone(), 8))),
+            Box::new(BinaryPartitionTree::build(
+                data,
+                &TreeConfig::new(3),
+                &BoostedForestStrategy::new(knn.clone(), 8),
+            )),
         ),
         (
             "regression-lsh".into(),
             Box::new(BinaryPartitionTree::build(
                 data,
                 &TreeConfig::new(3),
-                &RegressionLshSplit { epochs: 20, ..Default::default() },
+                &RegressionLshSplit {
+                    epochs: 20,
+                    ..Default::default()
+                },
             )),
         ),
     ];
@@ -67,7 +98,10 @@ fn every_partitioning_baseline_indexes_and_searches() {
 
         // Probing a single bin must scan fewer candidates than the whole dataset.
         let single: SearchResult = index.search(split.queries.row(0), 10, 1);
-        assert!(single.candidates_scanned < data.rows(), "{name}: single probe scanned everything");
+        assert!(
+            single.candidates_scanned < data.rows(),
+            "{name}: single probe scanned everything"
+        );
     }
 }
 
@@ -78,7 +112,14 @@ fn neural_lsh_beats_data_oblivious_lsh_at_matched_budget() {
     let knn = KnnMatrix::build(data, 8, DIST);
     let truth = exact_knn(data, &split.queries, 10, DIST);
 
-    let nlsh = NeuralLsh::fit(data, &knn, &NeuralLshConfig { epochs: 30, ..NeuralLshConfig::small(8) });
+    let nlsh = NeuralLsh::fit(
+        data,
+        &knn,
+        &NeuralLshConfig {
+            epochs: 30,
+            ..NeuralLshConfig::small(8)
+        },
+    );
     let labels = nlsh.labels().to_vec();
     let nlsh_index = PartitionIndex::from_assignments(nlsh, data, labels, DIST);
     let lsh_index = PartitionIndex::build(CrossPolytopeLsh::fit(data, 8, 9), data, DIST);
@@ -104,7 +145,15 @@ fn graph_and_quantization_baselines_reach_high_recall() {
     let truth = exact_knn(data, &split.queries, 10, DIST);
 
     // HNSW with a generous beam.
-    let hnsw = Hnsw::build(data, HnswConfig { m: 12, ef_construction: 80, distance: DIST, seed: 1 });
+    let hnsw = Hnsw::build(
+        data,
+        HnswConfig {
+            m: 12,
+            ef_construction: 80,
+            distance: DIST,
+            seed: 1,
+        },
+    );
     let hnsw_results: Vec<Vec<usize>> = (0..split.queries.rows())
         .map(|qi| hnsw.search(split.queries.row(qi), 10, 96).0)
         .collect();
@@ -118,11 +167,20 @@ fn graph_and_quantization_baselines_reach_high_recall() {
     assert!(recall(&ivf_results, &truth) > 0.9, "IVF recall too low");
 
     // ScaNN-like quantized scan with exact re-ranking.
-    let scann = ScannSearcher::build(data, ScannConfig { rerank_size: 100, ..ScannConfig::default() });
+    let scann = ScannSearcher::build(
+        data,
+        ScannConfig {
+            rerank_size: 100,
+            ..ScannConfig::default()
+        },
+    );
     let scann_results: Vec<Vec<usize>> = (0..split.queries.rows())
         .map(|qi| scann.search_all(split.queries.row(qi), 10).ids)
         .collect();
-    assert!(recall(&scann_results, &truth) > 0.8, "quantized search recall too low");
+    assert!(
+        recall(&scann_results, &truth) > 0.8,
+        "quantized search recall too low"
+    );
 }
 
 #[test]

@@ -32,7 +32,11 @@ fn offline_and_online_phases_work_end_to_end() {
     assert_eq!(knn.len(), data.rows());
 
     // Train the partition with the unsupervised loss (steps 2-3).
-    let cfg = UspConfig { knn_k: 10, epochs: 25, ..UspConfig::fast(8) };
+    let cfg = UspConfig {
+        knn_k: 10,
+        epochs: 25,
+        ..UspConfig::fast(8)
+    };
     let trained = train_partitioner(data, &knn, &cfg, None);
     let index = trained.build_index(data, DIST);
     assert_eq!(index.num_bins(), 8);
@@ -49,13 +53,22 @@ fn offline_and_online_phases_work_end_to_end() {
             candidates += res.candidates_scanned;
             results.push(res.ids);
         }
-        (mean_recall(&results, &truth), candidates as f64 / split.queries.rows() as f64)
+        (
+            mean_recall(&results, &truth),
+            candidates as f64 / split.queries.rows() as f64,
+        )
     };
     let (recall_1, cand_1) = run(1);
     let (recall_all, cand_all) = run(8);
-    assert!(recall_all > 0.99, "probing every bin must be exact, got {recall_all}");
+    assert!(
+        recall_all > 0.99,
+        "probing every bin must be exact, got {recall_all}"
+    );
     assert!((cand_all - data.rows() as f64).abs() < 1e-6);
-    assert!(recall_1 > 0.3, "single-probe recall {recall_1} too low for clustered data");
+    assert!(
+        recall_1 > 0.3,
+        "single-probe recall {recall_1} too low for clustered data"
+    );
     assert!(cand_1 < cand_all, "single probe must scan fewer candidates");
 }
 
@@ -65,14 +78,21 @@ fn ensemble_improves_over_single_model_at_equal_probes() {
     let data = split.base.points();
     let knn = KnnMatrix::build(data, 10, DIST);
     let truth = exact_knn(data, &split.queries, 10, DIST);
-    let cfg = UspConfig { knn_k: 10, epochs: 20, ..UspConfig::fast(8) };
+    let cfg = UspConfig {
+        knn_k: 10,
+        epochs: 20,
+        ..UspConfig::fast(8)
+    };
 
     let single = UspEnsemble::train(data, &knn, &cfg, 1, DIST);
     let triple = UspEnsemble::train(data, &knn, &cfg, 3, DIST);
 
     let recall = |ens: &UspEnsemble, probes: usize| -> f64 {
         let results: Vec<Vec<usize>> = (0..split.queries.rows())
-            .map(|qi| ens.search_with_probes(split.queries.row(qi), 10, probes).ids)
+            .map(|qi| {
+                ens.search_with_probes(split.queries.row(qi), 10, probes)
+                    .ids
+            })
             .collect();
         mean_recall(&results, &truth)
     };
@@ -80,7 +100,10 @@ fn ensemble_improves_over_single_model_at_equal_probes() {
     // it must not hurt, and usually helps (the paper reports up to ~10% at 16 bins).
     let r1 = recall(&single, 2);
     let r3 = recall(&triple, 2);
-    assert!(r3 + 0.02 >= r1, "ensemble recall {r3} clearly worse than single-model {r1}");
+    assert!(
+        r3 + 0.02 >= r1,
+        "ensemble recall {r3} clearly worse than single-model {r1}"
+    );
 }
 
 #[test]
@@ -90,7 +113,11 @@ fn learned_partition_beats_data_oblivious_lsh() {
     let knn = KnnMatrix::build(data, 10, DIST);
     let truth = exact_knn(data, &split.queries, 10, DIST);
 
-    let cfg = UspConfig { knn_k: 10, epochs: 25, ..UspConfig::fast(16) };
+    let cfg = UspConfig {
+        knn_k: 10,
+        epochs: 25,
+        ..UspConfig::fast(16)
+    };
     let usp_index = train_partitioner(data, &knn, &cfg, None).build_index(data, DIST);
     let lsh_index = usp_index::PartitionIndex::build(
         usp_baselines::CrossPolytopeLsh::fit(data, 16, 5),
@@ -120,7 +147,11 @@ fn pipeline_composition_with_quantizer_preserves_most_recall() {
     let data = split.base.points();
     let knn = KnnMatrix::build(data, 10, DIST);
     let truth = exact_knn(data, &split.queries, 10, DIST);
-    let cfg = UspConfig { knn_k: 10, epochs: 20, ..UspConfig::fast(8) };
+    let cfg = UspConfig {
+        knn_k: 10,
+        epochs: 20,
+        ..UspConfig::fast(8)
+    };
     let partitioner = train_partitioner(data, &knn, &cfg, None);
 
     // Build the exact index first, then the quantized pipeline from the same partitioner
@@ -145,11 +176,62 @@ fn pipeline_composition_with_quantizer_preserves_most_recall() {
 }
 
 #[test]
+fn learned_partition_beats_random_candidates_at_equal_budget() {
+    let split = workload(1500, 16, 80, 6);
+    let data = split.base.points();
+    let knn = KnnMatrix::build(data, 10, DIST);
+    let truth = exact_knn(data, &split.queries, 10, DIST);
+
+    // Full vertical slice: usp-core training -> PartitionIndex -> online search.
+    let cfg = UspConfig {
+        knn_k: 10,
+        epochs: 25,
+        ..UspConfig::fast(8)
+    };
+    let index = train_partitioner(data, &knn, &cfg, None).build_index(data, DIST);
+
+    // Baseline: re-rank a uniformly random candidate set of the same size the index
+    // scanned for that query. Any partition that learned anything must beat it.
+    use rand::{Rng, SeedableRng};
+    let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+    let mut usp_recall = 0.0;
+    let mut random_recall = 0.0;
+    for qi in 0..split.queries.rows() {
+        let res = index.search(split.queries.row(qi), 10, 1);
+        usp_recall += usp_data::ground_truth::knn_accuracy(&res.ids, &truth[qi]);
+
+        let budget = res.candidates_scanned.max(10);
+        let candidates: Vec<u32> = (0..budget)
+            .map(|_| rng.random_range(0..data.rows()) as u32)
+            .collect();
+        let random_ids =
+            usp_index::rerank::rerank(data, split.queries.row(qi), &candidates, 10, DIST);
+        random_recall += usp_data::ground_truth::knn_accuracy(&random_ids, &truth[qi]);
+    }
+    let n = split.queries.rows() as f64;
+    let (usp_recall, random_recall) = (usp_recall / n, random_recall / n);
+    assert!(
+        usp_recall > random_recall,
+        "recall@10 of the learned partition ({usp_recall:.3}) must beat re-ranking the same \
+         number of uniformly random candidates ({random_recall:.3})"
+    );
+}
+
+#[test]
 fn partitioner_trait_objects_are_interchangeable() {
     let split = workload(900, 8, 40, 5);
     let data = split.base.points();
     let knn = KnnMatrix::build(data, 5, DIST);
-    let usp = train_partitioner(data, &knn, &UspConfig { knn_k: 5, epochs: 10, ..UspConfig::fast(4) }, None);
+    let usp = train_partitioner(
+        data,
+        &knn,
+        &UspConfig {
+            knn_k: 5,
+            epochs: 10,
+            ..UspConfig::fast(4)
+        },
+        None,
+    );
     let kmeans = usp_baselines::KMeansPartitioner::fit(data, 4, 1);
 
     let methods: Vec<Box<dyn Partitioner>> = vec![Box::new(usp), Box::new(kmeans)];

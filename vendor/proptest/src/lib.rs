@@ -1,0 +1,305 @@
+//! Offline stand-in for [`proptest`](https://docs.rs/proptest).
+//!
+//! The build container has no crates.io access, so external dependencies are vendored as
+//! minimal API-compatible shims (see `DESIGN.md` §"Vendored shims"). This one runs each
+//! `proptest!` test as `cases` randomized executions with a seed derived from the test's
+//! module path — deterministic run-to-run, so CI failures reproduce locally. On failure it
+//! reports the case number and the sampled arguments. **No shrinking**: the reported
+//! counterexample is the raw sample, not a minimal one.
+//!
+//! Supported surface: `proptest! { #![proptest_config(ProptestConfig::with_cases(N))]
+//! #[test] fn name(arg in strategy, ...) { ... } }`, `prop_assert!`, `prop_assert_eq!`,
+//! numeric-range strategies, tuples of strategies, and `prop::collection::vec`.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Per-test configuration; only `cases` is honoured.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of randomized executions per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+/// The failure type `prop_assert!` produces inside a test body.
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    msg: String,
+}
+
+impl TestCaseError {
+    pub fn fail(msg: impl Into<String>) -> Self {
+        Self { msg: msg.into() }
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.msg)
+    }
+}
+
+/// Result alias mirroring proptest's.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Deterministic per-test RNG: FNV-1a hash of the fully-qualified test name as the seed.
+pub fn test_rng(test_name: &str) -> StdRng {
+    let mut hash: u64 = 0xcbf29ce484222325;
+    for byte in test_name.bytes() {
+        hash ^= byte as u64;
+        hash = hash.wrapping_mul(0x100000001b3);
+    }
+    StdRng::seed_from_u64(hash)
+}
+
+/// A value generator. Unlike real proptest there is no shrinking tree — `sample` just
+/// draws one value.
+pub trait Strategy {
+    type Value;
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+macro_rules! impl_strategy_for_int_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                use rand::Rng;
+                rng.random_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                use rand::Rng;
+                rng.random_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_strategy_for_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+    type Value = (A::Value, B::Value);
+    fn sample(&self, rng: &mut StdRng) -> Self::Value {
+        (self.0.sample(rng), self.1.sample(rng))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+    type Value = (A::Value, B::Value, C::Value);
+    fn sample(&self, rng: &mut StdRng) -> Self::Value {
+        (self.0.sample(rng), self.1.sample(rng), self.2.sample(rng))
+    }
+}
+
+/// `Just` strategy: always the same value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+pub mod collection {
+    //! Collection strategies (`prop::collection::vec`).
+    use super::{StdRng, Strategy};
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `len`.
+    pub struct VecStrategy<S: Strategy> {
+        element: S,
+        len: std::ops::Range<usize>,
+    }
+
+    /// `prop::collection::vec(element_strategy, length_range)`.
+    pub fn vec<S: Strategy>(element: S, len: std::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut StdRng) -> Self::Value {
+            use rand::Rng;
+            assert!(!self.len.is_empty(), "vec strategy with empty length range");
+            let n = rng.random_range(self.len.clone());
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    //! Mirror of `proptest::prelude::*` for the supported surface.
+    pub use crate as prop;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    pub use crate::{Just, ProptestConfig, Strategy, TestCaseError, TestCaseResult};
+}
+
+/// Mirror of `proptest::proptest!`: expands each `fn name(arg in strategy, ..) { body }`
+/// into a `#[test]` running `cases` sampled executions.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = $config:expr;
+     $( $(#[$meta:meta])* fn $name:ident ( $($arg:ident in $strategy:expr),+ $(,)? ) $body:block )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                let mut rng = $crate::test_rng(concat!(module_path!(), "::", stringify!($name)));
+                for case in 0..config.cases {
+                    $( let $arg = $crate::Strategy::sample(&($strategy), &mut rng); )+
+                    let described = {
+                        let mut s = String::new();
+                        $(
+                            s.push_str(stringify!($arg));
+                            s.push_str(" = ");
+                            s.push_str(&format!("{:?}", &$arg));
+                            s.push_str("; ");
+                        )+
+                        s
+                    };
+                    let outcome = (move || -> $crate::TestCaseResult {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                    if let ::std::result::Result::Err(e) = outcome {
+                        panic!(
+                            "proptest {} failed at case {}/{}: {}\n  inputs: {}\n  (no shrinking — see vendor/proptest)",
+                            stringify!($name), case + 1, config.cases, e, described,
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Mirror of `proptest::prop_assert!`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(
+                concat!("assertion failed: ", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Mirror of `proptest::prop_assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if l != r {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                stringify!($left), stringify!($right), l, r,
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if l != r {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    }};
+}
+
+/// Mirror of `proptest::prop_assert_ne!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if l == r {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} != {}\n  both: {:?}",
+                stringify!($left),
+                stringify!($right),
+                l,
+            )));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn ranges_respect_bounds(x in 3usize..10, y in -2.5f32..2.5) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((-2.5..2.5).contains(&y));
+        }
+
+        #[test]
+        fn vec_strategy_respects_len(v in prop::collection::vec(0u32..5, 2..6)) {
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+            prop_assert!(v.iter().all(|&x| x < 5));
+        }
+
+        #[test]
+        fn tuple_strategies_work(pair in (0usize..4, 0usize..4)) {
+            prop_assert!(pair.0 < 4 && pair.1 < 4);
+        }
+    }
+
+    #[test]
+    fn failing_case_panics_with_inputs() {
+        let result = std::panic::catch_unwind(|| {
+            crate::__proptest_impl! {
+                config = ProptestConfig::with_cases(4);
+                fn always_fails(x in 0usize..3) {
+                    prop_assert!(x > 100, "x was {}", x);
+                }
+            }
+            always_fails();
+        });
+        let err = result.expect_err("should have panicked");
+        let msg = err.downcast_ref::<String>().expect("panic payload");
+        assert!(msg.contains("inputs:"), "got: {msg}");
+    }
+
+    #[test]
+    fn rng_is_deterministic_per_name() {
+        use crate::Strategy;
+        let mut a = crate::test_rng("some::test");
+        let mut b = crate::test_rng("some::test");
+        for _ in 0..16 {
+            assert_eq!((0u64..1000).sample(&mut a), (0u64..1000).sample(&mut b));
+        }
+    }
+}

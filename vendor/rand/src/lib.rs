@@ -1,0 +1,322 @@
+//! Offline stand-in for the [`rand`](https://docs.rs/rand) crate (0.9 API surface).
+//!
+//! The build container has no crates.io access, so external dependencies are vendored as
+//! minimal API-compatible shims (see `DESIGN.md` §"Vendored shims"). This one provides
+//! the subset the workspace uses: `rngs::StdRng`, `SeedableRng::seed_from_u64`, and the
+//! `Rng` extension methods `random::<T>()` / `random_range(..)` / `random_bool(..)`.
+//!
+//! The generator is xoshiro256++ seeded through SplitMix64 — deterministic per seed and
+//! statistically solid for experiment workloads. The *stream differs* from the real
+//! `rand::rngs::StdRng` (ChaCha12); the workspace only relies on per-seed determinism,
+//! never on a particular stream.
+
+/// A source of random 64-bit words.
+pub trait RngCore {
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Construction of a generator from a seed.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is fully determined by `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types samplable uniformly over their "standard" domain by [`Rng::random`]:
+/// `[0, 1)` for floats, the full range for integers, fair coin for `bool`.
+pub trait StandardUniform: Sized {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl StandardUniform for f32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 24 high-quality mantissa bits -> uniform in [0, 1).
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl StandardUniform for f64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardUniform for bool {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl StandardUniform for $t {
+            fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Integer/float types with uniform sampling over arbitrary sub-ranges.
+pub trait SampleUniform: Sized {
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, low: Self, high_incl: Self) -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<R: RngCore + ?Sized>(rng: &mut R, low: Self, high_incl: Self) -> Self {
+                debug_assert!(low <= high_incl);
+                let span = (high_incl as i128 - low as i128) as u128 + 1;
+                // Multiply-shift bounded sampling (Lemire); the tiny modulo bias of a
+                // single 64-bit draw is irrelevant at experiment scale.
+                let draw = (rng.next_u64() as u128 * span) >> 64;
+                (low as i128 + draw as i128) as $t
+            }
+        }
+    )*};
+}
+impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleUniform for f32 {
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, low: Self, high_incl: Self) -> Self {
+        low + (high_incl - low) * f32::sample_standard(rng)
+    }
+}
+
+impl SampleUniform for f64 {
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, low: Self, high_incl: Self) -> Self {
+        low + (high_incl - low) * f64::sample_standard(rng)
+    }
+}
+
+/// Range forms accepted by [`Rng::random_range`].
+pub trait SampleRange<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform + PartialOrd + Copy + Bounded> SampleRange<T> for std::ops::Range<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "random_range: empty range");
+        let v = T::sample_range(rng, self.start, T::prev(self.end));
+        // Float rounding in `low + (high - low) * x` can overshoot on extreme ranges;
+        // enforce the half-open contract unconditionally (no-op for integers).
+        if v >= self.end {
+            T::prev(self.end)
+        } else {
+            v
+        }
+    }
+}
+
+impl<T: SampleUniform + PartialOrd + Copy + Bounded> SampleRange<T>
+    for std::ops::RangeInclusive<T>
+{
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "random_range: empty range");
+        T::sample_range(rng, lo, hi)
+    }
+}
+
+/// Helper to turn an exclusive upper bound into an inclusive one per type.
+pub trait Bounded: Sized {
+    fn prev(self) -> Self;
+}
+
+macro_rules! impl_bounded_int {
+    ($($t:ty),*) => {$(
+        impl Bounded for $t {
+            fn prev(self) -> Self { self - 1 }
+        }
+    )*};
+}
+impl_bounded_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Bounded for f32 {
+    // Sampling `low + (high - low) * x` with x in [0, 1) can round *up* to `high` when
+    // the true value lands halfway between the two nearest floats, so passing `high`
+    // through unchanged would violate the half-open contract of `Range`. Sampling over
+    // the inclusive upper bound `next_down(high)` instead makes every rounded result
+    // `<= next_down(high) < high` (the true value never exceeds a representable bound).
+    fn prev(self) -> Self {
+        self.next_down()
+    }
+}
+
+impl Bounded for f64 {
+    fn prev(self) -> Self {
+        self.next_down()
+    }
+}
+
+/// Extension methods over any [`RngCore`], mirroring `rand::Rng` (0.9 names).
+pub trait Rng: RngCore {
+    /// A sample from the standard domain of `T` (see [`StandardUniform`]).
+    fn random<T: StandardUniform>(&mut self) -> T {
+        T::sample_standard(self)
+    }
+
+    /// A uniform sample from `range`.
+    fn random_range<T, Rg: SampleRange<T>>(&mut self, range: Rg) -> T {
+        range.sample_from(self)
+    }
+
+    /// `true` with probability `p`.
+    fn random_bool(&mut self, p: f64) -> bool {
+        f64::sample_standard(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+pub mod rngs {
+    //! Named generator types.
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic generator: xoshiro256++ (Blackman & Vigna) seeded via SplitMix64.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion of the 64-bit seed into the 256-bit state, as
+            // recommended by the xoshiro authors.
+            let mut x = seed;
+            let mut next = || {
+                x = x.wrapping_add(0x9E3779B97F4A7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+                z ^ (z >> 31)
+            };
+            let s = [next(), next(), next(), next()];
+            Self { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+
+    /// Alias: the shim has a single generator implementation.
+    pub type SmallRng = StdRng;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64_pub(), b.next_u64_pub());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        let first: Vec<u64> = (0..4).map(|_| c.next_u64_pub()).collect();
+        let mut d = StdRng::seed_from_u64(42);
+        let other: Vec<u64> = (0..4).map(|_| d.next_u64_pub()).collect();
+        assert_ne!(first, other);
+    }
+
+    impl StdRng {
+        fn next_u64_pub(&mut self) -> u64 {
+            use super::RngCore;
+            self.next_u64()
+        }
+    }
+
+    #[test]
+    fn unit_floats_in_range() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x: f32 = rng.random();
+            assert!((0.0..1.0).contains(&x));
+            let y: f64 = rng.random();
+            assert!((0.0..1.0).contains(&y));
+        }
+    }
+
+    #[test]
+    fn range_sampling_hits_bounds_only() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut seen = [false; 5];
+        for _ in 0..500 {
+            let v = rng.random_range(0..5usize);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        for _ in 0..500 {
+            let v = rng.random_range(0..=2usize);
+            assert!(v <= 2);
+        }
+        for _ in 0..500 {
+            let v: f32 = rng.random_range(-2.0f32..2.0);
+            assert!((-2.0..2.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn float_half_open_range_never_yields_upper_bound() {
+        let mut rng = StdRng::seed_from_u64(3);
+        // 1.0..2.0 is the worst case for tie-rounding: the sampler's 24-bit draw has one
+        // more bit of resolution than f32 spacing in [1, 2), so x = 1 - 2^-24 maps to
+        // exactly halfway between the top two representable values and ties-to-even
+        // would round to 2.0 without the next_down/clamp handling.
+        for _ in 0..200_000 {
+            let v: f32 = rng.random_range(1.0f32..2.0);
+            assert!((1.0..2.0).contains(&v), "got {v}");
+        }
+        // A range so tight it only contains a handful of representable floats.
+        let hi = 1.0f32 + 3.0 * f32::EPSILON;
+        for _ in 0..1000 {
+            let v: f32 = rng.random_range(1.0f32..hi);
+            assert!(v >= 1.0 && v < hi, "got {v}");
+        }
+    }
+
+    #[test]
+    fn mean_is_roughly_half() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 10_000;
+        let sum: f64 = (0..n).map(|_| rng.random::<f64>()).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean} too far from 0.5");
+    }
+}

@@ -1,0 +1,160 @@
+//! Offline stand-in for the [`rayon`](https://docs.rs/rayon) crate.
+//!
+//! The build container has no crates.io access, so the external dependencies are vendored
+//! as minimal API-compatible shims (see `DESIGN.md` §"Vendored shims"). This shim keeps
+//! the `par_*` call sites source-compatible but executes them **sequentially**: each
+//! `par_*` entry point returns the corresponding standard-library iterator, so every
+//! downstream combinator (`map`, `enumerate`, `for_each`, `collect`, ...) is ordinary
+//! `std::iter` machinery. `flat_map_iter` — a rayon-only combinator name — is provided as
+//! an extension trait aliasing `flat_map`.
+//!
+//! Restoring real data parallelism (work-stealing or a scoped-thread chunk executor) is
+//! tracked in `ROADMAP.md`; swapping the real crate back in requires no source changes.
+
+use std::ops::Range;
+
+/// Sequential stand-in for `rayon::join`: runs both closures in order.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}
+
+/// The shim executes on the calling thread only.
+pub fn current_num_threads() -> usize {
+    1
+}
+
+pub mod iter {
+    //! Sequential `IntoParallelIterator` and friends.
+
+    use super::Range;
+
+    /// Types convertible into a "parallel" (here: sequential) iterator.
+    pub trait IntoParallelIterator {
+        type Item;
+        type Iter: Iterator<Item = Self::Item>;
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl IntoParallelIterator for Range<usize> {
+        type Item = usize;
+        type Iter = Range<usize>;
+        fn into_par_iter(self) -> Self::Iter {
+            self
+        }
+    }
+
+    impl IntoParallelIterator for Range<u32> {
+        type Item = u32;
+        type Iter = Range<u32>;
+        fn into_par_iter(self) -> Self::Iter {
+            self
+        }
+    }
+
+    impl<T> IntoParallelIterator for Vec<T> {
+        type Item = T;
+        type Iter = std::vec::IntoIter<T>;
+        fn into_par_iter(self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+
+    /// `par_iter` / `par_chunks` over shared slices.
+    pub trait ParallelSlice<T> {
+        fn par_iter(&self) -> std::slice::Iter<'_, T>;
+        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T>;
+    }
+
+    impl<T> ParallelSlice<T> for [T] {
+        fn par_iter(&self) -> std::slice::Iter<'_, T> {
+            self.iter()
+        }
+        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T> {
+            self.chunks(chunk_size)
+        }
+    }
+
+    /// `par_iter_mut` / `par_chunks_mut` over mutable slices.
+    pub trait ParallelSliceMut<T> {
+        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T>;
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T>;
+    }
+
+    impl<T> ParallelSliceMut<T> for [T] {
+        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T> {
+            self.iter_mut()
+        }
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T> {
+            self.chunks_mut(chunk_size)
+        }
+    }
+
+    /// Rayon-only combinator names, aliased onto any iterator.
+    pub trait ParallelIteratorExt: Iterator + Sized {
+        /// Rayon's `flat_map_iter` is `flat_map` with a serial inner iterator — which is
+        /// exactly what `flat_map` is here.
+        fn flat_map_iter<U, F>(self, f: F) -> std::iter::FlatMap<Self, U, F>
+        where
+            U: IntoIterator,
+            F: FnMut(Self::Item) -> U,
+        {
+            self.flat_map(f)
+        }
+
+        /// Chunk-size hint; meaningless sequentially, kept for source compatibility.
+        fn with_min_len(self, _min: usize) -> Self {
+            self
+        }
+    }
+
+    impl<I: Iterator> ParallelIteratorExt for I {}
+}
+
+pub mod prelude {
+    //! Drop-in replacement for `rayon::prelude::*`.
+    pub use crate::iter::{
+        IntoParallelIterator, ParallelIteratorExt, ParallelSlice, ParallelSliceMut,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn range_into_par_iter_collects() {
+        let squares: Vec<usize> = (0..5usize).into_par_iter().map(|i| i * i).collect();
+        assert_eq!(squares, vec![0, 1, 4, 9, 16]);
+    }
+
+    #[test]
+    fn par_chunks_mut_enumerate_for_each() {
+        let mut data = vec![0f32; 6];
+        data.par_chunks_mut(2).enumerate().for_each(|(i, chunk)| {
+            for v in chunk {
+                *v = i as f32;
+            }
+        });
+        assert_eq!(data, vec![0.0, 0.0, 1.0, 1.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn flat_map_iter_flattens() {
+        let out: Vec<usize> = (0..3usize)
+            .into_par_iter()
+            .flat_map_iter(|i| vec![i, i])
+            .collect();
+        assert_eq!(out, vec![0, 0, 1, 1, 2, 2]);
+    }
+
+    #[test]
+    fn join_runs_both() {
+        let (a, b) = crate::join(|| 1 + 1, || "x".to_string());
+        assert_eq!(a, 2);
+        assert_eq!(b, "x");
+    }
+}

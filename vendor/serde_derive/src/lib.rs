@@ -1,0 +1,426 @@
+//! Offline stand-in for [`serde_derive`](https://docs.rs/serde_derive).
+//!
+//! Emits impls of the vendored `serde` shim's `Serialize`/`Deserialize` traits (which are
+//! `Value` conversions, not the real serde visitor machinery). Written against raw
+//! `proc_macro` tokens because `syn`/`quote` are not available offline.
+//!
+//! Supported shapes — exactly what this workspace derives:
+//! * structs with named fields (honouring `#[serde(skip)]`: omitted on write,
+//!   `Default`-filled on read);
+//! * enums with unit, newtype and struct variants (externally tagged, like real serde).
+//!
+//! Generics, tuple structs and multi-field tuple variants are rejected with a clear
+//! compile-time panic so a future use loudly demands extending the shim.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item.shape {
+        Shape::Struct(fields) => {
+            let mut pushes = String::new();
+            for f in fields.iter().filter(|f| !f.skip) {
+                pushes.push_str(&format!(
+                    "fields.push((\"{name}\".to_string(), ::serde::Serialize::to_value(&self.{name})));\n",
+                    name = f.name
+                ));
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         let mut fields: Vec<(String, ::serde::Value)> = Vec::new();\n\
+                         {pushes}\
+                         ::serde::Value::Object(fields)\n\
+                     }}\n\
+                 }}",
+                name = item.name
+            )
+        }
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                match &v.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "Self::{v} => ::serde::Value::Str(\"{v}\".to_string()),\n",
+                        v = v.name
+                    )),
+                    VariantKind::Newtype => arms.push_str(&format!(
+                        "Self::{v}(inner) => ::serde::Value::Object(vec![(\"{v}\".to_string(), ::serde::Serialize::to_value(inner))]),\n",
+                        v = v.name
+                    )),
+                    VariantKind::Struct(fields) => {
+                        let binders = fields
+                            .iter()
+                            .map(|f| f.name.as_str())
+                            .collect::<Vec<_>>()
+                            .join(", ");
+                        let mut pushes = String::new();
+                        for f in fields.iter().filter(|f| !f.skip) {
+                            pushes.push_str(&format!(
+                                "inner.push((\"{name}\".to_string(), ::serde::Serialize::to_value({name})));\n",
+                                name = f.name
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "Self::{v} {{ {binders} }} => {{\n\
+                                 let mut inner: Vec<(String, ::serde::Value)> = Vec::new();\n\
+                                 {pushes}\
+                                 ::serde::Value::Object(vec![(\"{v}\".to_string(), ::serde::Value::Object(inner))])\n\
+                             }},\n",
+                            v = v.name
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{\n{arms}}}\n\
+                     }}\n\
+                 }}",
+                name = item.name
+            )
+        }
+    };
+    code.parse()
+        .expect("serde_derive shim generated invalid Serialize impl")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item.shape {
+        Shape::Struct(fields) => {
+            let mut inits = String::new();
+            for f in fields {
+                if f.skip {
+                    inits.push_str(&format!(
+                        "{name}: ::std::default::Default::default(),\n",
+                        name = f.name
+                    ));
+                } else {
+                    inits.push_str(&format!(
+                        "{name}: ::serde::de_field(v, \"{name}\")?,\n",
+                        name = f.name
+                    ));
+                }
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         ::std::result::Result::Ok(Self {{\n{inits}}})\n\
+                     }}\n\
+                 }}",
+                name = item.name
+            )
+        }
+        Shape::Enum(variants) => {
+            let mut str_arms = String::new();
+            let mut obj_arms = String::new();
+            for v in variants {
+                match &v.kind {
+                    VariantKind::Unit => str_arms.push_str(&format!(
+                        "\"{v}\" => return ::std::result::Result::Ok(Self::{v}),\n",
+                        v = v.name
+                    )),
+                    VariantKind::Newtype => obj_arms.push_str(&format!(
+                        "\"{v}\" => return ::std::result::Result::Ok(Self::{v}(::serde::Deserialize::from_value(payload)?)),\n",
+                        v = v.name
+                    )),
+                    VariantKind::Struct(fields) => {
+                        let mut inits = String::new();
+                        for f in fields {
+                            if f.skip {
+                                inits.push_str(&format!(
+                                    "{name}: ::std::default::Default::default(),\n",
+                                    name = f.name
+                                ));
+                            } else {
+                                inits.push_str(&format!(
+                                    "{name}: ::serde::de_field(payload, \"{name}\")?,\n",
+                                    name = f.name
+                                ));
+                            }
+                        }
+                        obj_arms.push_str(&format!(
+                            "\"{v}\" => return ::std::result::Result::Ok(Self::{v} {{\n{inits}}}),\n",
+                            v = v.name
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         match v {{\n\
+                             ::serde::Value::Str(tag) => {{\n\
+                                 match tag.as_str() {{\n{str_arms}\
+                                     _ => {{}}\n\
+                                 }}\n\
+                             }}\n\
+                             ::serde::Value::Object(entries) if entries.len() == 1 => {{\n\
+                                 let (tag, payload) = (&entries[0].0, &entries[0].1);\n\
+                                 match tag.as_str() {{\n{obj_arms}\
+                                     _ => {{}}\n\
+                                 }}\n\
+                             }}\n\
+                             _ => {{}}\n\
+                         }}\n\
+                         ::std::result::Result::Err(::serde::Error::custom(\
+                             format!(\"unknown {name} variant: {{v:?}}\")))\n\
+                     }}\n\
+                 }}",
+                name = item.name
+            )
+        }
+    };
+    code.parse()
+        .expect("serde_derive shim generated invalid Deserialize impl")
+}
+
+// ---------------------------------------------------------------------------
+// Tiny token-level parser for the supported item shapes.
+// ---------------------------------------------------------------------------
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+enum Shape {
+    Struct(Vec<Field>),
+    Enum(Vec<Variant>),
+}
+
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Newtype,
+    Struct(Vec<Field>),
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip outer attributes and visibility, find `struct` / `enum`.
+    let kind = loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2, // `#` + [...] group
+            Some(TokenTree::Ident(id)) => {
+                let s = id.to_string();
+                if s == "struct" || s == "enum" {
+                    i += 1;
+                    break s;
+                }
+                i += 1; // `pub`, `pub(crate)` idents, etc.
+            }
+            Some(_) => i += 1, // e.g. the parens of `pub(crate)`
+            None => panic!("serde_derive shim: no struct/enum found in input"),
+        }
+    };
+
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive shim: expected type name, got {other:?}"),
+    };
+    i += 1;
+
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde_derive shim: generic type `{name}` is not supported — extend vendor/serde_derive");
+        }
+    }
+
+    let body = loop {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g.stream(),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                panic!("serde_derive shim: tuple struct `{name}` is not supported — extend vendor/serde_derive")
+            }
+            Some(_) => i += 1,
+            None => {
+                panic!("serde_derive shim: `{name}` has no body (unit structs are unsupported)")
+            }
+        }
+    };
+
+    let shape = if kind == "struct" {
+        Shape::Struct(parse_fields(body))
+    } else {
+        Shape::Enum(parse_variants(body))
+    };
+    Item { name, shape }
+}
+
+/// Parses `(#[attr])* (pub)? name: Type,` sequences, tracking `#[serde(skip)]`.
+fn parse_fields(body: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // Collect attributes for this field.
+        let mut skip = false;
+        loop {
+            match tokens.get(i) {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+                        if attr_is_serde_skip(&g.stream()) {
+                            skip = true;
+                        }
+                    }
+                    i += 2;
+                }
+                _ => break,
+            }
+        }
+        // Visibility.
+        while let Some(TokenTree::Ident(id)) = tokens.get(i) {
+            if id.to_string() == "pub" {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1; // pub(crate) / pub(super)
+                    }
+                }
+            } else {
+                break;
+            }
+        }
+        // Field name.
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde_derive shim: expected field name, got {other:?}"),
+        };
+        i += 1;
+        // `:` then the type — skip tokens until a top-level comma. Generic angle
+        // brackets contain no top-level commas at this token depth except inside
+        // `<...>`, so track angle-bracket depth.
+        let mut angle_depth = 0i32;
+        while let Some(tok) = tokens.get(i) {
+            if let TokenTree::Punct(p) = tok {
+                match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    ',' if angle_depth == 0 => {
+                        i += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+        fields.push(Field { name, skip });
+    }
+    fields
+}
+
+/// Parses `(#[attr])* Name ( (..) | {..} )? (= disc)? ,` sequences.
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // Skip attributes (doc comments, #[default], ...).
+        while let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() == '#' {
+                i += 2;
+            } else {
+                break;
+            }
+        }
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde_derive shim: expected variant name, got {other:?}"),
+        };
+        i += 1;
+        let kind = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                let n_fields = count_top_level_types(g.stream());
+                if n_fields != 1 {
+                    panic!(
+                        "serde_derive shim: tuple variant `{name}` with {n_fields} fields is unsupported — extend vendor/serde_derive"
+                    );
+                }
+                VariantKind::Newtype
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Struct(parse_fields(g.stream()))
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`) and the trailing comma.
+        while let Some(tok) = tokens.get(i) {
+            if let TokenTree::Punct(p) = tok {
+                if p.as_char() == ',' {
+                    i += 1;
+                    break;
+                }
+            }
+            i += 1;
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+/// Counts comma-separated entries at angle-bracket depth 0.
+fn count_top_level_types(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut angle_depth = 0i32;
+    let mut saw_token_since_comma = false;
+    for tok in &tokens {
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    if saw_token_since_comma {
+                        count += 1;
+                    }
+                    saw_token_since_comma = false;
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        saw_token_since_comma = true;
+    }
+    if !saw_token_since_comma {
+        count -= 1; // trailing comma
+    }
+    count
+}
+
+/// True for `[serde(... skip ...)]` attribute bodies.
+fn attr_is_serde_skip(stream: &TokenStream) -> bool {
+    let tokens: Vec<TokenTree> = stream.clone().into_iter().collect();
+    match (tokens.first(), tokens.get(1)) {
+        (Some(TokenTree::Ident(id)), Some(TokenTree::Group(args))) if id.to_string() == "serde" => {
+            args.stream().into_iter().any(|t| match t {
+                TokenTree::Ident(arg) => arg.to_string() == "skip",
+                _ => false,
+            })
+        }
+        _ => false,
+    }
+}

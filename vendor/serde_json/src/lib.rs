@@ -1,0 +1,415 @@
+//! Offline stand-in for [`serde_json`](https://docs.rs/serde_json).
+//!
+//! Works against the vendored `serde` shim's [`serde::Value`] intermediate
+//! representation: `to_string`/`to_string_pretty` render a `Value` tree as JSON text, and
+//! `from_str` parses JSON text back into a `Value` tree before handing it to
+//! `serde::Deserialize::from_value`. Non-finite floats are emitted as `null` (JSON has no
+//! spelling for them); `deserialize` maps `null` back to `NaN` for float targets.
+
+use serde::{Deserialize, Serialize, Value};
+
+/// JSON error: a message plus 1-based line/column when produced by the parser.
+#[derive(Debug, Clone)]
+pub struct Error {
+    msg: String,
+    line: usize,
+    col: usize,
+}
+
+impl Error {
+    fn new(msg: impl Into<String>) -> Self {
+        Self {
+            msg: msg.into(),
+            line: 0,
+            col: 0,
+        }
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.line > 0 {
+            write!(f, "{} at line {} column {}", self.msg, self.line, self.col)
+        } else {
+            write!(f, "{}", self.msg)
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::Error> for Error {
+    fn from(e: serde::Error) -> Self {
+        Error::new(e.to_string())
+    }
+}
+
+/// Serializes `value` as compact JSON.
+pub fn to_string<T: Serialize>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&value.to_value(), &mut out, None, 0);
+    Ok(out)
+}
+
+/// Serializes `value` as 2-space-indented JSON.
+pub fn to_string_pretty<T: Serialize>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&value.to_value(), &mut out, Some(2), 0);
+    Ok(out)
+}
+
+/// Parses JSON text into any `Deserialize` type.
+pub fn from_str<T: Deserialize>(text: &str) -> Result<T, Error> {
+    let value = parse(text)?;
+    T::from_value(&value).map_err(Error::from)
+}
+
+// ---------------------------------------------------------------------------
+// Writer.
+// ---------------------------------------------------------------------------
+
+fn write_value(v: &Value, out: &mut String, indent: Option<usize>, depth: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(i) => out.push_str(&i.to_string()),
+        Value::UInt(u) => out.push_str(&u.to_string()),
+        Value::Float(f) => {
+            if f.is_finite() {
+                // `{f:?}` keeps a decimal point or exponent so the value re-parses as a
+                // float ("1.0", not "1"); integers deserialize from either form anyway.
+                out.push_str(&format!("{f:?}"));
+            } else {
+                out.push_str("null");
+            }
+        }
+        Value::Str(s) => write_json_string(s, out),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_value(item, out, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push(']');
+        }
+        Value::Object(fields) => {
+            if fields.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (key, item)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_json_string(key, out);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(item, out, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        out.extend(std::iter::repeat_n(' ', width * depth));
+    }
+}
+
+fn write_json_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---------------------------------------------------------------------------
+// Parser.
+// ---------------------------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+fn parse(text: &str) -> Result<Value, Error> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.error("trailing characters after JSON value"));
+    }
+    Ok(v)
+}
+
+impl<'a> Parser<'a> {
+    fn error(&self, msg: &str) -> Error {
+        let mut line = 1;
+        let mut col = 1;
+        for &b in &self.bytes[..self.pos.min(self.bytes.len())] {
+            if b == b'\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+        }
+        Error {
+            msg: msg.to_string(),
+            line,
+            col,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected `{}`", b as char)))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Value::Str(self.string()?)),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            Some(c) => Err(self.error(&format!("unexpected character `{}`", c as char))),
+            None => Err(self.error("unexpected end of input")),
+        }
+    }
+
+    fn literal(&mut self, lit: &str, v: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            Err(self.error(&format!("invalid literal, expected `{lit}`")))
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let val = self.value()?;
+            fields.push((key, val));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(fields));
+                }
+                _ => return Err(self.error("expected `,` or `}` in object")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(self.error("expected `,` or `]` in array")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.error("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{0008}'),
+                        Some(b'f') => out.push('\u{000C}'),
+                        Some(b'u') => {
+                            if self.pos + 4 >= self.bytes.len() {
+                                return Err(self.error("truncated \\u escape"));
+                            }
+                            let hex = std::str::from_utf8(&self.bytes[self.pos + 1..self.pos + 5])
+                                .map_err(|_| self.error("invalid \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.error("invalid \\u escape"))?;
+                            // Surrogate pairs are not needed for this workspace's reports.
+                            out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.error("invalid escape sequence")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 code point.
+                    let start = self.pos;
+                    let text = std::str::from_utf8(&self.bytes[start..])
+                        .map_err(|_| self.error("invalid UTF-8 in string"))?;
+                    let c = text.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(c) = self.peek() {
+            match c {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        if !is_float {
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Value::Int(i));
+            }
+            if let Ok(u) = text.parse::<u64>() {
+                return Ok(Value::UInt(u));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::Float)
+            .map_err(|_| self.error(&format!("invalid number `{text}`")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_nested_value() {
+        let v = Value::Object(vec![
+            ("name".into(), Value::Str("fig 5 \"sweep\"\n".into())),
+            ("n".into(), Value::Int(-3)),
+            ("recall".into(), Value::Float(0.925)),
+            ("big".into(), Value::UInt(u64::MAX)),
+            (
+                "flags".into(),
+                Value::Array(vec![Value::Bool(true), Value::Null]),
+            ),
+            ("empty_obj".into(), Value::Object(vec![])),
+            ("empty_arr".into(), Value::Array(vec![])),
+        ]);
+        for text in [to_string(&v).unwrap(), to_string_pretty(&v).unwrap()] {
+            let back: Value = from_str(&text).unwrap();
+            assert_eq!(back, v);
+        }
+    }
+
+    #[test]
+    fn floats_keep_a_decimal_marker() {
+        let text = to_string(&Value::Float(2.0)).unwrap();
+        assert_eq!(text, "2.0");
+        let back: Value = from_str(&text).unwrap();
+        assert_eq!(back, Value::Float(2.0));
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        assert_eq!(to_string(&Value::Float(f64::NAN)).unwrap(), "null");
+        assert_eq!(to_string(&Value::Float(f64::INFINITY)).unwrap(), "null");
+    }
+
+    #[test]
+    fn parse_errors_carry_position() {
+        let err = from_str::<Value>("{\"a\": }").unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("line 1"), "got: {msg}");
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        assert!(from_str::<Value>("1 2").is_err());
+    }
+}

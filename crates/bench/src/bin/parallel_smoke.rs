@@ -1,0 +1,152 @@
+//! Parallel-vs-sequential smoke benchmark for the rayon shim's chunk executor.
+//!
+//! Times the two headline hot paths — dense matmul and exact-kNN ground truth — once
+//! with the pool forced to a single thread and once with the configured pool
+//! (`USP_NUM_THREADS` / `available_parallelism`), verifies the outputs are bit-identical,
+//! and records the wall-clock speedup into `BENCH_parallel.json`. CI runs this in
+//! release mode with `USP_NUM_THREADS=4`; the recorded `host_cpus` field gives the
+//! context needed to interpret the speedup (forcing 4 threads on a 1-core container
+//! measures overhead, not speedup).
+
+use std::time::Instant;
+
+use usp_data::exact_knn;
+use usp_linalg::{rng as lrng, Distance, Matrix};
+
+fn random_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
+    let mut rng = lrng::seeded(seed);
+    let data = (0..rows * cols)
+        .map(|_| lrng::standard_normal(&mut rng))
+        .collect();
+    Matrix::from_vec(rows, cols, data)
+}
+
+/// Best-of-`reps` wall-clock milliseconds for `f`, plus the last result for
+/// equivalence checking.
+fn time_best_of<R>(reps: usize, mut f: impl FnMut() -> R) -> (f64, R) {
+    let mut best = f64::INFINITY;
+    let mut out = None;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let r = f();
+        best = best.min(t0.elapsed().as_secs_f64() * 1e3);
+        out = Some(r);
+    }
+    (best, out.expect("reps >= 1"))
+}
+
+struct Record {
+    name: &'static str,
+    workload: String,
+    sequential_ms: f64,
+    parallel_ms: f64,
+}
+
+impl Record {
+    fn speedup(&self) -> f64 {
+        self.sequential_ms / self.parallel_ms
+    }
+}
+
+fn main() {
+    let threads = rayon::current_num_threads();
+    let host_cpus = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let reps = 3;
+
+    // --- matmul ------------------------------------------------------------
+    let a = random_matrix(512, 384, 1);
+    let b = random_matrix(384, 512, 2);
+    let (seq_ms, seq_out) = rayon::with_num_threads(1, || time_best_of(reps, || a.matmul(&b)));
+    let (par_ms, par_out) =
+        rayon::with_num_threads(threads, || time_best_of(reps, || a.matmul(&b)));
+    assert_eq!(
+        seq_out.as_slice(),
+        par_out.as_slice(),
+        "matmul outputs must be bit-identical across thread counts"
+    );
+    let matmul = Record {
+        name: "matmul",
+        workload: "512x384 * 384x512 f32".into(),
+        sequential_ms: seq_ms,
+        parallel_ms: par_ms,
+    };
+
+    // --- exact kNN ---------------------------------------------------------
+    let base = random_matrix(12_000, 24, 3);
+    let queries = random_matrix(120, 24, 4);
+    let (seq_ms, seq_knn) = rayon::with_num_threads(1, || {
+        time_best_of(reps, || {
+            exact_knn(&base, &queries, 10, Distance::SquaredEuclidean)
+        })
+    });
+    let (par_ms, par_knn) = rayon::with_num_threads(threads, || {
+        time_best_of(reps, || {
+            exact_knn(&base, &queries, 10, Distance::SquaredEuclidean)
+        })
+    });
+    assert_eq!(
+        seq_knn, par_knn,
+        "exact_knn outputs must be identical across thread counts"
+    );
+    let knn = Record {
+        name: "exact_knn",
+        workload: "120 queries x 12000 base x 24d, k=10".into(),
+        sequential_ms: seq_ms,
+        parallel_ms: par_ms,
+    };
+
+    let mut json = String::from("{\n");
+    json.push_str(&format!("  \"host_cpus\": {host_cpus},\n"));
+    json.push_str(&format!("  \"pool_threads\": {threads},\n"));
+    for r in [&matmul, &knn] {
+        json.push_str(&format!(
+            "  \"{}\": {{ \"workload\": \"{}\", \"sequential_ms\": {:.3}, \"parallel_ms\": {:.3}, \"speedup\": {:.3} }},\n",
+            r.name,
+            r.workload,
+            r.sequential_ms,
+            r.parallel_ms,
+            r.speedup()
+        ));
+    }
+    json.push_str(
+        "  \"note\": \"speedup = sequential_ms / parallel_ms; meaningful only when host_cpus >= pool_threads\"\n}\n",
+    );
+
+    std::fs::write("BENCH_parallel.json", &json).expect("write BENCH_parallel.json");
+    print!("{json}");
+    eprintln!(
+        "matmul: {:.2}x, exact_knn: {:.2}x on {} threads ({} host cpus)",
+        matmul.speedup(),
+        knn.speedup(),
+        threads,
+        host_cpus
+    );
+
+    // Optional regression gate (CI sets USP_ASSERT_SPEEDUP=1.5): a quietly-sequential
+    // executor would score ~1.0x here while passing every determinism test, so the
+    // smoke bench is the place that catches it. Only enforced when the host actually
+    // has a core per pool thread.
+    if let Ok(min) = std::env::var("USP_ASSERT_SPEEDUP") {
+        let min: f64 = min
+            .trim()
+            .parse()
+            .expect("USP_ASSERT_SPEEDUP must be a number");
+        if threads >= 2 && host_cpus >= threads {
+            for r in [&matmul, &knn] {
+                assert!(
+                    r.speedup() >= min,
+                    "{} speedup {:.2}x is below the required {min}x on {threads} threads",
+                    r.name,
+                    r.speedup()
+                );
+            }
+            eprintln!("speedup assertion passed (>= {min}x)");
+        } else {
+            eprintln!(
+                "skipping speedup assertion: {host_cpus} host cpus cannot back {threads} threads"
+            );
+        }
+    }
+}

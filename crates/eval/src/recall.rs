@@ -5,6 +5,7 @@
 //! search procedure expressed as a closure `(query, probes) -> SearchResult`, so the same
 //! machinery serves the unsupervised partitioner, every baseline, and the ensembles.
 
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use usp_index::SearchResult;
 use usp_linalg::Matrix;
@@ -37,14 +38,16 @@ pub fn recall_at_k(results: &[Vec<usize>], truth: &[Vec<usize>]) -> f64 {
     total / results.len() as f64
 }
 
-/// Runs a probe sweep: for each probe count, every query is answered and the mean
-/// candidate-set size and mean k-NN accuracy are recorded.
+/// Runs a probe sweep: for each probe count, every query is answered (in parallel — the
+/// embarrassingly parallel online phase) and the mean candidate-set size and mean k-NN
+/// accuracy are recorded. Per-query results are merged in query order, so the sweep is
+/// deterministic for any thread count.
 pub fn sweep_probes(
     queries: &Matrix,
     truth: &[Vec<usize>],
     k: usize,
     probe_counts: &[usize],
-    mut search: impl FnMut(&[f32], usize) -> SearchResult,
+    search: impl Fn(&[f32], usize) -> SearchResult + Sync,
 ) -> Vec<SweepPoint> {
     assert_eq!(
         queries.rows(),
@@ -53,13 +56,16 @@ pub fn sweep_probes(
     );
     let mut points = Vec::with_capacity(probe_counts.len());
     for &probes in probe_counts {
-        let mut candidates = 0usize;
-        let mut recall = 0.0f64;
-        for qi in 0..queries.rows() {
-            let res = search(queries.row(qi), probes);
-            candidates += res.candidates_scanned;
-            recall += usp_data::ground_truth::knn_accuracy(&res.ids, &truth[qi]);
-        }
+        let per_query: Vec<(usize, f64)> = (0..queries.rows())
+            .into_par_iter()
+            .map(|qi| {
+                let res = search(queries.row(qi), probes);
+                let acc = usp_data::ground_truth::knn_accuracy(&res.ids, &truth[qi]);
+                (res.candidates_scanned, acc)
+            })
+            .collect();
+        let candidates: usize = per_query.iter().map(|&(c, _)| c).sum();
+        let recall: f64 = per_query.iter().map(|&(_, r)| r).sum();
         let n = queries.rows().max(1) as f64;
         points.push(SweepPoint {
             probes,

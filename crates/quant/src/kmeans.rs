@@ -11,6 +11,10 @@ use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use usp_linalg::{distance, rng as lrng, topk, Matrix};
 
+/// Points per accumulation chunk in the parallel update step. Fixed (never derived from
+/// the thread count) so centroid sums merge in the same order on any pool size.
+const UPDATE_CHUNK: usize = 1024;
+
 /// K-means configuration.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct KMeansConfig {
@@ -85,15 +89,33 @@ impl KMeans {
                 assignments[i] = c;
             }
 
-            // Update step.
+            // Update step: chunk-local accumulation merged in chunk order. The chunk
+            // width is a fixed constant (not derived from the thread count), so the
+            // floating-point merge tree — and therefore the centroids — are identical
+            // for every pool size.
+            let partials: Vec<(Matrix, Vec<usize>)> = new
+                .par_chunks(UPDATE_CHUNK)
+                .enumerate()
+                .map(|(ci, chunk)| {
+                    let base = ci * UPDATE_CHUNK;
+                    let mut sums = Matrix::zeros(k, d);
+                    let mut counts = vec![0usize; k];
+                    for (off, &(c, _)) in chunk.iter().enumerate() {
+                        counts[c] += 1;
+                        let row = data.row(base + off);
+                        for (sv, &v) in sums.row_mut(c).iter_mut().zip(row) {
+                            *sv += v;
+                        }
+                    }
+                    (sums, counts)
+                })
+                .collect();
             let mut sums = Matrix::zeros(k, d);
             let mut counts = vec![0usize; k];
-            for (i, &(c, _)) in new.iter().enumerate() {
-                counts[c] += 1;
-                let row = data.row(i);
-                let s = sums.row_mut(c);
-                for (sv, &v) in s.iter_mut().zip(row) {
-                    *sv += v;
+            for (partial_sums, partial_counts) in partials {
+                sums.add_assign(&partial_sums);
+                for (total, part) in counts.iter_mut().zip(&partial_counts) {
+                    *total += part;
                 }
             }
             for c in 0..k {

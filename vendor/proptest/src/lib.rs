@@ -3,9 +3,15 @@
 //! The build container has no crates.io access, so external dependencies are vendored as
 //! minimal API-compatible shims (see `DESIGN.md` §"Vendored shims"). This one runs each
 //! `proptest!` test as `cases` randomized executions with a seed derived from the test's
-//! module path — deterministic run-to-run, so CI failures reproduce locally. On failure it
-//! reports the case number and the sampled arguments. **No shrinking**: the reported
-//! counterexample is the raw sample, not a minimal one.
+//! module path — deterministic run-to-run, so CI failures reproduce locally.
+//!
+//! On failure the harness **shrinks** the counterexample before reporting it: integer
+//! (and therefore seed) strategies binary-search toward the lower bound of their range,
+//! and tuples shrink component-wise while holding the other components fixed. The
+//! reported minimal case is exact when the failure region is upward-closed (`fails for
+//! all x >= c`, the common case for sizes, counts and seeds) and is otherwise still a
+//! genuine failing input. Float and collection strategies currently report unshrunk
+//! values.
 //!
 //! Supported surface: `proptest! { #![proptest_config(ProptestConfig::with_cases(N))]
 //! #[test] fn name(arg in strategy, ...) { ... } }`, `prop_assert!`, `prop_assert_eq!`,
@@ -64,14 +70,153 @@ pub fn test_rng(test_name: &str) -> StdRng {
     StdRng::seed_from_u64(hash)
 }
 
-/// A value generator. Unlike real proptest there is no shrinking tree — `sample` just
-/// draws one value.
-pub trait Strategy {
-    type Value;
-    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+/// Turns the caught outcome of one test-case execution into `Some(failure text)`
+/// (`None` = the case passed). Used by the `proptest!` expansion; panics inside the body
+/// count as failures so panicking cases shrink too.
+#[doc(hidden)]
+pub fn outcome_failure(outcome: std::thread::Result<TestCaseResult>) -> Option<String> {
+    match outcome {
+        Ok(Ok(())) => None,
+        Ok(Err(e)) => Some(e.to_string()),
+        Err(payload) => Some(
+            payload
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+                .unwrap_or_else(|| "test body panicked".into()),
+        ),
+    }
 }
 
+/// Pins a closure's argument type to `S::Value` so `proptest!`-generated closures can
+/// call methods on the sampled values (closure parameter types cannot otherwise be
+/// inferred before the first call).
+#[doc(hidden)]
+pub fn bind<S: Strategy, R, F: Fn(&S::Value) -> R>(_strategies: &S, f: F) -> F {
+    f
+}
+
+/// Silences panic reporting *for the current thread* while `f` runs. Shrinking replays
+/// a panicking test body dozens of times; without this every binary-search probe would
+/// print a full panic report (and backtrace) to stderr, burying the minimal
+/// counterexample.
+///
+/// Implementation: a delegating hook is installed once per process; it consults a
+/// thread-local flag and forwards to the previously-installed hook unless the panicking
+/// thread asked for quiet. Concurrently failing tests on other threads therefore keep
+/// their normal panic output, and a drop guard clears the flag even if `f` unwinds.
+#[doc(hidden)]
+pub fn with_quiet_panics<R>(f: impl FnOnce() -> R) -> R {
+    use std::cell::Cell;
+
+    thread_local! {
+        static QUIET_PANICS: Cell<bool> = const { Cell::new(false) };
+    }
+    static INSTALL_FILTER: std::sync::Once = std::sync::Once::new();
+    INSTALL_FILTER.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let quiet = QUIET_PANICS.try_with(Cell::get).unwrap_or(false);
+            if !quiet {
+                previous(info);
+            }
+        }));
+    });
+
+    struct Guard {
+        prev: bool,
+    }
+    impl Drop for Guard {
+        fn drop(&mut self) {
+            let _ = QUIET_PANICS.try_with(|c| c.set(self.prev));
+        }
+    }
+    let _guard = Guard {
+        prev: QUIET_PANICS.with(|c| c.replace(true)),
+    };
+    f()
+}
+
+/// A value generator with optional shrinking.
+pub trait Strategy {
+    type Value;
+    /// Draws one value.
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Shrinks a failing value to a smaller failing value. `still_fails(v)` must return
+    /// `true` exactly when `v` reproduces the failure; implementations may only return
+    /// values for which `still_fails` returned `true` (or `failing` itself). The default
+    /// performs no shrinking.
+    fn shrink(
+        &self,
+        failing: Self::Value,
+        still_fails: &mut dyn FnMut(&Self::Value) -> bool,
+    ) -> Self::Value {
+        let _ = still_fails;
+        failing
+    }
+}
+
+/// Binary-search shrinking for integer ranges: smallest `v` in `[lo, failing]` such that
+/// `still_fails(v)`, assuming upward-closed failure; otherwise some failing value that
+/// every probe confirmed. Arithmetic in `i128` so extreme signed bounds cannot overflow.
 macro_rules! impl_strategy_for_int_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                use rand::Rng;
+                rng.random_range(self.clone())
+            }
+            fn shrink(&self, failing: $t, still_fails: &mut dyn FnMut(&$t) -> bool) -> $t {
+                binary_search_shrink(self.start, failing, still_fails)
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                use rand::Rng;
+                rng.random_range(self.clone())
+            }
+            fn shrink(&self, failing: $t, still_fails: &mut dyn FnMut(&$t) -> bool) -> $t {
+                binary_search_shrink(*self.start(), failing, still_fails)
+            }
+        }
+    )*};
+}
+
+/// Shared binary-search core, generic over the integer type via `i128` widening.
+fn binary_search_shrink<T>(lo_bound: T, failing: T, still_fails: &mut dyn FnMut(&T) -> bool) -> T
+where
+    T: Copy + PartialOrd + TryInto<i128> + TryFrom<i128>,
+{
+    let to_wide = |v: T| -> i128 {
+        v.try_into()
+            .unwrap_or_else(|_| unreachable!("integer fits i128"))
+    };
+    let from_wide = |v: i128| -> T {
+        T::try_from(v).unwrap_or_else(|_| unreachable!("midpoint stays within the range"))
+    };
+    let mut lo = to_wide(lo_bound);
+    let mut hi = to_wide(failing);
+    // Invariant: `hi` fails. Probe midpoints; a failing midpoint becomes the new `hi`,
+    // a passing one raises `lo` past itself.
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if still_fails(&from_wide(mid)) {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    from_wide(hi)
+}
+
+impl_strategy_for_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Float ranges sample but do not shrink (binary search over reals has no canonical
+/// minimal counterexample to stop at).
+macro_rules! impl_strategy_for_float_range {
     ($($t:ty),*) => {$(
         impl Strategy for std::ops::Range<$t> {
             type Value = $t;
@@ -89,20 +234,44 @@ macro_rules! impl_strategy_for_int_range {
         }
     )*};
 }
-impl_strategy_for_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+impl_strategy_for_float_range!(f32, f64);
 
-impl<A: Strategy, B: Strategy> Strategy for (A, B) {
-    type Value = (A::Value, B::Value);
-    fn sample(&self, rng: &mut StdRng) -> Self::Value {
-        (self.0.sample(rng), self.1.sample(rng))
-    }
+/// Component-wise tuple shrinking: each component binary-searches while the others are
+/// pinned at their current values (one pass, left to right).
+macro_rules! impl_strategy_for_tuple {
+    ($(($($S:ident . $idx:tt),+))*) => {$(
+        impl<$($S: Strategy),+> Strategy for ($($S,)+)
+        where
+            $($S::Value: Clone,)+
+        {
+            type Value = ($($S::Value,)+);
+            fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+            fn shrink(
+                &self,
+                failing: Self::Value,
+                still_fails: &mut dyn FnMut(&Self::Value) -> bool,
+            ) -> Self::Value {
+                let mut current = failing;
+                $(
+                    current.$idx = self.$idx.shrink(current.$idx.clone(), &mut |cand| {
+                        let mut probe = current.clone();
+                        probe.$idx = cand.clone();
+                        still_fails(&probe)
+                    });
+                )+
+                current
+            }
+        }
+    )*};
 }
 
-impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
-    type Value = (A::Value, B::Value, C::Value);
-    fn sample(&self, rng: &mut StdRng) -> Self::Value {
-        (self.0.sample(rng), self.1.sample(rng), self.2.sample(rng))
-    }
+impl_strategy_for_tuple! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
 }
 
 /// `Just` strategy: always the same value.
@@ -110,10 +279,10 @@ impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
 pub struct Just<T: Clone>(pub T);
 
 impl<T: Clone> Strategy for Just<T> {
-    type Value = T;
     fn sample(&self, _rng: &mut StdRng) -> T {
         self.0.clone()
     }
+    type Value = T;
 }
 
 pub mod collection {
@@ -139,6 +308,7 @@ pub mod collection {
             let n = rng.random_range(self.len.clone());
             (0..n).map(|_| self.element.sample(rng)).collect()
         }
+        // Vectors are reported unshrunk (see the crate docs).
     }
 }
 
@@ -150,7 +320,8 @@ pub mod prelude {
 }
 
 /// Mirror of `proptest::proptest!`: expands each `fn name(arg in strategy, ..) { body }`
-/// into a `#[test]` running `cases` sampled executions.
+/// into a `#[test]` running `cases` sampled executions, shrinking any failure before
+/// reporting it.
 #[macro_export]
 macro_rules! proptest {
     (#![proptest_config($config:expr)] $($rest:tt)*) => {
@@ -172,26 +343,47 @@ macro_rules! __proptest_impl {
             fn $name() {
                 let config: $crate::ProptestConfig = $config;
                 let mut rng = $crate::test_rng(concat!(module_path!(), "::", stringify!($name)));
+                let strategies = ($($strategy,)+);
+                // Runs the body once against a borrowed value tuple. Cloning lets the
+                // shrinker replay the body arbitrarily many times.
+                let run = $crate::bind(&strategies, |vals| -> $crate::TestCaseResult {
+                    let ($($arg,)+) = ::std::clone::Clone::clone(vals);
+                    $body
+                    #[allow(unreachable_code)]
+                    ::std::result::Result::Ok(())
+                });
+                let describe = $crate::bind(&strategies, |vals| -> ::std::string::String {
+                    let ($(ref $arg,)+) = *vals;
+                    let mut s = ::std::string::String::new();
+                    $(
+                        s.push_str(stringify!($arg));
+                        s.push_str(" = ");
+                        s.push_str(&format!("{:?}", $arg));
+                        s.push_str("; ");
+                    )+
+                    s
+                });
                 for case in 0..config.cases {
-                    $( let $arg = $crate::Strategy::sample(&($strategy), &mut rng); )+
-                    let described = {
-                        let mut s = String::new();
-                        $(
-                            s.push_str(stringify!($arg));
-                            s.push_str(" = ");
-                            s.push_str(&format!("{:?}", &$arg));
-                            s.push_str("; ");
-                        )+
-                        s
-                    };
-                    let outcome = (move || -> $crate::TestCaseResult {
-                        $body
-                        ::std::result::Result::Ok(())
-                    })();
-                    if let ::std::result::Result::Err(e) = outcome {
+                    let vals = $crate::Strategy::sample(&strategies, &mut rng);
+                    let outcome = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(|| run(&vals)),
+                    );
+                    if let ::std::option::Option::Some(err) = $crate::outcome_failure(outcome) {
+                        let sampled_desc = describe(&vals);
+                        let mut probes = 0u32;
+                        let minimal = $crate::with_quiet_panics(|| {
+                            $crate::Strategy::shrink(&strategies, vals, &mut |cand| {
+                                probes += 1;
+                                $crate::outcome_failure(::std::panic::catch_unwind(
+                                    ::std::panic::AssertUnwindSafe(|| run(cand)),
+                                ))
+                                .is_some()
+                            })
+                        });
                         panic!(
-                            "proptest {} failed at case {}/{}: {}\n  inputs: {}\n  (no shrinking — see vendor/proptest)",
-                            stringify!($name), case + 1, config.cases, e, described,
+                            "proptest {} failed at case {}/{}: {}\n  inputs: {}\n  minimal failing case ({} shrink probes): {}",
+                            stringify!($name), case + 1, config.cases, err,
+                            sampled_desc, probes, describe(&minimal),
                         );
                     }
                 }
@@ -301,5 +493,93 @@ mod tests {
         for _ in 0..16 {
             assert_eq!((0u64..1000).sample(&mut a), (0u64..1000).sample(&mut b));
         }
+    }
+
+    // ------------------------------------------------------------- shrinking
+
+    #[test]
+    fn integer_shrink_binary_searches_to_threshold() {
+        use crate::Strategy;
+        // Upward-closed failure region {v >= 10}: binary search finds the boundary.
+        let minimal = (0i32..100).shrink(87, &mut |v| *v >= 10);
+        assert_eq!(minimal, 10);
+        // Negative lower bounds shrink toward the bound, not toward zero.
+        let minimal = (-50i32..50).shrink(37, &mut |v| *v >= -12);
+        assert_eq!(minimal, -12);
+        // Seed-sized (u64) ranges stay exact.
+        let minimal = (0u64..1_000_000).shrink(999_999, &mut |v| *v >= 123_456);
+        assert_eq!(minimal, 123_456);
+        // Inclusive ranges shrink too.
+        let minimal = (0usize..=255).shrink(200, &mut |v| *v >= 3);
+        assert_eq!(minimal, 3);
+        // Extreme signed bounds must not overflow the midpoint computation.
+        let minimal = (i64::MIN..i64::MAX).shrink(i64::MAX - 1, &mut |v| *v >= 42);
+        assert_eq!(minimal, 42);
+    }
+
+    #[test]
+    fn shrink_probe_count_is_logarithmic() {
+        use crate::Strategy;
+        let mut probes = 0usize;
+        let _ = (0u64..1_000_000).shrink(999_999, &mut |v| {
+            probes += 1;
+            *v >= 123_456
+        });
+        assert!(
+            probes <= 40,
+            "binary search should need ~20 probes, took {probes}"
+        );
+    }
+
+    #[test]
+    fn tuple_shrink_minimises_each_component() {
+        use crate::Strategy;
+        let strat = (0u32..50, 0u32..1000);
+        let minimal = strat.shrink((33, 777), &mut |(_, y)| *y >= 100);
+        // x is irrelevant to the failure, so it shrinks all the way to 0; y stops at
+        // the failure boundary.
+        assert_eq!(minimal, (0, 100));
+    }
+
+    #[test]
+    fn failing_property_shrinks_to_minimal_case() {
+        // End-to-end through the macro: a seeded failing property must report the
+        // boundary value, not the raw sample.
+        let result = std::panic::catch_unwind(|| {
+            crate::__proptest_impl! {
+                config = ProptestConfig::with_cases(8);
+                fn fails_from_17_up(x in 0usize..1000) {
+                    prop_assert!(x < 17, "x was {}", x);
+                }
+            }
+            fails_from_17_up();
+        });
+        let err = result.expect_err("should have panicked");
+        let msg = err.downcast_ref::<String>().expect("panic payload");
+        assert!(
+            msg.contains("minimal failing case") && msg.contains("x = 17;"),
+            "expected shrink to 17, got: {msg}"
+        );
+    }
+
+    #[test]
+    fn panicking_bodies_shrink_too() {
+        // Failures signalled by panic (plain assert!) shrink exactly like
+        // prop_assert failures.
+        let result = std::panic::catch_unwind(|| {
+            crate::__proptest_impl! {
+                config = ProptestConfig::with_cases(4);
+                fn panics_from_100_up(x in 0u32..10_000) {
+                    assert!(x < 100);
+                }
+            }
+            panics_from_100_up();
+        });
+        let err = result.expect_err("should have panicked");
+        let msg = err.downcast_ref::<String>().expect("panic payload");
+        assert!(
+            msg.contains("x = 100;"),
+            "expected shrink to 100, got: {msg}"
+        );
     }
 }

@@ -1,123 +1,813 @@
-//! Offline stand-in for the [`rayon`](https://docs.rs/rayon) crate.
+//! Offline stand-in for the [`rayon`](https://docs.rs/rayon) crate — now with **real
+//! data parallelism**.
 //!
 //! The build container has no crates.io access, so the external dependencies are vendored
-//! as minimal API-compatible shims (see `DESIGN.md` §"Vendored shims"). This shim keeps
-//! the `par_*` call sites source-compatible but executes them **sequentially**: each
-//! `par_*` entry point returns the corresponding standard-library iterator, so every
-//! downstream combinator (`map`, `enumerate`, `for_each`, `collect`, ...) is ordinary
-//! `std::iter` machinery. `flat_map_iter` — a rayon-only combinator name — is provided as
-//! an extension trait aliasing `flat_map`.
+//! as minimal API-compatible shims (see `DESIGN.md` §"Vendored shims"). Earlier revisions
+//! of this shim executed every `par_*` call sequentially; this revision runs them on a
+//! scoped-thread chunk executor (`std::thread::scope`, no external dependencies):
 //!
-//! Restoring real data parallelism (work-stealing or a scoped-thread chunk executor) is
-//! tracked in `ROADMAP.md`; swapping the real crate back in requires no source changes.
+//! * The input index space is pre-split into contiguous **blocks** whose boundaries
+//!   depend only on the input length and the `with_min_len` hint — **never on the thread
+//!   count**. Worker threads pull blocks from an atomic counter, each block's result is
+//!   written into its own ordered slot, and terminal operations merge the slots in block
+//!   order. Consequence: `collect`, `sum` and friends return *bit-identical* results
+//!   whether the pool has 1 thread or 64 (the reduction tree has a fixed shape).
+//! * The pool size comes from `std::thread::available_parallelism`, overridable via the
+//!   `USP_NUM_THREADS` environment variable and, per call site, via
+//!   [`with_num_threads`]. Nested parallel regions execute inline on the worker that
+//!   encountered them, so parallelism never fans out exponentially.
+//! * A panic inside any block is caught, the remaining blocks are cancelled, and the
+//!   first payload is re-raised on the calling thread — matching real rayon's
+//!   propagation semantics.
+//!
+//! The supported surface (`prelude::*`, `join`, `par_iter`/`par_chunks_mut`/
+//! `into_par_iter` and the `map`/`enumerate`/`flat_map_iter`/`for_each`/`collect`/`sum`
+//! combinators) mirrors rayon's, with `Fn + Send + Sync (+ Clone)` closure bounds that
+//! real rayon also satisfies — so library code swaps to the real crate unchanged. The
+//! one exception is [`with_num_threads`], a shim-only hook used by the equivalence
+//! tests and the `parallel_smoke` bench; those two callers would need porting to
+//! `ThreadPoolBuilder` if the real crate were swapped back in.
 
-use std::ops::Range;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 
-/// Sequential stand-in for `rayon::join`: runs both closures in order.
-pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
-where
-    A: FnOnce() -> RA,
-    B: FnOnce() -> RB,
-{
-    (a(), b())
+pub mod pool {
+    //! The scoped-thread chunk executor and pool-size resolution.
+
+    use super::{catch_unwind, resume_unwind, AssertUnwindSafe};
+    use std::cell::Cell;
+    use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+    use std::sync::{Mutex, OnceLock};
+
+    /// Upper bound on the number of blocks a parallel region is split into. More blocks
+    /// than threads gives dynamic load balancing; a fixed cap keeps per-block bookkeeping
+    /// negligible. Must stay a compile-time constant: block boundaries feed the ordered
+    /// merge, so they must not depend on the runtime thread count.
+    const TARGET_BLOCKS: usize = 64;
+
+    static GLOBAL_POOL_SIZE: OnceLock<usize> = OnceLock::new();
+
+    thread_local! {
+        /// Per-thread pool-size override installed by [`crate::with_num_threads`]
+        /// (0 = no override).
+        static NUM_THREADS_OVERRIDE: Cell<usize> = const { Cell::new(0) };
+        /// Set while this thread is executing blocks on behalf of a parallel region;
+        /// nested regions then run inline instead of spawning threads-within-threads.
+        static IN_PARALLEL_REGION: Cell<bool> = const { Cell::new(false) };
+    }
+
+    /// Resolves the pool size from the `USP_NUM_THREADS` override and the detected
+    /// hardware parallelism. Pure so it can be unit-tested without touching the
+    /// process environment.
+    pub fn resolve_pool_size(env_override: Option<&str>, available: usize) -> usize {
+        match env_override.and_then(|s| s.trim().parse::<usize>().ok()) {
+            Some(n) if n >= 1 => n,
+            _ => available.max(1),
+        }
+    }
+
+    /// The lazily-initialised global pool size.
+    pub(crate) fn global_pool_size() -> usize {
+        *GLOBAL_POOL_SIZE.get_or_init(|| {
+            resolve_pool_size(
+                std::env::var("USP_NUM_THREADS").ok().as_deref(),
+                std::thread::available_parallelism()
+                    .map(std::num::NonZeroUsize::get)
+                    .unwrap_or(1),
+            )
+        })
+    }
+
+    pub(crate) fn effective_pool_size() -> usize {
+        let o = NUM_THREADS_OVERRIDE.with(Cell::get);
+        if o > 0 {
+            o
+        } else {
+            global_pool_size()
+        }
+    }
+
+    pub(crate) fn in_parallel_region() -> bool {
+        IN_PARALLEL_REGION.with(Cell::get)
+    }
+
+    pub(crate) fn with_override<R>(n: usize, f: impl FnOnce() -> R) -> R {
+        NUM_THREADS_OVERRIDE.with(|c| {
+            let prev = c.replace(n);
+            let out = f();
+            c.set(prev);
+            out
+        })
+    }
+
+    pub(crate) fn enter_region<R>(f: impl FnOnce() -> R) -> R {
+        IN_PARALLEL_REGION.with(|c| {
+            let prev = c.replace(true);
+            let out = f();
+            c.set(prev);
+            out
+        })
+    }
+
+    /// Block length for an input of `len` units: depends only on `len` and `min_len`,
+    /// never on the thread count (see the module docs for why).
+    pub(crate) fn block_len(len: usize, min_len: usize) -> usize {
+        len.div_ceil(TARGET_BLOCKS).max(min_len).max(1)
+    }
+
+    /// Executes `fold` over every piece, on up to [`effective_pool_size`] scoped
+    /// threads, and returns the per-piece results **in input order**.
+    ///
+    /// Panics in `fold` are caught, remaining pieces are cancelled, and the first
+    /// payload is re-raised on the calling thread once all workers have stopped.
+    pub(crate) fn run_blocks<P, R, F>(pieces: Vec<P>, fold: F) -> Vec<R>
+    where
+        P: Send,
+        R: Send,
+        F: Fn(P) -> R + Sync,
+    {
+        let nblocks = pieces.len();
+        if nblocks == 0 {
+            return Vec::new();
+        }
+        let workers = if in_parallel_region() {
+            1
+        } else {
+            effective_pool_size().min(nblocks)
+        };
+        if workers <= 1 {
+            // Identical block structure, executed inline: results match the parallel
+            // path bit-for-bit.
+            return pieces.into_iter().map(fold).collect();
+        }
+
+        let slots: Vec<Mutex<Option<P>>> =
+            pieces.into_iter().map(|p| Mutex::new(Some(p))).collect();
+        let results: Vec<Mutex<Option<R>>> = (0..nblocks).map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        let stop = AtomicBool::new(false);
+        let panic_payload: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
+
+        let work = || loop {
+            if stop.load(Ordering::Relaxed) {
+                break;
+            }
+            let i = next.fetch_add(1, Ordering::Relaxed);
+            if i >= nblocks {
+                break;
+            }
+            let piece = slots[i]
+                .lock()
+                .unwrap()
+                .take()
+                .expect("rayon shim: block dispatched twice");
+            match catch_unwind(AssertUnwindSafe(|| fold(piece))) {
+                Ok(r) => *results[i].lock().unwrap() = Some(r),
+                Err(payload) => {
+                    let mut slot = panic_payload.lock().unwrap();
+                    if slot.is_none() {
+                        *slot = Some(payload);
+                    }
+                    stop.store(true, Ordering::Relaxed);
+                    break;
+                }
+            }
+        };
+
+        // Workers inherit the caller's effective pool size so user code reading
+        // `current_num_threads()` inside a block sees the same value no matter which
+        // thread executes the block.
+        let effective = effective_pool_size();
+        std::thread::scope(|s| {
+            for _ in 1..workers {
+                s.spawn(|| with_override(effective, || enter_region(work)));
+            }
+            // The calling thread is a full member of the pool.
+            enter_region(work);
+        });
+
+        if let Some(payload) = panic_payload.into_inner().unwrap() {
+            resume_unwind(payload);
+        }
+        results
+            .into_iter()
+            .map(|m| {
+                m.into_inner()
+                    .unwrap()
+                    .expect("rayon shim: block finished without a result")
+            })
+            .collect()
+    }
 }
 
-/// The shim executes on the calling thread only.
+/// Number of threads the executor will use for parallel regions started on this thread.
 pub fn current_num_threads() -> usize {
-    1
+    pool::effective_pool_size()
+}
+
+/// Runs `f` with the pool size forced to `n` on this thread (restored afterwards).
+///
+/// Not part of real rayon's API — the equivalence test-suite and the benchmark harness
+/// use it to compare thread counts within one process. `n = 0` removes any override.
+pub fn with_num_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    pool::with_override(n, f)
+}
+
+/// Runs both closures, potentially concurrently, and returns both results.
+///
+/// Matches real rayon's semantics: both closures always run to completion (or panic),
+/// and if either panics the payload is re-raised on the caller after both have finished.
+pub fn join<A, B, RA, RB>(oper_a: A, oper_b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let effective = pool::effective_pool_size();
+    if pool::in_parallel_region() || effective <= 1 {
+        return (oper_a(), oper_b());
+    }
+    std::thread::scope(|s| {
+        let handle = s.spawn(|| pool::with_override(effective, || pool::enter_region(oper_b)));
+        let ra = catch_unwind(AssertUnwindSafe(oper_a));
+        let rb = handle.join();
+        match (ra, rb) {
+            (Ok(ra), Ok(rb)) => (ra, rb),
+            (Err(payload), _) => resume_unwind(payload),
+            (Ok(_), Err(payload)) => resume_unwind(payload),
+        }
+    })
 }
 
 pub mod iter {
-    //! Sequential `IntoParallelIterator` and friends.
+    //! Parallel iterators over indexed sources, backed by the chunk executor.
+    //!
+    //! Every iterator here is an *indexed, splittable* description of work: it knows how
+    //! many indivisible units it holds, can be split at a unit boundary, and can turn a
+    //! piece into an ordinary sequential iterator. Terminal operations pre-split the
+    //! chain into blocks (boundaries fixed by the executor's chunking heuristic) and
+    //! hand them to the executor.
 
-    use super::Range;
+    use super::pool;
 
-    /// Types convertible into a "parallel" (here: sequential) iterator.
+    /// Core parallel-iterator interface (the shim's analogue of rayon's trait pair).
+    pub trait ParallelIterator: Sized + Send {
+        /// Items the iterator yields.
+        type Item: Send;
+        /// The sequential iterator a piece lowers to.
+        type Seq: Iterator<Item = Self::Item>;
+
+        /// Number of indivisible work units: items for item-level iterators, chunks for
+        /// `par_chunks[_mut]`, *input* items for `flat_map_iter`.
+        fn units(&self) -> usize;
+        /// Splits into `[0, at)` and `[at, units())`. `at` must be `<= units()`.
+        fn split_at(self, at: usize) -> (Self, Self);
+        /// Lowers this piece to a sequential iterator over its items, in order.
+        fn into_seq(self) -> Self::Seq;
+        /// Minimum number of units a block should hold (see `with_min_len`).
+        fn min_len_hint(&self) -> usize {
+            1
+        }
+
+        /// Maps each item through `f` (applied in parallel).
+        fn map<R, F>(self, f: F) -> Map<Self, F>
+        where
+            R: Send,
+            F: Fn(Self::Item) -> R + Send + Sync + Clone,
+        {
+            Map { base: self, f }
+        }
+
+        /// Maps each item to a serial iterator and flattens. The result is no longer
+        /// indexed (output lengths are unknown), so `enumerate` is unavailable on it —
+        /// exactly as in real rayon.
+        fn flat_map_iter<U, F>(self, f: F) -> FlatMapIter<Self, F>
+        where
+            U: IntoIterator,
+            U::Item: Send,
+            F: Fn(Self::Item) -> U + Send + Sync + Clone,
+        {
+            FlatMapIter { base: self, f }
+        }
+
+        /// Requests at least `min` units per block (a chunking-granularity hint).
+        fn with_min_len(self, min: usize) -> MinLen<Self> {
+            MinLen {
+                base: self,
+                min: min.max(1),
+            }
+        }
+
+        /// Consumes every item (in parallel).
+        fn for_each<F>(self, f: F)
+        where
+            F: Fn(Self::Item) + Send + Sync,
+        {
+            drive(self, |seq| seq.for_each(&f));
+        }
+
+        /// Collects into `C`, preserving input order.
+        fn collect<C>(self) -> C
+        where
+            C: FromParallelIterator<Self::Item>,
+        {
+            C::from_par_iter(self)
+        }
+
+        /// Sums the items. Per-block partial sums are merged in block order, so the
+        /// result is identical for every thread count (though not necessarily equal to a
+        /// strict left-to-right fold for floating-point items).
+        fn sum<S>(self) -> S
+        where
+            S: std::iter::Sum<Self::Item> + std::iter::Sum<S> + Send,
+        {
+            drive(self, |seq| seq.sum::<S>()).into_iter().sum()
+        }
+
+        /// Counts the items.
+        fn count(self) -> usize {
+            drive(self, |seq| seq.count()).into_iter().sum()
+        }
+
+        /// Reduces with `op` starting from `identity`, merging block results in order.
+        fn reduce<ID, OP>(self, identity: ID, op: OP) -> Self::Item
+        where
+            ID: Fn() -> Self::Item + Send + Sync,
+            OP: Fn(Self::Item, Self::Item) -> Self::Item + Send + Sync,
+        {
+            drive(self, |seq| seq.fold(identity(), &op))
+                .into_iter()
+                .fold(identity(), &op)
+        }
+    }
+
+    /// Marker for iterators whose unit order equals item order (prerequisite for
+    /// `enumerate`). `flat_map_iter` outputs deliberately do not implement it.
+    pub trait IndexedParallelIterator: ParallelIterator {
+        /// Pairs each item with its global index.
+        fn enumerate(self) -> Enumerate<Self> {
+            Enumerate {
+                base: self,
+                offset: 0,
+            }
+        }
+    }
+
+    /// Conversion into a parallel iterator (ranges, `Vec`, slices).
     pub trait IntoParallelIterator {
-        type Item;
-        type Iter: Iterator<Item = Self::Item>;
+        type Item: Send;
+        type Iter: ParallelIterator<Item = Self::Item>;
         fn into_par_iter(self) -> Self::Iter;
     }
 
-    impl IntoParallelIterator for Range<usize> {
-        type Item = usize;
-        type Iter = Range<usize>;
-        fn into_par_iter(self) -> Self::Iter {
-            self
+    /// Ordered collection of per-block results (the shim's `FromParallelIterator`).
+    pub trait FromParallelIterator<T: Send>: Sized {
+        fn from_par_iter<P>(iter: P) -> Self
+        where
+            P: ParallelIterator<Item = T>;
+    }
+
+    impl<T: Send> FromParallelIterator<T> for Vec<T> {
+        fn from_par_iter<P>(iter: P) -> Self
+        where
+            P: ParallelIterator<Item = T>,
+        {
+            let blocks = drive(iter, |seq| seq.collect::<Vec<T>>());
+            let mut out = Vec::with_capacity(blocks.iter().map(Vec::len).sum());
+            for mut b in blocks {
+                out.append(&mut b);
+            }
+            out
         }
     }
 
-    impl IntoParallelIterator for Range<u32> {
-        type Item = u32;
-        type Iter = Range<u32>;
-        fn into_par_iter(self) -> Self::Iter {
-            self
+    /// Pre-splits `iter` into fixed blocks and folds each on the executor, returning
+    /// per-block results in order.
+    fn drive<P, R>(iter: P, fold: impl Fn(P::Seq) -> R + Sync) -> Vec<R>
+    where
+        P: ParallelIterator,
+        R: Send,
+    {
+        let n = iter.units();
+        if n == 0 {
+            return Vec::new();
         }
+        let block = pool::block_len(n, iter.min_len_hint());
+        // Peel blocks off the BACK: for owned sources (`VecPar`) `split_at` is a
+        // `Vec::split_off`, which copies only the piece being detached when splitting
+        // near the end — front-peeling would re-copy the whole remaining tail per
+        // block, O(n · blocks) in total. NOTE: this puts the ragged remainder block
+        // FIRST (front-peeling would put it last), so the peeling direction is part of
+        // the deterministic block layout — changing it would silently change every
+        // floating-point merge result against recorded baselines.
+        let mut pieces = Vec::with_capacity(n.div_ceil(block));
+        let mut rest = iter;
+        let mut remaining = n;
+        while remaining > block {
+            let (left, right) = rest.split_at(remaining - block);
+            pieces.push(right);
+            rest = left;
+            remaining -= block;
+        }
+        pieces.push(rest);
+        pieces.reverse();
+        pool::run_blocks(pieces, |piece: P| fold(piece.into_seq()))
     }
 
-    impl<T> IntoParallelIterator for Vec<T> {
+    // ---------------------------------------------------------------- sources
+
+    /// Parallel iterator over an integer range.
+    #[derive(Debug, Clone)]
+    pub struct RangePar<T> {
+        start: T,
+        end: T,
+    }
+
+    macro_rules! impl_range_par {
+        ($($t:ty),*) => {$(
+            impl IntoParallelIterator for std::ops::Range<$t> {
+                type Item = $t;
+                type Iter = RangePar<$t>;
+                fn into_par_iter(self) -> RangePar<$t> {
+                    RangePar { start: self.start, end: self.end }
+                }
+            }
+
+            impl ParallelIterator for RangePar<$t> {
+                type Item = $t;
+                type Seq = std::ops::Range<$t>;
+                fn units(&self) -> usize {
+                    (self.end.max(self.start) - self.start) as usize
+                }
+                fn split_at(self, at: usize) -> (Self, Self) {
+                    let mid = self.start + at as $t;
+                    debug_assert!(mid <= self.end);
+                    (
+                        RangePar { start: self.start, end: mid },
+                        RangePar { start: mid, end: self.end },
+                    )
+                }
+                fn into_seq(self) -> Self::Seq {
+                    self.start..self.end
+                }
+            }
+
+            impl IndexedParallelIterator for RangePar<$t> {}
+        )*};
+    }
+    impl_range_par!(usize, u32, u64);
+
+    /// Parallel iterator over an owned `Vec`.
+    #[derive(Debug)]
+    pub struct VecPar<T> {
+        vec: Vec<T>,
+    }
+
+    impl<T: Send> IntoParallelIterator for Vec<T> {
         type Item = T;
-        type Iter = std::vec::IntoIter<T>;
-        fn into_par_iter(self) -> Self::Iter {
-            self.into_iter()
+        type Iter = VecPar<T>;
+        fn into_par_iter(self) -> VecPar<T> {
+            VecPar { vec: self }
         }
     }
+
+    impl<T: Send> ParallelIterator for VecPar<T> {
+        type Item = T;
+        type Seq = std::vec::IntoIter<T>;
+        fn units(&self) -> usize {
+            self.vec.len()
+        }
+        fn split_at(mut self, at: usize) -> (Self, Self) {
+            let right = self.vec.split_off(at);
+            (self, VecPar { vec: right })
+        }
+        fn into_seq(self) -> Self::Seq {
+            self.vec.into_iter()
+        }
+    }
+
+    impl<T: Send> IndexedParallelIterator for VecPar<T> {}
+
+    /// Parallel iterator over `&[T]`.
+    #[derive(Debug)]
+    pub struct SlicePar<'a, T> {
+        slice: &'a [T],
+    }
+
+    impl<'a, T: Sync> ParallelIterator for SlicePar<'a, T> {
+        type Item = &'a T;
+        type Seq = std::slice::Iter<'a, T>;
+        fn units(&self) -> usize {
+            self.slice.len()
+        }
+        fn split_at(self, at: usize) -> (Self, Self) {
+            let (l, r) = self.slice.split_at(at);
+            (SlicePar { slice: l }, SlicePar { slice: r })
+        }
+        fn into_seq(self) -> Self::Seq {
+            self.slice.iter()
+        }
+    }
+
+    impl<T: Sync> IndexedParallelIterator for SlicePar<'_, T> {}
+
+    /// Parallel iterator over `&mut [T]`.
+    #[derive(Debug)]
+    pub struct SliceParMut<'a, T> {
+        slice: &'a mut [T],
+    }
+
+    impl<'a, T: Send> ParallelIterator for SliceParMut<'a, T> {
+        type Item = &'a mut T;
+        type Seq = std::slice::IterMut<'a, T>;
+        fn units(&self) -> usize {
+            self.slice.len()
+        }
+        fn split_at(self, at: usize) -> (Self, Self) {
+            let (l, r) = self.slice.split_at_mut(at);
+            (SliceParMut { slice: l }, SliceParMut { slice: r })
+        }
+        fn into_seq(self) -> Self::Seq {
+            self.slice.iter_mut()
+        }
+    }
+
+    impl<T: Send> IndexedParallelIterator for SliceParMut<'_, T> {}
+
+    /// Parallel iterator over contiguous shared chunks of a slice.
+    #[derive(Debug)]
+    pub struct ChunksPar<'a, T> {
+        slice: &'a [T],
+        size: usize,
+    }
+
+    impl<'a, T: Sync> ParallelIterator for ChunksPar<'a, T> {
+        type Item = &'a [T];
+        type Seq = std::slice::Chunks<'a, T>;
+        fn units(&self) -> usize {
+            self.slice.len().div_ceil(self.size)
+        }
+        fn split_at(self, at: usize) -> (Self, Self) {
+            let mid = (at * self.size).min(self.slice.len());
+            let (l, r) = self.slice.split_at(mid);
+            (
+                ChunksPar {
+                    slice: l,
+                    size: self.size,
+                },
+                ChunksPar {
+                    slice: r,
+                    size: self.size,
+                },
+            )
+        }
+        fn into_seq(self) -> Self::Seq {
+            self.slice.chunks(self.size)
+        }
+    }
+
+    impl<T: Sync> IndexedParallelIterator for ChunksPar<'_, T> {}
+
+    /// Parallel iterator over contiguous mutable chunks of a slice.
+    #[derive(Debug)]
+    pub struct ChunksParMut<'a, T> {
+        slice: &'a mut [T],
+        size: usize,
+    }
+
+    impl<'a, T: Send> ParallelIterator for ChunksParMut<'a, T> {
+        type Item = &'a mut [T];
+        type Seq = std::slice::ChunksMut<'a, T>;
+        fn units(&self) -> usize {
+            self.slice.len().div_ceil(self.size)
+        }
+        fn split_at(self, at: usize) -> (Self, Self) {
+            let mid = (at * self.size).min(self.slice.len());
+            let (l, r) = self.slice.split_at_mut(mid);
+            (
+                ChunksParMut {
+                    slice: l,
+                    size: self.size,
+                },
+                ChunksParMut {
+                    slice: r,
+                    size: self.size,
+                },
+            )
+        }
+        fn into_seq(self) -> Self::Seq {
+            self.slice.chunks_mut(self.size)
+        }
+    }
+
+    impl<T: Send> IndexedParallelIterator for ChunksParMut<'_, T> {}
 
     /// `par_iter` / `par_chunks` over shared slices.
-    pub trait ParallelSlice<T> {
-        fn par_iter(&self) -> std::slice::Iter<'_, T>;
-        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T>;
+    pub trait ParallelSlice<T: Sync> {
+        fn par_iter(&self) -> SlicePar<'_, T>;
+        fn par_chunks(&self, chunk_size: usize) -> ChunksPar<'_, T>;
     }
 
-    impl<T> ParallelSlice<T> for [T] {
-        fn par_iter(&self) -> std::slice::Iter<'_, T> {
-            self.iter()
+    impl<T: Sync> ParallelSlice<T> for [T] {
+        fn par_iter(&self) -> SlicePar<'_, T> {
+            SlicePar { slice: self }
         }
-        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T> {
-            self.chunks(chunk_size)
+        fn par_chunks(&self, chunk_size: usize) -> ChunksPar<'_, T> {
+            assert!(chunk_size != 0, "par_chunks: chunk size must be non-zero");
+            ChunksPar {
+                slice: self,
+                size: chunk_size,
+            }
         }
     }
 
     /// `par_iter_mut` / `par_chunks_mut` over mutable slices.
-    pub trait ParallelSliceMut<T> {
-        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T>;
-        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T>;
+    pub trait ParallelSliceMut<T: Send> {
+        fn par_iter_mut(&mut self) -> SliceParMut<'_, T>;
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> ChunksParMut<'_, T>;
     }
 
-    impl<T> ParallelSliceMut<T> for [T] {
-        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T> {
-            self.iter_mut()
+    impl<T: Send> ParallelSliceMut<T> for [T] {
+        fn par_iter_mut(&mut self) -> SliceParMut<'_, T> {
+            SliceParMut { slice: self }
         }
-        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T> {
-            self.chunks_mut(chunk_size)
-        }
-    }
-
-    /// Rayon-only combinator names, aliased onto any iterator.
-    pub trait ParallelIteratorExt: Iterator + Sized {
-        /// Rayon's `flat_map_iter` is `flat_map` with a serial inner iterator — which is
-        /// exactly what `flat_map` is here.
-        fn flat_map_iter<U, F>(self, f: F) -> std::iter::FlatMap<Self, U, F>
-        where
-            U: IntoIterator,
-            F: FnMut(Self::Item) -> U,
-        {
-            self.flat_map(f)
-        }
-
-        /// Chunk-size hint; meaningless sequentially, kept for source compatibility.
-        fn with_min_len(self, _min: usize) -> Self {
-            self
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> ChunksParMut<'_, T> {
+            assert!(
+                chunk_size != 0,
+                "par_chunks_mut: chunk size must be non-zero"
+            );
+            ChunksParMut {
+                slice: self,
+                size: chunk_size,
+            }
         }
     }
 
-    impl<I: Iterator> ParallelIteratorExt for I {}
+    // --------------------------------------------------------------- adapters
+
+    /// `map` adapter.
+    #[derive(Debug, Clone)]
+    pub struct Map<P, F> {
+        base: P,
+        f: F,
+    }
+
+    impl<P, R, F> ParallelIterator for Map<P, F>
+    where
+        P: ParallelIterator,
+        R: Send,
+        F: Fn(P::Item) -> R + Send + Sync + Clone,
+    {
+        type Item = R;
+        type Seq = std::iter::Map<P::Seq, F>;
+        fn units(&self) -> usize {
+            self.base.units()
+        }
+        fn split_at(self, at: usize) -> (Self, Self) {
+            let (l, r) = self.base.split_at(at);
+            (
+                Map {
+                    base: l,
+                    f: self.f.clone(),
+                },
+                Map { base: r, f: self.f },
+            )
+        }
+        fn into_seq(self) -> Self::Seq {
+            self.base.into_seq().map(self.f)
+        }
+        fn min_len_hint(&self) -> usize {
+            self.base.min_len_hint()
+        }
+    }
+
+    impl<P, R, F> IndexedParallelIterator for Map<P, F>
+    where
+        P: IndexedParallelIterator,
+        R: Send,
+        F: Fn(P::Item) -> R + Send + Sync + Clone,
+    {
+    }
+
+    /// `enumerate` adapter; tracks its global offset through splits.
+    #[derive(Debug, Clone)]
+    pub struct Enumerate<P> {
+        base: P,
+        offset: usize,
+    }
+
+    impl<P> ParallelIterator for Enumerate<P>
+    where
+        P: IndexedParallelIterator,
+    {
+        type Item = (usize, P::Item);
+        type Seq = std::iter::Zip<std::ops::RangeFrom<usize>, P::Seq>;
+        fn units(&self) -> usize {
+            self.base.units()
+        }
+        fn split_at(self, at: usize) -> (Self, Self) {
+            let (l, r) = self.base.split_at(at);
+            (
+                Enumerate {
+                    base: l,
+                    offset: self.offset,
+                },
+                Enumerate {
+                    base: r,
+                    offset: self.offset + at,
+                },
+            )
+        }
+        fn into_seq(self) -> Self::Seq {
+            (self.offset..).zip(self.base.into_seq())
+        }
+        fn min_len_hint(&self) -> usize {
+            self.base.min_len_hint()
+        }
+    }
+
+    impl<P: IndexedParallelIterator> IndexedParallelIterator for Enumerate<P> {}
+
+    /// `flat_map_iter` adapter: splits on *input* units; output lengths may vary per
+    /// input item, so the result is not indexed.
+    #[derive(Debug, Clone)]
+    pub struct FlatMapIter<P, F> {
+        base: P,
+        f: F,
+    }
+
+    impl<P, U, F> ParallelIterator for FlatMapIter<P, F>
+    where
+        P: ParallelIterator,
+        U: IntoIterator,
+        U::Item: Send,
+        F: Fn(P::Item) -> U + Send + Sync + Clone,
+    {
+        type Item = U::Item;
+        type Seq = std::iter::FlatMap<P::Seq, U, F>;
+        fn units(&self) -> usize {
+            self.base.units()
+        }
+        fn split_at(self, at: usize) -> (Self, Self) {
+            let (l, r) = self.base.split_at(at);
+            (
+                FlatMapIter {
+                    base: l,
+                    f: self.f.clone(),
+                },
+                FlatMapIter { base: r, f: self.f },
+            )
+        }
+        fn into_seq(self) -> Self::Seq {
+            self.base.into_seq().flat_map(self.f)
+        }
+        fn min_len_hint(&self) -> usize {
+            self.base.min_len_hint()
+        }
+    }
+
+    /// `with_min_len` adapter: raises the minimum block granularity.
+    #[derive(Debug, Clone)]
+    pub struct MinLen<P> {
+        base: P,
+        min: usize,
+    }
+
+    impl<P: ParallelIterator> ParallelIterator for MinLen<P> {
+        type Item = P::Item;
+        type Seq = P::Seq;
+        fn units(&self) -> usize {
+            self.base.units()
+        }
+        fn split_at(self, at: usize) -> (Self, Self) {
+            let (l, r) = self.base.split_at(at);
+            (
+                MinLen {
+                    base: l,
+                    min: self.min,
+                },
+                MinLen {
+                    base: r,
+                    min: self.min,
+                },
+            )
+        }
+        fn into_seq(self) -> Self::Seq {
+            self.base.into_seq()
+        }
+        fn min_len_hint(&self) -> usize {
+            self.base.min_len_hint().max(self.min)
+        }
+    }
+
+    impl<P: IndexedParallelIterator> IndexedParallelIterator for MinLen<P> {}
 }
 
 pub mod prelude {
     //! Drop-in replacement for `rayon::prelude::*`.
     pub use crate::iter::{
-        IntoParallelIterator, ParallelIteratorExt, ParallelSlice, ParallelSliceMut,
+        FromParallelIterator, IndexedParallelIterator, IntoParallelIterator, ParallelIterator,
+        ParallelSlice, ParallelSliceMut,
     };
 }
 
@@ -126,9 +816,13 @@ mod tests {
     use crate::prelude::*;
 
     #[test]
-    fn range_into_par_iter_collects() {
+    fn range_into_par_iter_collects_in_order() {
         let squares: Vec<usize> = (0..5usize).into_par_iter().map(|i| i * i).collect();
         assert_eq!(squares, vec![0, 1, 4, 9, 16]);
+        // Large enough to span many blocks and threads.
+        let n = 10_000usize;
+        let v: Vec<usize> = (0..n).into_par_iter().map(|i| i * 3).collect();
+        assert!(v.iter().enumerate().all(|(i, &x)| x == i * 3));
     }
 
     #[test]
@@ -143,12 +837,37 @@ mod tests {
     }
 
     #[test]
-    fn flat_map_iter_flattens() {
+    fn par_chunks_mut_writes_every_chunk_across_threads() {
+        // 1000 chunks of 3: enumerate indices must land on the right chunks no matter
+        // which worker executes which block.
+        let mut data = vec![0u32; 3000];
+        crate::with_num_threads(8, || {
+            data.par_chunks_mut(3).enumerate().for_each(|(i, chunk)| {
+                for v in chunk.iter_mut() {
+                    *v = i as u32;
+                }
+            });
+        });
+        for (i, c) in data.chunks(3).enumerate() {
+            assert!(c.iter().all(|&x| x == i as u32), "chunk {i} got {c:?}");
+        }
+    }
+
+    #[test]
+    fn flat_map_iter_flattens_in_order() {
         let out: Vec<usize> = (0..3usize)
             .into_par_iter()
             .flat_map_iter(|i| vec![i, i])
             .collect();
         assert_eq!(out, vec![0, 0, 1, 1, 2, 2]);
+        let big: Vec<usize> = (0..500usize)
+            .into_par_iter()
+            .flat_map_iter(|i| (0..i % 4).map(move |j| i * 10 + j))
+            .collect();
+        let seq: Vec<usize> = (0..500usize)
+            .flat_map(|i| (0..i % 4).map(move |j| i * 10 + j))
+            .collect();
+        assert_eq!(big, seq);
     }
 
     #[test]
@@ -156,5 +875,204 @@ mod tests {
         let (a, b) = crate::join(|| 1 + 1, || "x".to_string());
         assert_eq!(a, 2);
         assert_eq!(b, "x");
+    }
+
+    #[test]
+    fn join_propagates_panics() {
+        let r = std::panic::catch_unwind(|| {
+            crate::with_num_threads(4, || crate::join(|| 1, || panic!("right side")))
+        });
+        let payload = r.expect_err("join should propagate the panic");
+        let msg = payload.downcast_ref::<&str>().expect("str payload");
+        assert_eq!(*msg, "right side");
+    }
+
+    #[test]
+    fn current_num_threads_reports_pool_size() {
+        // The global size must be at least 1 and reflect USP_NUM_THREADS when set.
+        let n = crate::current_num_threads();
+        assert!(n >= 1);
+        if let Ok(env) = std::env::var("USP_NUM_THREADS") {
+            if let Ok(expect) = env.trim().parse::<usize>() {
+                if expect >= 1 {
+                    assert_eq!(n, expect);
+                }
+            }
+        }
+        // And the per-thread override wins over the global value.
+        assert_eq!(crate::with_num_threads(3, crate::current_num_threads), 3);
+        assert_eq!(crate::with_num_threads(0, crate::current_num_threads), n);
+    }
+
+    #[test]
+    fn resolve_pool_size_prefers_valid_env() {
+        use crate::pool::resolve_pool_size;
+        assert_eq!(resolve_pool_size(Some("4"), 8), 4);
+        assert_eq!(resolve_pool_size(Some(" 2 "), 8), 2);
+        assert_eq!(resolve_pool_size(Some("0"), 8), 8); // invalid: fall back
+        assert_eq!(resolve_pool_size(Some("nope"), 8), 8);
+        assert_eq!(resolve_pool_size(None, 8), 8);
+        assert_eq!(resolve_pool_size(None, 0), 1); // never report an empty pool
+    }
+
+    #[test]
+    fn results_are_bit_identical_across_thread_counts() {
+        let run = |threads: usize| {
+            crate::with_num_threads(threads, || {
+                let v: Vec<f64> = (0..997usize)
+                    .into_par_iter()
+                    .map(|i| (i as f64).sqrt().sin())
+                    .collect();
+                let s: f64 = (0..997usize)
+                    .into_par_iter()
+                    .map(|i| 1.0f64 / (i as f64 + 1.0))
+                    .sum();
+                (v, s)
+            })
+        };
+        let (v1, s1) = run(1);
+        for threads in [2, 3, 8] {
+            let (v, s) = run(threads);
+            assert_eq!(v1, v, "collect differs at {threads} threads");
+            assert_eq!(
+                s1.to_bits(),
+                s.to_bits(),
+                "sum differs at {threads} threads"
+            );
+        }
+    }
+
+    #[test]
+    fn panic_in_parallel_region_propagates_payload() {
+        let r = std::panic::catch_unwind(|| {
+            crate::with_num_threads(4, || {
+                (0..100usize).into_par_iter().for_each(|i| {
+                    if i == 37 {
+                        panic!("boom {i}");
+                    }
+                });
+            })
+        });
+        let payload = r.expect_err("for_each should propagate the panic");
+        let msg = payload.downcast_ref::<String>().expect("String payload");
+        assert_eq!(msg, "boom 37");
+    }
+
+    #[test]
+    fn nested_parallel_regions_execute_inline() {
+        // A nested region inside a worker must not deadlock or explode the thread
+        // count, and must produce ordered results.
+        let out: Vec<Vec<usize>> = crate::with_num_threads(4, || {
+            (0..8usize)
+                .into_par_iter()
+                .map(|i| (0..4usize).into_par_iter().map(|j| i * 10 + j).collect())
+                .collect()
+        });
+        for (i, inner) in out.iter().enumerate() {
+            assert_eq!(inner, &vec![i * 10, i * 10 + 1, i * 10 + 2, i * 10 + 3]);
+        }
+    }
+
+    #[test]
+    fn empty_inputs_yield_empty_results() {
+        let v: Vec<usize> = (0..0usize).into_par_iter().map(|i| i).collect();
+        assert!(v.is_empty());
+        let s: f64 = (0..0usize).into_par_iter().map(|i| i as f64).sum();
+        assert_eq!(s, 0.0);
+        let mut empty: Vec<f32> = Vec::new();
+        empty
+            .par_chunks_mut(4)
+            .for_each(|c| panic!("unreachable {c:?}"));
+    }
+
+    #[test]
+    fn vec_and_slice_sources_work() {
+        let v = vec![5usize, 6, 7, 8];
+        let doubled: Vec<usize> = v.clone().into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![10, 12, 14, 16]);
+        let summed: usize = v.par_iter().map(|&x| x).sum();
+        assert_eq!(summed, 26);
+        let chunk_sums: Vec<usize> = v.par_chunks(3).map(|c| c.iter().sum()).collect();
+        assert_eq!(chunk_sums, vec![18, 8]);
+        let mut m = vec![1i64, 2, 3];
+        m.par_iter_mut().for_each(|x| *x = -*x);
+        assert_eq!(m, vec![-1, -2, -3]);
+    }
+
+    #[test]
+    fn count_and_reduce_match_sequential() {
+        let c = (0..1234usize).into_par_iter().count();
+        assert_eq!(c, 1234);
+        let m = (0..1000usize)
+            .into_par_iter()
+            .map(|i| (i * 7919) % 1000)
+            .reduce(|| 0, usize::max);
+        assert_eq!(
+            m,
+            (0..1000usize)
+                .map(|i| (i * 7919) % 1000)
+                .fold(0, usize::max)
+        );
+    }
+
+    #[test]
+    fn parallel_regions_use_multiple_os_threads() {
+        // Guards against a silent regression to sequential execution (which every
+        // determinism test would trivially pass): no block may finish until two
+        // distinct OS threads have entered the region, so a sequential executor fails
+        // the rendezvous. The wait is bounded — a regression surfaces as this test's
+        // own panic within seconds, not a hung suite.
+        use std::collections::HashSet;
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Mutex;
+        use std::time::{Duration, Instant};
+        let arrived = AtomicUsize::new(0);
+        let ids: Mutex<HashSet<std::thread::ThreadId>> = Mutex::new(HashSet::new());
+        crate::with_num_threads(4, || {
+            (0..4usize).into_par_iter().for_each(|_| {
+                ids.lock().unwrap().insert(std::thread::current().id());
+                arrived.fetch_add(1, Ordering::SeqCst);
+                let deadline = Instant::now() + Duration::from_secs(10);
+                while arrived.load(Ordering::SeqCst) < 2 {
+                    assert!(
+                        Instant::now() < deadline,
+                        "no second worker thread arrived within 10s — executor ran sequentially"
+                    );
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+            });
+        });
+        let distinct = ids.lock().unwrap().len();
+        assert!(
+            distinct >= 2,
+            "expected >= 2 worker threads, saw {distinct} — executor ran sequentially"
+        );
+    }
+
+    #[test]
+    fn workers_inherit_the_pool_size_override() {
+        // current_num_threads() must report the same value inside every block of a
+        // region, whether the block runs on the caller or on a spawned worker.
+        let seen: Vec<usize> = crate::with_num_threads(4, || {
+            (0..64usize)
+                .into_par_iter()
+                .map(|_| crate::current_num_threads())
+                .collect()
+        });
+        assert!(
+            seen.iter().all(|&n| n == 4),
+            "blocks saw inconsistent pool sizes: {seen:?}"
+        );
+    }
+
+    #[test]
+    fn with_min_len_preserves_results() {
+        let a: Vec<usize> = (0..100usize)
+            .into_par_iter()
+            .with_min_len(32)
+            .map(|i| i)
+            .collect();
+        let b: Vec<usize> = (0..100usize).into_par_iter().map(|i| i).collect();
+        assert_eq!(a, b);
     }
 }

@@ -1,0 +1,117 @@
+//! Serving-throughput smoke benchmark for the batched query engine.
+//!
+//! Builds a K-means partition index over a synthetic SIFT-like dataset, answers the
+//! same query stream twice — once query-at-a-time through `PartitionIndex::search`
+//! (the unbatched serving path) and once through `QueryEngine::serve_batch` on the
+//! persistent worker pool — verifies the answers are identical, and records both
+//! throughputs plus the engine's latency statistics into `BENCH_serve.json`. CI runs
+//! this in release mode with `USP_NUM_THREADS=4` and `USP_ASSERT_SERVE_SPEEDUP=1.0`
+//! (batched serving must never be slower than single-query serving when the host has a
+//! core per pool thread; on a 1-core container the recorded speedup is ~1.0 and the
+//! gate is skipped).
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use usp_baselines::KMeansPartitioner;
+use usp_data::synthetic;
+use usp_index::{PartitionIndex, SearchResult};
+use usp_linalg::Distance;
+use usp_serve::{QueryEngine, QueryOptions};
+
+fn main() {
+    let threads = rayon::current_num_threads();
+    let host_cpus = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+
+    // Workload: 10k base points, 1k queries, 32 bins, probe 8, k = 10.
+    let (n, dim, n_queries, bins, probes, k) = (10_000, 24, 1_000, 32, 8, 10);
+    let split = synthetic::sift_like(n + n_queries, dim, 7).split_queries(n_queries);
+    let data = split.base.points();
+    let queries = &split.queries;
+
+    let partitioner = KMeansPartitioner::fit(data, bins, 11);
+    let index = Arc::new(PartitionIndex::build(
+        partitioner,
+        data,
+        Distance::SquaredEuclidean,
+    ));
+    let engine = QueryEngine::new(Arc::clone(&index));
+    let opts = QueryOptions::new(k, probes);
+    let reps = 3;
+
+    // --- single-query serving (no batching, whatever pool the region gets) ---------
+    let mut single_ms = f64::INFINITY;
+    let mut single_out: Vec<SearchResult> = Vec::new();
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let out: Vec<SearchResult> = (0..queries.rows())
+            .map(|qi| index.search(queries.row(qi), k, probes))
+            .collect();
+        single_ms = single_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+        single_out = out;
+    }
+
+    // --- batched serving on the persistent pool -------------------------------------
+    engine.reset_stats();
+    let mut batch_ms = f64::INFINITY;
+    let mut batch_out: Vec<SearchResult> = Vec::new();
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let out = engine.serve_batch(queries, &opts);
+        batch_ms = batch_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+        batch_out = out;
+    }
+    assert_eq!(
+        single_out, batch_out,
+        "batched serving must return exactly the per-query Searcher results"
+    );
+
+    let stats = engine.stats();
+    let single_qps = n_queries as f64 / (single_ms / 1e3);
+    let batch_qps = n_queries as f64 / (batch_ms / 1e3);
+    let speedup = batch_qps / single_qps;
+
+    let json = format!(
+        "{{\n  \"host_cpus\": {host_cpus},\n  \"pool_threads\": {threads},\n  \
+         \"workload\": \"{n_queries} queries x {n} base x {dim}d, {bins} bins, probes={probes}, k={k}\",\n  \
+         \"single_query\": {{ \"total_ms\": {single_ms:.3}, \"qps\": {single_qps:.1} }},\n  \
+         \"batched\": {{ \"total_ms\": {batch_ms:.3}, \"qps\": {batch_qps:.1}, \"batch_size\": {n_queries} }},\n  \
+         \"speedup\": {speedup:.3},\n  \
+         \"p50_latency_us\": {p50},\n  \"p99_latency_us\": {p99},\n  \
+         \"mean_candidates\": {cand:.1},\n  \
+         \"note\": \"speedup = batched qps / single-query qps; meaningful only when host_cpus >= pool_threads\"\n}}\n",
+        p50 = stats.p50_latency_us,
+        p99 = stats.p99_latency_us,
+        cand = stats.mean_candidates,
+    );
+    std::fs::write("BENCH_serve.json", &json).expect("write BENCH_serve.json");
+    print!("{json}");
+    eprintln!(
+        "serve: single {single_qps:.0} qps, batched {batch_qps:.0} qps ({speedup:.2}x) \
+         on {threads} threads ({host_cpus} host cpus)"
+    );
+
+    // Regression gate (CI sets USP_ASSERT_SERVE_SPEEDUP=1.0): batched serving must not
+    // lose to the unbatched loop when the host can actually back the pool.
+    if let Ok(min) = std::env::var("USP_ASSERT_SERVE_SPEEDUP") {
+        let min: f64 = min
+            .trim()
+            .parse()
+            .expect("USP_ASSERT_SERVE_SPEEDUP must be a number");
+        if threads >= 2 && host_cpus >= threads {
+            assert!(
+                speedup >= min,
+                "batched serving speedup {speedup:.2}x is below the required {min}x \
+                 on {threads} threads"
+            );
+            eprintln!("serve speedup assertion passed (>= {min}x)");
+        } else {
+            eprintln!(
+                "skipping serve speedup assertion: {host_cpus} host cpus cannot back \
+                 {threads} threads"
+            );
+        }
+    }
+}

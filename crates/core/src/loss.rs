@@ -60,7 +60,7 @@ pub fn neighbor_bin_targets(
                 *v /= knn_k as f32;
             }
         } else {
-            let best = topk::argmax(row);
+            let best = topk::argmax(row).expect("neighbor_bin_targets: bins must be > 0");
             for (j, v) in row.iter_mut().enumerate() {
                 *v = if j == best { 1.0 } else { 0.0 };
             }

@@ -107,15 +107,28 @@ impl<P: Partitioner> PartitionIndex<P> {
         BalanceStats::from_sizes(&self.bucket_sizes())
     }
 
+    /// The probe step of Algorithm 2: the ranked `probes` most probable bins together
+    /// with their concatenated candidate ids (bin-rank order, bucket order within a
+    /// bin). Single source of truth for candidate gathering — [`Self::search`] and the
+    /// serving engine both build on it, which is what keeps their answers bit-identical.
+    pub fn probe(&self, query: &[f32], probes: usize) -> (Vec<usize>, Vec<u32>) {
+        let bins = self.partitioner.rank_bins(query, probes);
+        let mut out = Vec::new();
+        for &b in &bins {
+            out.extend_from_slice(&self.buckets[b]);
+        }
+        (bins, out)
+    }
+
     /// Candidate ids for a query when probing the `probes` most probable bins
     /// (Algorithm 2 step 2).
     pub fn candidates(&self, query: &[f32], probes: usize) -> Vec<u32> {
-        let bins = self.partitioner.rank_bins(query, probes);
-        let mut out = Vec::new();
-        for b in bins {
-            out.extend_from_slice(&self.buckets[b]);
-        }
-        out
+        self.probe(query, probes).1
+    }
+
+    /// The distance metric candidates are re-ranked under.
+    pub fn distance(&self) -> Distance {
+        self.distance
     }
 
     /// Full query: probe bins, gather candidates, exact re-rank, return the top `k`
@@ -125,6 +138,20 @@ impl<P: Partitioner> PartitionIndex<P> {
         let scanned = candidates.len();
         let ids = rerank::rerank(&self.data, query, &candidates, k, self.distance);
         SearchResult::new(ids, scanned)
+    }
+
+    /// Answers every row of `queries` in parallel on the worker pool (the online phase
+    /// is embarrassingly parallel across queries).
+    ///
+    /// Per-query results are merged in row order and each query's computation is
+    /// independent, so the output is **bit-identical** to calling [`Self::search`] once
+    /// per row, for any pool size — the contract `tests/parallel_equivalence.rs` pins
+    /// for the serving path.
+    pub fn search_batch(&self, queries: &Matrix, k: usize, probes: usize) -> Vec<SearchResult> {
+        (0..queries.rows())
+            .into_par_iter()
+            .map(|qi| self.search(queries.row(qi), k, probes))
+            .collect()
     }
 
     /// Wraps the index with a fixed probe count so it can be used as an [`AnnSearcher`].
@@ -145,6 +172,10 @@ pub struct ProbedIndex<'a, P: Partitioner> {
 impl<'a, P: Partitioner> AnnSearcher for ProbedIndex<'a, P> {
     fn search(&self, query: &[f32], k: usize) -> SearchResult {
         self.index.search(query, k, self.probes)
+    }
+
+    fn search_batch(&self, queries: &Matrix, k: usize) -> Vec<SearchResult> {
+        self.index.search_batch(queries, k, self.probes)
     }
 
     fn name(&self) -> String {
@@ -256,6 +287,34 @@ mod tests {
         assert_eq!(idx.bucket(1), &[0, 1]);
         assert_eq!(idx.bucket(0), &[2, 3]);
         assert_eq!(idx.assignments(), &[1, 1, 0, 0]);
+    }
+
+    #[test]
+    fn search_batch_matches_per_query_search() {
+        let data = line_data(4, 5);
+        let idx = PartitionIndex::build(
+            GridPartitioner { bins: 4 },
+            &data,
+            Distance::SquaredEuclidean,
+        );
+        let queries = Matrix::from_vec(5, 1, vec![0.4, 1.95, 2.5, 3.9, 1.1]);
+        let batch = idx.search_batch(&queries, 3, 2);
+        assert_eq!(batch.len(), 5);
+        for (qi, got) in batch.iter().enumerate() {
+            let expect = idx.search(queries.row(qi), 3, 2);
+            assert_eq!(got, &expect, "batch result differs for query {qi}");
+        }
+        // The ProbedIndex searcher's batch path must agree with its scalar path too.
+        let searcher = idx.with_probes(2);
+        let via_trait = searcher.search_batch(&queries, 3);
+        assert_eq!(via_trait, batch);
+    }
+
+    #[test]
+    fn distance_getter_reports_build_metric() {
+        let data = line_data(2, 2);
+        let idx = PartitionIndex::build(GridPartitioner { bins: 2 }, &data, Distance::Euclidean);
+        assert!(matches!(idx.distance(), Distance::Euclidean));
     }
 
     #[test]

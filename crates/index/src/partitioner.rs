@@ -18,8 +18,19 @@ pub trait Partitioner: Send + Sync {
     fn bin_scores(&self, query: &[f32]) -> Vec<f32>;
 
     /// The most probable bin for a query.
+    ///
+    /// When no bin has a comparable score — an empty score vector or a NaN-poisoned
+    /// query turning every score NaN — this deterministically falls back to bin 0
+    /// rather than propagating whatever index a NaN comparison happened to leave, so a
+    /// single pathological query cannot corrupt the serving path.
     fn assign(&self, query: &[f32]) -> usize {
-        topk::argmax(&self.bin_scores(query))
+        let scores = self.bin_scores(query);
+        debug_assert_eq!(
+            scores.len(),
+            self.num_bins(),
+            "bin_scores must score every bin"
+        );
+        topk::argmax(&scores).unwrap_or(0)
     }
 
     /// The `probes` most probable bins, most probable first.
@@ -111,7 +122,7 @@ mod tests {
         let p = RoundRobinPartitioner::new(8);
         let q = [1.0f32, 2.0, 3.0];
         let scores = p.bin_scores(&q);
-        assert_eq!(p.assign(&q), topk::argmax(&scores));
+        assert_eq!(Some(p.assign(&q)), topk::argmax(&scores));
         assert_eq!(scores.len(), 8);
     }
 
@@ -136,5 +147,31 @@ mod tests {
     fn deterministic_assignment() {
         let p = RoundRobinPartitioner::new(16);
         assert_eq!(p.assign(&[0.5, 0.25]), p.assign(&[0.5, 0.25]));
+    }
+
+    /// A partitioner whose scores are all NaN (e.g. a NaN query through a softmax).
+    struct NanScorer {
+        bins: usize,
+    }
+
+    impl Partitioner for NanScorer {
+        fn num_bins(&self) -> usize {
+            self.bins
+        }
+        fn bin_scores(&self, _query: &[f32]) -> Vec<f32> {
+            vec![f32::NAN; self.bins]
+        }
+        fn name(&self) -> String {
+            "nan".into()
+        }
+    }
+
+    #[test]
+    fn nan_scores_fall_back_deterministically() {
+        let p = NanScorer { bins: 6 };
+        // assign falls back to bin 0; rank_bins degrades to index order — both
+        // deterministic, neither panics, so one poisoned query cannot corrupt serving.
+        assert_eq!(p.assign(&[f32::NAN]), 0);
+        assert_eq!(p.rank_bins(&[f32::NAN], 3), vec![0, 1, 2]);
     }
 }

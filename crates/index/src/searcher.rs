@@ -6,6 +6,7 @@
 //! measured on the same axes.
 
 use serde::{Deserialize, Serialize};
+use usp_linalg::Matrix;
 
 /// The outcome of one approximate k-NN query.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -42,6 +43,20 @@ impl SearchResult {
 pub trait AnnSearcher: Send + Sync {
     /// Returns (up to) `k` approximate nearest neighbours of `query`.
     fn search(&self, query: &[f32], k: usize) -> SearchResult;
+
+    /// Answers every row of `queries` as an independent query.
+    ///
+    /// The default implementation answers sequentially in row order. Implementations
+    /// with a parallel batch path (e.g. [`crate::PartitionIndex`]) override it, but the
+    /// contract is fixed either way: the result **must be element-wise identical** to
+    /// calling [`AnnSearcher::search`] once per row — batching is an execution
+    /// strategy, never a semantic change. The serving layer's equivalence tests pin
+    /// this for every pool size.
+    fn search_batch(&self, queries: &Matrix, k: usize) -> Vec<SearchResult> {
+        (0..queries.rows())
+            .map(|qi| self.search(queries.row(qi), k))
+            .collect()
+    }
 
     /// Short human-readable name used in reports.
     fn name(&self) -> String;

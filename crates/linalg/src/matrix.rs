@@ -338,9 +338,14 @@ impl Matrix {
         self.data.iter().map(|x| x * x).sum::<f32>().sqrt()
     }
 
-    /// Per-row argmax (ties resolved to the first maximum). Empty rows map to 0.
+    /// Per-row argmax (ties resolved to the first maximum). Rows with no comparable
+    /// maximum — empty or all-NaN — deterministically map to 0 so one poisoned row
+    /// cannot abort a whole batch; callers needing to distinguish that case should use
+    /// [`crate::topk::argmax`] directly.
     pub fn row_argmax(&self) -> Vec<usize> {
-        self.row_iter().map(crate::topk::argmax).collect()
+        self.row_iter()
+            .map(|r| crate::topk::argmax(r).unwrap_or(0))
+            .collect()
     }
 }
 

@@ -3,15 +3,40 @@
 //! The online phase of every partitioning index ranks bins by probability and re-ranks
 //! candidate points by distance; the offline phase selects exact nearest neighbours.
 //! These helpers implement those selections with bounded heaps instead of full sorts.
+//!
+//! # NaN and signed-zero semantics
+//!
+//! Distances and model scores can turn NaN (a NaN query coordinate poisons every
+//! distance it touches), so the selection order here is total and pins NaN explicitly:
+//! **NaN ranks strictly worst in both directions** — after every finite value and both
+//! infinities, whether selecting smallest or largest — and ties (including `-0.0` vs
+//! `0.0`, which compare equal) break by ascending index. [`argmax`]/[`argmin`] skip NaN
+//! entirely and return `None` when no comparable element exists. The property tests at
+//! the bottom pin all of this against a full-sort oracle over inputs seeded with NaN,
+//! ±∞ and ±0.0.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
-/// An `(index, score)` pair ordered by score. Used by the bounded heaps below.
+/// An `(index, key)` pair with a total order: non-NaN keys ascending, NaN keys after
+/// every non-NaN key, ties broken by ascending index. Used by the bounded heaps below.
 #[derive(Debug, Clone, Copy, PartialEq)]
 struct Scored {
     index: usize,
-    score: f32,
+    /// Canonicalised sort key: `0.0` when `nan` is set, so comparisons never see NaN.
+    key: f32,
+    nan: bool,
+}
+
+impl Scored {
+    fn new(index: usize, raw: f32) -> Self {
+        let nan = raw.is_nan();
+        Self {
+            index,
+            key: if nan { 0.0 } else { raw },
+            nan,
+        }
+    }
 }
 
 impl Eq for Scored {}
@@ -24,71 +49,94 @@ impl PartialOrd for Scored {
 
 impl Ord for Scored {
     fn cmp(&self, other: &Self) -> Ordering {
-        // Total order over f32 scores; NaN sorts last so it is evicted first from
-        // a "smallest-k" max-heap.
-        self.score
-            .partial_cmp(&other.score)
-            .unwrap_or(Ordering::Equal)
+        self.nan
+            .cmp(&other.nan)
+            .then_with(|| {
+                self.key
+                    .partial_cmp(&other.key)
+                    .expect("Scored keys are never NaN")
+            })
             .then_with(|| self.index.cmp(&other.index))
     }
 }
 
-/// Index of the maximum element (first one on ties). Returns 0 for an empty slice.
-#[inline]
-pub fn argmax(values: &[f32]) -> usize {
-    let mut best = 0usize;
-    let mut best_v = f32::NEG_INFINITY;
-    for (i, &v) in values.iter().enumerate() {
-        if v > best_v {
-            best_v = v;
-            best = i;
-        }
-    }
-    best
-}
-
-/// Index of the minimum element (first one on ties). Returns 0 for an empty slice.
-#[inline]
-pub fn argmin(values: &[f32]) -> usize {
-    let mut best = 0usize;
-    let mut best_v = f32::INFINITY;
-    for (i, &v) in values.iter().enumerate() {
-        if v < best_v {
-            best_v = v;
-            best = i;
-        }
-    }
-    best
-}
-
-/// Indices of the `k` smallest values, ordered ascending by value.
+/// Index of the maximum element (first one on ties), skipping NaN entries.
 ///
-/// Ties are broken by index so the result is deterministic.
+/// Returns `None` for an empty or all-NaN slice — the pre-hardening version silently
+/// answered `0` in both cases, which let a NaN-poisoned score vector masquerade as a
+/// confident vote for bin 0.
+#[inline]
+pub fn argmax(values: &[f32]) -> Option<usize> {
+    let mut best: Option<(usize, f32)> = None;
+    for (i, &v) in values.iter().enumerate() {
+        if v.is_nan() {
+            continue;
+        }
+        match best {
+            Some((_, bv)) if v <= bv => {}
+            _ => best = Some((i, v)),
+        }
+    }
+    best.map(|(i, _)| i)
+}
+
+/// Index of the minimum element (first one on ties), skipping NaN entries.
+///
+/// Returns `None` for an empty or all-NaN slice (see [`argmax`]).
+#[inline]
+pub fn argmin(values: &[f32]) -> Option<usize> {
+    let mut best: Option<(usize, f32)> = None;
+    for (i, &v) in values.iter().enumerate() {
+        if v.is_nan() {
+            continue;
+        }
+        match best {
+            Some((_, bv)) if v >= bv => {}
+            _ => best = Some((i, v)),
+        }
+    }
+    best.map(|(i, _)| i)
+}
+
+/// Indices of the `k` smallest values, ordered ascending by value (NaN last, ties by
+/// index).
 pub fn smallest_k(values: &[f32], k: usize) -> Vec<usize> {
     smallest_k_by(values.len(), k, |i| values[i])
 }
 
-/// Indices of the `k` largest values, ordered descending by value.
+/// Indices of the `k` largest values, ordered descending by value (NaN last, ties by
+/// index).
 pub fn largest_k(values: &[f32], k: usize) -> Vec<usize> {
-    smallest_k_by(values.len(), k, |i| -values[i])
+    largest_k_by(values.len(), k, |i| values[i])
 }
 
-/// Indices `0..n` with the `k` smallest keys (ascending by key).
+/// Indices `0..n` with the `k` smallest keys (ascending by key, NaN last).
 ///
 /// The key function is called once per index; a bounded max-heap keeps memory at `O(k)`.
 pub fn smallest_k_by(n: usize, k: usize, key: impl Fn(usize) -> f32) -> Vec<usize> {
+    select_k(n, k, |i| Scored::new(i, key(i)))
+}
+
+/// Indices `0..n` with the `k` largest keys (descending by key, NaN last).
+///
+/// Not implemented as `smallest_k_by(-key)`: negation maps `-∞` onto `+∞` — the very
+/// sentinel a NaN key must map to — so under the negation trick a NaN at a lower index
+/// could outrank a genuine `-∞` (and vice versa). Negating the key *inside* the
+/// NaN-aware comparator keeps the two cases distinct; the proptests below pin the
+/// equivalence with a descending full sort.
+pub fn largest_k_by(n: usize, k: usize, key: impl Fn(usize) -> f32) -> Vec<usize> {
+    select_k(n, k, |i| Scored::new(i, -key(i)))
+}
+
+/// Shared bounded-heap core over the total [`Scored`] order.
+fn select_k(n: usize, k: usize, scored: impl Fn(usize) -> Scored) -> Vec<usize> {
     if k == 0 || n == 0 {
         return Vec::new();
     }
     let k = k.min(n);
     let mut heap: BinaryHeap<Scored> = BinaryHeap::with_capacity(k + 1);
     for i in 0..n {
-        // NaN keys are treated as +infinity so they never displace finite candidates.
-        let raw = key(i);
-        let s = Scored {
-            index: i,
-            score: if raw.is_nan() { f32::INFINITY } else { raw },
-        };
+        let s = scored(i);
         if heap.len() < k {
             heap.push(s);
         } else if let Some(top) = heap.peek() {
@@ -111,22 +159,17 @@ pub fn smallest_k_with_values(values: &[f32], k: usize) -> Vec<(usize, f32)> {
         .collect()
 }
 
-/// Returns all indices sorted ascending by value (deterministic on ties).
+/// Returns all indices sorted ascending by value (NaN last, deterministic on ties).
 pub fn argsort(values: &[f32]) -> Vec<usize> {
     let mut idx: Vec<usize> = (0..values.len()).collect();
-    idx.sort_by(|&a, &b| {
-        values[a]
-            .partial_cmp(&values[b])
-            .unwrap_or(Ordering::Equal)
-            .then_with(|| a.cmp(&b))
-    });
+    idx.sort_by(|&a, &b| Scored::new(a, values[a]).cmp(&Scored::new(b, values[b])));
     idx
 }
 
-/// Returns all indices sorted descending by value (deterministic on ties).
+/// Returns all indices sorted descending by value (NaN last, deterministic on ties).
 pub fn argsort_desc(values: &[f32]) -> Vec<usize> {
-    let mut idx = argsort(values);
-    idx.reverse();
+    let mut idx: Vec<usize> = (0..values.len()).collect();
+    idx.sort_by(|&a, &b| Scored::new(a, -values[a]).cmp(&Scored::new(b, -values[b])));
     idx
 }
 
@@ -140,7 +183,7 @@ pub fn top_k_per_column(data: &[f32], rows: usize, cols: usize, k: usize) -> Vec
     let k = k.min(rows);
     let mut out = Vec::with_capacity(cols * k);
     for c in 0..cols {
-        let col_top = smallest_k_by(rows, k, |r| -data[r * cols + c]);
+        let col_top = largest_k_by(rows, k, |r| data[r * cols + c]);
         out.extend(col_top.into_iter().map(|r| r * cols + c));
     }
     out
@@ -153,9 +196,34 @@ mod tests {
     #[test]
     fn argmax_argmin_basic() {
         let v = [1.0, 5.0, 3.0, 5.0];
-        assert_eq!(argmax(&v), 1);
-        assert_eq!(argmin(&v), 0);
-        assert_eq!(argmax(&[]), 0);
+        assert_eq!(argmax(&v), Some(1));
+        assert_eq!(argmin(&v), Some(0));
+    }
+
+    #[test]
+    fn argmax_argmin_empty_and_all_nan_return_none() {
+        assert_eq!(argmax(&[]), None);
+        assert_eq!(argmin(&[]), None);
+        assert_eq!(argmax(&[f32::NAN, f32::NAN]), None);
+        assert_eq!(argmin(&[f32::NAN]), None);
+    }
+
+    #[test]
+    fn argmax_argmin_skip_nan_entries() {
+        let v = [f32::NAN, 2.0, f32::NAN, 7.0, -1.0];
+        assert_eq!(argmax(&v), Some(3));
+        assert_eq!(argmin(&v), Some(4));
+        // A NaN in front must not shadow a real extremum behind it.
+        assert_eq!(argmax(&[f32::NAN, -5.0]), Some(1));
+        assert_eq!(argmin(&[f32::NAN, 5.0]), Some(1));
+    }
+
+    #[test]
+    fn argmax_argmin_handle_infinities() {
+        assert_eq!(argmax(&[f32::NEG_INFINITY, f32::NEG_INFINITY]), Some(0));
+        assert_eq!(argmin(&[f32::INFINITY, f32::INFINITY]), Some(0));
+        assert_eq!(argmax(&[1.0, f32::INFINITY]), Some(1));
+        assert_eq!(argmin(&[1.0, f32::NEG_INFINITY]), Some(1));
     }
 
     #[test]
@@ -182,7 +250,29 @@ mod tests {
     fn argsort_is_stable_on_ties() {
         let v = [1.0, 0.0, 1.0, 0.0];
         assert_eq!(argsort(&v), vec![1, 3, 0, 2]);
-        assert_eq!(argsort_desc(&v), vec![2, 0, 3, 1]);
+        assert_eq!(argsort_desc(&v), vec![0, 2, 1, 3]);
+    }
+
+    #[test]
+    fn signed_zeros_tie_by_index_in_both_directions() {
+        let v = [0.0f32, -0.0, 0.0, -0.0];
+        assert_eq!(smallest_k(&v, 4), vec![0, 1, 2, 3]);
+        assert_eq!(largest_k(&v, 4), vec![0, 1, 2, 3]);
+        assert_eq!(argmax(&v), Some(0));
+        assert_eq!(argmin(&v), Some(0));
+    }
+
+    #[test]
+    fn nan_ranks_after_negative_infinity_in_largest_k() {
+        // The old `-values[i]` negation trick mapped -inf onto the same +inf sentinel
+        // as NaN, letting an earlier NaN outrank a genuine -inf.
+        let v = [f32::NAN, f32::NEG_INFINITY];
+        assert_eq!(largest_k(&v, 1), vec![1]);
+        assert_eq!(largest_k(&v, 2), vec![1, 0]);
+        // Symmetric case for smallest_k: NaN must rank after +inf.
+        let w = [f32::NAN, f32::INFINITY];
+        assert_eq!(smallest_k(&w, 1), vec![1]);
+        assert_eq!(smallest_k(&w, 2), vec![1, 0]);
     }
 
     #[test]
@@ -207,8 +297,12 @@ mod tests {
     #[test]
     fn nan_scores_do_not_poison_selection() {
         let v = [f32::NAN, 1.0, 0.5];
-        let got = smallest_k(&v, 2);
-        assert!(got.contains(&1) && got.contains(&2));
+        assert_eq!(smallest_k(&v, 2), vec![2, 1]);
+        assert_eq!(largest_k(&v, 2), vec![1, 2]);
+        // All-NaN input still returns a deterministic index order.
+        let all_nan = [f32::NAN; 4];
+        assert_eq!(smallest_k(&all_nan, 2), vec![0, 1]);
+        assert_eq!(largest_k(&all_nan, 2), vec![0, 1]);
     }
 }
 
@@ -216,6 +310,24 @@ mod tests {
 mod proptests {
     use super::*;
     use proptest::prelude::*;
+
+    /// Builds a float vector mixing finite samples with the special values the shrink
+    /// classes select: NaN, ±∞, ±0.0. `classes` and `finites` are sampled independently;
+    /// the shorter drives the length.
+    fn build_special(finites: &[f32], classes: &[u8]) -> Vec<f32> {
+        finites
+            .iter()
+            .zip(classes)
+            .map(|(&f, &c)| match c {
+                0 => f32::NAN,
+                1 => f32::INFINITY,
+                2 => f32::NEG_INFINITY,
+                3 => 0.0,
+                4 => -0.0,
+                _ => f,
+            })
+            .collect()
+    }
 
     proptest! {
         #[test]
@@ -235,10 +347,70 @@ mod proptests {
 
         #[test]
         fn argmax_is_actually_max(values in prop::collection::vec(-1e4f32..1e4, 1..100)) {
-            let i = argmax(&values);
+            let i = argmax(&values).expect("finite input has a maximum");
             for &v in &values {
                 prop_assert!(values[i] >= v);
             }
+        }
+
+        #[test]
+        fn selection_matches_full_sort_oracle_with_special_values(
+            finites in prop::collection::vec(-1e3f32..1e3, 1..64),
+            classes in prop::collection::vec(0u8..12, 1..64),
+            k in 1usize..24,
+        ) {
+            let values = build_special(&finites, &classes);
+            let n = values.len();
+            let k = k.min(n);
+
+            // Oracle: full sort with NaN explicitly last and ties broken by index —
+            // written out independently of the Scored comparator under test.
+            let mut asc: Vec<usize> = (0..n).collect();
+            asc.sort_by(|&a, &b| {
+                match (values[a].is_nan(), values[b].is_nan()) {
+                    (true, true) => a.cmp(&b),
+                    (true, false) => std::cmp::Ordering::Greater,
+                    (false, true) => std::cmp::Ordering::Less,
+                    (false, false) => values[a]
+                        .partial_cmp(&values[b])
+                        .unwrap()
+                        .then_with(|| a.cmp(&b)),
+                }
+            });
+            let mut desc: Vec<usize> = (0..n).collect();
+            desc.sort_by(|&a, &b| {
+                match (values[a].is_nan(), values[b].is_nan()) {
+                    (true, true) => a.cmp(&b),
+                    (true, false) => std::cmp::Ordering::Greater,
+                    (false, true) => std::cmp::Ordering::Less,
+                    (false, false) => values[b]
+                        .partial_cmp(&values[a])
+                        .unwrap()
+                        .then_with(|| a.cmp(&b)),
+                }
+            });
+
+            prop_assert_eq!(smallest_k(&values, k), asc[..k].to_vec());
+            prop_assert_eq!(largest_k(&values, k), desc[..k].to_vec());
+            prop_assert_eq!(argsort(&values), asc.clone());
+            prop_assert_eq!(argsort_desc(&values), desc);
+
+            // argmax/argmin agree with the oracle's first non-NaN endpoint.
+            let first_non_nan_desc = desc.iter().copied().find(|&i| !values[i].is_nan());
+            let expected_max = first_non_nan_desc.map(|top| {
+                // first index holding a value equal to the max (argmax is first-on-ties)
+                (0..n)
+                    .find(|&i| values[i] == values[top])
+                    .unwrap()
+            });
+            prop_assert_eq!(argmax(&values), expected_max);
+            let first_non_nan_asc = asc.iter().copied().find(|&i| !values[i].is_nan());
+            let expected_min = first_non_nan_asc.map(|bottom| {
+                (0..n)
+                    .find(|&i| values[i] == values[bottom])
+                    .unwrap()
+            });
+            prop_assert_eq!(argmin(&values), expected_min);
         }
     }
 }

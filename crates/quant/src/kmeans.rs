@@ -277,7 +277,7 @@ mod tests {
         let km = KMeans::fit(&data, &KMeansConfig::new(4));
         let p = data.row(7);
         let scores = km.scores(p);
-        assert_eq!(km.assign(p), usp_linalg::topk::argmax(&scores));
+        assert_eq!(Some(km.assign(p)), usp_linalg::topk::argmax(&scores));
         let ranked = km.nearest_centroids(p, 4);
         assert_eq!(ranked[0], km.assign(p));
         assert_eq!(ranked.len(), 4);

@@ -1,0 +1,282 @@
+//! Micro-batching for single-query traffic.
+//!
+//! Point lookups arrive one at a time, but the engine's throughput comes from batches.
+//! The [`MicroBatcher`] bridges the two: [`submit`](MicroBatcher::submit) enqueues a
+//! query and returns a receiver immediately; a background flusher thread collects
+//! pending queries into one [`QueryEngine::serve_batch`] call whenever the batch fills
+//! up **or** the batching window (`max_delay`) closes, whichever comes first — the
+//! classic throughput/latency trade dial. Results are delivered through per-query
+//! channels, and micro-batched answers are identical to direct
+//! [`QueryEngine::query`] answers (batching never changes semantics).
+
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use usp_index::{Partitioner, SearchResult};
+use usp_linalg::Matrix;
+
+use crate::engine::{QueryEngine, QueryOptions};
+
+struct Shared<P: Partitioner> {
+    engine: Arc<QueryEngine<P>>,
+    opts: QueryOptions,
+    max_batch: usize,
+    max_delay: Duration,
+    state: Mutex<State>,
+    cv: Condvar,
+}
+
+struct State {
+    pending: Vec<(Vec<f32>, mpsc::Sender<SearchResult>)>,
+    shutdown: bool,
+}
+
+/// Accumulates single queries into micro-batches served on the engine's pooled path.
+///
+/// Dropping the batcher flushes every pending query before the background thread
+/// exits, so submitted queries are never lost.
+pub struct MicroBatcher<P: Partitioner + 'static> {
+    shared: Arc<Shared<P>>,
+    flusher: Option<std::thread::JoinHandle<()>>,
+}
+
+impl<P: Partitioner + 'static> MicroBatcher<P> {
+    /// Starts the background flusher. `max_batch` bounds the batch size (flush
+    /// trigger); `max_delay` bounds how long a lone query waits for company.
+    pub fn new(
+        engine: Arc<QueryEngine<P>>,
+        opts: QueryOptions,
+        max_batch: usize,
+        max_delay: Duration,
+    ) -> Self {
+        assert!(max_batch >= 1, "MicroBatcher: max_batch must be >= 1");
+        let shared = Arc::new(Shared {
+            engine,
+            opts,
+            max_batch,
+            max_delay,
+            state: Mutex::new(State {
+                pending: Vec::new(),
+                shutdown: false,
+            }),
+            cv: Condvar::new(),
+        });
+        let flusher = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("usp-serve-batcher".into())
+                .spawn(move || flusher_loop(&shared))
+                .expect("MicroBatcher: failed to spawn flusher thread")
+        };
+        Self {
+            shared,
+            flusher: Some(flusher),
+        }
+    }
+
+    /// Enqueues a query; the returned receiver yields the answer once the query's
+    /// micro-batch is flushed. `query.len()` must equal the indexed dimensionality.
+    pub fn submit(&self, query: Vec<f32>) -> mpsc::Receiver<SearchResult> {
+        assert_eq!(
+            query.len(),
+            self.shared.engine.index().data().cols(),
+            "MicroBatcher: query dimensionality mismatch"
+        );
+        let (tx, rx) = mpsc::channel();
+        let mut state = self.shared.state.lock().unwrap();
+        assert!(!state.shutdown, "MicroBatcher: submit after shutdown");
+        state.pending.push((query, tx));
+        drop(state);
+        self.shared.cv.notify_all();
+        rx
+    }
+
+    /// Number of queries waiting for the next flush (diagnostic).
+    pub fn pending(&self) -> usize {
+        self.shared.state.lock().unwrap().pending.len()
+    }
+}
+
+impl<P: Partitioner + 'static> Drop for MicroBatcher<P> {
+    fn drop(&mut self) {
+        self.shared.state.lock().unwrap().shutdown = true;
+        self.shared.cv.notify_all();
+        if let Some(handle) = self.flusher.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn flusher_loop<P: Partitioner>(shared: &Shared<P>) {
+    loop {
+        let batch = {
+            let mut state = shared.state.lock().unwrap();
+            // Sleep until there is something to serve (or we are asked to exit).
+            while state.pending.is_empty() && !state.shutdown {
+                state = shared.cv.wait(state).unwrap();
+            }
+            if state.pending.is_empty() && state.shutdown {
+                return;
+            }
+            // Batching window: wait for the batch to fill, the window to close, or
+            // shutdown (which flushes whatever is pending immediately).
+            let deadline = Instant::now() + shared.max_delay;
+            while state.pending.len() < shared.max_batch && !state.shutdown {
+                let now = Instant::now();
+                if now >= deadline {
+                    break;
+                }
+                let (guard, _timeout) = shared.cv.wait_timeout(state, deadline - now).unwrap();
+                state = guard;
+            }
+            // Drain at most max_batch queries (submissions racing in during a flush can
+            // overfill the queue); the overflow stays pending and is picked up by the
+            // next loop iteration without re-entering the empty-queue wait.
+            let take = state.pending.len().min(shared.max_batch);
+            let rest = state.pending.split_off(take);
+            std::mem::replace(&mut state.pending, rest)
+        };
+
+        // Serve outside the lock so new submissions keep flowing during the flush.
+        let dim = shared.engine.index().data().cols();
+        let mut flat = Vec::with_capacity(batch.len() * dim);
+        for (query, _) in &batch {
+            flat.extend_from_slice(query);
+        }
+        let queries = Matrix::from_vec(batch.len(), dim, flat);
+        let results = shared.engine.serve_batch(&queries, &shared.opts);
+        for ((_, tx), result) in batch.into_iter().zip(results) {
+            // A caller that dropped its receiver just doesn't get the answer.
+            let _ = tx.send(result);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use usp_index::partitioner::RoundRobinPartitioner;
+    use usp_index::PartitionIndex;
+    use usp_linalg::Distance;
+
+    fn engine() -> Arc<QueryEngine<RoundRobinPartitioner>> {
+        let n = 64;
+        let data: Vec<f32> = (0..n * 3)
+            .map(|i| ((i * 53 % 97) as f32) / 7.0 - 6.0)
+            .collect();
+        let data = Matrix::from_vec(n, 3, data);
+        Arc::new(QueryEngine::new(Arc::new(PartitionIndex::build(
+            RoundRobinPartitioner::new(6),
+            &data,
+            Distance::SquaredEuclidean,
+        ))))
+    }
+
+    #[test]
+    fn micro_batched_answers_equal_direct_answers() {
+        let engine = engine();
+        let opts = QueryOptions::new(4, 3);
+        let batcher = MicroBatcher::new(Arc::clone(&engine), opts, 8, Duration::from_millis(5));
+        let queries: Vec<Vec<f32>> = (0..20)
+            .map(|i| vec![i as f32 * 0.3 - 3.0, (i % 5) as f32, 1.0])
+            .collect();
+        let receivers: Vec<_> = queries.iter().map(|q| batcher.submit(q.clone())).collect();
+        for (q, rx) in queries.iter().zip(receivers) {
+            let got = rx.recv().expect("flusher delivers an answer");
+            let expect = engine.index().search(q, opts.k, opts.probes);
+            assert_eq!(got, expect);
+        }
+    }
+
+    #[test]
+    fn lone_query_is_flushed_by_the_deadline() {
+        let engine = engine();
+        let batcher = MicroBatcher::new(
+            Arc::clone(&engine),
+            QueryOptions::new(2, 2),
+            1024, // never fills
+            Duration::from_millis(10),
+        );
+        let t0 = Instant::now();
+        let rx = batcher.submit(vec![0.5, -0.5, 2.0]);
+        let got = rx.recv().expect("deadline flush");
+        assert!(
+            t0.elapsed() < Duration::from_secs(5),
+            "deadline flush took {:?}",
+            t0.elapsed()
+        );
+        assert_eq!(got, engine.index().search(&[0.5, -0.5, 2.0], 2, 2));
+    }
+
+    #[test]
+    fn drop_flushes_pending_queries() {
+        let engine = engine();
+        let batcher = MicroBatcher::new(
+            Arc::clone(&engine),
+            QueryOptions::new(1, 1),
+            1024,
+            Duration::from_secs(3600), // the window alone would never close in time
+        );
+        let rx = batcher.submit(vec![1.0, 2.0, 3.0]);
+        drop(batcher); // must flush, not discard
+        let got = rx.recv().expect("drop flushed the pending query");
+        assert_eq!(got, engine.index().search(&[1.0, 2.0, 3.0], 1, 1));
+    }
+
+    #[test]
+    fn flushed_batches_never_exceed_max_batch() {
+        let engine = engine();
+        let opts = QueryOptions::new(2, 2);
+        let batcher = MicroBatcher::new(
+            Arc::clone(&engine),
+            opts,
+            4,
+            Duration::from_secs(3600), // flushes are triggered by fill or shutdown only
+        );
+        let queries: Vec<Vec<f32>> = (0..10).map(|i| vec![i as f32, 0.5, -2.0]).collect();
+        let receivers: Vec<_> = queries.iter().map(|q| batcher.submit(q.clone())).collect();
+        drop(batcher); // flushes the remainder
+        for (q, rx) in queries.iter().zip(receivers) {
+            assert_eq!(
+                rx.recv().unwrap(),
+                engine.index().search(q, opts.k, opts.probes)
+            );
+        }
+        // 10 queries through max_batch=4 must arrive as 4 + 4 + 2, never one batch of 10.
+        let snap = engine.stats();
+        assert_eq!(snap.queries, 10);
+        assert_eq!(
+            snap.batches, 3,
+            "overfilled queue must drain in max_batch slices"
+        );
+    }
+
+    #[test]
+    fn submissions_from_many_threads_all_get_answers() {
+        let engine = engine();
+        let opts = QueryOptions::new(3, 2);
+        let batcher = Arc::new(MicroBatcher::new(
+            Arc::clone(&engine),
+            opts,
+            4,
+            Duration::from_millis(2),
+        ));
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let batcher = Arc::clone(&batcher);
+            let engine = Arc::clone(&engine);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..10 {
+                    let q = vec![t as f32, i as f32 * 0.1, -1.0];
+                    let got = batcher.submit(q.clone()).recv().unwrap();
+                    assert_eq!(got, engine.index().search(&q, opts.k, opts.probes));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+}

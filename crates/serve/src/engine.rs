@@ -1,0 +1,262 @@
+//! The batched query engine: per-request knobs, pool execution, statistics.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use rayon::prelude::*;
+use usp_index::{rerank, PartitionIndex, Partitioner, SearchResult};
+use usp_linalg::Matrix;
+
+use crate::stats::{ServeStats, StatsSnapshot};
+
+/// Per-request serving knobs (every request can use different values against the same
+/// engine).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueryOptions {
+    /// Number of neighbours to return.
+    pub k: usize,
+    /// Number of bins to probe (`m′` of Algorithm 2), clamped to the bin count.
+    pub probes: usize,
+    /// Cap on the number of candidates re-ranked per query. Candidates are kept in
+    /// bin-rank-then-bucket order, so the budget drops points from the *least*
+    /// probable probed bins first. `None` = exact Algorithm 2 (identical to
+    /// [`PartitionIndex::search`]).
+    pub rerank_budget: Option<usize>,
+}
+
+impl QueryOptions {
+    /// Options matching [`PartitionIndex::search`]'s semantics exactly.
+    pub fn new(k: usize, probes: usize) -> Self {
+        Self {
+            k,
+            probes,
+            rerank_budget: None,
+        }
+    }
+
+    /// Caps the per-query re-rank work (tail-latency control).
+    pub fn with_rerank_budget(mut self, budget: usize) -> Self {
+        self.rerank_budget = Some(budget);
+        self
+    }
+}
+
+/// A batched query-serving engine over a [`PartitionIndex`].
+///
+/// [`serve_batch`](Self::serve_batch) fans a batch out across the rayon shim's
+/// persistent worker pool — one parallel region per batch, no thread spawned on the hot
+/// path — and merges per-query answers in request order, so results are bit-identical
+/// to per-query [`PartitionIndex::search`] calls for any pool size (when no re-rank
+/// budget is set). The engine is `Send + Sync`; clones of the `Arc`-held index are
+/// cheap and a [`crate::MicroBatcher`] can feed it single queries.
+pub struct QueryEngine<P: Partitioner> {
+    index: Arc<PartitionIndex<P>>,
+    stats: ServeStats,
+}
+
+/// One answered query plus the serving metadata the stats need.
+struct Answered {
+    result: SearchResult,
+    probed_bins: Vec<usize>,
+    latency_us: u64,
+}
+
+impl<P: Partitioner> QueryEngine<P> {
+    /// Wraps an index for serving.
+    pub fn new(index: Arc<PartitionIndex<P>>) -> Self {
+        let bins = index.num_bins();
+        Self {
+            index,
+            stats: ServeStats::new(bins),
+        }
+    }
+
+    /// The underlying index.
+    pub fn index(&self) -> &PartitionIndex<P> {
+        &self.index
+    }
+
+    /// Answers one query immediately (recorded as a batch of one). Latency-sensitive
+    /// single lookups that can tolerate a small delay should go through a
+    /// [`crate::MicroBatcher`] instead, which rides the batched path.
+    pub fn query(&self, query: &[f32], opts: &QueryOptions) -> SearchResult {
+        let t0 = Instant::now();
+        let answered = self.answer(query, opts);
+        let busy = t0.elapsed().as_micros() as u64;
+        self.stats.record_batch(
+            &[answered.latency_us],
+            answered.probed_bins.iter().copied(),
+            answered.result.candidates_scanned as u64,
+            busy,
+        );
+        answered.result
+    }
+
+    /// Answers every row of `queries` in parallel on the persistent pool.
+    ///
+    /// Results come back in request order and — with no re-rank budget — are
+    /// bit-identical to calling [`PartitionIndex::search`] per row, for any pool size.
+    pub fn serve_batch(&self, queries: &Matrix, opts: &QueryOptions) -> Vec<SearchResult> {
+        let t0 = Instant::now();
+        let answered: Vec<Answered> = (0..queries.rows())
+            .into_par_iter()
+            .map(|qi| self.answer(queries.row(qi), opts))
+            .collect();
+        let busy = t0.elapsed().as_micros() as u64;
+
+        let latencies: Vec<u64> = answered.iter().map(|a| a.latency_us).collect();
+        let scanned: u64 = answered
+            .iter()
+            .map(|a| a.result.candidates_scanned as u64)
+            .sum();
+        self.stats.record_batch(
+            &latencies,
+            answered.iter().flat_map(|a| a.probed_bins.iter().copied()),
+            scanned,
+            busy,
+        );
+        answered.into_iter().map(|a| a.result).collect()
+    }
+
+    /// The online phase for one query (Algorithm 2), instrumented.
+    ///
+    /// Uses the same [`PartitionIndex::probe`] gather step as
+    /// [`PartitionIndex::search`], so with `opts.rerank_budget = None` the answer is
+    /// bit-identical to the Searcher path by construction — the equivalence tests
+    /// compare the two bit for bit.
+    fn answer(&self, query: &[f32], opts: &QueryOptions) -> Answered {
+        let t0 = Instant::now();
+        let (probed_bins, mut candidates) = self.index.probe(query, opts.probes);
+        if let Some(budget) = opts.rerank_budget {
+            candidates.truncate(budget);
+        }
+        let scanned = candidates.len();
+        let ids = rerank::rerank(
+            self.index.data(),
+            query,
+            &candidates,
+            opts.k,
+            self.index.distance(),
+        );
+        Answered {
+            result: SearchResult::new(ids, scanned),
+            probed_bins,
+            latency_us: t0.elapsed().as_micros() as u64,
+        }
+    }
+
+    /// Serving statistics accumulated since construction (or the last
+    /// [`reset_stats`](Self::reset_stats)).
+    pub fn stats(&self) -> StatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// Clears the serving statistics.
+    pub fn reset_stats(&self) {
+        self.stats.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use usp_index::partitioner::RoundRobinPartitioner;
+    use usp_linalg::Distance;
+
+    fn small_index() -> Arc<PartitionIndex<RoundRobinPartitioner>> {
+        // 40 deterministic 2-D points hashed into 5 bins.
+        let n = 40;
+        let data: Vec<f32> = (0..n * 2)
+            .map(|i| ((i * 37 % 101) as f32) / 10.0 - 5.0)
+            .collect();
+        let data = Matrix::from_vec(n, 2, data);
+        Arc::new(PartitionIndex::build(
+            RoundRobinPartitioner::new(5),
+            &data,
+            Distance::SquaredEuclidean,
+        ))
+    }
+
+    fn queries() -> Matrix {
+        Matrix::from_vec(
+            6,
+            2,
+            vec![0.1, 0.2, -1.0, 3.0, 2.5, 2.5, -4.0, 0.0, 1.0, 1.0, 0.0, 0.0],
+        )
+    }
+
+    #[test]
+    fn batch_results_match_index_search_exactly() {
+        let index = small_index();
+        let engine = QueryEngine::new(Arc::clone(&index));
+        let q = queries();
+        let opts = QueryOptions::new(3, 2);
+        let batch = engine.serve_batch(&q, &opts);
+        for qi in 0..q.rows() {
+            let expect = index.search(q.row(qi), 3, 2);
+            assert_eq!(batch[qi], expect, "engine differs from Searcher at {qi}");
+            assert_eq!(engine.query(q.row(qi), &opts), expect);
+        }
+    }
+
+    #[test]
+    fn rerank_budget_caps_scanned_candidates() {
+        let index = small_index();
+        let engine = QueryEngine::new(index);
+        let q = queries();
+        let unbounded = engine.serve_batch(&q, &QueryOptions::new(3, 5));
+        let budget = 4;
+        let bounded = engine.serve_batch(&q, &QueryOptions::new(3, 5).with_rerank_budget(budget));
+        for (u, b) in unbounded.iter().zip(&bounded) {
+            assert!(u.candidates_scanned > budget, "test needs busier bins");
+            assert_eq!(b.candidates_scanned, budget);
+            assert!(b.ids.len() <= 3);
+        }
+    }
+
+    #[test]
+    fn per_request_knobs_are_independent() {
+        let index = small_index();
+        let engine = QueryEngine::new(Arc::clone(&index));
+        let q = queries();
+        // Interleaved requests with different knobs must each match their own
+        // per-query reference.
+        let a = engine.serve_batch(&q, &QueryOptions::new(1, 1));
+        let b = engine.serve_batch(&q, &QueryOptions::new(5, 4));
+        for qi in 0..q.rows() {
+            assert_eq!(a[qi], index.search(q.row(qi), 1, 1));
+            assert_eq!(b[qi], index.search(q.row(qi), 5, 4));
+        }
+    }
+
+    #[test]
+    fn stats_track_queries_batches_and_bin_probes() {
+        let index = small_index();
+        let engine = QueryEngine::new(index);
+        let q = queries();
+        engine.serve_batch(&q, &QueryOptions::new(2, 3));
+        engine.query(q.row(0), &QueryOptions::new(2, 3));
+        let snap = engine.stats();
+        assert_eq!(snap.queries, 7);
+        assert_eq!(snap.batches, 2);
+        // Every query probed exactly 3 bins.
+        assert_eq!(snap.bin_probes.iter().sum::<u64>(), 7 * 3);
+        assert_eq!(snap.bin_probes.len(), 5);
+        assert!(snap.mean_candidates > 0.0);
+        engine.reset_stats();
+        assert_eq!(engine.stats().queries, 0);
+    }
+
+    #[test]
+    fn nan_queries_are_answered_deterministically() {
+        let index = small_index();
+        let engine = QueryEngine::new(Arc::clone(&index));
+        let nan_q = [f32::NAN, f32::NAN];
+        let opts = QueryOptions::new(3, 2);
+        let r1 = engine.query(&nan_q, &opts);
+        let r2 = engine.query(&nan_q, &opts);
+        // No panic, stable output, and still consistent with the Searcher path.
+        assert_eq!(r1, r2);
+        assert_eq!(r1, index.search(&nan_q, 3, 2));
+    }
+}

@@ -1,0 +1,29 @@
+//! Batched query serving over a [`PartitionIndex`](usp_index::PartitionIndex).
+//!
+//! The paper's partitioning index only pays off online — rank bins by model
+//! probability, probe the `m′` best, re-rank the union — and that online phase is
+//! embarrassingly parallel across queries. This crate turns the offline reproduction
+//! into a servable system:
+//!
+//! * [`engine::QueryEngine`] — answers query batches on the rayon shim's **persistent
+//!   worker pool** (one parallel region per batch, no thread spawns on the hot path),
+//!   with per-request knobs ([`engine::QueryOptions`]: `k`, `nprobe`, re-rank budget)
+//!   and running serving statistics ([`stats::StatsSnapshot`]: QPS, p50/p99 latency,
+//!   per-bin probe counts);
+//! * [`batcher::MicroBatcher`] — accumulates single queries into micro-batches (flushed
+//!   when full or when the batching window closes) so point lookups ride the same
+//!   batched path;
+//! * determinism: batch answers are **bit-identical** to per-query
+//!   [`AnnSearcher`](usp_index::AnnSearcher) results for any pool size — batching is an
+//!   execution strategy, never a semantic change (`tests/parallel_equivalence.rs` pins
+//!   this).
+//!
+//! See `DESIGN.md` §5 for the serving architecture and the pool lifecycle.
+
+pub mod batcher;
+pub mod engine;
+pub mod stats;
+
+pub use batcher::MicroBatcher;
+pub use engine::{QueryEngine, QueryOptions};
+pub use stats::StatsSnapshot;

@@ -1,0 +1,180 @@
+//! Serving statistics: throughput, latency percentiles, per-bin probe counts.
+
+use std::sync::Mutex;
+
+use serde::{Deserialize, Serialize};
+
+/// Retain at most this many per-query latency samples; beyond it, recording keeps the
+/// counters exact but stops growing the sample buffer (percentiles then describe the
+/// first `LATENCY_SAMPLE_CAP` queries). Bounds memory on long-lived engines.
+const LATENCY_SAMPLE_CAP: usize = 1 << 20;
+
+/// Running serving counters, updated after every batch. Interior-mutable so the engine
+/// can stay `&self` on the hot path; the lock is taken once per batch, not per query.
+#[derive(Debug)]
+pub struct ServeStats {
+    inner: Mutex<Inner>,
+}
+
+#[derive(Debug)]
+struct Inner {
+    queries: u64,
+    batches: u64,
+    candidates_scanned: u64,
+    /// Wall-clock busy time across batches, µs (idle time between batches excluded,
+    /// so `qps` measures the engine, not the request arrival process).
+    busy_us: u64,
+    latencies_us: Vec<u64>,
+    /// `bin_probes[b]` = how many times bin `b` was probed (its candidates scanned).
+    bin_probes: Vec<u64>,
+}
+
+impl ServeStats {
+    pub(crate) fn new(bins: usize) -> Self {
+        Self {
+            inner: Mutex::new(Inner {
+                queries: 0,
+                batches: 0,
+                candidates_scanned: 0,
+                busy_us: 0,
+                latencies_us: Vec::new(),
+                bin_probes: vec![0; bins],
+            }),
+        }
+    }
+
+    /// Folds one served batch into the counters.
+    pub(crate) fn record_batch(
+        &self,
+        latencies_us: &[u64],
+        probed_bins: impl Iterator<Item = usize>,
+        candidates_scanned: u64,
+        busy_us: u64,
+    ) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.queries += latencies_us.len() as u64;
+        inner.batches += 1;
+        inner.candidates_scanned += candidates_scanned;
+        inner.busy_us += busy_us;
+        let room = LATENCY_SAMPLE_CAP.saturating_sub(inner.latencies_us.len());
+        inner
+            .latencies_us
+            .extend_from_slice(&latencies_us[..latencies_us.len().min(room)]);
+        for b in probed_bins {
+            inner.bin_probes[b] += 1;
+        }
+    }
+
+    /// A point-in-time summary of everything recorded so far.
+    pub(crate) fn snapshot(&self) -> StatsSnapshot {
+        let inner = self.inner.lock().unwrap();
+        let mut sorted = inner.latencies_us.clone();
+        sorted.sort_unstable();
+        let busy_secs = inner.busy_us as f64 / 1e6;
+        StatsSnapshot {
+            queries: inner.queries,
+            batches: inner.batches,
+            mean_batch_size: ratio(inner.queries as f64, inner.batches as f64),
+            qps: ratio(inner.queries as f64, busy_secs),
+            mean_candidates: ratio(inner.candidates_scanned as f64, inner.queries as f64),
+            mean_latency_us: ratio(sorted.iter().sum::<u64>() as f64, sorted.len() as f64),
+            p50_latency_us: percentile(&sorted, 0.50),
+            p99_latency_us: percentile(&sorted, 0.99),
+            bin_probes: inner.bin_probes.clone(),
+        }
+    }
+
+    /// Clears every counter (the bin-probe vector keeps its length).
+    pub(crate) fn reset(&self) {
+        let mut inner = self.inner.lock().unwrap();
+        let bins = inner.bin_probes.len();
+        *inner = Inner {
+            queries: 0,
+            batches: 0,
+            candidates_scanned: 0,
+            busy_us: 0,
+            latencies_us: Vec::new(),
+            bin_probes: vec![0; bins],
+        };
+    }
+}
+
+fn ratio(num: f64, den: f64) -> f64 {
+    if den > 0.0 {
+        num / den
+    } else {
+        0.0
+    }
+}
+
+/// Nearest-rank percentile of an ascending-sorted slice (0 for an empty slice).
+fn percentile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx]
+}
+
+/// Point-in-time serving summary, serialisable for benchmark reports.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StatsSnapshot {
+    /// Queries answered.
+    pub queries: u64,
+    /// Batches executed (a single `query` call counts as a batch of one).
+    pub batches: u64,
+    /// Mean queries per batch.
+    pub mean_batch_size: f64,
+    /// Queries per second of engine busy time (idle gaps between batches excluded).
+    pub qps: f64,
+    /// Mean candidate-set size per query.
+    pub mean_candidates: f64,
+    /// Mean per-query latency, µs.
+    pub mean_latency_us: f64,
+    /// Median per-query latency, µs.
+    pub p50_latency_us: u64,
+    /// 99th-percentile per-query latency, µs.
+    pub p99_latency_us: u64,
+    /// Per-bin probe counts (`bin_probes[b]` = times bin `b`'s candidates were
+    /// scanned) — the skew diagnostic for sharding decisions.
+    pub bin_probes: Vec<u64>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let sorted: Vec<u64> = (1..=100).collect();
+        // idx = round((n-1) * q): round(49.5) = 50 -> value 51.
+        assert_eq!(percentile(&sorted, 0.50), 51);
+        assert_eq!(percentile(&sorted, 0.99), 99);
+        assert_eq!(percentile(&sorted, 1.0), 100);
+        assert_eq!(percentile(&[], 0.5), 0);
+        assert_eq!(percentile(&[7], 0.99), 7);
+    }
+
+    #[test]
+    fn record_and_snapshot_round_trip() {
+        let stats = ServeStats::new(4);
+        stats.record_batch(&[10, 20, 30], [0usize, 1, 1, 3].into_iter(), 600, 60);
+        stats.record_batch(&[40], [2usize].into_iter(), 100, 40);
+        let snap = stats.snapshot();
+        assert_eq!(snap.queries, 4);
+        assert_eq!(snap.batches, 2);
+        assert_eq!(snap.mean_batch_size, 2.0);
+        assert_eq!(snap.bin_probes, vec![1, 2, 1, 1]);
+        assert_eq!(snap.mean_candidates, 175.0);
+        // Sorted latencies [10, 20, 30, 40]: p50 idx = round(1.5) = 2 -> 30.
+        assert_eq!(snap.p50_latency_us, 30);
+        assert_eq!(snap.p99_latency_us, 40);
+        // 4 queries in 100µs of busy time = 40k QPS.
+        assert!((snap.qps - 40_000.0).abs() < 1e-6);
+        stats.reset();
+        let snap = stats.snapshot();
+        assert_eq!(snap.queries, 0);
+        assert_eq!(snap.qps, 0.0);
+        assert_eq!(snap.bin_probes, vec![0, 0, 0, 0]);
+    }
+}

@@ -19,6 +19,8 @@
 //! * [`quant`] — product/anisotropic quantization, ScaNN-like search, IVF;
 //! * [`cluster`] — DBSCAN, spectral clustering and clustering metrics;
 //! * [`eval`] — the experiment harness reproducing every table and figure;
+//! * [`serve`] — the batched query-serving engine (persistent-pool batch execution,
+//!   micro-batching, per-request knobs, serving statistics);
 //! * [`linalg`] — dense linear algebra primitives.
 //!
 //! See `README.md` for a quickstart and `DESIGN.md` for the architecture and the
@@ -34,3 +36,4 @@ pub use usp_index as index;
 pub use usp_linalg as linalg;
 pub use usp_nn as nn;
 pub use usp_quant as quant;
+pub use usp_serve as serve;

@@ -9,10 +9,13 @@
 //! `rayon::with_num_threads` override used here makes the comparison explicit and
 //! self-contained regardless of the ambient pool size.
 
+use std::sync::Arc;
+
 use neural_partitioner::baselines::KMeansPartitioner;
+use neural_partitioner::serve::{QueryEngine, QueryOptions};
 use rayon::with_num_threads;
 use usp_data::{exact_knn, synthetic, KnnMatrix};
-use usp_index::PartitionIndex;
+use usp_index::{AnnSearcher, PartitionIndex};
 use usp_linalg::{rng as lrng, Distance, Matrix};
 use usp_quant::{KMeans, KMeansConfig, ProductQuantizer, ProductQuantizerConfig};
 
@@ -187,6 +190,65 @@ fn recall_sweep_is_thread_count_invariant() {
     let reference = sweep(1);
     for &t in THREAD_COUNTS {
         assert_eq!(reference, sweep(t), "sweep differs at {t} threads");
+    }
+}
+
+#[test]
+fn serve_batch_is_bit_identical_to_per_query_searcher_results() {
+    // The serving contract: QueryEngine batches are an execution strategy, never a
+    // semantic change. The reference is the strictly sequential per-query Searcher
+    // path on ONE thread; the engine must reproduce it bit-for-bit on every pool size
+    // (CI additionally re-runs this whole suite under USP_NUM_THREADS=1 and =4).
+    let split = synthetic::sift_like(800, 12, 71).split_queries(64);
+    let data = split.base.points();
+    let queries = &split.queries;
+    let (k, probes) = (10, 3);
+
+    let reference: Vec<_> = with_num_threads(1, || {
+        let partitioner = KMeansPartitioner::fit(data, 8, 5);
+        let index = PartitionIndex::build(partitioner, data, DIST);
+        (0..queries.rows())
+            .map(|qi| index.search(queries.row(qi), k, probes))
+            .collect()
+    });
+
+    for &t in &[1usize, 4] {
+        let (batch, via_trait, engine_batch, micro) = with_num_threads(t, || {
+            let partitioner = KMeansPartitioner::fit(data, 8, 5);
+            let index = Arc::new(PartitionIndex::build(partitioner, data, DIST));
+            let batch = index.search_batch(queries, k, probes);
+            let via_trait = index.with_probes(probes).search_batch(queries, k);
+            let engine = QueryEngine::new(Arc::clone(&index));
+            let engine_batch = engine.serve_batch(queries, &QueryOptions::new(k, probes));
+            // Micro-batched single submissions must land on the same answers.
+            let batcher = neural_partitioner::serve::MicroBatcher::new(
+                Arc::new(QueryEngine::new(Arc::clone(&index))),
+                QueryOptions::new(k, probes),
+                16,
+                std::time::Duration::from_millis(2),
+            );
+            let receivers: Vec<_> = (0..queries.rows())
+                .map(|qi| batcher.submit(queries.row(qi).to_vec()))
+                .collect();
+            let micro: Vec<_> = receivers.into_iter().map(|rx| rx.recv().unwrap()).collect();
+            (batch, via_trait, engine_batch, micro)
+        });
+        assert_eq!(
+            reference, batch,
+            "index.search_batch differs at {t} threads"
+        );
+        assert_eq!(
+            reference, via_trait,
+            "AnnSearcher batch differs at {t} threads"
+        );
+        assert_eq!(
+            reference, engine_batch,
+            "QueryEngine.serve_batch differs at {t} threads"
+        );
+        assert_eq!(
+            reference, micro,
+            "micro-batched answers differ at {t} threads"
+        );
     }
 }
 

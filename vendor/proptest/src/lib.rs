@@ -7,11 +7,12 @@
 //!
 //! On failure the harness **shrinks** the counterexample before reporting it: integer
 //! (and therefore seed) strategies binary-search toward the lower bound of their range,
-//! and tuples shrink component-wise while holding the other components fixed. The
-//! reported minimal case is exact when the failure region is upward-closed (`fails for
-//! all x >= c`, the common case for sizes, counts and seeds) and is otherwise still a
-//! genuine failing input. Float and collection strategies currently report unshrunk
-//! values.
+//! float strategies bisect toward the bound (trying the bound and `0.0` first), vectors
+//! shrink by minimal failing prefix → single-element deletions → element-wise
+//! shrinking, and tuples shrink component-wise while holding the other components
+//! fixed. The reported minimal case is exact when the failure region is upward-closed
+//! (`fails for all x >= c`, the common case for sizes, counts and seeds) and is
+//! otherwise still a genuine failing input.
 //!
 //! Supported surface: `proptest! { #![proptest_config(ProptestConfig::with_cases(N))]
 //! #[test] fn name(arg in strategy, ...) { ... } }`, `prop_assert!`, `prop_assert_eq!`,
@@ -214,8 +215,11 @@ where
 
 impl_strategy_for_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
 
-/// Float ranges sample but do not shrink (binary search over reals has no canonical
-/// minimal counterexample to stop at).
+/// Float ranges shrink by bisection toward the range's lower bound: after trying the
+/// bound itself (and `0.0` when it lies between the bound and the failing value), the
+/// boundary of an upward-closed failure region is located to within a fixed number of
+/// bisection steps — floats have no canonical minimal counterexample, so "within float
+/// precision of the boundary" is the reported minimum.
 macro_rules! impl_strategy_for_float_range {
     ($($t:ty),*) => {$(
         impl Strategy for std::ops::Range<$t> {
@@ -224,6 +228,11 @@ macro_rules! impl_strategy_for_float_range {
                 use rand::Rng;
                 rng.random_range(self.clone())
             }
+            fn shrink(&self, failing: $t, still_fails: &mut dyn FnMut(&$t) -> bool) -> $t {
+                float_bisect_shrink(self.start as f64, failing as f64, &mut |v| {
+                    still_fails(&(*v as $t))
+                }) as $t
+            }
         }
         impl Strategy for std::ops::RangeInclusive<$t> {
             type Value = $t;
@@ -231,10 +240,50 @@ macro_rules! impl_strategy_for_float_range {
                 use rand::Rng;
                 rng.random_range(self.clone())
             }
+            fn shrink(&self, failing: $t, still_fails: &mut dyn FnMut(&$t) -> bool) -> $t {
+                float_bisect_shrink(*self.start() as f64, failing as f64, &mut |v| {
+                    still_fails(&(*v as $t))
+                }) as $t
+            }
         }
     )*};
 }
 impl_strategy_for_float_range!(f32, f64);
+
+/// Bisection core for float shrinking (computed in `f64` for both float widths).
+/// Invariant: `hi` fails. Returns a value for which `still_fails` held (or `failing`).
+fn float_bisect_shrink(
+    lo_bound: f64,
+    failing: f64,
+    still_fails: &mut dyn FnMut(&f64) -> bool,
+) -> f64 {
+    if !failing.is_finite() || !lo_bound.is_finite() {
+        return failing;
+    }
+    let mut hi = failing;
+    // The two canonical minima first: the lower bound, then zero when it is inside
+    // [lo_bound, failing).
+    if still_fails(&lo_bound) {
+        return lo_bound;
+    }
+    let mut lo = lo_bound;
+    if lo_bound < 0.0 && 0.0 < hi && still_fails(&0.0) {
+        hi = 0.0; // zero fails: tighten the failing end, the bound keeps passing
+    }
+    // `lo` passes, `hi` fails: 64 bisection steps pin the boundary to float precision.
+    for _ in 0..64 {
+        let mid = lo + (hi - lo) / 2.0;
+        if mid <= lo || mid >= hi {
+            break; // interval no longer representable
+        }
+        if still_fails(&mid) {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    hi
+}
 
 /// Component-wise tuple shrinking: each component binary-searches while the others are
 /// pinned at their current values (one pass, left to right).
@@ -300,7 +349,10 @@ pub mod collection {
         VecStrategy { element, len }
     }
 
-    impl<S: Strategy> Strategy for VecStrategy<S> {
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Clone,
+    {
         type Value = Vec<S::Value>;
         fn sample(&self, rng: &mut StdRng) -> Self::Value {
             use rand::Rng;
@@ -308,7 +360,61 @@ pub mod collection {
             let n = rng.random_range(self.len.clone());
             (0..n).map(|_| self.element.sample(rng)).collect()
         }
-        // Vectors are reported unshrunk (see the crate docs).
+
+        /// Three passes, each committing only to confirmed-failing candidates:
+        /// 1. minimal failing *prefix* by binary search on length (exact when failure
+        ///    is monotone in length, still sound otherwise);
+        /// 2. drop remaining elements one at a time (left to right), keeping deletions
+        ///    that still fail — removes passing noise ahead of the culprit;
+        /// 3. shrink each surviving element in place with the element strategy.
+        ///
+        /// The length floor of the strategy's range is always respected.
+        fn shrink(
+            &self,
+            failing: Self::Value,
+            still_fails: &mut dyn FnMut(&Self::Value) -> bool,
+        ) -> Self::Value {
+            let mut cur = failing;
+            let min_len = self.len.start;
+
+            // Pass 1: minimal failing prefix.
+            let mut lo = min_len;
+            let mut hi = cur.len();
+            while lo < hi {
+                let mid = lo + (hi - lo) / 2;
+                let cand: Vec<S::Value> = cur[..mid].to_vec();
+                if still_fails(&cand) {
+                    cur = cand;
+                    hi = mid;
+                } else {
+                    lo = mid + 1;
+                }
+            }
+
+            // Pass 2: single-element deletions.
+            let mut i = 0;
+            while i < cur.len() && cur.len() > min_len {
+                let mut cand = cur.clone();
+                cand.remove(i);
+                if still_fails(&cand) {
+                    cur = cand; // same index now holds the next element
+                } else {
+                    i += 1;
+                }
+            }
+
+            // Pass 3: element-wise shrinking with the others pinned.
+            for i in 0..cur.len() {
+                let elem = cur[i].clone();
+                let shrunk = self.element.shrink(elem, &mut |cand| {
+                    let mut probe = cur.clone();
+                    probe[i] = cand.clone();
+                    still_fails(&probe)
+                });
+                cur[i] = shrunk;
+            }
+            cur
+        }
     }
 }
 
@@ -559,6 +665,68 @@ mod tests {
         assert!(
             msg.contains("minimal failing case") && msg.contains("x = 17;"),
             "expected shrink to 17, got: {msg}"
+        );
+    }
+
+    #[test]
+    fn float_shrink_bisects_to_threshold() {
+        use crate::Strategy;
+        // Upward-closed failure region {x >= 2.5}: the boundary is found to precision.
+        let minimal = (0f32..10.0).shrink(7.3, &mut |v| *v >= 2.5);
+        assert!(
+            (minimal - 2.5).abs() < 1e-4 && minimal >= 2.5,
+            "expected ~2.5, got {minimal}"
+        );
+        // The lower bound is tried first when it fails.
+        let minimal = (1f64..100.0).shrink(55.0, &mut |v| *v >= 0.5);
+        assert_eq!(minimal, 1.0);
+        // Zero is tried when it sits inside the bracket.
+        let minimal = (-10f32..10.0).shrink(4.0, &mut |v| *v >= -3.0);
+        assert!((-3.0..=0.0).contains(&minimal), "got {minimal}");
+        // Inclusive ranges shrink too.
+        let minimal = (0f64..=1.0).shrink(0.9, &mut |v| *v >= 0.25);
+        assert!((minimal - 0.25).abs() < 1e-9, "got {minimal}");
+    }
+
+    #[test]
+    fn vec_shrink_finds_minimal_prefix_and_elements() {
+        use crate::Strategy;
+        let strat = crate::collection::vec(0u32..100, 0..20);
+        // Failure depends only on length: minimal failing case is the shortest failing
+        // vector with every element at the range minimum.
+        let failing = vec![13u32, 99, 7, 42, 8, 77, 21];
+        let minimal = strat.shrink(failing, &mut |v| v.len() >= 5);
+        assert_eq!(minimal, vec![0, 0, 0, 0, 0]);
+        // Failure depends on one offending element: deletions strip the noise around
+        // it and the element itself bisects to the threshold.
+        let failing = vec![3u32, 1, 4, 87, 2, 6];
+        let minimal = strat.shrink(failing, &mut |v| v.iter().any(|&x| x >= 10));
+        assert_eq!(minimal, vec![10]);
+        // The length floor of the strategy is respected.
+        let strat = crate::collection::vec(0u32..100, 3..20);
+        let minimal = strat.shrink(vec![50, 60, 70, 80], &mut |_| true);
+        assert_eq!(minimal, vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn vec_of_floats_shrinks_end_to_end() {
+        // The combination the new topk oracle tests rely on: a failing float-vector
+        // case must come back minimal through the whole macro pipeline.
+        let result = std::panic::catch_unwind(|| {
+            crate::__proptest_impl! {
+                config = ProptestConfig::with_cases(8);
+                fn fails_when_any_big(v in prop::collection::vec(0f32..100.0, 1..16)) {
+                    prop_assert!(v.iter().all(|&x| x < 20.0), "big element in {:?}", v);
+                }
+            }
+            fails_when_any_big();
+        });
+        let err = result.expect_err("should have panicked");
+        let msg = err.downcast_ref::<String>().expect("panic payload");
+        // Minimal case: exactly one element, bisected to ~20.0.
+        assert!(
+            msg.contains("minimal failing case") && msg.contains("v = [20.0"),
+            "expected a single ~20.0 element, got: {msg}"
         );
     }
 

@@ -1,42 +1,50 @@
-//! Offline stand-in for the [`rayon`](https://docs.rs/rayon) crate — now with **real
-//! data parallelism**.
+//! Offline stand-in for the [`rayon`](https://docs.rs/rayon) crate — real data
+//! parallelism on a **persistent worker pool**.
 //!
 //! The build container has no crates.io access, so the external dependencies are vendored
 //! as minimal API-compatible shims (see `DESIGN.md` §"Vendored shims"). Earlier revisions
-//! of this shim executed every `par_*` call sequentially; this revision runs them on a
-//! scoped-thread chunk executor (`std::thread::scope`, no external dependencies):
+//! of this shim spawned scoped threads per parallel region; this revision keeps a
+//! process-wide pool of long-lived worker threads fed by a job queue, so serving-style
+//! workloads (many small parallel regions per second) no longer pay a thread-spawn per
+//! region:
 //!
 //! * The input index space is pre-split into contiguous **blocks** whose boundaries
 //!   depend only on the input length and the `with_min_len` hint — **never on the thread
-//!   count**. Worker threads pull blocks from an atomic counter, each block's result is
+//!   count**. Threads pull blocks from an atomic counter, each block's result is
 //!   written into its own ordered slot, and terminal operations merge the slots in block
 //!   order. Consequence: `collect`, `sum` and friends return *bit-identical* results
 //!   whether the pool has 1 thread or 64 (the reduction tree has a fixed shape).
+//! * A parallel region is submitted to the pool as a **job**: up to `pool size - 1`
+//!   idle workers join the submitting thread in draining the region's blocks, and the
+//!   submitter blocks until every claimed block has finished. Workers are spawned
+//!   lazily, persist across regions, and install the region's pool-size override while
+//!   working it, so `current_num_threads()` is consistent inside every block.
 //! * The pool size comes from `std::thread::available_parallelism`, overridable via the
 //!   `USP_NUM_THREADS` environment variable and, per call site, via
 //!   [`with_num_threads`]. Nested parallel regions execute inline on the worker that
 //!   encountered them, so parallelism never fans out exponentially.
 //! * A panic inside any block is caught, the remaining blocks are cancelled, and the
 //!   first payload is re-raised on the calling thread — matching real rayon's
-//!   propagation semantics.
+//!   propagation semantics, including when the panicking block ran on a pool worker.
 //!
 //! The supported surface (`prelude::*`, `join`, `par_iter`/`par_chunks_mut`/
 //! `into_par_iter` and the `map`/`enumerate`/`flat_map_iter`/`for_each`/`collect`/`sum`
 //! combinators) mirrors rayon's, with `Fn + Send + Sync (+ Clone)` closure bounds that
 //! real rayon also satisfies — so library code swaps to the real crate unchanged. The
-//! one exception is [`with_num_threads`], a shim-only hook used by the equivalence
-//! tests and the `parallel_smoke` bench; those two callers would need porting to
+//! exceptions are [`with_num_threads`] and [`shutdown_pool`], shim-only hooks used by
+//! the equivalence tests and the benchmark harness; those callers would need porting to
 //! `ThreadPoolBuilder` if the real crate were swapped back in.
 
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 
 pub mod pool {
-    //! The scoped-thread chunk executor and pool-size resolution.
+    //! The persistent worker pool, its job queue, and pool-size resolution.
 
     use super::{catch_unwind, resume_unwind, AssertUnwindSafe};
     use std::cell::Cell;
+    use std::collections::VecDeque;
     use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-    use std::sync::{Mutex, OnceLock};
+    use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
     /// Upper bound on the number of blocks a parallel region is split into. More blocks
     /// than threads gives dynamic load balancing; a fixed cap keeps per-block bookkeeping
@@ -114,11 +122,245 @@ pub mod pool {
         len.div_ceil(TARGET_BLOCKS).max(min_len).max(1)
     }
 
-    /// Executes `fold` over every piece, on up to [`effective_pool_size`] scoped
-    /// threads, and returns the per-piece results **in input order**.
+    // ------------------------------------------------------------- the worker pool
+
+    /// One parallel region in flight, shared between the submitting thread and the pool
+    /// workers that join it.
+    ///
+    /// `run_block` points into the submitting thread's stack frame. It is a raw pointer
+    /// — not a lifetime-erased reference — because stale queue tickets can keep the
+    /// `Region` alive after that frame is gone, and holding a dangling *reference*
+    /// would be undefined behaviour even unused. The completion protocol makes each
+    /// dereference sound: the submitter only returns from [`ActiveRegion::finish`]
+    /// once `next >= nblocks` (or `stop` is set) **and** `active == 0`, and every
+    /// thread increments `active` *before* attempting a claim and only dereferences
+    /// `run_block` after a successful claim (all accesses `SeqCst`). Once the
+    /// submitter has observed exhaustion, no later claim can succeed, so no thread can
+    /// reach the closure after `finish` returns; stale tickets popped later find the
+    /// region exhausted and never touch `run_block`.
+    struct Region {
+        /// Runs block `i`. Borrow of the submitter's stack as a raw pointer (see above).
+        run_block: *const (dyn Fn(usize) + Sync),
+        nblocks: usize,
+        /// Next block index to claim (claims past `nblocks` fail).
+        next: AtomicUsize,
+        /// Set on the first panic; cancels every unclaimed block.
+        stop: AtomicBool,
+        /// Threads currently inside [`Region::work`].
+        active: AtomicUsize,
+        /// Pool-size override workers install while working this region, so
+        /// `current_num_threads()` inside a block matches the submitter's view.
+        effective: usize,
+        panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+        /// Pair guarding the completion wait in [`Region::wait_done`].
+        done: Mutex<()>,
+        done_cv: Condvar,
+    }
+
+    // SAFETY: the raw `run_block` pointer is the only non-auto-traited field; it points
+    // at a `dyn Fn(usize) + Sync` closure, which is safe to share and call from any
+    // thread, and the completion protocol (struct docs) bounds every dereference to the
+    // closure's actual lifetime.
+    unsafe impl Send for Region {}
+    unsafe impl Sync for Region {}
+
+    impl Region {
+        /// Claims and executes blocks until the region is exhausted or cancelled.
+        /// Called by the submitter and by every pool worker that picked up a ticket.
+        fn work(&self) {
+            self.active.fetch_add(1, Ordering::SeqCst);
+            loop {
+                if self.stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                let i = self.next.fetch_add(1, Ordering::SeqCst);
+                if i >= self.nblocks {
+                    break;
+                }
+                // SAFETY: a successful claim implies the submitter has not yet observed
+                // exhaustion, so it is still blocked in `finish()` and the closure this
+                // points to is alive (see the struct docs).
+                let run_block = unsafe { &*self.run_block };
+                if let Err(payload) = catch_unwind(AssertUnwindSafe(|| run_block(i))) {
+                    let mut slot = self.panic.lock().unwrap();
+                    if slot.is_none() {
+                        *slot = Some(payload);
+                    }
+                    drop(slot);
+                    self.stop.store(true, Ordering::SeqCst);
+                    break;
+                }
+            }
+            self.active.fetch_sub(1, Ordering::SeqCst);
+            let _guard = self.done.lock().unwrap();
+            self.done_cv.notify_all();
+        }
+
+        fn exhausted(&self) -> bool {
+            self.stop.load(Ordering::SeqCst) || self.next.load(Ordering::SeqCst) >= self.nblocks
+        }
+
+        /// Blocks until no thread can still be executing (or later claim) a block.
+        fn wait_done(&self) {
+            let mut guard = self.done.lock().unwrap();
+            while !(self.exhausted() && self.active.load(Ordering::SeqCst) == 0) {
+                guard = self.done_cv.wait(guard).unwrap();
+            }
+        }
+    }
+
+    struct PoolState {
+        /// Job queue: one ticket per worker invited to a region. Workers pop a ticket,
+        /// drain the region, then return for the next ticket; tickets for regions that
+        /// finished in the meantime are discarded on inspection.
+        tickets: VecDeque<Arc<Region>>,
+        /// Worker threads ever spawned and not yet shut down (grows monotonically to
+        /// the largest pool size any region has requested).
+        workers: usize,
+        handles: Vec<std::thread::JoinHandle<()>>,
+        shutting_down: bool,
+    }
+
+    struct Pool {
+        state: Mutex<PoolState>,
+        cv: Condvar,
+    }
+
+    static POOL: OnceLock<Pool> = OnceLock::new();
+
+    fn pool() -> &'static Pool {
+        POOL.get_or_init(|| Pool {
+            state: Mutex::new(PoolState {
+                tickets: VecDeque::new(),
+                workers: 0,
+                handles: Vec::new(),
+                shutting_down: false,
+            }),
+            cv: Condvar::new(),
+        })
+    }
+
+    /// Body of every persistent worker thread: pop a ticket, drain its region (with the
+    /// region's pool-size override installed), repeat. Exits only when a shutdown is
+    /// requested **and** the queue is empty, so in-flight regions keep their helpers.
+    fn worker_loop() {
+        let pool = pool();
+        loop {
+            let region = {
+                let mut st = pool.state.lock().unwrap();
+                loop {
+                    if let Some(r) = st.tickets.pop_front() {
+                        break r;
+                    }
+                    if st.shutting_down {
+                        return;
+                    }
+                    st = pool.cv.wait(st).unwrap();
+                }
+            };
+            with_override(region.effective, || enter_region(|| region.work()));
+        }
+    }
+
+    /// Handle to a region submitted to the pool; [`finish`](ActiveRegion::finish) must
+    /// run before the borrows inside the region's closure expire.
+    pub(crate) struct ActiveRegion {
+        region: Arc<Region>,
+    }
+
+    impl ActiveRegion {
+        /// Participates in the region's work, waits for every helper to leave it, and
+        /// returns the first panic payload if any block panicked.
+        pub(crate) fn finish(self) -> Option<Box<dyn std::any::Any + Send>> {
+            enter_region(|| self.region.work());
+            self.region.wait_done();
+            self.region.panic.lock().unwrap().take()
+        }
+    }
+
+    /// Submits a region to the persistent pool, inviting up to `helpers` workers
+    /// (spawning new ones if fewer exist), and returns without blocking.
+    ///
+    /// # Safety
+    ///
+    /// `run_block` may borrow from the caller's stack. The caller must invoke
+    /// [`ActiveRegion::finish`] on the returned handle before those borrows expire —
+    /// `finish` blocks until no pool thread can touch `run_block` again.
+    pub(crate) unsafe fn submit(
+        run_block: &(dyn Fn(usize) + Sync),
+        nblocks: usize,
+        helpers: usize,
+        effective: usize,
+    ) -> ActiveRegion {
+        // Erase the borrow's lifetime at the raw-pointer level (a trait-object pointer
+        // in the struct field defaults to `+ 'static`); soundness argument on `Region`.
+        let run_block: *const (dyn Fn(usize) + Sync) = unsafe {
+            std::mem::transmute::<
+                *const (dyn Fn(usize) + Sync + '_),
+                *const (dyn Fn(usize) + Sync + 'static),
+            >(run_block)
+        };
+        let region = Arc::new(Region {
+            run_block,
+            nblocks,
+            next: AtomicUsize::new(0),
+            stop: AtomicBool::new(false),
+            active: AtomicUsize::new(0),
+            effective,
+            panic: Mutex::new(None),
+            done: Mutex::new(()),
+            done_cv: Condvar::new(),
+        });
+        let pool = pool();
+        let mut st = pool.state.lock().unwrap();
+        // A concurrent shutdown_pool() is draining the workers; wait for it to complete
+        // so this region gets freshly-spawned helpers instead of none.
+        while st.shutting_down {
+            st = pool.cv.wait(st).unwrap();
+        }
+        while st.workers < helpers {
+            let name = format!("usp-pool-{}", st.workers);
+            let handle = std::thread::Builder::new()
+                .name(name)
+                .spawn(worker_loop)
+                .expect("rayon shim: failed to spawn pool worker");
+            st.handles.push(handle);
+            st.workers += 1;
+        }
+        for _ in 0..helpers {
+            st.tickets.push_back(Arc::clone(&region));
+        }
+        drop(st);
+        pool.cv.notify_all();
+        ActiveRegion { region }
+    }
+
+    /// Joins every persistent worker and resets the pool (shim-only; see
+    /// [`crate::shutdown_pool`]). Workers finish queued regions before exiting, and
+    /// regions submitted afterwards respawn workers lazily.
+    pub(crate) fn shutdown() {
+        let pool = pool();
+        let handles = {
+            let mut st = pool.state.lock().unwrap();
+            st.shutting_down = true;
+            std::mem::take(&mut st.handles)
+        };
+        pool.cv.notify_all();
+        for h in handles {
+            let _ = h.join();
+        }
+        let mut st = pool.state.lock().unwrap();
+        st.workers = 0;
+        st.shutting_down = false;
+        drop(st);
+        pool.cv.notify_all();
+    }
+
+    /// Executes `fold` over every piece — on the persistent pool when more than one
+    /// thread is warranted — and returns the per-piece results **in input order**.
     ///
     /// Panics in `fold` are caught, remaining pieces are cancelled, and the first
-    /// payload is re-raised on the calling thread once all workers have stopped.
+    /// payload is re-raised on the calling thread once all helpers have stopped.
     pub(crate) fn run_blocks<P, R, F>(pieces: Vec<P>, fold: F) -> Vec<R>
     where
         P: Send,
@@ -143,49 +385,26 @@ pub mod pool {
         let slots: Vec<Mutex<Option<P>>> =
             pieces.into_iter().map(|p| Mutex::new(Some(p))).collect();
         let results: Vec<Mutex<Option<R>>> = (0..nblocks).map(|_| Mutex::new(None)).collect();
-        let next = AtomicUsize::new(0);
-        let stop = AtomicBool::new(false);
-        let panic_payload: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
-
-        let work = || loop {
-            if stop.load(Ordering::Relaxed) {
-                break;
-            }
-            let i = next.fetch_add(1, Ordering::Relaxed);
-            if i >= nblocks {
-                break;
-            }
+        let run_block = |i: usize| {
             let piece = slots[i]
                 .lock()
                 .unwrap()
                 .take()
                 .expect("rayon shim: block dispatched twice");
-            match catch_unwind(AssertUnwindSafe(|| fold(piece))) {
-                Ok(r) => *results[i].lock().unwrap() = Some(r),
-                Err(payload) => {
-                    let mut slot = panic_payload.lock().unwrap();
-                    if slot.is_none() {
-                        *slot = Some(payload);
-                    }
-                    stop.store(true, Ordering::Relaxed);
-                    break;
-                }
-            }
+            let r = fold(piece);
+            *results[i].lock().unwrap() = Some(r);
         };
 
-        // Workers inherit the caller's effective pool size so user code reading
-        // `current_num_threads()` inside a block sees the same value no matter which
-        // thread executes the block.
+        // Helpers install this override so user code reading `current_num_threads()`
+        // inside a block sees the same value no matter which thread executes the block.
         let effective = effective_pool_size();
-        std::thread::scope(|s| {
-            for _ in 1..workers {
-                s.spawn(|| with_override(effective, || enter_region(work)));
-            }
-            // The calling thread is a full member of the pool.
-            enter_region(work);
-        });
-
-        if let Some(payload) = panic_payload.into_inner().unwrap() {
+        // SAFETY: `finish()` is called before `run_block` (and the slots/results it
+        // borrows) leaves scope, and blocks until no pool thread can touch it again.
+        let payload = {
+            let active = unsafe { submit(&run_block, nblocks, workers - 1, effective) };
+            active.finish()
+        };
+        if let Some(payload) = payload {
             resume_unwind(payload);
         }
         results
@@ -212,10 +431,22 @@ pub fn with_num_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
     pool::with_override(n, f)
 }
 
+/// Joins every persistent worker thread and resets the pool to empty; the next parallel
+/// region respawns workers lazily. Shim-only (real rayon's global pool cannot be shut
+/// down) — used by tests and by hosts that want a quiescent process at shutdown.
+/// Workers drain already-queued regions before exiting, so this is safe to call
+/// concurrently with parallel regions on other threads, which at worst run with fewer
+/// helpers.
+pub fn shutdown_pool() {
+    pool::shutdown()
+}
+
 /// Runs both closures, potentially concurrently, and returns both results.
 ///
 /// Matches real rayon's semantics: both closures always run to completion (or panic),
 /// and if either panics the payload is re-raised on the caller after both have finished.
+/// `oper_b` is offered to the persistent pool; the caller runs `oper_a`, then runs
+/// `oper_b` itself if no worker picked it up.
 pub fn join<A, B, RA, RB>(oper_a: A, oper_b: B) -> (RA, RB)
 where
     A: FnOnce() -> RA + Send,
@@ -227,16 +458,38 @@ where
     if pool::in_parallel_region() || effective <= 1 {
         return (oper_a(), oper_b());
     }
-    std::thread::scope(|s| {
-        let handle = s.spawn(|| pool::with_override(effective, || pool::enter_region(oper_b)));
+    let b_slot = std::sync::Mutex::new(Some(oper_b));
+    let rb_slot: std::sync::Mutex<Option<RB>> = std::sync::Mutex::new(None);
+    let run_block = |_i: usize| {
+        let f = b_slot
+            .lock()
+            .unwrap()
+            .take()
+            .expect("rayon shim: join block dispatched twice");
+        let r = f();
+        *rb_slot.lock().unwrap() = Some(r);
+    };
+    // SAFETY: `finish()` runs before `run_block`'s borrows (b_slot/rb_slot) expire and
+    // blocks until no pool thread can touch them again.
+    let payload_b = {
+        let active = unsafe { pool::submit(&run_block, 1, 1, effective) };
         let ra = catch_unwind(AssertUnwindSafe(oper_a));
-        let rb = handle.join();
-        match (ra, rb) {
-            (Ok(ra), Ok(rb)) => (ra, rb),
-            (Err(payload), _) => resume_unwind(payload),
-            (Ok(_), Err(payload)) => resume_unwind(payload),
+        let payload_b = active.finish();
+        match ra {
+            Ok(ra) => match payload_b {
+                None => {
+                    let rb = rb_slot
+                        .into_inner()
+                        .unwrap()
+                        .expect("rayon shim: join block finished without a result");
+                    return (ra, rb);
+                }
+                Some(payload) => payload,
+            },
+            Err(payload) => payload,
         }
-    })
+    };
+    resume_unwind(payload_b)
 }
 
 pub mod iter {
@@ -814,6 +1067,7 @@ pub mod prelude {
 #[cfg(test)]
 mod tests {
     use crate::prelude::*;
+    use std::panic::AssertUnwindSafe;
 
     #[test]
     fn range_into_par_iter_collects_in_order() {
@@ -1074,5 +1328,130 @@ mod tests {
             .collect();
         let b: Vec<usize> = (0..100usize).into_par_iter().map(|i| i).collect();
         assert_eq!(a, b);
+    }
+
+    /// Runs one parallel region that refuses to finish until `required` distinct OS
+    /// threads have entered it (bounded wait), and returns the set of participating
+    /// thread ids.
+    fn barrier_region(required: usize) -> std::collections::HashSet<std::thread::ThreadId> {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Mutex;
+        use std::time::{Duration, Instant};
+        let arrived = AtomicUsize::new(0);
+        let ids: Mutex<std::collections::HashSet<std::thread::ThreadId>> =
+            Mutex::new(std::collections::HashSet::new());
+        (0..4usize).into_par_iter().for_each(|_| {
+            ids.lock().unwrap().insert(std::thread::current().id());
+            arrived.fetch_add(1, Ordering::SeqCst);
+            let deadline = Instant::now() + Duration::from_secs(10);
+            while arrived.load(Ordering::SeqCst) < required {
+                assert!(
+                    Instant::now() < deadline,
+                    "pool failed to provide {required} concurrent threads within 10s"
+                );
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        });
+        ids.into_inner().unwrap()
+    }
+
+    #[test]
+    fn pool_reuses_os_threads_across_regions() {
+        // The whole point of the persistent pool: helper threads survive between
+        // regions. 20 regions, each forced (via a 2-thread rendezvous) to use at least
+        // one non-caller thread, must together touch only the pool's fixed worker set —
+        // a spawn-per-region executor would mint >= 20 distinct helper ids (ThreadId is
+        // never reused within a process).
+        let caller = std::thread::current().id();
+        let mut helper_ids = std::collections::HashSet::new();
+        crate::with_num_threads(4, || {
+            for _ in 0..20 {
+                for id in barrier_region(2) {
+                    if id != caller {
+                        helper_ids.insert(id);
+                    }
+                }
+            }
+        });
+        assert!(
+            !helper_ids.is_empty(),
+            "no pool worker ever participated in a region"
+        );
+        assert!(
+            helper_ids.len() <= 12,
+            "saw {} distinct helper threads across 20 regions — workers are not being \
+             reused (spawn-per-region executor?)",
+            helper_ids.len()
+        );
+    }
+
+    #[test]
+    fn with_num_threads_bounds_helpers_in_pooled_regions() {
+        // Grow the pool well past 2 workers first...
+        crate::with_num_threads(8, || {
+            (0..64usize).into_par_iter().for_each(|_| {});
+        });
+        // ...then check a 2-thread region never borrows the extra workers: the job
+        // queue gets exactly one helper ticket, so at most caller + 1 worker
+        // participate even though more workers sit idle.
+        let ids: std::collections::HashSet<_> = crate::with_num_threads(2, || {
+            let seen: Vec<std::thread::ThreadId> = (0..64usize)
+                .into_par_iter()
+                .map(|_| {
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                    std::thread::current().id()
+                })
+                .collect();
+            seen.into_iter().collect()
+        });
+        assert!(
+            ids.len() <= 2,
+            "override of 2 threads admitted {} distinct threads",
+            ids.len()
+        );
+    }
+
+    #[test]
+    fn panic_on_a_pool_worker_thread_propagates() {
+        // Force >= 2 threads into the region, then panic from whichever participant is
+        // NOT the submitting thread: the payload must still surface on the submitter.
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::time::{Duration, Instant};
+        let caller = std::thread::current().id();
+        let arrived = AtomicUsize::new(0);
+        let r = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            crate::with_num_threads(4, || {
+                (0..4usize).into_par_iter().for_each(|_| {
+                    arrived.fetch_add(1, Ordering::SeqCst);
+                    let deadline = Instant::now() + Duration::from_secs(10);
+                    while arrived.load(Ordering::SeqCst) < 2 {
+                        assert!(Instant::now() < deadline, "no second thread arrived");
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                    if std::thread::current().id() != caller {
+                        panic!("worker boom");
+                    }
+                });
+            })
+        }));
+        let payload = r.expect_err("worker panic should propagate to the submitter");
+        let msg = payload.downcast_ref::<&str>().expect("str payload");
+        assert_eq!(*msg, "worker boom");
+    }
+
+    #[test]
+    fn shutdown_pool_joins_workers_and_respawns_lazily() {
+        // A parallel region, a full shutdown, then another region that must again run
+        // on >= 2 distinct OS threads (i.e. the pool respawned workers after reset).
+        crate::with_num_threads(4, || {
+            let v: Vec<usize> = (0..500usize).into_par_iter().map(|i| i * 2).collect();
+            assert!(v.iter().enumerate().all(|(i, &x)| x == i * 2));
+        });
+        crate::shutdown_pool();
+        let distinct = crate::with_num_threads(4, || barrier_region(2).len());
+        assert!(
+            distinct >= 2,
+            "pool did not respawn workers after shutdown (saw {distinct} threads)"
+        );
     }
 }

@@ -1,0 +1,134 @@
+//! Sharded-serving smoke benchmark: scatter/gather vs the monolithic engine.
+//!
+//! Builds a K-means partition index, answers the same query stream through the
+//! unsharded `QueryEngine` and through `ShardedEngine`s for shard counts {1, 2, 4, 7}
+//! (uniform maps), asserts every sharded answer is bit-identical to the unsharded one,
+//! then times the load-aware configuration (a `ShardMap` packed from the monolith's
+//! recorded per-bin probe counts) and records both throughputs into
+//! `BENCH_shard.json`. CI runs this in release mode with `USP_NUM_THREADS=4` and
+//! `USP_ASSERT_SHARD_SPEEDUP=1.0` (sharded serving must never lose to the monolith
+//! when the host has a core per pool thread; on a 1-core container the recorded
+//! speedup is ~1.0 and the gate is skipped).
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use usp_baselines::KMeansPartitioner;
+use usp_data::synthetic;
+use usp_index::{PartitionIndex, SearchResult};
+use usp_linalg::Distance;
+use usp_serve::{QueryEngine, QueryOptions, ShardMap, ShardedEngine};
+
+fn main() {
+    let threads = rayon::current_num_threads();
+    let host_cpus = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+
+    // Workload: 10k base points, 1k queries, 32 bins, probe 8, k = 10 (matches
+    // serve_smoke so the two reports are comparable).
+    let (n, dim, n_queries, bins, probes, k) = (10_000, 24, 1_000, 32, 8, 10);
+    let split = synthetic::sift_like(n + n_queries, dim, 7).split_queries(n_queries);
+    let data = split.base.points();
+    let queries = &split.queries;
+
+    let partitioner = KMeansPartitioner::fit(data, bins, 11);
+    let index = Arc::new(PartitionIndex::build(
+        partitioner,
+        data,
+        Distance::SquaredEuclidean,
+    ));
+    let opts = QueryOptions::new(k, probes);
+    let reps = 3;
+
+    // --- monolith (the serve_smoke batched path) ------------------------------------
+    let monolith = QueryEngine::new(Arc::clone(&index));
+    monolith.warm_up();
+    let mut mono_ms = f64::INFINITY;
+    let mut mono_out: Vec<SearchResult> = Vec::new();
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let out = monolith.serve_batch(queries, &opts);
+        mono_ms = mono_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+        mono_out = out;
+    }
+
+    // --- equivalence sweep: every shard count must answer identically ---------------
+    for shards in [1usize, 2, 4, 7] {
+        let engine = ShardedEngine::with_shards(Arc::clone(&index), shards);
+        let out = engine.serve_batch(queries, &opts);
+        assert_eq!(
+            mono_out, out,
+            "sharded serving ({shards} shards) must return exactly the monolith's answers"
+        );
+    }
+    eprintln!("shard: equivalence verified for shard counts 1/2/4/7");
+
+    // --- timed run: load-aware 4-shard map packed from the monolith's stats ---------
+    let num_shards = 4;
+    let map = ShardMap::from_loads(&monolith.stats().bin_probes, num_shards);
+    let shard_loads = map.shard_loads().to_vec();
+    let sharded = ShardedEngine::new(Arc::clone(&index), map);
+    sharded.warm_up();
+    let mut shard_ms = f64::INFINITY;
+    let mut shard_out: Vec<SearchResult> = Vec::new();
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let out = sharded.serve_batch(queries, &opts);
+        shard_ms = shard_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+        shard_out = out;
+    }
+    assert_eq!(
+        mono_out, shard_out,
+        "load-aware sharded serving must return exactly the monolith's answers"
+    );
+
+    let stats = sharded.stats();
+    let mono_qps = n_queries as f64 / (mono_ms / 1e3);
+    let shard_qps = n_queries as f64 / (shard_ms / 1e3);
+    let speedup = shard_qps / mono_qps;
+    let points = sharded.shard_point_counts();
+
+    let json = format!(
+        "{{\n  \"host_cpus\": {host_cpus},\n  \"pool_threads\": {threads},\n  \
+         \"workload\": \"{n_queries} queries x {n} base x {dim}d, {bins} bins, probes={probes}, k={k}\",\n  \
+         \"shards\": {num_shards},\n  \
+         \"shard_loads\": {shard_loads:?},\n  \"shard_points\": {points:?},\n  \
+         \"unsharded\": {{ \"total_ms\": {mono_ms:.3}, \"qps\": {mono_qps:.1} }},\n  \
+         \"sharded\": {{ \"total_ms\": {shard_ms:.3}, \"qps\": {shard_qps:.1} }},\n  \
+         \"speedup\": {speedup:.3},\n  \
+         \"p50_latency_us\": {p50},\n  \"p99_latency_us\": {p99},\n  \
+         \"note\": \"answers asserted bit-identical to the monolith for shard counts 1/2/4/7; \
+         speedup = sharded qps / unsharded qps, meaningful only when host_cpus >= pool_threads\"\n}}\n",
+        p50 = stats.p50_latency_us,
+        p99 = stats.p99_latency_us,
+    );
+    std::fs::write("BENCH_shard.json", &json).expect("write BENCH_shard.json");
+    print!("{json}");
+    eprintln!(
+        "shard: unsharded {mono_qps:.0} qps, sharded({num_shards}) {shard_qps:.0} qps \
+         ({speedup:.2}x) on {threads} threads ({host_cpus} host cpus)"
+    );
+
+    // Regression gate (CI sets USP_ASSERT_SHARD_SPEEDUP=1.0): the scatter/gather path
+    // must not lose to the monolith when the host can actually back the pool.
+    if let Ok(min) = std::env::var("USP_ASSERT_SHARD_SPEEDUP") {
+        let min: f64 = min
+            .trim()
+            .parse()
+            .expect("USP_ASSERT_SHARD_SPEEDUP must be a number");
+        if threads >= 2 && host_cpus >= threads {
+            assert!(
+                speedup >= min,
+                "sharded serving speedup {speedup:.2}x is below the required {min}x \
+                 on {threads} threads"
+            );
+            eprintln!("shard speedup assertion passed (>= {min}x)");
+        } else {
+            eprintln!(
+                "skipping shard speedup assertion: {host_cpus} host cpus cannot back \
+                 {threads} threads"
+            );
+        }
+    }
+}

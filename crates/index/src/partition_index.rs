@@ -131,6 +131,29 @@ impl<P: Partitioner> PartitionIndex<P> {
         self.distance
     }
 
+    /// Copies the points of the listed bins into a new dense matrix — rows in the order
+    /// the bins are listed, bucket order within each bin — together with each row's
+    /// original point id (`ids[local] = global`).
+    ///
+    /// This is the point-extraction primitive shard views build on: a shard that owns a
+    /// subset of bins gets its own contiguous sub-dataset plus the local→global id table
+    /// needed to translate its answers back. Row values are bit-exact copies, so
+    /// distances computed against the extracted rows equal distances against the
+    /// original rows. Listing a bin twice extracts its points twice.
+    pub fn extract_bins(&self, bins: &[usize]) -> (Matrix, Vec<u32>) {
+        let dim = self.data.cols();
+        let total: usize = bins.iter().map(|&b| self.buckets[b].len()).sum();
+        let mut flat = Vec::with_capacity(total * dim);
+        let mut ids = Vec::with_capacity(total);
+        for &b in bins {
+            for &id in &self.buckets[b] {
+                flat.extend_from_slice(self.data.row(id as usize));
+                ids.push(id);
+            }
+        }
+        (Matrix::from_vec(total, dim, flat), ids)
+    }
+
     /// Full query: probe bins, gather candidates, exact re-rank, return the top `k`
     /// together with the number of candidates scanned.
     pub fn search(&self, query: &[f32], k: usize, probes: usize) -> SearchResult {
@@ -308,6 +331,46 @@ mod tests {
         let searcher = idx.with_probes(2);
         let via_trait = searcher.search_batch(&queries, 3);
         assert_eq!(via_trait, batch);
+    }
+
+    #[test]
+    fn extract_bins_copies_rows_with_global_ids() {
+        let data = line_data(4, 5);
+        let idx = PartitionIndex::build(
+            GridPartitioner { bins: 4 },
+            &data,
+            Distance::SquaredEuclidean,
+        );
+        let (sub, ids) = idx.extract_bins(&[2, 0]);
+        assert_eq!(sub.rows(), 10);
+        assert_eq!(sub.cols(), 1);
+        // Rows follow the listed bin order (bin 2 first), bucket order within a bin,
+        // and each extracted row is a bit-exact copy of its global row.
+        let expect: Vec<u32> = idx.bucket(2).iter().chain(idx.bucket(0)).copied().collect();
+        assert_eq!(ids, expect);
+        for (local, &global) in ids.iter().enumerate() {
+            assert_eq!(sub.row(local), idx.data().row(global as usize));
+        }
+    }
+
+    #[test]
+    fn extract_bins_handles_empty_selections() {
+        let data = line_data(3, 2);
+        let idx = PartitionIndex::from_assignments(
+            GridPartitioner { bins: 3 },
+            &data,
+            vec![0, 0, 0, 0, 2, 2], // bin 1 stays empty
+            Distance::SquaredEuclidean,
+        );
+        let (sub, ids) = idx.extract_bins(&[]);
+        assert_eq!((sub.rows(), sub.cols()), (0, 1));
+        assert!(ids.is_empty());
+        let (sub, ids) = idx.extract_bins(&[1]);
+        assert_eq!(sub.rows(), 0);
+        assert!(ids.is_empty());
+        let (sub, ids) = idx.extract_bins(&[1, 2]);
+        assert_eq!(sub.rows(), 2);
+        assert_eq!(ids, vec![4, 5]);
     }
 
     #[test]

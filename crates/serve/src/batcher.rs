@@ -13,13 +13,13 @@ use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
-use usp_index::{Partitioner, SearchResult};
+use usp_index::SearchResult;
 use usp_linalg::Matrix;
 
-use crate::engine::{QueryEngine, QueryOptions};
+use crate::engine::{BatchEngine, QueryOptions};
 
-struct Shared<P: Partitioner> {
-    engine: Arc<QueryEngine<P>>,
+struct Shared<E: BatchEngine> {
+    engine: Arc<E>,
     opts: QueryOptions,
     max_batch: usize,
     max_delay: Duration,
@@ -34,22 +34,19 @@ struct State {
 
 /// Accumulates single queries into micro-batches served on the engine's pooled path.
 ///
-/// Dropping the batcher flushes every pending query before the background thread
-/// exits, so submitted queries are never lost.
-pub struct MicroBatcher<P: Partitioner + 'static> {
-    shared: Arc<Shared<P>>,
+/// Generic over [`BatchEngine`], so the same ingress bridge feeds a monolithic
+/// [`crate::QueryEngine`] or a [`crate::ShardedEngine`] unchanged. Dropping the batcher
+/// flushes every pending query before the background thread exits, so submitted
+/// queries are never lost.
+pub struct MicroBatcher<E: BatchEngine + 'static> {
+    shared: Arc<Shared<E>>,
     flusher: Option<std::thread::JoinHandle<()>>,
 }
 
-impl<P: Partitioner + 'static> MicroBatcher<P> {
+impl<E: BatchEngine + 'static> MicroBatcher<E> {
     /// Starts the background flusher. `max_batch` bounds the batch size (flush
     /// trigger); `max_delay` bounds how long a lone query waits for company.
-    pub fn new(
-        engine: Arc<QueryEngine<P>>,
-        opts: QueryOptions,
-        max_batch: usize,
-        max_delay: Duration,
-    ) -> Self {
+    pub fn new(engine: Arc<E>, opts: QueryOptions, max_batch: usize, max_delay: Duration) -> Self {
         assert!(max_batch >= 1, "MicroBatcher: max_batch must be >= 1");
         let shared = Arc::new(Shared {
             engine,
@@ -80,7 +77,7 @@ impl<P: Partitioner + 'static> MicroBatcher<P> {
     pub fn submit(&self, query: Vec<f32>) -> mpsc::Receiver<SearchResult> {
         assert_eq!(
             query.len(),
-            self.shared.engine.index().data().cols(),
+            self.shared.engine.dims(),
             "MicroBatcher: query dimensionality mismatch"
         );
         let (tx, rx) = mpsc::channel();
@@ -98,7 +95,7 @@ impl<P: Partitioner + 'static> MicroBatcher<P> {
     }
 }
 
-impl<P: Partitioner + 'static> Drop for MicroBatcher<P> {
+impl<E: BatchEngine + 'static> Drop for MicroBatcher<E> {
     fn drop(&mut self) {
         self.shared.state.lock().unwrap().shutdown = true;
         self.shared.cv.notify_all();
@@ -108,7 +105,7 @@ impl<P: Partitioner + 'static> Drop for MicroBatcher<P> {
     }
 }
 
-fn flusher_loop<P: Partitioner>(shared: &Shared<P>) {
+fn flusher_loop<E: BatchEngine>(shared: &Shared<E>) {
     loop {
         let batch = {
             let mut state = shared.state.lock().unwrap();
@@ -139,7 +136,7 @@ fn flusher_loop<P: Partitioner>(shared: &Shared<P>) {
         };
 
         // Serve outside the lock so new submissions keep flowing during the flush.
-        let dim = shared.engine.index().data().cols();
+        let dim = shared.engine.dims();
         let mut flat = Vec::with_capacity(batch.len() * dim);
         for (query, _) in &batch {
             flat.extend_from_slice(query);
@@ -156,6 +153,7 @@ fn flusher_loop<P: Partitioner>(shared: &Shared<P>) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::engine::QueryEngine;
     use std::sync::Arc;
     use usp_index::partitioner::RoundRobinPartitioner;
     use usp_index::PartitionIndex;

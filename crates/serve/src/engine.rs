@@ -41,6 +41,32 @@ impl QueryOptions {
     }
 }
 
+/// Anything that answers a whole matrix of queries under shared per-request options —
+/// the contract an ingress layer (the [`crate::MicroBatcher`], a future network
+/// front-end) programs against, so single-machine and sharded engines are
+/// interchangeable behind it.
+///
+/// Implementations must answer in request order and deterministically: `serve_batch`
+/// results must not depend on pool size or batch composition.
+pub trait BatchEngine: Send + Sync {
+    /// Dimensionality served queries must have.
+    fn dims(&self) -> usize;
+
+    /// Answers every row of `queries`, in row order.
+    fn serve_batch(&self, queries: &Matrix, opts: &QueryOptions) -> Vec<SearchResult>;
+
+    /// Pre-spawns the persistent pool's worker threads (and anything else the engine
+    /// wants hot) so the first real batch pays no thread-spawn cost. Idempotent; call
+    /// before taking traffic.
+    fn warm_up(&self) {
+        // The most helpers any region can request is pool size - 1 (the submitter
+        // works too); spawn them directly. A dummy warm region would under-provision
+        // large pools — regions cap helpers at their block count —
+        // `rayon::pool_worker_count()` observes the effect either way.
+        rayon::prespawn_workers(rayon::current_num_threads().saturating_sub(1));
+    }
+}
+
 /// A batched query-serving engine over a [`PartitionIndex`].
 ///
 /// [`serve_batch`](Self::serve_batch) fans a batch out across the rayon shim's
@@ -154,6 +180,22 @@ impl<P: Partitioner> QueryEngine<P> {
     /// Clears the serving statistics.
     pub fn reset_stats(&self) {
         self.stats.reset();
+    }
+
+    /// Pre-spawns the pool workers (see [`BatchEngine::warm_up`]); inherent so callers
+    /// holding a concrete engine need not import the trait.
+    pub fn warm_up(&self) {
+        BatchEngine::warm_up(self)
+    }
+}
+
+impl<P: Partitioner> BatchEngine for QueryEngine<P> {
+    fn dims(&self) -> usize {
+        self.index.data().cols()
+    }
+
+    fn serve_batch(&self, queries: &Matrix, opts: &QueryOptions) -> Vec<SearchResult> {
+        QueryEngine::serve_batch(self, queries, opts)
     }
 }
 

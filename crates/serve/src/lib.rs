@@ -10,20 +10,28 @@
 //!   with per-request knobs ([`engine::QueryOptions`]: `k`, `nprobe`, re-rank budget)
 //!   and running serving statistics ([`stats::StatsSnapshot`]: QPS, p50/p99 latency,
 //!   per-bin probe counts);
+//! * [`shard::ShardedEngine`] — splits the bins across `S` shards by a load-aware
+//!   [`shard::ShardMap`] (LPT packing over the recorded per-bin probe counts, uniform
+//!   fallback) and answers batches scatter/gather: route bins, shard-local top-k on
+//!   the pool, position-ordered merge — **bit-identical to the unsharded engine for
+//!   any shard count** (`tests/shard_equivalence.rs` pins this);
 //! * [`batcher::MicroBatcher`] — accumulates single queries into micro-batches (flushed
 //!   when full or when the batching window closes) so point lookups ride the same
-//!   batched path;
+//!   batched path; generic over [`engine::BatchEngine`], so it feeds monolithic and
+//!   sharded engines alike;
 //! * determinism: batch answers are **bit-identical** to per-query
-//!   [`AnnSearcher`](usp_index::AnnSearcher) results for any pool size — batching is an
-//!   execution strategy, never a semantic change (`tests/parallel_equivalence.rs` pins
-//!   this).
+//!   [`AnnSearcher`](usp_index::AnnSearcher) results for any pool size — batching and
+//!   sharding are execution strategies, never a semantic change
+//!   (`tests/parallel_equivalence.rs` pins this).
 //!
 //! See `DESIGN.md` §5 for the serving architecture and the pool lifecycle.
 
 pub mod batcher;
 pub mod engine;
+pub mod shard;
 pub mod stats;
 
 pub use batcher::MicroBatcher;
-pub use engine::{QueryEngine, QueryOptions};
+pub use engine::{BatchEngine, QueryEngine, QueryOptions};
+pub use shard::{ShardMap, ShardedEngine};
 pub use stats::StatsSnapshot;

@@ -1,0 +1,685 @@
+//! Sharded serving: a load-aware bin→shard map and a scatter/gather engine.
+//!
+//! The partitioner bounds how much of the database a query touches; sharding splits
+//! that bounded work across workers so hot bins do not serialize a query stream. The
+//! unit of placement is the *bin*: [`ShardMap`] packs bins onto `S` shards by greedy
+//! longest-processing-time (LPT) scheduling over recorded per-bin probe loads (the
+//! counters [`crate::StatsSnapshot::bin_probes`] accumulates), falling back to uniform
+//! packing when no stats exist. Each shard owns a contiguous, id-remapped copy of its
+//! bins' points (built with [`PartitionIndex::extract_bins`]) plus the shard→global id
+//! table to translate answers back.
+//!
+//! [`ShardedEngine::serve_batch`] is a three-phase scatter/gather:
+//!
+//! 1. **Route** — rank each query's bins on the partitioner and slice the (budgeted)
+//!    candidate stream into per-shard sub-queries, remembering every candidate's
+//!    position in the *global* bin-rank-ordered concatenation;
+//! 2. **Scatter** — run the flattened (query, shard) tasks on the persistent worker
+//!    pool, each computing a shard-local top-k whose tie order follows the global
+//!    candidate positions;
+//! 3. **Gather** — merge each query's per-shard top-k lists, re-selecting the final
+//!    top-k under the same (distance, global position) total order the monolithic
+//!    re-rank uses.
+//!
+//! Because every comparison the sharded path makes is over the same bit-exact
+//! distances and the same total order as the unsharded [`crate::QueryEngine`], the
+//! merged answers are **bit-identical to the monolith for any shard count and pool
+//! size** — `tests/shard_equivalence.rs` pins this across shard counts {1, 2, 4, 7},
+//! pool sizes, per-request knobs (including re-rank budgets) and micro-batched
+//! submissions.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use rayon::prelude::*;
+use usp_index::{PartitionIndex, Partitioner, SearchResult};
+use usp_linalg::{topk, Matrix};
+
+use crate::engine::{BatchEngine, QueryOptions};
+use crate::stats::{ServeStats, StatsSnapshot};
+
+/// An assignment of every bin to exactly one of `S` shards, packed for balance.
+///
+/// Built by greedy LPT scheduling: bins are taken in decreasing load order (ties by
+/// ascending bin id) and each goes to the currently lightest shard (ties by ascending
+/// shard id) — a deterministic pure function of the load vector, so two replicas
+/// computing a map from the same stats agree bit-for-bit. LPT's classic guarantee
+/// bounds the skew: max shard load ≤ mean load + max single-bin load, hence ≤ 2× mean
+/// whenever no single bin outweighs the mean (a single dominant bin is indivisible at
+/// this granularity — the map stays deterministic, which is what the gather relies
+/// on). The property tests at the bottom pin both.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardMap {
+    /// `shard_of[bin]` = owning shard.
+    shard_of: Vec<usize>,
+    /// `bins_of[shard]` = owned bins, ascending.
+    bins_of: Vec<Vec<usize>>,
+    /// `loads[shard]` = total packed load (in the unit of the input load vector).
+    loads: Vec<u64>,
+}
+
+impl ShardMap {
+    /// Uniform fallback when no serving stats exist yet: every bin weighs 1, so LPT
+    /// degenerates to round-robin placement.
+    pub fn uniform(num_bins: usize, num_shards: usize) -> Self {
+        Self::from_loads(&vec![1; num_bins], num_shards)
+    }
+
+    /// LPT packing of `loads[bin]` onto `num_shards` shards (see the type docs). An
+    /// all-zero load vector (stats recorded but nothing probed yet) falls back to
+    /// [`ShardMap::uniform`] — packing zeros would pile every bin onto shard 0.
+    pub fn from_loads(loads: &[u64], num_shards: usize) -> Self {
+        assert!(num_shards >= 1, "ShardMap: need at least one shard");
+        if !loads.is_empty() && loads.iter().all(|&l| l == 0) {
+            return Self::uniform(loads.len(), num_shards);
+        }
+        let mut order: Vec<usize> = (0..loads.len()).collect();
+        order.sort_by(|&a, &b| loads[b].cmp(&loads[a]).then(a.cmp(&b)));
+        let mut shard_loads = vec![0u64; num_shards];
+        let mut shard_of = vec![0usize; loads.len()];
+        for &bin in &order {
+            let lightest = shard_loads
+                .iter()
+                .enumerate()
+                .min_by_key(|&(s, &l)| (l, s))
+                .map(|(s, _)| s)
+                .expect("num_shards >= 1");
+            shard_of[bin] = lightest;
+            shard_loads[lightest] += loads[bin];
+        }
+        let mut bins_of = vec![Vec::new(); num_shards];
+        for (bin, &s) in shard_of.iter().enumerate() {
+            bins_of[s].push(bin);
+        }
+        Self {
+            shard_of,
+            bins_of,
+            loads: shard_loads,
+        }
+    }
+
+    /// A map re-packed from live serving stats, keeping this map's shard count. The
+    /// rebalancing loop the per-bin probe counters exist for: serve, snapshot,
+    /// rebuild, swap.
+    pub fn rebuild_from_stats(&self, snapshot: &StatsSnapshot) -> Self {
+        Self::from_loads(&snapshot.bin_probes, self.num_shards())
+    }
+
+    /// Number of shards (including any left empty by the packing).
+    pub fn num_shards(&self) -> usize {
+        self.bins_of.len()
+    }
+
+    /// Number of bins mapped.
+    pub fn num_bins(&self) -> usize {
+        self.shard_of.len()
+    }
+
+    /// The shard owning `bin`.
+    pub fn shard_of(&self, bin: usize) -> usize {
+        self.shard_of[bin]
+    }
+
+    /// Bins owned by `shard`, ascending.
+    pub fn bins_of(&self, shard: usize) -> &[usize] {
+        &self.bins_of[shard]
+    }
+
+    /// Packed per-shard loads (the balance diagnostic).
+    pub fn shard_loads(&self) -> &[u64] {
+        &self.loads
+    }
+}
+
+/// One shard's owned slice of the index: a contiguous copy of its bins' points.
+struct ShardData {
+    /// Rows of the owned bins, ascending bin order, bucket order within a bin.
+    points: Matrix,
+    /// `global_ids[local_row]` = original point id.
+    global_ids: Vec<u32>,
+    /// `slots[bin]` = `(local_start, len)` of the bin's rows in `points`; `None` for
+    /// bins this shard does not own.
+    slots: Vec<Option<(u32, u32)>>,
+}
+
+/// A slice of one query's candidate stream that lands on a single shard: `take`
+/// candidates starting at the shard-local row `local_start`, occupying positions
+/// `global_offset ..` in the monolith's bin-rank-ordered concatenation.
+#[derive(Debug, Clone, Copy)]
+struct Slice {
+    global_offset: usize,
+    local_start: u32,
+    take: u32,
+}
+
+/// Everything the router decided about one query.
+struct Route {
+    /// Ranked probed bins (recorded in the stats, like the monolith does).
+    probed_bins: Vec<usize>,
+    /// Total candidates scanned after the re-rank budget — equals the monolith's
+    /// `candidates_scanned` by construction.
+    scanned: usize,
+    /// Per touched shard: the shard and its candidate slices in bin-rank order.
+    subs: Vec<(usize, Vec<Slice>)>,
+    route_us: u64,
+}
+
+/// One shard-local top-k result: `(global position, distance, global id)` per kept
+/// candidate, best first.
+struct Partial {
+    entries: Vec<(usize, f32, u32)>,
+    task_us: u64,
+}
+
+/// A sharded scatter/gather serving engine, answer-equivalent to [`crate::QueryEngine`].
+///
+/// The full index stays behind an `Arc` for routing (bin ranking + bucket sizes); each
+/// shard owns an id-remapped copy of its bins' points, which is what a distributed
+/// deployment would hold per node. Statistics are recorded exactly like the monolith's
+/// (per-query latency is the scatter/gather critical path: route + slowest shard +
+/// merge).
+pub struct ShardedEngine<P: Partitioner> {
+    index: Arc<PartitionIndex<P>>,
+    map: ShardMap,
+    shards: Vec<ShardData>,
+    stats: ServeStats,
+}
+
+impl<P: Partitioner> ShardedEngine<P> {
+    /// Shards `index` according to `map` (one [`ShardData`] view per shard, built in
+    /// parallel on the pool).
+    pub fn new(index: Arc<PartitionIndex<P>>, map: ShardMap) -> Self {
+        assert_eq!(
+            map.num_bins(),
+            index.num_bins(),
+            "ShardedEngine: map covers {} bins but the index has {}",
+            map.num_bins(),
+            index.num_bins()
+        );
+        let shards = Self::build_shards(&index, &map);
+        let bins = index.num_bins();
+        Self {
+            index,
+            map,
+            shards,
+            stats: ServeStats::new(bins),
+        }
+    }
+
+    /// Shards `index` uniformly over `num_shards` shards (no stats needed).
+    pub fn with_shards(index: Arc<PartitionIndex<P>>, num_shards: usize) -> Self {
+        let map = ShardMap::uniform(index.num_bins(), num_shards);
+        Self::new(index, map)
+    }
+
+    fn build_shards(index: &PartitionIndex<P>, map: &ShardMap) -> Vec<ShardData> {
+        (0..map.num_shards())
+            .into_par_iter()
+            .map(|s| {
+                let bins = map.bins_of(s);
+                let (points, global_ids) = index.extract_bins(bins);
+                let mut slots = vec![None; index.num_bins()];
+                let mut offset = 0u32;
+                for &b in bins {
+                    let len = index.bucket(b).len() as u32;
+                    slots[b] = Some((offset, len));
+                    offset += len;
+                }
+                ShardData {
+                    points,
+                    global_ids,
+                    slots,
+                }
+            })
+            .collect()
+    }
+
+    /// The bin→shard map in force.
+    pub fn map(&self) -> &ShardMap {
+        &self.map
+    }
+
+    /// The routing index.
+    pub fn index(&self) -> &PartitionIndex<P> {
+        &self.index
+    }
+
+    /// Number of points owned by each shard (the storage-balance diagnostic).
+    pub fn shard_point_counts(&self) -> Vec<usize> {
+        self.shards.iter().map(|s| s.global_ids.len()).collect()
+    }
+
+    /// Re-packs the bin→shard map from the probe loads recorded since construction (or
+    /// the last stats reset) and rebuilds the shard views. Counters are kept — the next
+    /// rebalance sees the full history. Answers are unchanged by construction; only the
+    /// placement moves.
+    pub fn rebalance_from_stats(&mut self) {
+        let map = self.map.rebuild_from_stats(&self.stats.snapshot());
+        self.shards = Self::build_shards(&self.index, &map);
+        self.map = map;
+    }
+
+    /// Answers one query immediately (recorded as a batch of one).
+    pub fn query(&self, query: &[f32], opts: &QueryOptions) -> SearchResult {
+        let queries = Matrix::from_vec(1, query.len(), query.to_vec());
+        self.serve_batch(&queries, opts)
+            .pop()
+            .expect("one query in, one answer out")
+    }
+
+    /// Scatter/gather batch serving (see the module docs for the three phases).
+    ///
+    /// Results come back in request order and are bit-identical to the unsharded
+    /// [`crate::QueryEngine::serve_batch`] for any shard count and pool size.
+    pub fn serve_batch(&self, queries: &Matrix, opts: &QueryOptions) -> Vec<SearchResult> {
+        let t0 = Instant::now();
+
+        // Phase 1 — route every query (parallel over queries).
+        let routes: Vec<Route> = (0..queries.rows())
+            .into_par_iter()
+            .map(|qi| self.route(queries.row(qi), opts))
+            .collect();
+
+        // Phase 2 — scatter: one task per (query, shard) pair, flattened so the pool
+        // load-balances across both axes.
+        let tasks: Vec<(usize, usize)> = routes
+            .iter()
+            .enumerate()
+            .flat_map(|(qi, r)| (0..r.subs.len()).map(move |si| (qi, si)))
+            .collect();
+        let mut task_ids: Vec<Vec<usize>> = vec![Vec::new(); queries.rows()];
+        for (ti, &(qi, _)) in tasks.iter().enumerate() {
+            task_ids[qi].push(ti);
+        }
+        let partials: Vec<Partial> = tasks
+            .par_iter()
+            .map(|&(qi, si)| self.run_task(queries.row(qi), &routes[qi].subs[si], opts.k))
+            .collect();
+
+        // Phase 3 — gather: merge each query's per-shard top-k lists (parallel over
+        // queries; the ordered collect keeps request order).
+        let merged: Vec<(SearchResult, u64)> = (0..queries.rows())
+            .into_par_iter()
+            .map(|qi| Self::gather(&routes[qi], &task_ids[qi], &partials, opts.k))
+            .collect();
+
+        let busy = t0.elapsed().as_micros() as u64;
+        let latencies: Vec<u64> = merged.iter().map(|(_, us)| *us).collect();
+        let scanned: u64 = routes.iter().map(|r| r.scanned as u64).sum();
+        self.stats.record_batch(
+            &latencies,
+            routes.iter().flat_map(|r| r.probed_bins.iter().copied()),
+            scanned,
+            busy,
+        );
+        merged.into_iter().map(|(r, _)| r).collect()
+    }
+
+    /// Serving statistics accumulated since construction (or the last reset).
+    pub fn stats(&self) -> StatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// Clears the serving statistics.
+    pub fn reset_stats(&self) {
+        self.stats.reset();
+    }
+
+    /// Pre-spawns the pool workers (see [`BatchEngine::warm_up`]).
+    pub fn warm_up(&self) {
+        BatchEngine::warm_up(self)
+    }
+
+    /// Phase 1 for one query: rank bins, then slice the budgeted candidate stream by
+    /// owning shard.
+    ///
+    /// The monolith concatenates bucket contents in bin-rank order and truncates to
+    /// the budget; a candidate therefore survives iff its global position is below the
+    /// budget. Tracking each bin's start offset in that untruncated concatenation
+    /// gives every shard-local candidate its global position — the tie-break key the
+    /// merge needs for bit-identical answers.
+    fn route(&self, query: &[f32], opts: &QueryOptions) -> Route {
+        let t0 = Instant::now();
+        let bins = self.index.partitioner().rank_bins(query, opts.probes);
+        let budget = opts.rerank_budget.unwrap_or(usize::MAX);
+        let mut subs: Vec<(usize, Vec<Slice>)> = Vec::new();
+        let mut offset = 0usize;
+        let mut scanned = 0usize;
+        for &b in &bins {
+            let shard = self.map.shard_of(b);
+            let (local_start, len) =
+                self.shards[shard].slots[b].expect("routed bin must be owned by its mapped shard");
+            let take = (len as usize).min(budget.saturating_sub(offset));
+            if take > 0 {
+                let slice = Slice {
+                    global_offset: offset,
+                    local_start,
+                    take: take as u32,
+                };
+                match subs.iter_mut().find(|(s, _)| *s == shard) {
+                    Some((_, slices)) => slices.push(slice),
+                    None => subs.push((shard, vec![slice])),
+                }
+                scanned += take;
+            }
+            offset += len as usize;
+        }
+        Route {
+            probed_bins: bins,
+            scanned,
+            subs,
+            route_us: t0.elapsed().as_micros() as u64,
+        }
+    }
+
+    /// Phase 2 for one (query, shard) task: scan the shard-local candidate slices and
+    /// keep the shard's top `k` under the (distance, global position) order.
+    ///
+    /// `smallest_k_by` breaks distance ties by index into the scanned sequence; the
+    /// slices are visited in bin-rank order, so that index order *is* ascending global
+    /// position — each shard's survivors are exactly the monolith's top-k restricted
+    /// to this shard.
+    fn run_task(&self, query: &[f32], sub: &(usize, Vec<Slice>), k: usize) -> Partial {
+        let t0 = Instant::now();
+        let (shard_id, slices) = sub;
+        let shard = &self.shards[*shard_id];
+        let total: usize = slices.iter().map(|s| s.take as usize).sum();
+        let mut global_pos = Vec::with_capacity(total);
+        let mut local_row = Vec::with_capacity(total);
+        for s in slices {
+            for j in 0..s.take as usize {
+                global_pos.push(s.global_offset + j);
+                local_row.push(s.local_start as usize + j);
+            }
+        }
+        let distance = self.index.distance();
+        let dists: Vec<f32> = local_row
+            .iter()
+            .map(|&r| distance.eval(query, shard.points.row(r)))
+            .collect();
+        let entries = topk::smallest_k_by(total, k, |i| dists[i])
+            .into_iter()
+            .map(|i| (global_pos[i], dists[i], shard.global_ids[local_row[i]]))
+            .collect();
+        Partial {
+            entries,
+            task_us: t0.elapsed().as_micros() as u64,
+        }
+    }
+
+    /// Phase 3 for one query: pool the shard partials, restore global candidate order,
+    /// and re-select the final top `k`.
+    ///
+    /// Sorting the pooled entries by global position makes `smallest_k_by`'s
+    /// tie-by-index identical to the monolith's tie-by-candidate-position, and every
+    /// monolith winner is present (it survived its own shard's top-k), so the selected
+    /// ids — and their order — match the unsharded re-rank exactly.
+    fn gather(
+        route: &Route,
+        task_ids: &[usize],
+        partials: &[Partial],
+        k: usize,
+    ) -> (SearchResult, u64) {
+        let t0 = Instant::now();
+        let mut pooled: Vec<(usize, f32, u32)> = task_ids
+            .iter()
+            .flat_map(|&ti| partials[ti].entries.iter().copied())
+            .collect();
+        pooled.sort_unstable_by_key(|&(pos, _, _)| pos);
+        let ids: Vec<usize> = topk::smallest_k_by(pooled.len(), k, |i| pooled[i].1)
+            .into_iter()
+            .map(|i| pooled[i].2 as usize)
+            .collect();
+        let slowest_shard = task_ids
+            .iter()
+            .map(|&ti| partials[ti].task_us)
+            .max()
+            .unwrap_or(0);
+        let latency = route.route_us + slowest_shard + t0.elapsed().as_micros() as u64;
+        (SearchResult::new(ids, route.scanned), latency)
+    }
+}
+
+impl<P: Partitioner> BatchEngine for ShardedEngine<P> {
+    fn dims(&self) -> usize {
+        self.index.data().cols()
+    }
+
+    fn serve_batch(&self, queries: &Matrix, opts: &QueryOptions) -> Vec<SearchResult> {
+        ShardedEngine::serve_batch(self, queries, opts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::QueryEngine;
+    use usp_index::partitioner::RoundRobinPartitioner;
+    use usp_linalg::Distance;
+
+    fn small_index() -> Arc<PartitionIndex<RoundRobinPartitioner>> {
+        let n = 60;
+        let data: Vec<f32> = (0..n * 2)
+            .map(|i| ((i * 37 % 101) as f32) / 10.0 - 5.0)
+            .collect();
+        let data = Matrix::from_vec(n, 2, data);
+        Arc::new(PartitionIndex::build(
+            RoundRobinPartitioner::new(7),
+            &data,
+            Distance::SquaredEuclidean,
+        ))
+    }
+
+    fn queries() -> Matrix {
+        Matrix::from_vec(
+            6,
+            2,
+            vec![0.1, 0.2, -1.0, 3.0, 2.5, 2.5, -4.0, 0.0, 1.0, 1.0, 0.0, 0.0],
+        )
+    }
+
+    #[test]
+    fn uniform_map_round_robins_bins() {
+        let map = ShardMap::uniform(7, 3);
+        assert_eq!(map.num_shards(), 3);
+        assert_eq!(map.num_bins(), 7);
+        // Equal loads: LPT assigns bin b to shard b % 3.
+        for b in 0..7 {
+            assert_eq!(map.shard_of(b), b % 3, "bin {b}");
+        }
+        assert_eq!(map.shard_loads(), &[3, 2, 2]);
+        assert_eq!(map.bins_of(0), &[0, 3, 6]);
+    }
+
+    #[test]
+    fn lpt_packs_heavy_bins_apart() {
+        // Loads 10, 9, 1, 1, 1 on 2 shards: LPT separates the two heavy bins and
+        // drips the light ones onto whichever side is lighter — a perfect 11/11 split
+        // (naive in-order packing would produce 10 vs 12).
+        let map = ShardMap::from_loads(&[10, 9, 1, 1, 1], 2);
+        assert_ne!(map.shard_of(0), map.shard_of(1));
+        assert_eq!(map.shard_loads(), &[11, 11]);
+    }
+
+    #[test]
+    fn all_zero_loads_fall_back_to_uniform() {
+        let map = ShardMap::from_loads(&[0, 0, 0, 0], 2);
+        assert_eq!(map, ShardMap::uniform(4, 2));
+        // ...and a mixed vector with some zero bins still spreads them.
+        let map = ShardMap::from_loads(&[5, 0, 0, 5], 2);
+        assert_ne!(map.shard_of(0), map.shard_of(3));
+    }
+
+    #[test]
+    fn more_shards_than_bins_leaves_empty_shards() {
+        let map = ShardMap::uniform(2, 5);
+        assert_eq!(map.num_shards(), 5);
+        assert_eq!(map.shard_loads().iter().filter(|&&l| l > 0).count(), 2);
+        let index = small_index();
+        // An engine over that map still answers correctly.
+        let engine = ShardedEngine::new(Arc::clone(&index), ShardMap::uniform(7, 11));
+        let opts = QueryOptions::new(3, 2);
+        let q = queries();
+        for qi in 0..q.rows() {
+            assert_eq!(
+                ShardedEngine::serve_batch(&engine, &q, &opts)[qi],
+                index.search(q.row(qi), 3, 2)
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_answers_match_monolith_for_every_shard_count() {
+        let index = small_index();
+        let q = queries();
+        for shards in [1, 2, 3, 7] {
+            let engine = ShardedEngine::with_shards(Arc::clone(&index), shards);
+            for &(k, probes) in &[(1usize, 1usize), (3, 2), (5, 7)] {
+                let opts = QueryOptions::new(k, probes);
+                let got = ShardedEngine::serve_batch(&engine, &q, &opts);
+                for qi in 0..q.rows() {
+                    let expect = index.search(q.row(qi), k, probes);
+                    assert_eq!(got[qi], expect, "shards={shards} k={k} probes={probes}");
+                    assert_eq!(engine.query(q.row(qi), &opts), expect);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rerank_budget_matches_unsharded_engine() {
+        let index = small_index();
+        let unsharded = QueryEngine::new(Arc::clone(&index));
+        let q = queries();
+        for shards in [1, 2, 4] {
+            let sharded = ShardedEngine::with_shards(Arc::clone(&index), shards);
+            for budget in [0, 1, 4, 9, 1000] {
+                let opts = QueryOptions::new(4, 5).with_rerank_budget(budget);
+                assert_eq!(
+                    ShardedEngine::serve_batch(&sharded, &q, &opts),
+                    QueryEngine::serve_batch(&unsharded, &q, &opts),
+                    "shards={shards} budget={budget}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn stats_record_like_the_monolith() {
+        let index = small_index();
+        let sharded = ShardedEngine::with_shards(Arc::clone(&index), 3);
+        let unsharded = QueryEngine::new(index);
+        let q = queries();
+        let opts = QueryOptions::new(2, 3);
+        ShardedEngine::serve_batch(&sharded, &q, &opts);
+        QueryEngine::serve_batch(&unsharded, &q, &opts);
+        let (s, u) = (sharded.stats(), unsharded.stats());
+        assert_eq!(s.queries, u.queries);
+        assert_eq!(s.batches, u.batches);
+        assert_eq!(s.bin_probes, u.bin_probes);
+        assert_eq!(s.mean_candidates, u.mean_candidates);
+        sharded.reset_stats();
+        assert_eq!(sharded.stats().queries, 0);
+    }
+
+    #[test]
+    fn rebalance_from_stats_moves_load_and_keeps_answers() {
+        let index = small_index();
+        let mut engine = ShardedEngine::with_shards(Arc::clone(&index), 3);
+        let q = queries();
+        let opts = QueryOptions::new(3, 2);
+        let before = ShardedEngine::serve_batch(&engine, &q, &opts);
+        engine.rebalance_from_stats();
+        // The rebuilt map is packed from the recorded probe skew...
+        assert_eq!(
+            engine.map(),
+            &ShardMap::from_loads(&engine.stats().bin_probes, 3)
+        );
+        // ...and the answers are unchanged.
+        assert_eq!(ShardedEngine::serve_batch(&engine, &q, &opts), before);
+    }
+
+    #[test]
+    fn nan_queries_stay_deterministic_and_equivalent() {
+        let index = small_index();
+        let engine = ShardedEngine::with_shards(Arc::clone(&index), 4);
+        let nan_q = [f32::NAN, f32::NAN];
+        let opts = QueryOptions::new(3, 2);
+        let r1 = engine.query(&nan_q, &opts);
+        assert_eq!(r1, engine.query(&nan_q, &opts));
+        assert_eq!(r1, index.search(&nan_q, 3, 2));
+    }
+
+    #[test]
+    fn shard_point_counts_cover_the_dataset() {
+        let index = small_index();
+        let engine = ShardedEngine::with_shards(Arc::clone(&index), 4);
+        let counts = engine.shard_point_counts();
+        assert_eq!(counts.len(), 4);
+        assert_eq!(counts.iter().sum::<usize>(), index.data().rows());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn every_bin_lands_on_exactly_one_shard(
+            loads in prop::collection::vec(0u64..1000, 1..120),
+            num_shards in 1usize..9,
+        ) {
+            let map = ShardMap::from_loads(&loads, num_shards);
+            prop_assert_eq!(map.num_bins(), loads.len());
+            prop_assert_eq!(map.num_shards(), num_shards);
+            // shard_of is total and consistent with bins_of: each bin appears in
+            // exactly the one shard it maps to.
+            let mut seen = vec![0usize; loads.len()];
+            for s in 0..num_shards {
+                for &b in map.bins_of(s) {
+                    seen[b] += 1;
+                    prop_assert_eq!(map.shard_of(b), s);
+                }
+            }
+            prop_assert!(seen.iter().all(|&c| c == 1), "bin coverage {:?}", seen);
+            // Deterministic: the same loads always produce the same map (the property
+            // the scatter/gather merge relies on regardless of load skew).
+            prop_assert_eq!(map, ShardMap::from_loads(&loads, num_shards));
+        }
+
+        #[test]
+        fn lpt_bounds_the_maximum_shard_load(
+            loads in prop::collection::vec(0u64..1000, 1..120),
+            num_shards in 1usize..9,
+        ) {
+            let map = ShardMap::from_loads(&loads, num_shards);
+            // The fallback rewrites all-zero loads as all-one; bound that vector.
+            let effective: Vec<u64> = if loads.iter().all(|&l| l == 0) {
+                vec![1; loads.len()]
+            } else {
+                loads.clone()
+            };
+            let total: u128 = effective.iter().map(|&l| l as u128).sum();
+            let heaviest_bin = *effective.iter().max().unwrap() as u128;
+            let max_shard = *map.shard_loads().iter().max().unwrap() as u128;
+            let m = num_shards as u128;
+            // Greedy guarantee, in exact integers: max ≤ mean + heaviest bin. When the
+            // bin went to the lightest shard, that shard held ≤ total/m.
+            prop_assert!(
+                max_shard * m <= total + heaviest_bin * m,
+                "max {} > mean + heaviest ({} + {})", max_shard, total / m, heaviest_bin
+            );
+            // Hence max ≤ 2× mean whenever no single bin outweighs the mean; a heavier
+            // bin is indivisible at bin granularity, so only determinism (pinned
+            // above) is promised there.
+            if heaviest_bin * m <= total {
+                prop_assert!(
+                    max_shard * m <= 2 * total,
+                    "max {} > 2x mean ({} / {})", max_shard, total, m
+                );
+            }
+        }
+    }
+}

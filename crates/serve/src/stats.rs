@@ -156,6 +156,74 @@ mod tests {
     }
 
     #[test]
+    fn zero_samples_snapshot_is_all_zeros() {
+        let stats = ServeStats::new(3);
+        let snap = stats.snapshot();
+        assert_eq!(snap.queries, 0);
+        assert_eq!(snap.mean_latency_us, 0.0);
+        assert_eq!(snap.p50_latency_us, 0);
+        assert_eq!(snap.p99_latency_us, 0);
+        assert_eq!(snap.qps, 0.0);
+        // A batch that recorded zero queries (possible via an empty flush) must not
+        // poison the ratios either.
+        stats.record_batch(&[], std::iter::empty(), 0, 5);
+        let snap = stats.snapshot();
+        assert_eq!(snap.queries, 0);
+        assert_eq!(snap.batches, 1);
+        assert_eq!(snap.mean_latency_us, 0.0);
+        assert_eq!(snap.p50_latency_us, 0);
+        assert_eq!(snap.qps, 0.0);
+    }
+
+    #[test]
+    fn single_sample_is_every_percentile() {
+        let stats = ServeStats::new(1);
+        stats.record_batch(&[42], [0usize].into_iter(), 10, 42);
+        let snap = stats.snapshot();
+        assert_eq!(snap.mean_latency_us, 42.0);
+        assert_eq!(snap.p50_latency_us, 42);
+        assert_eq!(snap.p99_latency_us, 42);
+    }
+
+    #[test]
+    fn all_equal_latencies_collapse_the_distribution() {
+        let stats = ServeStats::new(1);
+        stats.record_batch(&[7; 33], std::iter::empty(), 0, 33);
+        let snap = stats.snapshot();
+        assert_eq!(snap.mean_latency_us, 7.0);
+        assert_eq!(snap.p50_latency_us, 7);
+        assert_eq!(snap.p99_latency_us, 7);
+    }
+
+    #[test]
+    fn two_samples_pin_the_rounding_direction() {
+        // idx = round((n-1)·q): with n = 2, p50 rounds 0.5 up to index 1 (the larger
+        // sample) and p99 lands there too — documents the nearest-rank convention so a
+        // refactor cannot silently shift it.
+        let stats = ServeStats::new(1);
+        stats.record_batch(&[10, 20], std::iter::empty(), 0, 30);
+        let snap = stats.snapshot();
+        assert_eq!(snap.p50_latency_us, 20);
+        assert_eq!(snap.p99_latency_us, 20);
+        assert_eq!(snap.mean_latency_us, 15.0);
+    }
+
+    #[test]
+    fn sample_cap_keeps_counters_exact() {
+        // Beyond LATENCY_SAMPLE_CAP the buffer stops growing but every counter stays
+        // exact; percentiles then describe the first CAP samples.
+        let stats = ServeStats::new(1);
+        stats.record_batch(&vec![5; LATENCY_SAMPLE_CAP + 3], std::iter::empty(), 0, 100);
+        stats.record_batch(&[1_000_000], std::iter::empty(), 0, 100);
+        let snap = stats.snapshot();
+        assert_eq!(snap.queries, LATENCY_SAMPLE_CAP as u64 + 4);
+        assert_eq!(snap.batches, 2);
+        // The late outlier fell outside the retained window.
+        assert_eq!(snap.p99_latency_us, 5);
+        assert_eq!(snap.mean_latency_us, 5.0);
+    }
+
+    #[test]
     fn record_and_snapshot_round_trip() {
         let stats = ServeStats::new(4);
         stats.record_batch(&[10, 20, 30], [0usize, 1, 1, 3].into_iter(), 600, 60);

@@ -318,7 +318,18 @@ pub mod pool {
         while st.shutting_down {
             st = pool.cv.wait(st).unwrap();
         }
-        while st.workers < helpers {
+        ensure_workers(&mut st, helpers);
+        for _ in 0..helpers {
+            st.tickets.push_back(Arc::clone(&region));
+        }
+        drop(st);
+        pool.cv.notify_all();
+        ActiveRegion { region }
+    }
+
+    /// Spawns workers until at least `n` exist (caller holds the state lock).
+    fn ensure_workers(st: &mut PoolState, n: usize) {
+        while st.workers < n {
             let name = format!("usp-pool-{}", st.workers);
             let handle = std::thread::Builder::new()
                 .name(name)
@@ -327,12 +338,23 @@ pub mod pool {
             st.handles.push(handle);
             st.workers += 1;
         }
-        for _ in 0..helpers {
-            st.tickets.push_back(Arc::clone(&region));
+    }
+
+    /// Ensures at least `n` persistent workers exist without submitting a region (see
+    /// [`crate::prespawn_workers`]).
+    pub(crate) fn prespawn(n: usize) {
+        let pool = pool();
+        let mut st = pool.state.lock().unwrap();
+        while st.shutting_down {
+            st = pool.cv.wait(st).unwrap();
         }
-        drop(st);
-        pool.cv.notify_all();
-        ActiveRegion { region }
+        ensure_workers(&mut st, n);
+    }
+
+    /// Number of persistent worker threads currently alive (see
+    /// [`crate::pool_worker_count`]).
+    pub(crate) fn worker_count() -> usize {
+        pool().state.lock().unwrap().workers
     }
 
     /// Joins every persistent worker and resets the pool (shim-only; see
@@ -429,6 +451,29 @@ pub fn current_num_threads() -> usize {
 /// use it to compare thread counts within one process. `n = 0` removes any override.
 pub fn with_num_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
     pool::with_override(n, f)
+}
+
+/// Ensures at least `n` persistent workers exist, spawning any that are missing —
+/// without running a parallel region.
+///
+/// Shim-only warm-up hook: a dummy region cannot reliably provision a large pool
+/// (regions are split into at most a fixed number of blocks, and helpers are capped at
+/// the block count), so warm-up paths spawn the workers directly. Idempotent; excess
+/// existing workers are left alone.
+pub fn prespawn_workers(n: usize) {
+    pool::prespawn(n)
+}
+
+/// Number of persistent worker threads currently alive in the process-wide pool.
+///
+/// Shim-only diagnostic (real rayon has no equivalent): workers are spawned lazily and
+/// persist, so this grows monotonically to the largest pool size any region requested
+/// (until [`shutdown_pool`] resets it to 0). Serving code uses it to prove a warm-up
+/// region really pre-spawned the workers — i.e. that the first batch after warm-up
+/// creates no new threads. Note the count is process-global: concurrent tests sharing
+/// the pool can both grow it, so exact-count assertions belong in single-test binaries.
+pub fn pool_worker_count() -> usize {
+    pool::worker_count()
 }
 
 /// Joins every persistent worker thread and resets the pool to empty; the next parallel

@@ -63,6 +63,15 @@ impl Partitioner for TrainedPartitioner {
         self.model.probabilities(query)
     }
 
+    /// One GEMM forward over the whole micro-batch instead of a per-query loop — the
+    /// route-phase batching the serving engines key on. Bit-identical per row to
+    /// [`Partitioner::bin_scores`] because the eval-mode network treats rows
+    /// independently (per-row dot products, running batch-norm statistics, row-wise
+    /// softmax), which `batched_bin_scores_match_per_query_bitwise` pins below.
+    fn bin_scores_batch(&self, queries: &Matrix) -> Matrix {
+        self.model.probabilities_batch(queries)
+    }
+
     fn num_parameters(&self) -> usize {
         self.model.num_params()
     }
@@ -198,6 +207,37 @@ mod tests {
         assert!(last < first, "loss did not decrease: {first} -> {last}");
         assert!(report.parameters > 0);
         assert!(report.seconds > 0.0);
+    }
+
+    #[test]
+    fn batched_bin_scores_match_per_query_bitwise() {
+        // The GEMM route-phase override must satisfy the Partitioner batch contract:
+        // row i of the batched forward is bit-identical to the single-query forward.
+        // This is what keeps the serving engines' batched routing answer-identical to
+        // the per-query Searcher path for neural partitions.
+        let (data, knn) = small_dataset();
+        let cfg = UspConfig {
+            knn_k: 5,
+            ..UspConfig::fast(8)
+        };
+        let trained = train_partitioner(&data, &knn, &cfg, None);
+        let queries = data.select_rows(&[0, 17, 99, 312, 599]);
+        let batch = trained.bin_scores_batch(&queries);
+        assert_eq!(batch.shape(), (5, 8));
+        for qi in 0..queries.rows() {
+            let single = trained.bin_scores(queries.row(qi));
+            let batch_bits: Vec<u32> = batch.row(qi).iter().map(|v| v.to_bits()).collect();
+            let single_bits: Vec<u32> = single.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(batch_bits, single_bits, "row {qi}");
+        }
+        let ranked = trained.rank_bins_batch(&queries, 3);
+        for qi in 0..queries.rows() {
+            assert_eq!(
+                ranked[qi],
+                trained.rank_bins(queries.row(qi), 3),
+                "row {qi}"
+            );
+        }
     }
 
     #[test]

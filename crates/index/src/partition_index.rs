@@ -4,48 +4,52 @@
 //! inference over the whole dataset, records which points fall into which bin (the lookup
 //! table of Algorithm 1 step 3), and serves queries by probing the `m′` most probable bins
 //! and exactly re-ranking the union of their contents.
+//!
+//! # Bin-contiguous (CSR) storage
+//!
+//! The lookup table is stored in CSR form, built once at construction time:
+//! `ids[bin_offsets[b]..bin_offsets[b + 1]]` are bin `b`'s point ids (ascending, the
+//! bucket order), and `flat` holds a second copy of the dataset with its rows permuted
+//! into exactly that order. Probing a bin therefore streams one contiguous slice of
+//! `flat` through the blocked distance kernels ([`usp_linalg::kernel`]) instead of
+//! gathering rows one id at a time from the row-major original — the difference between
+//! a cache-resident scan and a random-access walk, and the layout every production
+//! partition-based system (IVF, ScaNN) scans in. [`PartitionIndex::scan_bins`] is the
+//! single scoring path built on it; `search`, the serving engine and the sharded
+//! engine's shard views all go through it or through slices of the same layout.
 
 use rayon::prelude::*;
-use usp_linalg::{Distance, Matrix};
+use usp_linalg::{kernel, Distance, Matrix};
 
 use crate::balance::BalanceStats;
 use crate::partitioner::Partitioner;
-use crate::rerank;
 use crate::searcher::{AnnSearcher, SearchResult};
 
 /// A searchable index: a partitioner plus the lookup table over a concrete dataset.
 pub struct PartitionIndex<P: Partitioner> {
     partitioner: P,
     data: Matrix,
-    buckets: Vec<Vec<u32>>,
     assignments: Vec<usize>,
     distance: Distance,
+    /// Bucket concatenation: `ids[bin_offsets[b]..bin_offsets[b + 1]]` = bin `b`'s
+    /// point ids, ascending. A permutation of `0..n`.
+    ids: Vec<u32>,
+    /// CSR row offsets per bin, length `num_bins + 1`, monotone, ending at `n`.
+    bin_offsets: Vec<usize>,
+    /// Bin-contiguous copy of `data`: row `local` is a bit-exact copy of
+    /// `data.row(ids[local])`. The buffer every candidate scan streams.
+    flat: Matrix,
 }
 
 impl<P: Partitioner> PartitionIndex<P> {
     /// Builds the lookup table by assigning every data point to its most probable bin
     /// (parallel over points).
     pub fn build(partitioner: P, data: &Matrix, distance: Distance) -> Self {
-        let m = partitioner.num_bins();
         let assignments: Vec<usize> = (0..data.rows())
             .into_par_iter()
             .map(|i| partitioner.assign(data.row(i)))
             .collect();
-        let mut buckets = vec![Vec::new(); m];
-        for (i, &b) in assignments.iter().enumerate() {
-            assert!(
-                b < m,
-                "partitioner assigned bin {b} but reports only {m} bins"
-            );
-            buckets[b].push(i as u32);
-        }
-        Self {
-            partitioner,
-            data: data.clone(),
-            buckets,
-            assignments,
-            distance,
-        }
+        Self::from_parts(partitioner, data, assignments, distance)
     }
 
     /// Builds the index from precomputed assignments (used when the offline phase already
@@ -56,19 +60,65 @@ impl<P: Partitioner> PartitionIndex<P> {
         assignments: Vec<usize>,
         distance: Distance,
     ) -> Self {
-        let m = partitioner.num_bins();
         assert_eq!(assignments.len(), data.rows());
-        let mut buckets = vec![Vec::new(); m];
-        for (i, &b) in assignments.iter().enumerate() {
-            assert!(b < m, "assignment {b} out of range for {m} bins");
-            buckets[b].push(i as u32);
+        Self::from_parts(partitioner, data, assignments, distance)
+    }
+
+    /// Shared constructor: lays the assignments out as CSR and permutes the dataset
+    /// into bin-contiguous order (the row copies run parallel on the pool).
+    fn from_parts(
+        partitioner: P,
+        data: &Matrix,
+        assignments: Vec<usize>,
+        distance: Distance,
+    ) -> Self {
+        let m = partitioner.num_bins();
+        let n = data.rows();
+        let dim = data.cols();
+
+        let mut counts = vec![0usize; m];
+        for &b in &assignments {
+            assert!(
+                b < m,
+                "partitioner assigned bin {b} but reports only {m} bins"
+            );
+            counts[b] += 1;
         }
+        let mut bin_offsets = Vec::with_capacity(m + 1);
+        let mut acc = 0usize;
+        bin_offsets.push(0);
+        for &c in &counts {
+            acc += c;
+            bin_offsets.push(acc);
+        }
+
+        // Stable fill: points in id order land in their bin's slot in id order, so
+        // each bucket slice stays ascending (the pre-CSR Vec<Vec> behaviour).
+        let mut cursor = bin_offsets[..m].to_vec();
+        let mut ids = vec![0u32; n];
+        for (i, &b) in assignments.iter().enumerate() {
+            ids[cursor[b]] = i as u32;
+            cursor[b] += 1;
+        }
+
+        let mut flat = Matrix::zeros(n, dim);
+        flat.as_mut_slice()
+            .par_chunks_mut(dim.max(1))
+            .enumerate()
+            .for_each(|(local, row)| {
+                if dim > 0 {
+                    row.copy_from_slice(data.row(ids[local] as usize));
+                }
+            });
+
         Self {
             partitioner,
             data: data.clone(),
-            buckets,
             assignments,
             distance,
+            ids,
+            bin_offsets,
+            flat,
         }
     }
 
@@ -77,14 +127,14 @@ impl<P: Partitioner> PartitionIndex<P> {
         &self.partitioner
     }
 
-    /// The indexed dataset.
+    /// The indexed dataset (original row order).
     pub fn data(&self) -> &Matrix {
         &self.data
     }
 
     /// Number of bins.
     pub fn num_bins(&self) -> usize {
-        self.buckets.len()
+        self.bin_offsets.len() - 1
     }
 
     /// Per-point bin assignments recorded at build time.
@@ -92,14 +142,32 @@ impl<P: Partitioner> PartitionIndex<P> {
         &self.assignments
     }
 
-    /// Point ids stored in a bin.
+    /// Point ids stored in a bin (ascending).
     pub fn bucket(&self, bin: usize) -> &[u32] {
-        &self.buckets[bin]
+        &self.ids[self.bin_offsets[bin]..self.bin_offsets[bin + 1]]
+    }
+
+    /// The contiguous rows of a bin in the bin-ordered copy of the dataset: row `j` of
+    /// the slice is `data.row(bucket(bin)[j])`, bit-exact.
+    pub fn bin_rows(&self, bin: usize) -> &[f32] {
+        let dim = self.flat.cols();
+        &self.flat.as_slice()[self.bin_offsets[bin] * dim..self.bin_offsets[bin + 1] * dim]
+    }
+
+    /// CSR row offsets per bin (`num_bins + 1` entries, monotone, last = points).
+    pub fn bin_offsets(&self) -> &[usize] {
+        &self.bin_offsets
+    }
+
+    /// The local→global id table of the bin-contiguous layout: a permutation of
+    /// `0..n` equal to the concatenation of every bucket in bin order.
+    pub fn local_to_global(&self) -> &[u32] {
+        &self.ids
     }
 
     /// Sizes of every bucket.
     pub fn bucket_sizes(&self) -> Vec<usize> {
-        self.buckets.iter().map(Vec::len).collect()
+        self.bin_offsets.windows(2).map(|w| w[1] - w[0]).collect()
     }
 
     /// Balance statistics of the built partition.
@@ -109,13 +177,14 @@ impl<P: Partitioner> PartitionIndex<P> {
 
     /// The probe step of Algorithm 2: the ranked `probes` most probable bins together
     /// with their concatenated candidate ids (bin-rank order, bucket order within a
-    /// bin). Single source of truth for candidate gathering — [`Self::search`] and the
-    /// serving engine both build on it, which is what keeps their answers bit-identical.
+    /// bin). [`Self::scan_bins`] scores exactly this stream without materialising it;
+    /// `probe` remains the id-level view for callers that want the candidates
+    /// themselves (diagnostics, external re-rankers).
     pub fn probe(&self, query: &[f32], probes: usize) -> (Vec<usize>, Vec<u32>) {
         let bins = self.partitioner.rank_bins(query, probes);
         let mut out = Vec::new();
         for &b in &bins {
-            out.extend_from_slice(&self.buckets[b]);
+            out.extend_from_slice(self.bucket(b));
         }
         (bins, out)
     }
@@ -137,30 +206,75 @@ impl<P: Partitioner> PartitionIndex<P> {
     ///
     /// This is the point-extraction primitive shard views build on: a shard that owns a
     /// subset of bins gets its own contiguous sub-dataset plus the local→global id table
-    /// needed to translate its answers back. Row values are bit-exact copies, so
-    /// distances computed against the extracted rows equal distances against the
-    /// original rows. Listing a bin twice extracts its points twice.
+    /// needed to translate its answers back. With the CSR layout each bin is one
+    /// `memcpy` of its contiguous rows (and one of its id slice), not a per-row
+    /// re-gather. Row values are bit-exact copies, so distances computed against the
+    /// extracted rows equal distances against the original rows. Listing a bin twice
+    /// extracts its points twice.
     pub fn extract_bins(&self, bins: &[usize]) -> (Matrix, Vec<u32>) {
         let dim = self.data.cols();
-        let total: usize = bins.iter().map(|&b| self.buckets[b].len()).sum();
+        let total: usize = bins
+            .iter()
+            .map(|&b| self.bin_offsets[b + 1] - self.bin_offsets[b])
+            .sum();
         let mut flat = Vec::with_capacity(total * dim);
         let mut ids = Vec::with_capacity(total);
         for &b in bins {
-            for &id in &self.buckets[b] {
-                flat.extend_from_slice(self.data.row(id as usize));
-                ids.push(id);
-            }
+            flat.extend_from_slice(self.bin_rows(b));
+            ids.extend_from_slice(self.bucket(b));
         }
         (Matrix::from_vec(total, dim, flat), ids)
     }
 
-    /// Full query: probe bins, gather candidates, exact re-rank, return the top `k`
+    /// The exact re-rank over the listed bins' candidate stream, scanned contiguously:
+    /// concatenate the bins' buckets in the order given, truncate to `budget`
+    /// candidates if one is set, and select the top `k` under the blocked kernels'
+    /// (distance, stream position) total order — ascending distance, NaN last, ties
+    /// broken by position in the stream.
+    ///
+    /// This is the **single scoring path** of the online phase: [`Self::search`] calls
+    /// it with the ranked bins, the serving engine calls it with the same ranked bins
+    /// plus its re-rank budget, so the two answer bit-identically by construction.
+    /// Every distance comes from [`usp_linalg::kernel::scan_block`] streaming the
+    /// bin-contiguous rows — no id gather, no materialised distance vector.
+    pub fn scan_bins(
+        &self,
+        query: &[f32],
+        bins: &[usize],
+        k: usize,
+        budget: Option<usize>,
+    ) -> SearchResult {
+        let budget = budget.unwrap_or(usize::MAX);
+        let dim = self.flat.cols();
+        let mut scan = kernel::SegmentedScan::new(self.distance, query, dim, k);
+        for &b in bins {
+            let scanned = scan.scanned();
+            if scanned == budget {
+                break;
+            }
+            let start = self.bin_offsets[b];
+            let len = self.bin_offsets[b + 1] - start;
+            let take = len.min(budget - scanned);
+            scan.scan_segment(
+                &self.flat.as_slice()[start * dim..(start + take) * dim],
+                take,
+                start,
+            );
+        }
+        let scanned = scan.scanned();
+        let ids = scan
+            .into_winners()
+            .into_iter()
+            .map(|(csr_start, off, _)| self.ids[csr_start + off] as usize)
+            .collect();
+        SearchResult::new(ids, scanned)
+    }
+
+    /// Full query: probe bins, scan their contiguous candidate rows, return the top `k`
     /// together with the number of candidates scanned.
     pub fn search(&self, query: &[f32], k: usize, probes: usize) -> SearchResult {
-        let candidates = self.candidates(query, probes);
-        let scanned = candidates.len();
-        let ids = rerank::rerank(&self.data, query, &candidates, k, self.distance);
-        SearchResult::new(ids, scanned)
+        let bins = self.partitioner.rank_bins(query, probes);
+        self.scan_bins(query, &bins, k, None)
     }
 
     /// Answers every row of `queries` in parallel on the worker pool (the online phase
@@ -264,6 +378,33 @@ mod tests {
     }
 
     #[test]
+    fn csr_layout_mirrors_buckets_and_data() {
+        let data = line_data(4, 3);
+        let idx = PartitionIndex::build(
+            GridPartitioner { bins: 4 },
+            &data,
+            Distance::SquaredEuclidean,
+        );
+        // Offsets are monotone and end at n.
+        assert_eq!(idx.bin_offsets().len(), 5);
+        assert!(idx.bin_offsets().windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(*idx.bin_offsets().last().unwrap(), 12);
+        // The id table is the bucket concatenation and a permutation of 0..n.
+        let concat: Vec<u32> = (0..4).flat_map(|b| idx.bucket(b).to_vec()).collect();
+        assert_eq!(idx.local_to_global(), &concat[..]);
+        let mut sorted = concat.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..12).collect::<Vec<u32>>());
+        // Every bin's contiguous rows are bit-exact copies of the global rows.
+        for b in 0..4 {
+            let rows = idx.bin_rows(b);
+            for (j, &id) in idx.bucket(b).iter().enumerate() {
+                assert_eq!(&rows[j..j + 1], idx.data().row(id as usize));
+            }
+        }
+    }
+
+    #[test]
     fn more_probes_give_supersets_of_candidates() {
         let data = line_data(4, 5);
         let idx = PartitionIndex::build(
@@ -296,6 +437,41 @@ mod tests {
         assert!((xs[0] - 1.9).abs() < 1e-6);
         assert!((xs[1] - 2.1).abs() < 1e-6);
         assert!((xs[2] - 1.7).abs() < 1e-6);
+    }
+
+    #[test]
+    fn scan_bins_matches_gathered_rerank_over_the_same_stream() {
+        let data = line_data(4, 5);
+        let idx = PartitionIndex::build(
+            GridPartitioner { bins: 4 },
+            &data,
+            Distance::SquaredEuclidean,
+        );
+        let q = [1.95f32];
+        let (bins, candidates) = idx.probe(&q, 3);
+        let scanned = idx.scan_bins(&q, &bins, 4, None);
+        let gathered = crate::rerank::rerank(&data, &q, &candidates, 4, idx.distance());
+        assert_eq!(scanned.ids, gathered);
+        assert_eq!(scanned.candidates_scanned, candidates.len());
+    }
+
+    #[test]
+    fn scan_bins_budget_truncates_the_least_probable_bins_first() {
+        let data = line_data(4, 5);
+        let idx = PartitionIndex::build(
+            GridPartitioner { bins: 4 },
+            &data,
+            Distance::SquaredEuclidean,
+        );
+        let q = [1.95f32];
+        let (bins, candidates) = idx.probe(&q, 3);
+        for budget in [0, 1, 4, 7, 10, 100] {
+            let got = idx.scan_bins(&q, &bins, 3, Some(budget));
+            let truncated: Vec<u32> = candidates.iter().copied().take(budget).collect();
+            let expect = crate::rerank::rerank(&data, &q, &truncated, 3, idx.distance());
+            assert_eq!(got.ids, expect, "budget {budget}");
+            assert_eq!(got.candidates_scanned, budget.min(candidates.len()));
+        }
     }
 
     #[test]
@@ -374,6 +550,23 @@ mod tests {
     }
 
     #[test]
+    fn zero_dimensional_datasets_are_searchable() {
+        // Degenerate but previously supported: with no coordinates every distance is
+        // the metric's empty-row value, so search degenerates to the first k
+        // candidates in stream order instead of panicking in the kernel.
+        use crate::partitioner::RoundRobinPartitioner;
+        let data = Matrix::zeros(6, 0);
+        let idx = PartitionIndex::build(
+            RoundRobinPartitioner::new(2),
+            &data,
+            Distance::SquaredEuclidean,
+        );
+        let res = idx.search(&[], 3, 2);
+        assert_eq!(res.candidates_scanned, 6);
+        assert_eq!(res.ids, vec![0, 1, 2]);
+    }
+
+    #[test]
     fn distance_getter_reports_build_metric() {
         let data = line_data(2, 2);
         let idx = PartitionIndex::build(GridPartitioner { bins: 2 }, &data, Distance::Euclidean);
@@ -393,5 +586,56 @@ mod tests {
         assert_eq!(r.ids.len(), 2);
         assert_eq!(r.candidates_scanned, 4);
         assert!(searcher.name().contains("grid"));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::partitioner::RoundRobinPartitioner;
+    use proptest::prelude::*;
+
+    fn pseudo_random_matrix(n: usize, dim: usize, seed: u64) -> Matrix {
+        usp_linalg::rng::normal_matrix(&mut usp_linalg::rng::seeded(seed), n, dim, 1.0)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        /// The CSR invariants: offsets monotone ending at n, flat rows bit-equal to
+        /// the original rows they mirror, and the id table exactly the bucket
+        /// concatenation (hence a permutation of 0..n).
+        #[test]
+        fn csr_invariants_hold_for_arbitrary_partitions(
+            n in 1usize..120,
+            dim in 1usize..6,
+            bins in 1usize..9,
+            seed in 0u64..1000,
+        ) {
+            let data = pseudo_random_matrix(n, dim, seed);
+            let idx = PartitionIndex::build(
+                RoundRobinPartitioner::new(bins),
+                &data,
+                Distance::SquaredEuclidean,
+            );
+            let offsets = idx.bin_offsets();
+            prop_assert_eq!(offsets.len(), bins + 1);
+            prop_assert_eq!(offsets[0], 0);
+            prop_assert!(offsets.windows(2).all(|w| w[0] <= w[1]));
+            prop_assert_eq!(*offsets.last().unwrap(), n);
+
+            let concat: Vec<u32> =
+                (0..bins).flat_map(|b| idx.bucket(b).to_vec()).collect();
+            prop_assert_eq!(idx.local_to_global(), &concat[..]);
+            let mut sorted = concat;
+            sorted.sort_unstable();
+            prop_assert_eq!(sorted, (0..n as u32).collect::<Vec<u32>>());
+
+            for (local, &global) in idx.local_to_global().iter().enumerate() {
+                let b = idx.assignments()[global as usize];
+                let start = idx.bin_offsets()[b];
+                let row = &idx.bin_rows(b)[(local - start) * dim..(local - start + 1) * dim];
+                prop_assert_eq!(row, data.row(global as usize));
+            }
+        }
     }
 }

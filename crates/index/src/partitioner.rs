@@ -1,7 +1,8 @@
 //! The [`Partitioner`] trait: the common contract between every space-partitioning method
 //! and the shared online-phase machinery.
 
-use usp_linalg::topk;
+use rayon::prelude::*;
+use usp_linalg::{topk, Matrix};
 
 /// A space partition of `R^d` into `m` bins that can score bins for an arbitrary query.
 ///
@@ -39,6 +40,51 @@ pub trait Partitioner: Send + Sync {
         topk::largest_k(&scores, probes.min(scores.len()))
     }
 
+    /// Scores every bin for every row of `queries` — row `i` of the result is the
+    /// score vector of query `i`.
+    ///
+    /// **Contract:** row `i` must be **bit-identical** to
+    /// `bin_scores(queries.row(i))` — batching is an execution strategy, never a
+    /// semantic change. That is what lets the serving engines route a whole
+    /// micro-batch through one call while staying answer-identical to the per-query
+    /// Searcher path. The default scores rows in parallel on the pool (rows are
+    /// independent, so the contract holds for any pool size); models with a natural
+    /// batched forward (the trained MLP) override it with a single GEMM over the
+    /// batch, which satisfies the contract because their forward treats rows
+    /// independently.
+    fn bin_scores_batch(&self, queries: &Matrix) -> Matrix {
+        let m = self.num_bins();
+        let mut out = Matrix::zeros(queries.rows(), m);
+        out.as_mut_slice()
+            .par_chunks_mut(m.max(1))
+            .enumerate()
+            .for_each(|(qi, row)| {
+                if m > 0 {
+                    let scores = self.bin_scores(queries.row(qi));
+                    debug_assert_eq!(scores.len(), m);
+                    row.copy_from_slice(&scores);
+                }
+            });
+        out
+    }
+
+    /// The `probes` most probable bins per row of `queries`, most probable first —
+    /// the batched route step of the online phase, built on
+    /// [`Partitioner::bin_scores_batch`] so one partitioner forward serves the whole
+    /// micro-batch, with the per-row selections fanned out on the pool. Row `i`
+    /// equals `rank_bins(queries.row(i), probes)` bit for bit (same scores by the
+    /// batch contract, same selection, rows independent).
+    fn rank_bins_batch(&self, queries: &Matrix, probes: usize) -> Vec<Vec<usize>> {
+        let scores = self.bin_scores_batch(queries);
+        (0..queries.rows())
+            .into_par_iter()
+            .map(|qi| {
+                let row = scores.row(qi);
+                topk::largest_k(row, probes.min(row.len()))
+            })
+            .collect()
+    }
+
     /// Number of learnable parameters (Table 2 of the paper); 0 for non-learned methods.
     fn num_parameters(&self) -> usize {
         0
@@ -60,6 +106,12 @@ impl<P: Partitioner + ?Sized> Partitioner for Box<P> {
     }
     fn rank_bins(&self, query: &[f32], probes: usize) -> Vec<usize> {
         (**self).rank_bins(query, probes)
+    }
+    fn bin_scores_batch(&self, queries: &Matrix) -> Matrix {
+        (**self).bin_scores_batch(queries)
+    }
+    fn rank_bins_batch(&self, queries: &Matrix, probes: usize) -> Vec<Vec<usize>> {
+        (**self).rank_bins_batch(queries, probes)
     }
     fn num_parameters(&self) -> usize {
         (**self).num_parameters()
@@ -141,6 +193,20 @@ mod tests {
         let p = RoundRobinPartitioner::new(10);
         assert_eq!(p.rank_bins(&[1.0], 3).len(), 3);
         assert_eq!(p.rank_bins(&[1.0], 99).len(), 10);
+    }
+
+    #[test]
+    fn batched_scoring_and_ranking_match_per_query_bitwise() {
+        let p = RoundRobinPartitioner::new(6);
+        let queries = Matrix::from_vec(4, 2, vec![0.5, -1.0, 2.25, 3.0, -0.125, 0.0, 9.5, -2.5]);
+        let scores = p.bin_scores_batch(&queries);
+        assert_eq!(scores.shape(), (4, 6));
+        let ranked = p.rank_bins_batch(&queries, 3);
+        for qi in 0..4 {
+            let single = p.bin_scores(queries.row(qi));
+            assert_eq!(scores.row(qi), &single[..], "scores row {qi}");
+            assert_eq!(ranked[qi], p.rank_bins(queries.row(qi), 3), "rank row {qi}");
+        }
     }
 
     #[test]

@@ -1,0 +1,548 @@
+//! Blocked distance kernels: the single scoring source of truth for the online phase.
+//!
+//! The exact re-rank is the `O(c·d)` term of the paper's §4.5 complexity analysis, and
+//! in a served index it is the hottest loop in the system. The scalar
+//! [`Distance::eval`] closures walk one lane at a time, so the whole scan is serialized
+//! behind one chain of dependent adds; the kernels here split the inner loop across
+//! **multiple independent accumulators** (8-wide, or dual 4-wide for cosine's fused
+//! dot+norm pass) so the compiler can keep several FMAs in flight and/or vectorise,
+//! then combine the lanes in one **fixed pairwise order**.
+//!
+//! Multi-accumulator summation changes float rounding, so blocked and scalar results
+//! can differ in the last bits. That makes the kernel a *policy*, not just an
+//! optimisation: every online scoring path (`PartitionIndex::scan_bins`, the candidate
+//! re-rank, the serving engines' shard tasks) must route through [`eval`]/[`scan_block`]
+//! and nothing else, so that any two paths comparing distances compare **identical
+//! bits**. The equivalence suites (engine-vs-searcher, shard-vs-monolith) stay green by
+//! construction because both sides call the same kernel; the proptests at the bottom
+//! pin the blocked-vs-scalar contract instead (≤1e-5 relative value agreement,
+//! identical ordering on exactly-representable inputs, NaN/±inf rows ranking exactly
+//! as the scalar path ranks them).
+
+use crate::distance::Distance;
+use crate::topk::TopK;
+
+/// Lane count of the blocked accumulators.
+const LANES: usize = 8;
+
+/// Fixed pairwise lane combine — the summation-order contract documented in
+/// DESIGN.md §2.2. Changing this order changes result bits everywhere at once.
+#[inline(always)]
+fn combine(acc: [f32; LANES]) -> f32 {
+    ((acc[0] + acc[1]) + (acc[2] + acc[3])) + ((acc[4] + acc[5]) + (acc[6] + acc[7]))
+}
+
+/// Blocked squared Euclidean distance: 8 independent difference-square accumulators.
+#[inline]
+pub fn squared_euclidean_blocked(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = [0.0f32; LANES];
+    let chunks = a.len() / LANES;
+    for c in 0..chunks {
+        let ac = &a[c * LANES..c * LANES + LANES];
+        let bc = &b[c * LANES..c * LANES + LANES];
+        for l in 0..LANES {
+            let d = ac[l] - bc[l];
+            acc[l] += d * d;
+        }
+    }
+    for i in chunks * LANES..a.len() {
+        let d = a[i] - b[i];
+        acc[i - chunks * LANES] += d * d;
+    }
+    combine(acc)
+}
+
+/// Blocked dot product: 8 independent product accumulators.
+#[inline]
+pub fn dot_blocked(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = [0.0f32; LANES];
+    let chunks = a.len() / LANES;
+    for c in 0..chunks {
+        let ac = &a[c * LANES..c * LANES + LANES];
+        let bc = &b[c * LANES..c * LANES + LANES];
+        for l in 0..LANES {
+            acc[l] += ac[l] * bc[l];
+        }
+    }
+    for i in chunks * LANES..a.len() {
+        acc[i - chunks * LANES] += a[i] * b[i];
+    }
+    combine(acc)
+}
+
+/// Fused `(dot(a, b), dot(b, b))` in one pass over `b`, with dual 4-wide accumulators
+/// (8 live registers total). This is cosine's row kernel: the row is streamed once for
+/// both its projection on the query and its own norm.
+#[inline]
+fn dot_and_self_blocked(a: &[f32], b: &[f32]) -> (f32, f32) {
+    debug_assert_eq!(a.len(), b.len());
+    const W: usize = 4;
+    let mut acc_ab = [0.0f32; W];
+    let mut acc_bb = [0.0f32; W];
+    let chunks = a.len() / W;
+    for c in 0..chunks {
+        let ac = &a[c * W..c * W + W];
+        let bc = &b[c * W..c * W + W];
+        for l in 0..W {
+            acc_ab[l] += ac[l] * bc[l];
+            acc_bb[l] += bc[l] * bc[l];
+        }
+    }
+    for i in chunks * W..a.len() {
+        acc_ab[i - chunks * W] += a[i] * b[i];
+        acc_bb[i - chunks * W] += b[i] * b[i];
+    }
+    (
+        (acc_ab[0] + acc_ab[1]) + (acc_ab[2] + acc_ab[3]),
+        (acc_bb[0] + acc_bb[1]) + (acc_bb[2] + acc_bb[3]),
+    )
+}
+
+/// Cosine distance given the query's precomputed norm (zero norms are maximally
+/// distant, matching [`crate::distance::cosine`]).
+#[inline]
+fn cosine_with_query_norm(query_norm: f32, q: &[f32], r: &[f32]) -> f32 {
+    let (ab, bb) = dot_and_self_blocked(q, r);
+    let nr = bb.sqrt();
+    if query_norm == 0.0 || nr == 0.0 {
+        return 1.0;
+    }
+    1.0 - ab / (query_norm * nr)
+}
+
+/// The query-side precomputation a scan can hoist: only cosine needs one (the query's
+/// blocked norm); every other metric is stateless per pair.
+#[inline]
+fn query_norm_for(distance: Distance, query: &[f32]) -> f32 {
+    match distance {
+        Distance::Cosine => dot_blocked(query, query).sqrt(),
+        _ => 0.0,
+    }
+}
+
+/// A per-query scorer: the query borrow plus its hoisted precomputation (cosine's
+/// query norm), so scanning many rows against one query pays the query-side work
+/// once instead of per row. [`eval`] and [`scan_block`] are thin wrappers over this,
+/// so all three produce **identical bits** for the same `(query, row)` pair.
+#[derive(Debug, Clone, Copy)]
+pub struct QueryScorer<'a> {
+    distance: Distance,
+    query: &'a [f32],
+    query_norm: f32,
+}
+
+impl<'a> QueryScorer<'a> {
+    /// Hoists the query-side precomputation for `distance`.
+    pub fn new(distance: Distance, query: &'a [f32]) -> Self {
+        Self {
+            distance,
+            query,
+            query_norm: query_norm_for(distance, query),
+        }
+    }
+
+    /// Blocked evaluation of one row against the held query.
+    ///
+    /// Same contract as [`Distance::eval`] (smaller is closer, NaN poisons,
+    /// zero-norm cosine is maximally distant) but computed with the
+    /// multi-accumulator kernels.
+    #[inline]
+    pub fn eval(&self, row: &[f32]) -> f32 {
+        match self.distance {
+            Distance::SquaredEuclidean => squared_euclidean_blocked(self.query, row),
+            Distance::Euclidean => squared_euclidean_blocked(self.query, row).sqrt(),
+            Distance::InnerProduct => -dot_blocked(self.query, row),
+            Distance::Cosine => cosine_with_query_norm(self.query_norm, self.query, row),
+        }
+    }
+}
+
+/// Blocked evaluation of one `(query, row)` pair — [`QueryScorer`] for a single pair.
+/// Loops evaluating many rows against one query should hoist the scorer instead.
+#[inline]
+pub fn eval(distance: Distance, query: &[f32], row: &[f32]) -> f32 {
+    QueryScorer::new(distance, query).eval(row)
+}
+
+/// Scans a contiguous block of `rows` (row-major, `dim` columns each) against `query`,
+/// streaming each blocked distance straight into `out` under index `base + row`.
+///
+/// No distance vector is materialised: the bounded heap consumes values as the scan
+/// produces them, so the whole candidate pass is one read of the block plus `O(k)`
+/// state. The (index, distance) order is [`TopK`]'s — ascending distance, NaN last,
+/// ties by ascending index — so scanning segments in stream order with increasing
+/// `base` reproduces exactly the selection a materialised
+/// [`crate::topk::smallest_k_by`] over the concatenated stream would make.
+pub fn scan_block(
+    distance: Distance,
+    query: &[f32],
+    rows: &[f32],
+    dim: usize,
+    base: usize,
+    out: &mut TopK,
+) {
+    assert!(dim > 0, "scan_block: zero-dimensional rows");
+    assert_eq!(
+        rows.len() % dim,
+        0,
+        "scan_block: block length {} is not a multiple of dim {}",
+        rows.len(),
+        dim
+    );
+    debug_assert_eq!(query.len(), dim);
+    let scorer = QueryScorer::new(distance, query);
+    for (i, row) in rows.chunks_exact(dim).enumerate() {
+        out.push(base + i, scorer.eval(row));
+    }
+}
+
+/// A fused multi-segment candidate scan: stream contiguous row blocks in stream order,
+/// each tagged with a caller-side base, and read the winners back already resolved to
+/// `(segment base, offset within segment, distance)`.
+///
+/// This is the shape both online scan sites share — `PartitionIndex::scan_bins` tags
+/// segments with their CSR row start, the sharded scatter task tags them with the
+/// slice index — so the subtle stream-position bookkeeping (segment starts recorded
+/// during the scan, winners mapped back by binary search) lives here once. Stream
+/// positions are assigned in push order, so the selection's distance-tie order is the
+/// scan order, exactly as [`scan_block`] over the concatenated stream.
+///
+/// Zero-dimensional rows are handled (every metric's empty-row distance — 0 for the
+/// Euclidean family, 1 for cosine — is pushed `count` times), which is why
+/// [`Self::scan_segment`] takes an explicit row count.
+pub struct SegmentedScan<'a> {
+    scorer: QueryScorer<'a>,
+    dim: usize,
+    top: TopK,
+    /// `(stream start, caller base)` per non-empty scanned segment; stream starts
+    /// strictly increase, which the winner lookup relies on.
+    segments: Vec<(usize, usize)>,
+    pos: usize,
+}
+
+impl<'a> SegmentedScan<'a> {
+    /// A scan against `query` keeping the best `k` of everything streamed.
+    pub fn new(distance: Distance, query: &'a [f32], dim: usize, k: usize) -> Self {
+        Self {
+            scorer: QueryScorer::new(distance, query),
+            dim,
+            top: TopK::new(k),
+            segments: Vec::new(),
+            pos: 0,
+        }
+    }
+
+    /// Streams the next `count` contiguous rows (`rows.len() == count * dim`) as one
+    /// segment tagged `base`.
+    pub fn scan_segment(&mut self, rows: &[f32], count: usize, base: usize) {
+        assert_eq!(
+            rows.len(),
+            count * self.dim,
+            "scan_segment: {} floats is not {count} rows of dim {}",
+            rows.len(),
+            self.dim
+        );
+        if count == 0 {
+            return;
+        }
+        self.segments.push((self.pos, base));
+        if self.dim == 0 {
+            let d = self.scorer.eval(&[]);
+            for j in 0..count {
+                self.top.push(self.pos + j, d);
+            }
+        } else {
+            for (i, row) in rows.chunks_exact(self.dim).enumerate() {
+                self.top.push(self.pos + i, self.scorer.eval(row));
+            }
+        }
+        self.pos += count;
+    }
+
+    /// Total rows streamed so far.
+    pub fn scanned(&self) -> usize {
+        self.pos
+    }
+
+    /// The winners as `(segment base, offset within segment, distance)`, best first.
+    pub fn into_winners(self) -> Vec<(usize, usize, f32)> {
+        let segments = self.segments;
+        self.top
+            .into_sorted()
+            .into_iter()
+            .map(|(pos, d)| {
+                let si = segments.partition_point(|&(start, _)| start <= pos) - 1;
+                let (stream_start, base) = segments[si];
+                (base, pos - stream_start, d)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+const ALL_DISTANCES: [Distance; 4] = [
+    Distance::SquaredEuclidean,
+    Distance::Euclidean,
+    Distance::InnerProduct,
+    Distance::Cosine,
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topk;
+
+    fn rows_matrix(n: usize, dim: usize, seed: u64) -> Vec<f32> {
+        crate::rng::normal_vector(&mut crate::rng::seeded(seed), n * dim)
+    }
+
+    #[test]
+    fn blocked_matches_scalar_within_tolerance() {
+        for dim in [1, 3, 7, 8, 9, 16, 24, 31] {
+            let q = rows_matrix(1, dim, 11);
+            let rows = rows_matrix(5, dim, dim as u64 + 1);
+            for d in ALL_DISTANCES {
+                for r in rows.chunks_exact(dim) {
+                    let blocked = eval(d, &q, r);
+                    let scalar = d.eval(&q, r);
+                    let tol = 1e-5 * scalar.abs().max(1.0);
+                    assert!(
+                        (blocked - scalar).abs() <= tol,
+                        "{} dim={dim}: blocked {blocked} vs scalar {scalar}",
+                        d.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zero_norm_cosine_is_maximally_distant() {
+        let q = vec![0.0f32; 12];
+        let r = vec![1.0f32; 12];
+        assert_eq!(eval(Distance::Cosine, &q, &r), 1.0);
+        assert_eq!(eval(Distance::Cosine, &r, &q), 1.0);
+    }
+
+    #[test]
+    fn distance_to_self_is_zero() {
+        let v = rows_matrix(1, 17, 3);
+        assert_eq!(eval(Distance::SquaredEuclidean, &v, &v), 0.0);
+        assert_eq!(eval(Distance::Euclidean, &v, &v), 0.0);
+        assert!(eval(Distance::Cosine, &v, &v).abs() < 1e-6);
+    }
+
+    #[test]
+    fn scan_block_equals_per_pair_eval_plus_selection() {
+        // The fused scan must reproduce exactly: eval every row, then smallest_k_by.
+        let dim = 13;
+        let q = rows_matrix(1, dim, 5);
+        let rows = rows_matrix(40, dim, 6);
+        for d in ALL_DISTANCES {
+            let mut top = TopK::new(7);
+            scan_block(d, &q, &rows, dim, 0, &mut top);
+            let fused: Vec<usize> = top.into_sorted().into_iter().map(|(i, _)| i).collect();
+            let reference =
+                topk::smallest_k_by(40, 7, |i| eval(d, &q, &rows[i * dim..(i + 1) * dim]));
+            assert_eq!(fused, reference, "{}", d.name());
+        }
+    }
+
+    #[test]
+    fn scan_block_base_offsets_concatenate_segments() {
+        // Scanning two segments with stream bases equals one scan of the concatenation.
+        let dim = 6;
+        let q = rows_matrix(1, dim, 9);
+        let rows = rows_matrix(30, dim, 10);
+        let split = 11 * dim;
+        for d in ALL_DISTANCES {
+            let mut whole = TopK::new(5);
+            scan_block(d, &q, &rows, dim, 0, &mut whole);
+            let mut parts = TopK::new(5);
+            scan_block(d, &q, &rows[..split], dim, 0, &mut parts);
+            scan_block(d, &q, &rows[split..], dim, 11, &mut parts);
+            assert_eq!(whole.into_sorted(), parts.into_sorted(), "{}", d.name());
+        }
+    }
+
+    #[test]
+    fn segmented_scan_matches_single_block_scan() {
+        // Splitting a stream into tagged segments must select exactly what one
+        // scan_block over the concatenation selects, with winners resolved to
+        // (base, offset) instead of raw stream positions.
+        let dim = 5;
+        let q = rows_matrix(1, dim, 31);
+        let rows = rows_matrix(24, dim, 32);
+        for d in ALL_DISTANCES {
+            let mut whole = TopK::new(6);
+            scan_block(d, &q, &rows, dim, 0, &mut whole);
+            let reference: Vec<(usize, f32)> = whole.into_sorted();
+
+            let mut scan = SegmentedScan::new(d, &q, dim, 6);
+            // Segments of 10 / 0 / 14 rows, tagged with their first row index.
+            scan.scan_segment(&rows[..10 * dim], 10, 0);
+            scan.scan_segment(&[], 0, 777); // empty segments leave no trace
+            scan.scan_segment(&rows[10 * dim..], 14, 10);
+            assert_eq!(scan.scanned(), 24);
+            let winners: Vec<(usize, f32)> = scan
+                .into_winners()
+                .into_iter()
+                .map(|(base, off, dist)| (base + off, dist))
+                .collect();
+            assert_eq!(winners, reference, "{}", d.name());
+        }
+    }
+
+    #[test]
+    fn segmented_scan_handles_zero_dimensional_rows() {
+        // A 0-d dataset has nothing to scan, but selection must still be total:
+        // every row scores the metric's empty-row distance and ties break in stream
+        // order (the pre-kernel gather path's behaviour).
+        let mut scan = SegmentedScan::new(Distance::SquaredEuclidean, &[], 0, 3);
+        scan.scan_segment(&[], 5, 100);
+        assert_eq!(scan.scanned(), 5);
+        assert_eq!(
+            scan.into_winners(),
+            vec![(100, 0, 0.0), (100, 1, 0.0), (100, 2, 0.0)]
+        );
+        let mut scan = SegmentedScan::new(Distance::Cosine, &[], 0, 2);
+        scan.scan_segment(&[], 3, 0);
+        assert_eq!(scan.into_winners(), vec![(0, 0, 1.0), (0, 1, 1.0)]);
+    }
+
+    #[test]
+    fn scan_block_on_empty_block_keeps_topk_empty() {
+        let mut top = TopK::new(3);
+        scan_block(Distance::SquaredEuclidean, &[1.0, 2.0], &[], 2, 0, &mut top);
+        assert!(top.is_empty());
+    }
+
+    #[test]
+    fn poisoned_rows_rank_exactly_like_the_scalar_path() {
+        // NaN / ±inf coordinates must land every poisoned row in the same rank the
+        // scalar Distance::eval + smallest_k_by path puts it (NaN strictly last).
+        let dim = 10;
+        let q = rows_matrix(1, dim, 21);
+        let mut rows = rows_matrix(12, dim, 22);
+        rows[2 * dim + 3] = f32::NAN;
+        rows[5 * dim] = f32::INFINITY;
+        rows[7 * dim + 9] = f32::NEG_INFINITY;
+        rows[9 * dim + 1] = f32::INFINITY;
+        rows[9 * dim + 2] = f32::NEG_INFINITY; // mixed signs → NaN distance
+        for d in ALL_DISTANCES {
+            let mut top = TopK::new(12);
+            scan_block(d, &q, &rows, dim, 0, &mut top);
+            let fused: Vec<usize> = top.into_sorted().into_iter().map(|(i, _)| i).collect();
+            let scalar_order =
+                topk::smallest_k_by(12, 12, |i| d.eval(&q, &rows[i * dim..(i + 1) * dim]));
+            assert_eq!(fused, scalar_order, "{}", d.name());
+            // And the NaN-distance rows are at the very end in both.
+            let nan_rows: Vec<usize> = (0..12)
+                .filter(|&i| d.eval(&q, &rows[i * dim..(i + 1) * dim]).is_nan())
+                .collect();
+            assert!(
+                !nan_rows.is_empty(),
+                "{}: test wants poisoned rows",
+                d.name()
+            );
+            for r in &nan_rows {
+                let pos = fused.iter().position(|x| x == r).unwrap();
+                assert!(
+                    pos >= 12 - nan_rows.len(),
+                    "{}: NaN row {r} ranked {pos}, before a comparable row",
+                    d.name()
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::topk;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Blocked values stay within 1e-5 relative of the scalar kernels on arbitrary
+        /// finite inputs (the accumulators only reorder the same additions).
+        #[test]
+        fn blocked_values_agree_with_scalar_within_1e5(
+            q in prop::collection::vec(-100.0f32..100.0, 1..40),
+            flat in prop::collection::vec(-100.0f32..100.0, 1..40),
+        ) {
+            let dim = q.len().min(flat.len());
+            let (q, r) = (&q[..dim], &flat[..dim]);
+            for d in ALL_DISTANCES {
+                let blocked = eval(d, q, r);
+                let scalar = d.eval(q, r);
+                let tol = 1e-5 * scalar.abs().max(1.0);
+                prop_assert!(
+                    (blocked - scalar).abs() <= tol,
+                    "{} blocked {} vs scalar {}", d.name(), blocked, scalar
+                );
+            }
+        }
+
+        /// On values where every intermediate is exactly representable (small dyadic
+        /// rationals), reassociating the sums cannot round at all, so blocked and
+        /// scalar scoring must agree **bit for bit** — and hence produce identical
+        /// candidate orderings.
+        #[test]
+        fn ordering_is_identical_on_exactly_representable_inputs(
+            q_units in prop::collection::vec(-16i32..17, 1..24),
+            flat_units in prop::collection::vec(-16i32..17, 8..192),
+            k in 1usize..12,
+        ) {
+            let dim = q_units.len().min(flat_units.len());
+            let n = flat_units.len() / dim;
+            let q: Vec<f32> = q_units[..dim].iter().map(|&u| u as f32 / 4.0).collect();
+            let rows: Vec<f32> = flat_units[..n * dim].iter().map(|&u| u as f32 / 4.0).collect();
+            for d in ALL_DISTANCES {
+                for i in 0..n {
+                    let r = &rows[i * dim..(i + 1) * dim];
+                    prop_assert_eq!(
+                        eval(d, &q, r).to_bits(),
+                        d.eval(&q, r).to_bits(),
+                        "{} row {}", d.name(), i
+                    );
+                }
+                let mut top = TopK::new(k);
+                scan_block(d, &q, &rows, dim, 0, &mut top);
+                let blocked_order: Vec<usize> =
+                    top.into_sorted().into_iter().map(|(i, _)| i).collect();
+                let scalar_order =
+                    topk::smallest_k_by(n, k, |i| d.eval(&q, &rows[i * dim..(i + 1) * dim]));
+                prop_assert_eq!(&blocked_order, &scalar_order, "{} ordering", d.name());
+            }
+        }
+
+        /// The fused scan returns each winner's distance bit-equal to re-evaluating
+        /// that pair — the contract that lets `rerank_with_distances` stop re-deriving
+        /// winners' distances.
+        #[test]
+        fn fused_scan_reports_the_evaluated_distances(
+            q in prop::collection::vec(-50.0f32..50.0, 2..16),
+            flat in prop::collection::vec(-50.0f32..50.0, 2..128),
+            k in 1usize..8,
+        ) {
+            let dim = q.len().min(flat.len());
+            let q = &q[..dim];
+            let n = flat.len() / dim;
+            let rows = &flat[..n * dim];
+            for d in ALL_DISTANCES {
+                let mut top = TopK::new(k);
+                scan_block(d, q, rows, dim, 0, &mut top);
+                for (i, dist) in top.into_sorted() {
+                    prop_assert_eq!(
+                        dist.to_bits(),
+                        eval(d, q, &rows[i * dim..(i + 1) * dim]).to_bits(),
+                        "{} row {}", d.name(), i
+                    );
+                }
+            }
+        }
+    }
+}

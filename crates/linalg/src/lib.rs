@@ -6,6 +6,8 @@
 //!   the only "tensor" type the neural-network crate needs;
 //! * [`distance`] — Euclidean / inner-product / cosine distance kernels and the
 //!   [`distance::Distance`] dispatch enum;
+//! * [`kernel`] — blocked multi-accumulator distance kernels fused with streaming
+//!   top-k selection: the single scoring source of truth for the online phase;
 //! * [`topk`] — top-k selection (both smallest and largest), argmax/argsort helpers;
 //! * [`stats`] — softmax and friends, means and variances;
 //! * [`pca`] — principal components via power iteration on the (implicit) covariance;
@@ -17,6 +19,7 @@
 
 pub mod distance;
 pub mod eigen;
+pub mod kernel;
 pub mod matrix;
 pub mod pca;
 pub mod rng;

@@ -114,41 +114,101 @@ pub fn largest_k(values: &[f32], k: usize) -> Vec<usize> {
 ///
 /// The key function is called once per index; a bounded max-heap keeps memory at `O(k)`.
 pub fn smallest_k_by(n: usize, k: usize, key: impl Fn(usize) -> f32) -> Vec<usize> {
-    select_k(n, k, |i| Scored::new(i, key(i)))
+    let mut top = TopK::new(k);
+    for i in 0..n {
+        top.push(i, key(i));
+    }
+    top.into_sorted_indices()
 }
 
 /// Indices `0..n` with the `k` largest keys (descending by key, NaN last).
 ///
-/// Not implemented as `smallest_k_by(-key)`: negation maps `-∞` onto `+∞` — the very
-/// sentinel a NaN key must map to — so under the negation trick a NaN at a lower index
-/// could outrank a genuine `-∞` (and vice versa). Negating the key *inside* the
-/// NaN-aware comparator keeps the two cases distinct; the proptests below pin the
-/// equivalence with a descending full sort.
+/// Not implemented as `smallest_k_by(-key)` over a plain float comparator: negation
+/// maps `-∞` onto `+∞` — the very sentinel a NaN key would need — so a NaN at a lower
+/// index could outrank a genuine `-∞` (and vice versa). Here the negated key goes
+/// through the NaN-aware [`TopK`] push, whose `Scored` classifier still sees NaN
+/// (negating NaN yields NaN) and keeps it in a class strictly after every comparable
+/// key, while `-∞` negates to the ordinary comparable `+∞`. The proptests below pin
+/// the equivalence with a descending full sort.
 pub fn largest_k_by(n: usize, k: usize, key: impl Fn(usize) -> f32) -> Vec<usize> {
-    select_k(n, k, |i| Scored::new(i, -key(i)))
+    let mut top = TopK::new(k);
+    for i in 0..n {
+        top.push(i, -key(i));
+    }
+    top.into_sorted_indices()
 }
 
-/// Shared bounded-heap core over the total [`Scored`] order.
-fn select_k(n: usize, k: usize, scored: impl Fn(usize) -> Scored) -> Vec<usize> {
-    if k == 0 || n == 0 {
-        return Vec::new();
+/// A streaming bounded top-k selector: push `(index, key)` pairs one at a time, read
+/// the `k` best back sorted. The order is the same total order every selection in this
+/// module uses — ascending key, NaN strictly last, ties broken by ascending index — so
+/// a streamed selection is exactly [`smallest_k_by`] over the same pushes, without
+/// materialising the key vector.
+///
+/// This is the consumer side of the fused candidate-scan kernels
+/// ([`crate::kernel::scan_block`]): distance values go straight from the kernel's
+/// accumulators into the heap, and [`TopK::into_sorted`] hands back the surviving
+/// `(index, key)` pairs so callers never re-derive a winner's distance.
+#[derive(Debug, Clone)]
+pub struct TopK {
+    k: usize,
+    heap: BinaryHeap<Scored>,
+}
+
+impl TopK {
+    /// A selector keeping the `k` smallest pushed keys.
+    pub fn new(k: usize) -> Self {
+        Self {
+            k,
+            // Capacity is only a hint — the heap never holds more than
+            // min(k, pushes) + 1 entries, so an oversized "rank everything" k must
+            // not pre-allocate k slots (it would abort on huge k).
+            heap: BinaryHeap::with_capacity(k.saturating_add(1).min(4096)),
+        }
     }
-    let k = k.min(n);
-    let mut heap: BinaryHeap<Scored> = BinaryHeap::with_capacity(k + 1);
-    for i in 0..n {
-        let s = scored(i);
-        if heap.len() < k {
-            heap.push(s);
-        } else if let Some(top) = heap.peek() {
+
+    /// Offers one `(index, key)` pair; kept iff it beats the current `k`-th best.
+    #[inline]
+    pub fn push(&mut self, index: usize, key: f32) {
+        if self.k == 0 {
+            return;
+        }
+        let s = Scored::new(index, key);
+        if self.heap.len() < self.k {
+            self.heap.push(s);
+        } else if let Some(top) = self.heap.peek() {
             if s < *top {
-                heap.pop();
-                heap.push(s);
+                self.heap.pop();
+                self.heap.push(s);
             }
         }
     }
-    let mut out: Vec<Scored> = heap.into_vec();
-    out.sort();
-    out.into_iter().map(|s| s.index).collect()
+
+    /// Number of entries currently kept (≤ `k`).
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when nothing has been kept.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// The kept entries as `(index, key)` pairs, best first. A NaN key comes back as
+    /// NaN (its canonicalised heap form is internal).
+    pub fn into_sorted(self) -> Vec<(usize, f32)> {
+        let mut out: Vec<Scored> = self.heap.into_vec();
+        out.sort();
+        out.into_iter()
+            .map(|s| (s.index, if s.nan { f32::NAN } else { s.key }))
+            .collect()
+    }
+
+    /// The kept indices, best first.
+    pub fn into_sorted_indices(self) -> Vec<usize> {
+        let mut out: Vec<Scored> = self.heap.into_vec();
+        out.sort();
+        out.into_iter().map(|s| s.index).collect()
+    }
 }
 
 /// `(index, value)` pairs of the `k` smallest values, ascending.
@@ -273,6 +333,54 @@ mod tests {
         let w = [f32::NAN, f32::INFINITY];
         assert_eq!(smallest_k(&w, 1), vec![1]);
         assert_eq!(smallest_k(&w, 2), vec![1, 0]);
+    }
+
+    #[test]
+    fn streaming_topk_matches_smallest_k() {
+        let v = [5.0, 1.0, f32::NAN, 2.0, 1.0, -3.5];
+        let mut top = TopK::new(3);
+        for (i, &x) in v.iter().enumerate() {
+            top.push(i, x);
+        }
+        assert_eq!(top.len(), 3);
+        assert_eq!(top.clone().into_sorted_indices(), smallest_k(&v, 3));
+        let entries = top.into_sorted();
+        assert_eq!(entries[0], (5, -3.5));
+        assert_eq!(entries[1], (1, 1.0));
+        assert_eq!(entries[2], (4, 1.0));
+    }
+
+    #[test]
+    fn streaming_topk_hands_nan_keys_back_as_nan() {
+        let mut top = TopK::new(2);
+        top.push(0, f32::NAN);
+        top.push(1, f32::NAN);
+        let entries = top.into_sorted();
+        assert_eq!(entries.len(), 2);
+        assert_eq!((entries[0].0, entries[1].0), (0, 1));
+        assert!(entries[0].1.is_nan() && entries[1].1.is_nan());
+    }
+
+    #[test]
+    fn oversized_k_returns_everything_without_allocating_k_slots() {
+        // The bounded heap must treat k as a limit, not an allocation size: asking to
+        // "rank everything" with a huge k is valid and returns all elements sorted.
+        let v = [3.0f32, 1.0, 2.0];
+        assert_eq!(smallest_k(&v, usize::MAX), vec![1, 2, 0]);
+        assert_eq!(largest_k(&v, usize::MAX), vec![0, 2, 1]);
+        let mut top = TopK::new(usize::MAX);
+        for (i, &x) in v.iter().enumerate() {
+            top.push(i, x);
+        }
+        assert_eq!(top.into_sorted_indices(), vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn streaming_topk_with_k_zero_keeps_nothing() {
+        let mut top = TopK::new(0);
+        top.push(0, 1.0);
+        assert!(top.is_empty());
+        assert!(top.into_sorted().is_empty());
     }
 
     #[test]

@@ -4,7 +4,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use rayon::prelude::*;
-use usp_index::{rerank, PartitionIndex, Partitioner, SearchResult};
+use usp_index::{PartitionIndex, Partitioner, SearchResult};
 use usp_linalg::Matrix;
 
 use crate::stats::{ServeStats, StatsSnapshot};
@@ -69,12 +69,15 @@ pub trait BatchEngine: Send + Sync {
 
 /// A batched query-serving engine over a [`PartitionIndex`].
 ///
-/// [`serve_batch`](Self::serve_batch) fans a batch out across the rayon shim's
-/// persistent worker pool — one parallel region per batch, no thread spawned on the hot
-/// path — and merges per-query answers in request order, so results are bit-identical
-/// to per-query [`PartitionIndex::search`] calls for any pool size (when no re-rank
-/// budget is set). The engine is `Send + Sync`; clones of the `Arc`-held index are
-/// cheap and a [`crate::MicroBatcher`] can feed it single queries.
+/// [`serve_batch`](Self::serve_batch) routes the whole batch through **one**
+/// partitioner forward ([`Partitioner::rank_bins_batch`] — a single GEMM for neural
+/// partitioners), then fans the per-query contiguous candidate scans out across the
+/// rayon shim's persistent worker pool — one parallel region per batch, no thread
+/// spawned on the hot path — and merges answers in request order, so results are
+/// bit-identical to per-query [`PartitionIndex::search`] calls for any pool size
+/// (when no re-rank budget is set). The engine is `Send + Sync`; clones of the
+/// `Arc`-held index are cheap and a [`crate::MicroBatcher`] can feed it single
+/// queries.
 pub struct QueryEngine<P: Partitioner> {
     index: Arc<PartitionIndex<P>>,
     stats: ServeStats,
@@ -83,7 +86,6 @@ pub struct QueryEngine<P: Partitioner> {
 /// One answered query plus the serving metadata the stats need.
 struct Answered {
     result: SearchResult,
-    probed_bins: Vec<usize>,
     latency_us: u64,
 }
 
@@ -107,26 +109,52 @@ impl<P: Partitioner> QueryEngine<P> {
     /// [`crate::MicroBatcher`] instead, which rides the batched path.
     pub fn query(&self, query: &[f32], opts: &QueryOptions) -> SearchResult {
         let t0 = Instant::now();
-        let answered = self.answer(query, opts);
+        let bins = self.index.partitioner().rank_bins(query, opts.probes);
+        let result = self
+            .index
+            .scan_bins(query, &bins, opts.k, opts.rerank_budget);
         let busy = t0.elapsed().as_micros() as u64;
         self.stats.record_batch(
-            &[answered.latency_us],
-            answered.probed_bins.iter().copied(),
-            answered.result.candidates_scanned as u64,
+            &[busy],
+            bins.into_iter(),
+            result.candidates_scanned as u64,
             busy,
         );
-        answered.result
+        result
     }
 
     /// Answers every row of `queries` in parallel on the persistent pool.
     ///
-    /// Results come back in request order and — with no re-rank budget — are
-    /// bit-identical to calling [`PartitionIndex::search`] per row, for any pool size.
+    /// Two phases: **route** ranks every query's bins through one
+    /// [`Partitioner::bin_scores_batch`] forward (a single GEMM for neural
+    /// partitioners instead of one small matmul per query), then **scan** fans the
+    /// per-query contiguous candidate scans out across the pool. Results come back in
+    /// request order and — with no re-rank budget — are bit-identical to calling
+    /// [`PartitionIndex::search`] per row, for any pool size: the batched forward is
+    /// bit-identical per row to the per-query forward (the `Partitioner` batch
+    /// contract) and [`PartitionIndex::scan_bins`] is the same scoring path `search`
+    /// uses.
     pub fn serve_batch(&self, queries: &Matrix, opts: &QueryOptions) -> Vec<SearchResult> {
         let t0 = Instant::now();
+        let ranked = self
+            .index
+            .partitioner()
+            .rank_bins_batch(queries, opts.probes);
+        // The batched route work is shared; attribute an even share to each query's
+        // recorded latency so percentiles still reflect end-to-end per-query cost.
+        let route_share_us = (t0.elapsed().as_micros() as u64) / (queries.rows().max(1) as u64);
         let answered: Vec<Answered> = (0..queries.rows())
             .into_par_iter()
-            .map(|qi| self.answer(queries.row(qi), opts))
+            .map(|qi| {
+                let t_scan = Instant::now();
+                let result =
+                    self.index
+                        .scan_bins(queries.row(qi), &ranked[qi], opts.k, opts.rerank_budget);
+                Answered {
+                    result,
+                    latency_us: route_share_us + t_scan.elapsed().as_micros() as u64,
+                }
+            })
             .collect();
         let busy = t0.elapsed().as_micros() as u64;
 
@@ -137,38 +165,11 @@ impl<P: Partitioner> QueryEngine<P> {
             .sum();
         self.stats.record_batch(
             &latencies,
-            answered.iter().flat_map(|a| a.probed_bins.iter().copied()),
+            ranked.iter().flat_map(|bins| bins.iter().copied()),
             scanned,
             busy,
         );
         answered.into_iter().map(|a| a.result).collect()
-    }
-
-    /// The online phase for one query (Algorithm 2), instrumented.
-    ///
-    /// Uses the same [`PartitionIndex::probe`] gather step as
-    /// [`PartitionIndex::search`], so with `opts.rerank_budget = None` the answer is
-    /// bit-identical to the Searcher path by construction — the equivalence tests
-    /// compare the two bit for bit.
-    fn answer(&self, query: &[f32], opts: &QueryOptions) -> Answered {
-        let t0 = Instant::now();
-        let (probed_bins, mut candidates) = self.index.probe(query, opts.probes);
-        if let Some(budget) = opts.rerank_budget {
-            candidates.truncate(budget);
-        }
-        let scanned = candidates.len();
-        let ids = rerank::rerank(
-            self.index.data(),
-            query,
-            &candidates,
-            opts.k,
-            self.index.distance(),
-        );
-        Answered {
-            result: SearchResult::new(ids, scanned),
-            probed_bins,
-            latency_us: t0.elapsed().as_micros() as u64,
-        }
     }
 
     /// Serving statistics accumulated since construction (or the last

@@ -11,11 +11,13 @@
 //!
 //! [`ShardedEngine::serve_batch`] is a three-phase scatter/gather:
 //!
-//! 1. **Route** — rank each query's bins on the partitioner and slice the (budgeted)
-//!    candidate stream into per-shard sub-queries, remembering every candidate's
-//!    position in the *global* bin-rank-ordered concatenation;
+//! 1. **Route** — rank every query's bins in **one** batched partitioner forward
+//!    ([`Partitioner::rank_bins_batch`], a single GEMM for neural partitioners) and
+//!    slice each (budgeted) candidate stream into per-shard sub-queries, remembering
+//!    every candidate's position in the *global* bin-rank-ordered concatenation;
 //! 2. **Scatter** — run the flattened (query, shard) tasks on the persistent worker
-//!    pool, each computing a shard-local top-k whose tie order follows the global
+//!    pool, each streaming its contiguous candidate slices through the blocked
+//!    distance kernels into a shard-local top-k whose tie order follows the global
 //!    candidate positions;
 //! 3. **Gather** — merge each query's per-shard top-k lists, re-selecting the final
 //!    top-k under the same (distance, global position) total order the monolithic
@@ -33,7 +35,7 @@ use std::time::Instant;
 
 use rayon::prelude::*;
 use usp_index::{PartitionIndex, Partitioner, SearchResult};
-use usp_linalg::{topk, Matrix};
+use usp_linalg::{kernel, topk, Matrix};
 
 use crate::engine::{BatchEngine, QueryOptions};
 use crate::stats::{ServeStats, StatsSnapshot};
@@ -274,10 +276,18 @@ impl<P: Partitioner> ShardedEngine<P> {
     pub fn serve_batch(&self, queries: &Matrix, opts: &QueryOptions) -> Vec<SearchResult> {
         let t0 = Instant::now();
 
-        // Phase 1 — route every query (parallel over queries).
-        let routes: Vec<Route> = (0..queries.rows())
+        // Phase 1 — route: one batched partitioner forward ranks every query's bins
+        // (a single GEMM for neural partitioners; bit-identical per row to the
+        // per-query forward by the Partitioner batch contract), then the candidate
+        // stream is sliced per shard in parallel over queries.
+        let ranked = self
+            .index
+            .partitioner()
+            .rank_bins_batch(queries, opts.probes);
+        let rank_share_us = (t0.elapsed().as_micros() as u64) / (queries.rows().max(1) as u64);
+        let routes: Vec<Route> = ranked
             .into_par_iter()
-            .map(|qi| self.route(queries.row(qi), opts))
+            .map(|bins| self.route(bins, opts, rank_share_us))
             .collect();
 
         // Phase 2 — scatter: one task per (query, shard) pair, flattened so the pool
@@ -330,17 +340,17 @@ impl<P: Partitioner> ShardedEngine<P> {
         BatchEngine::warm_up(self)
     }
 
-    /// Phase 1 for one query: rank bins, then slice the budgeted candidate stream by
-    /// owning shard.
+    /// Phase 1 for one query: slice the budgeted candidate stream of the pre-ranked
+    /// bins by owning shard (`rank_share_us` is this query's share of the batched
+    /// bin-ranking forward, folded into the recorded route latency).
     ///
     /// The monolith concatenates bucket contents in bin-rank order and truncates to
     /// the budget; a candidate therefore survives iff its global position is below the
     /// budget. Tracking each bin's start offset in that untruncated concatenation
     /// gives every shard-local candidate its global position — the tie-break key the
     /// merge needs for bit-identical answers.
-    fn route(&self, query: &[f32], opts: &QueryOptions) -> Route {
+    fn route(&self, bins: Vec<usize>, opts: &QueryOptions, rank_share_us: u64) -> Route {
         let t0 = Instant::now();
-        let bins = self.index.partitioner().rank_bins(query, opts.probes);
         let budget = opts.rerank_budget.unwrap_or(usize::MAX);
         let mut subs: Vec<(usize, Vec<Slice>)> = Vec::new();
         let mut offset = 0usize;
@@ -368,38 +378,46 @@ impl<P: Partitioner> ShardedEngine<P> {
             probed_bins: bins,
             scanned,
             subs,
-            route_us: t0.elapsed().as_micros() as u64,
+            route_us: rank_share_us + t0.elapsed().as_micros() as u64,
         }
     }
 
-    /// Phase 2 for one (query, shard) task: scan the shard-local candidate slices and
-    /// keep the shard's top `k` under the (distance, global position) order.
+    /// Phase 2 for one (query, shard) task: stream the shard-local candidate slices —
+    /// each a contiguous run of the shard's bin-ordered point copy — through the
+    /// blocked kernel, keeping the shard's top `k` under the (distance, global
+    /// position) order.
     ///
-    /// `smallest_k_by` breaks distance ties by index into the scanned sequence; the
+    /// The fused scan breaks distance ties by index into the scanned stream; the
     /// slices are visited in bin-rank order, so that index order *is* ascending global
     /// position — each shard's survivors are exactly the monolith's top-k restricted
-    /// to this shard.
+    /// to this shard. The distances are the same bits the monolith's
+    /// [`PartitionIndex::scan_bins`] computes, because both call the same kernel over
+    /// bit-exact row copies.
     fn run_task(&self, query: &[f32], sub: &(usize, Vec<Slice>), k: usize) -> Partial {
         let t0 = Instant::now();
         let (shard_id, slices) = sub;
         let shard = &self.shards[*shard_id];
-        let total: usize = slices.iter().map(|s| s.take as usize).sum();
-        let mut global_pos = Vec::with_capacity(total);
-        let mut local_row = Vec::with_capacity(total);
-        for s in slices {
-            for j in 0..s.take as usize {
-                global_pos.push(s.global_offset + j);
-                local_row.push(s.local_start as usize + j);
-            }
+        let dim = shard.points.cols();
+        let mut scan = kernel::SegmentedScan::new(self.index.distance(), query, dim, k);
+        for (si, s) in slices.iter().enumerate() {
+            let lo = s.local_start as usize * dim;
+            scan.scan_segment(
+                &shard.points.as_slice()[lo..lo + s.take as usize * dim],
+                s.take as usize,
+                si,
+            );
         }
-        let distance = self.index.distance();
-        let dists: Vec<f32> = local_row
-            .iter()
-            .map(|&r| distance.eval(query, shard.points.row(r)))
-            .collect();
-        let entries = topk::smallest_k_by(total, k, |i| dists[i])
+        let entries = scan
+            .into_winners()
             .into_iter()
-            .map(|i| (global_pos[i], dists[i], shard.global_ids[local_row[i]]))
+            .map(|(si, off, dist)| {
+                let s = &slices[si];
+                (
+                    s.global_offset + off,
+                    dist,
+                    shard.global_ids[s.local_start as usize + off],
+                )
+            })
             .collect();
         Partial {
             entries,

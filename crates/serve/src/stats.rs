@@ -1,13 +1,107 @@
 //! Serving statistics: throughput, latency percentiles, per-bin probe counts.
+//!
+//! Latency percentiles come from an HDR-style log-bucketed histogram instead of a
+//! capped sample buffer: recording is O(1), memory is a fixed ~30 KiB regardless of
+//! how long the engine lives, **no sample is ever dropped** (the old buffer stopped
+//! describing traffic after its cap), and percentile reads carry a bounded relative
+//! error of at most 1/64 ≈ 1.6% (values below 128 µs are exact). Counters and the
+//! mean stay exact — they are tracked as plain sums next to the histogram.
 
 use std::sync::Mutex;
 
 use serde::{Deserialize, Serialize};
 
-/// Retain at most this many per-query latency samples; beyond it, recording keeps the
-/// counters exact but stops growing the sample buffer (percentiles then describe the
-/// first `LATENCY_SAMPLE_CAP` queries). Bounds memory on long-lived engines.
-const LATENCY_SAMPLE_CAP: usize = 1 << 20;
+/// Sub-bucket resolution bits of the latency histogram: each power-of-two octave is
+/// split into `2^SUB_BITS` linear sub-buckets, so a bucket's width is at most
+/// `1/2^SUB_BITS` of its value — the bounded-relative-error knob. With 6 bits every
+/// value below `2^(SUB_BITS + 1)` = 128 µs maps to a width-1 bucket, i.e. is exact.
+const SUB_BITS: u32 = 6;
+const SUBS: usize = 1 << SUB_BITS;
+/// One sub-bucket array per octave of `u64` range above the exact region (octaves
+/// `1..=64 - SUB_BITS`), plus the exact region itself at octave 0.
+const NUM_BUCKETS: usize = (64 - SUB_BITS as usize + 1) * SUBS;
+
+/// An HDR-style log-bucketed histogram over `u64` values (microseconds here).
+///
+/// Bucketing: values below `SUBS` index directly (exact); above, a value lands in the
+/// sub-bucket given by its top `SUB_BITS + 1` significant bits, so bucket width grows
+/// with magnitude but relative width never exceeds `1/SUBS`. Percentiles use the
+/// nearest-rank convention on the bucket counts and report the bucket's lower bound —
+/// exact where buckets have width 1, within `1/SUBS` relative below the true sample
+/// elsewhere.
+#[derive(Debug)]
+struct LatencyHistogram {
+    counts: Vec<u64>,
+    total: u64,
+    sum: u64,
+}
+
+impl LatencyHistogram {
+    fn new() -> Self {
+        Self {
+            counts: vec![0; NUM_BUCKETS],
+            total: 0,
+            sum: 0,
+        }
+    }
+
+    /// Bucket index of a value: identity below `SUBS`, log-bucketed above.
+    #[inline]
+    fn bucket_of(v: u64) -> usize {
+        if v < SUBS as u64 {
+            return v as usize;
+        }
+        let msb = 63 - v.leading_zeros();
+        let shift = msb - SUB_BITS;
+        let sub = ((v >> shift) as usize) & (SUBS - 1);
+        ((msb - SUB_BITS + 1) as usize) * SUBS + sub
+    }
+
+    /// Lower bound of a bucket — the value `percentile` reports for it.
+    #[inline]
+    fn bucket_low(bucket: usize) -> u64 {
+        let octave = bucket / SUBS;
+        let sub = (bucket % SUBS) as u64;
+        if octave == 0 {
+            sub
+        } else {
+            (SUBS as u64 + sub) << (octave - 1)
+        }
+    }
+
+    fn record(&mut self, v: u64) {
+        self.counts[Self::bucket_of(v)] += 1;
+        self.total += 1;
+        self.sum += v;
+    }
+
+    /// Exact mean of every recorded value (0.0 when empty).
+    fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.total as f64
+        }
+    }
+
+    /// Nearest-rank percentile (0 when empty): the value at sorted index
+    /// `round((total - 1) · q)`, reported as its bucket's lower bound.
+    fn percentile(&self, q: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let rank = ((self.total - 1) as f64 * q).round() as u64;
+        let mut seen = 0u64;
+        for (b, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen > rank {
+                return Self::bucket_low(b);
+            }
+        }
+        // Unreachable: seen reaches total > rank by the end.
+        Self::bucket_low(NUM_BUCKETS - 1)
+    }
+}
 
 /// Running serving counters, updated after every batch. Interior-mutable so the engine
 /// can stay `&self` on the hot path; the lock is taken once per batch, not per query.
@@ -24,7 +118,7 @@ struct Inner {
     /// Wall-clock busy time across batches, µs (idle time between batches excluded,
     /// so `qps` measures the engine, not the request arrival process).
     busy_us: u64,
-    latencies_us: Vec<u64>,
+    latencies: LatencyHistogram,
     /// `bin_probes[b]` = how many times bin `b` was probed (its candidates scanned).
     bin_probes: Vec<u64>,
 }
@@ -37,7 +131,7 @@ impl ServeStats {
                 batches: 0,
                 candidates_scanned: 0,
                 busy_us: 0,
-                latencies_us: Vec::new(),
+                latencies: LatencyHistogram::new(),
                 bin_probes: vec![0; bins],
             }),
         }
@@ -56,10 +150,9 @@ impl ServeStats {
         inner.batches += 1;
         inner.candidates_scanned += candidates_scanned;
         inner.busy_us += busy_us;
-        let room = LATENCY_SAMPLE_CAP.saturating_sub(inner.latencies_us.len());
-        inner
-            .latencies_us
-            .extend_from_slice(&latencies_us[..latencies_us.len().min(room)]);
+        for &l in latencies_us {
+            inner.latencies.record(l);
+        }
         for b in probed_bins {
             inner.bin_probes[b] += 1;
         }
@@ -68,8 +161,6 @@ impl ServeStats {
     /// A point-in-time summary of everything recorded so far.
     pub(crate) fn snapshot(&self) -> StatsSnapshot {
         let inner = self.inner.lock().unwrap();
-        let mut sorted = inner.latencies_us.clone();
-        sorted.sort_unstable();
         let busy_secs = inner.busy_us as f64 / 1e6;
         StatsSnapshot {
             queries: inner.queries,
@@ -77,9 +168,9 @@ impl ServeStats {
             mean_batch_size: ratio(inner.queries as f64, inner.batches as f64),
             qps: ratio(inner.queries as f64, busy_secs),
             mean_candidates: ratio(inner.candidates_scanned as f64, inner.queries as f64),
-            mean_latency_us: ratio(sorted.iter().sum::<u64>() as f64, sorted.len() as f64),
-            p50_latency_us: percentile(&sorted, 0.50),
-            p99_latency_us: percentile(&sorted, 0.99),
+            mean_latency_us: inner.latencies.mean(),
+            p50_latency_us: inner.latencies.percentile(0.50),
+            p99_latency_us: inner.latencies.percentile(0.99),
             bin_probes: inner.bin_probes.clone(),
         }
     }
@@ -93,7 +184,7 @@ impl ServeStats {
             batches: 0,
             candidates_scanned: 0,
             busy_us: 0,
-            latencies_us: Vec::new(),
+            latencies: LatencyHistogram::new(),
             bin_probes: vec![0; bins],
         };
     }
@@ -105,15 +196,6 @@ fn ratio(num: f64, den: f64) -> f64 {
     } else {
         0.0
     }
-}
-
-/// Nearest-rank percentile of an ascending-sorted slice (0 for an empty slice).
-fn percentile(sorted: &[u64], q: f64) -> u64 {
-    if sorted.is_empty() {
-        return 0;
-    }
-    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
-    sorted[idx]
 }
 
 /// Point-in-time serving summary, serialisable for benchmark reports.
@@ -129,11 +211,12 @@ pub struct StatsSnapshot {
     pub qps: f64,
     /// Mean candidate-set size per query.
     pub mean_candidates: f64,
-    /// Mean per-query latency, µs.
+    /// Mean per-query latency, µs (exact).
     pub mean_latency_us: f64,
-    /// Median per-query latency, µs.
+    /// Median per-query latency, µs (log-bucketed: exact below 128 µs, within 1/64
+    /// relative above).
     pub p50_latency_us: u64,
-    /// 99th-percentile per-query latency, µs.
+    /// 99th-percentile per-query latency, µs (same bounded relative error).
     pub p99_latency_us: u64,
     /// Per-bin probe counts (`bin_probes[b]` = times bin `b`'s candidates were
     /// scanned) — the skew diagnostic for sharding decisions.
@@ -146,13 +229,15 @@ mod tests {
 
     #[test]
     fn percentiles_use_nearest_rank() {
-        let sorted: Vec<u64> = (1..=100).collect();
+        // Samples 1..=100 all sit below the 128 µs exact region, so the histogram
+        // reproduces the old sorted-buffer percentiles exactly:
         // idx = round((n-1) * q): round(49.5) = 50 -> value 51.
-        assert_eq!(percentile(&sorted, 0.50), 51);
-        assert_eq!(percentile(&sorted, 0.99), 99);
-        assert_eq!(percentile(&sorted, 1.0), 100);
-        assert_eq!(percentile(&[], 0.5), 0);
-        assert_eq!(percentile(&[7], 0.99), 7);
+        let stats = ServeStats::new(1);
+        let samples: Vec<u64> = (1..=100).collect();
+        stats.record_batch(&samples, std::iter::empty(), 0, 100);
+        let snap = stats.snapshot();
+        assert_eq!(snap.p50_latency_us, 51);
+        assert_eq!(snap.p99_latency_us, 99);
     }
 
     #[test]
@@ -209,18 +294,62 @@ mod tests {
     }
 
     #[test]
-    fn sample_cap_keeps_counters_exact() {
-        // Beyond LATENCY_SAMPLE_CAP the buffer stops growing but every counter stays
-        // exact; percentiles then describe the first CAP samples.
+    fn late_outliers_stay_visible_with_exact_mean() {
+        // The old capped sample buffer dropped everything after its cap, hiding late
+        // outliers from the percentiles. The histogram never drops: a tail value
+        // recorded after a million cheap queries still surfaces at p100, within the
+        // documented 1/64 relative error, and the mean stays exact.
         let stats = ServeStats::new(1);
-        stats.record_batch(&vec![5; LATENCY_SAMPLE_CAP + 3], std::iter::empty(), 0, 100);
+        stats.record_batch(&vec![5; 1 << 20], std::iter::empty(), 0, 100);
         stats.record_batch(&[1_000_000], std::iter::empty(), 0, 100);
         let snap = stats.snapshot();
-        assert_eq!(snap.queries, LATENCY_SAMPLE_CAP as u64 + 4);
+        assert_eq!(snap.queries, (1 << 20) + 1);
         assert_eq!(snap.batches, 2);
-        // The late outlier fell outside the retained window.
-        assert_eq!(snap.p99_latency_us, 5);
-        assert_eq!(snap.mean_latency_us, 5.0);
+        assert_eq!(snap.p50_latency_us, 5);
+        // p100 must land on the outlier's bucket.
+        let inner = stats.inner.lock().unwrap();
+        let p100 = inner.latencies.percentile(1.0);
+        drop(inner);
+        let rel_err = (1_000_000f64 - p100 as f64) / 1_000_000f64;
+        assert!(
+            (0.0..1.0 / 64.0).contains(&rel_err),
+            "p100 {p100} vs true 1000000 (rel err {rel_err})"
+        );
+        // Exact mean: (5 * 2^20 + 1e6) / (2^20 + 1).
+        let expect = (5.0 * (1u64 << 20) as f64 + 1e6) / ((1u64 << 20) + 1) as f64;
+        assert_eq!(snap.mean_latency_us, expect);
+    }
+
+    #[test]
+    fn bucket_mapping_is_exact_below_128_and_monotone_above() {
+        // Every value below 2^(SUB_BITS+1) occupies its own bucket (width 1)...
+        for v in 0..128u64 {
+            assert_eq!(
+                LatencyHistogram::bucket_low(LatencyHistogram::bucket_of(v)),
+                v
+            );
+        }
+        // ...and above, lower bounds are monotone with bounded relative error.
+        let mut prev_bucket = 0usize;
+        for exp in 7..63 {
+            for v in [
+                1u64 << exp,
+                (1u64 << exp) + (1 << (exp - 2)),
+                (1u64 << (exp + 1)) - 1,
+            ] {
+                let b = LatencyHistogram::bucket_of(v);
+                assert!(b >= prev_bucket, "bucket order regressed at {v}");
+                prev_bucket = b;
+                let low = LatencyHistogram::bucket_low(b);
+                assert!(low <= v, "lower bound {low} above value {v}");
+                assert!(
+                    (v - low) as f64 <= v as f64 / 64.0,
+                    "bucket width at {v} exceeds 1/64 relative (low {low})"
+                );
+            }
+        }
+        // The largest representable value maps inside the table.
+        assert!(LatencyHistogram::bucket_of(u64::MAX) < NUM_BUCKETS);
     }
 
     #[test]

@@ -3,6 +3,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use usp_linalg::distance::squared_euclidean;
+use usp_linalg::Distance;
 use usp_quant::{ProductQuantizer, ProductQuantizerConfig};
 
 fn bench_quantization(c: &mut Criterion) {
@@ -11,7 +12,7 @@ fn bench_quantization(c: &mut Criterion) {
     let pq = ProductQuantizer::fit(data, &ProductQuantizerConfig::anisotropic(8, 16, 4.0));
     let codes = pq.encode_all(data);
     let query = split.queries.row_to_vec(0);
-    let table = pq.adc_table(&query);
+    let table = pq.adc_table(Distance::SquaredEuclidean, &query);
     let m = pq.n_subspaces();
 
     let mut group = c.benchmark_group("quantization");

@@ -12,6 +12,8 @@
 //! * [`searcher::AnnSearcher`] / [`searcher::SearchResult`] — the common interface the
 //!   evaluation harness uses to sweep recall against candidate-set size, also implemented
 //!   by the non-partitioning indexes (HNSW, IVF) compared in Figure 7;
+//! * [`scoring`] — the exact-f32 vs compressed (PQ/ADC) scoring switch and the
+//!   [`scoring::CodeQuantizer`] interface quantizers implement to plug into it;
 //! * [`rerank`] — brute-force re-ranking of a candidate list;
 //! * [`balance`] — partition balance statistics (the computational-cost side of the loss).
 
@@ -19,8 +21,10 @@ pub mod balance;
 pub mod partition_index;
 pub mod partitioner;
 pub mod rerank;
+pub mod scoring;
 pub mod searcher;
 
 pub use partition_index::PartitionIndex;
 pub use partitioner::Partitioner;
+pub use scoring::{CodeQuantizer, Scoring};
 pub use searcher::{AnnSearcher, SearchResult};

@@ -17,13 +17,43 @@
 //! partition-based system (IVF, ScaNN) scans in. [`PartitionIndex::scan_bins`] is the
 //! single scoring path built on it; `search`, the serving engine and the sharded
 //! engine's shard views all go through it or through slices of the same layout.
+//!
+//! # Compressed-domain scoring
+//!
+//! [`PartitionIndex::with_scoring`] optionally adds a second bin-contiguous buffer: a
+//! code array of `n * code_len` bytes, permuted by the **same** CSR `ids` order as
+//! `flat`, encoded from a trained [`CodeQuantizer`]. With [`Scoring::Compressed`] in
+//! force, [`PartitionIndex::scan_bins`] becomes two-phase: every probed code is scored
+//! through one per-query ADC table ([`usp_linalg::kernel::AdcScan`]), a shortlist of
+//! `rerank_budget` survivors is kept, and only the survivors' `flat` rows go through
+//! the exact blocked kernels — so returned distances stay exact-kernel bits while the
+//! first pass streams `code_len` bytes per candidate instead of `4 * dim`. Exact mode
+//! is untouched by construction: it is the same code path as before the enum existed.
+
+use std::sync::Arc;
 
 use rayon::prelude::*;
+use usp_linalg::kernel::AdcTable;
+use usp_linalg::topk::TopK;
 use usp_linalg::{kernel, Distance, Matrix};
 
 use crate::balance::BalanceStats;
 use crate::partitioner::Partitioner;
+use crate::scoring::{CodeQuantizer, Scoring};
 use crate::searcher::{AnnSearcher, SearchResult};
+
+/// The resolved scoring state: [`Scoring`] plus the code array built from it.
+enum ScoringMode {
+    Exact,
+    Compressed {
+        quantizer: Arc<dyn CodeQuantizer>,
+        /// Bin-contiguous code array, stride `quantizer.code_len()`: code `local` is
+        /// the encoding of `flat` row `local` (= `data.row(ids[local])`).
+        codes: Vec<u8>,
+        /// Default shortlist size when a request sets no budget.
+        rerank_budget: usize,
+    },
+}
 
 /// A searchable index: a partitioner plus the lookup table over a concrete dataset.
 pub struct PartitionIndex<P: Partitioner> {
@@ -39,6 +69,8 @@ pub struct PartitionIndex<P: Partitioner> {
     /// Bin-contiguous copy of `data`: row `local` is a bit-exact copy of
     /// `data.row(ids[local])`. The buffer every candidate scan streams.
     flat: Matrix,
+    /// Exact or compressed candidate scoring (exact unless configured).
+    scoring: ScoringMode,
 }
 
 impl<P: Partitioner> PartitionIndex<P> {
@@ -119,7 +151,57 @@ impl<P: Partitioner> PartitionIndex<P> {
             ids,
             bin_offsets,
             flat,
+            scoring: ScoringMode::Exact,
         }
+    }
+
+    /// Sets the candidate-scoring mode, building the bin-contiguous code array when
+    /// compressed scoring is requested (parallel over points on the pool: codes are
+    /// encoded straight from the already-permuted `flat` rows, so the code array is
+    /// permuted by the same CSR `ids` order by construction).
+    ///
+    /// With [`Scoring::Exact`] this is the identity — the index answers bit-identically
+    /// to one never configured. Compressed scoring needs `dim > 0` (degenerate
+    /// zero-dimensional datasets stay on the exact path).
+    pub fn with_scoring(mut self, scoring: Scoring) -> Self {
+        match scoring {
+            Scoring::Exact => self.scoring = ScoringMode::Exact,
+            Scoring::Compressed {
+                quantizer,
+                rerank_budget,
+            } => {
+                assert!(
+                    self.flat.cols() > 0,
+                    "with_scoring: compressed scoring needs dim > 0"
+                );
+                assert_eq!(
+                    quantizer.dim(),
+                    self.flat.cols(),
+                    "with_scoring: quantizer dim {} != index dim {}",
+                    quantizer.dim(),
+                    self.flat.cols()
+                );
+                assert!(
+                    rerank_budget > 0,
+                    "with_scoring: rerank_budget must be positive"
+                );
+                let m = quantizer.code_len();
+                assert!(m > 0, "with_scoring: quantizer has zero code length");
+                let mut codes = vec![0u8; self.flat.rows() * m];
+                let flat = &self.flat;
+                let q = quantizer.as_ref();
+                codes
+                    .par_chunks_mut(m)
+                    .enumerate()
+                    .for_each(|(local, out)| q.encode_into(flat.row(local), out));
+                self.scoring = ScoringMode::Compressed {
+                    quantizer,
+                    codes,
+                    rerank_budget,
+                };
+            }
+        }
+        self
     }
 
     /// The underlying partitioner.
@@ -226,18 +308,81 @@ impl<P: Partitioner> PartitionIndex<P> {
         (Matrix::from_vec(total, dim, flat), ids)
     }
 
-    /// The exact re-rank over the listed bins' candidate stream, scanned contiguously:
-    /// concatenate the bins' buckets in the order given, truncate to `budget`
-    /// candidates if one is set, and select the top `k` under the blocked kernels'
-    /// (distance, stream position) total order — ascending distance, NaN last, ties
-    /// broken by position in the stream.
+    /// The candidate scan over the listed bins' stream, scanned contiguously under the
+    /// configured [`Scoring`] mode.
+    ///
+    /// **Exact mode** (the default): concatenate the bins' buckets in the order given,
+    /// truncate to `budget` candidates if one is set, and select the top `k` under the
+    /// blocked kernels' (distance, stream position) total order — ascending distance,
+    /// NaN last, ties broken by position in the stream.
+    ///
+    /// **Compressed mode**: ADC-score *every* probed code through one per-query lookup
+    /// table, keep the best `budget` (default: the configured `rerank_budget`, floored
+    /// at `k`) as a shortlist, then re-rank the shortlist's `flat` rows with the exact
+    /// kernels. `budget` is the same knob on both modes — the number of exact distance
+    /// evaluations — but compressed mode spends it on the *best-looking* candidates
+    /// instead of a stream-order prefix. `candidates_scanned` counts exact
+    /// evaluations; `compressed_scanned` counts the first-pass codes.
     ///
     /// This is the **single scoring path** of the online phase: [`Self::search`] calls
     /// it with the ranked bins, the serving engine calls it with the same ranked bins
     /// plus its re-rank budget, so the two answer bit-identically by construction.
-    /// Every distance comes from [`usp_linalg::kernel::scan_block`] streaming the
-    /// bin-contiguous rows — no id gather, no materialised distance vector.
+    /// Every exact distance comes from [`usp_linalg::kernel`]'s blocked kernels
+    /// streaming the bin-contiguous rows — no id gather, no materialised distance
+    /// vector.
     pub fn scan_bins(
+        &self,
+        query: &[f32],
+        bins: &[usize],
+        k: usize,
+        budget: Option<usize>,
+    ) -> SearchResult {
+        self.scan_bins_with_table(query, bins, k, budget, None)
+    }
+
+    /// [`Self::scan_bins`] with an optional caller-built ADC table so batched serving
+    /// can amortise table construction per micro-batch (see
+    /// [`Self::adc_tables_batch`]). The table must come from this index's quantizer
+    /// and `query`; `None` builds one on the spot. Ignored in exact mode.
+    pub fn scan_bins_with_table(
+        &self,
+        query: &[f32],
+        bins: &[usize],
+        k: usize,
+        budget: Option<usize>,
+        table: Option<&AdcTable>,
+    ) -> SearchResult {
+        match &self.scoring {
+            ScoringMode::Exact => self.scan_bins_exact(query, bins, k, budget),
+            ScoringMode::Compressed {
+                quantizer,
+                codes,
+                rerank_budget,
+            } => {
+                let owned;
+                let table = match table {
+                    Some(t) => t,
+                    None => {
+                        owned = quantizer.adc_table(self.distance, query);
+                        &owned
+                    }
+                };
+                let shortlist = budget.unwrap_or(*rerank_budget).max(k);
+                self.scan_bins_compressed(
+                    query,
+                    table,
+                    codes,
+                    quantizer.code_len(),
+                    bins,
+                    k,
+                    shortlist,
+                )
+            }
+        }
+    }
+
+    /// The pre-enum exact scan (see [`Self::scan_bins`]'s exact-mode contract).
+    fn scan_bins_exact(
         &self,
         query: &[f32],
         bins: &[usize],
@@ -268,6 +413,123 @@ impl<P: Partitioner> PartitionIndex<P> {
             .map(|(csr_start, off, _)| self.ids[csr_start + off] as usize)
             .collect();
         SearchResult::new(ids, scanned)
+    }
+
+    /// The compressed two-phase scan: ADC shortlist, then exact re-rank.
+    ///
+    /// Phase 1 streams every probed bin's contiguous code slice through the blocked
+    /// lookup kernel, keeping the best `shortlist` under (ADC distance, stream
+    /// position). Phase 2 re-sorts the survivors into stream order and re-ranks their
+    /// `flat` rows with the exact [`kernel::QueryScorer`], so the final (distance,
+    /// position-in-stream) tie order matches what an exact scan restricted to the
+    /// survivors would produce and every returned distance is an exact-kernel bit
+    /// pattern.
+    #[allow(clippy::too_many_arguments)]
+    fn scan_bins_compressed(
+        &self,
+        query: &[f32],
+        table: &AdcTable,
+        codes: &[u8],
+        code_len: usize,
+        bins: &[usize],
+        k: usize,
+        shortlist: usize,
+    ) -> SearchResult {
+        let mut scan = kernel::AdcScan::new(table, code_len, shortlist);
+        for &b in bins {
+            let start = self.bin_offsets[b];
+            let len = self.bin_offsets[b + 1] - start;
+            scan.scan_segment(
+                &codes[start * code_len..(start + len) * code_len],
+                len,
+                start,
+            );
+        }
+        let compressed = scan.scanned();
+        // Survivors back into stream order: the exact re-rank's tie-break (TopK's
+        // ascending push index) then equals ascending stream position.
+        let mut survivors: Vec<(usize, usize)> = scan
+            .into_winners()
+            .into_iter()
+            .map(|(csr_start, off, pos, _)| (pos, csr_start + off))
+            .collect();
+        survivors.sort_unstable_by_key(|&(pos, _)| pos);
+        let dim = self.flat.cols();
+        let scorer = kernel::QueryScorer::new(self.distance, query);
+        let mut top = TopK::new(k);
+        for (rank, &(_, csr)) in survivors.iter().enumerate() {
+            top.push(
+                rank,
+                scorer.eval(&self.flat.as_slice()[csr * dim..(csr + 1) * dim]),
+            );
+        }
+        let ids = top
+            .into_sorted()
+            .into_iter()
+            .map(|(rank, _)| self.ids[survivors[rank].1] as usize)
+            .collect();
+        SearchResult::new(ids, survivors.len()).with_compressed_scanned(compressed)
+    }
+
+    /// The quantizer behind [`Scoring::Compressed`], if one is configured.
+    pub fn quantizer(&self) -> Option<&Arc<dyn CodeQuantizer>> {
+        match &self.scoring {
+            ScoringMode::Exact => None,
+            ScoringMode::Compressed { quantizer, .. } => Some(quantizer),
+        }
+    }
+
+    /// The configured default shortlist size of compressed scoring, if compressed.
+    pub fn compressed_rerank_budget(&self) -> Option<usize> {
+        match &self.scoring {
+            ScoringMode::Exact => None,
+            ScoringMode::Compressed { rerank_budget, .. } => Some(*rerank_budget),
+        }
+    }
+
+    /// The contiguous code slice of a bin (stride [`CodeQuantizer::code_len`]): code
+    /// `j` of the slice encodes `bin_rows(bin)` row `j`. `None` in exact mode.
+    pub fn bin_codes(&self, bin: usize) -> Option<&[u8]> {
+        match &self.scoring {
+            ScoringMode::Exact => None,
+            ScoringMode::Compressed {
+                quantizer, codes, ..
+            } => {
+                let m = quantizer.code_len();
+                Some(&codes[self.bin_offsets[bin] * m..self.bin_offsets[bin + 1] * m])
+            }
+        }
+    }
+
+    /// One ADC table per query row, built in parallel on the pool — the batched-table
+    /// API `serve_batch` amortises table construction through. `None` in exact mode.
+    pub fn adc_tables_batch(&self, queries: &Matrix) -> Option<Vec<AdcTable>> {
+        match &self.scoring {
+            ScoringMode::Exact => None,
+            ScoringMode::Compressed { quantizer, .. } => Some(
+                (0..queries.rows())
+                    .into_par_iter()
+                    .map(|qi| quantizer.adc_table(self.distance, queries.row(qi)))
+                    .collect(),
+            ),
+        }
+    }
+
+    /// Copies the listed bins' code slices into one contiguous buffer — rows in the
+    /// order the bins are listed, bucket order within each bin, exactly mirroring
+    /// [`Self::extract_bins`]' row order — so a shard holding an extracted sub-dataset
+    /// can ADC-scan the same rows it owns. `None` in exact mode.
+    pub fn extract_bin_codes(&self, bins: &[usize]) -> Option<Vec<u8>> {
+        match &self.scoring {
+            ScoringMode::Exact => None,
+            ScoringMode::Compressed { .. } => {
+                let mut out = Vec::new();
+                for &b in bins {
+                    out.extend_from_slice(self.bin_codes(b).expect("compressed mode has codes"));
+                }
+                Some(out)
+            }
+        }
     }
 
     /// Full query: probe bins, scan their contiguous candidate rows, return the top `k`
@@ -472,6 +734,141 @@ mod tests {
             assert_eq!(got.ids, expect, "budget {budget}");
             assert_eq!(got.candidates_scanned, budget.min(candidates.len()));
         }
+    }
+
+    /// A toy [`CodeQuantizer`] for the 1-D grid data: one byte per point, centroid
+    /// `c` reconstructs to `c as f32 + 0.5` (the unit-interval centers), so encoding
+    /// is `floor(x)` clamped — exact enough that the ADC shortlist ranks like the
+    /// true distances on well-separated points.
+    struct UnitGridQuantizer {
+        levels: usize,
+    }
+
+    impl crate::scoring::CodeQuantizer for UnitGridQuantizer {
+        fn dim(&self) -> usize {
+            1
+        }
+        fn code_len(&self) -> usize {
+            1
+        }
+        fn encode_into(&self, point: &[f32], out: &mut [u8]) {
+            out[0] = (point[0].floor().max(0.0) as usize).min(self.levels - 1) as u8;
+        }
+        fn adc_table(&self, _distance: Distance, query: &[f32]) -> kernel::AdcTable {
+            let table = (0..self.levels)
+                .map(|c| {
+                    let d = query[0] - (c as f32 + 0.5);
+                    d * d
+                })
+                .collect();
+            kernel::AdcTable::Sum {
+                table,
+                n_centroids: self.levels,
+            }
+        }
+    }
+
+    fn compressed_grid_index(rerank_budget: usize) -> PartitionIndex<GridPartitioner> {
+        let data = line_data(4, 5);
+        PartitionIndex::build(
+            GridPartitioner { bins: 4 },
+            &data,
+            Distance::SquaredEuclidean,
+        )
+        .with_scoring(Scoring::compressed(
+            Arc::new(UnitGridQuantizer { levels: 4 }),
+            rerank_budget,
+        ))
+    }
+
+    #[test]
+    fn compressed_codes_follow_the_csr_permutation() {
+        let idx = compressed_grid_index(8);
+        for b in 0..4 {
+            let codes = idx.bin_codes(b).unwrap();
+            assert_eq!(codes.len(), idx.bucket(b).len());
+            for (j, &id) in idx.bucket(b).iter().enumerate() {
+                let x = idx.data().row(id as usize)[0];
+                assert_eq!(codes[j] as usize, x.floor() as usize, "bin {b} slot {j}");
+            }
+        }
+        assert_eq!(idx.compressed_rerank_budget(), Some(8));
+        assert!(idx.quantizer().is_some());
+        // Extracted code slices mirror extract_bins' row order.
+        let extracted = idx.extract_bin_codes(&[2, 0]).unwrap();
+        let expect: Vec<u8> = idx
+            .bin_codes(2)
+            .unwrap()
+            .iter()
+            .chain(idx.bin_codes(0).unwrap())
+            .copied()
+            .collect();
+        assert_eq!(extracted, expect);
+    }
+
+    #[test]
+    fn generous_shortlist_makes_compressed_match_exact() {
+        // When the shortlist covers the whole probed stream every candidate survives
+        // to the exact re-rank in stream order, so the two modes answer identically.
+        let exact = PartitionIndex::build(
+            GridPartitioner { bins: 4 },
+            &line_data(4, 5),
+            Distance::SquaredEuclidean,
+        );
+        let idx = compressed_grid_index(1000);
+        let q = [1.95f32];
+        for probes in [1, 2, 4] {
+            let e = exact.search(&q, 3, probes);
+            let c = idx.search(&q, 3, probes);
+            assert_eq!(c.ids, e.ids, "probes {probes}");
+            assert_eq!(c.candidates_scanned, e.candidates_scanned);
+            assert_eq!(c.compressed_scanned, e.candidates_scanned);
+            assert_eq!(e.compressed_scanned, 0);
+        }
+    }
+
+    #[test]
+    fn compressed_budget_counts_exact_rerank_work() {
+        let idx = compressed_grid_index(6);
+        let q = [1.95f32];
+        let bins = idx.partitioner().rank_bins(&q, 4);
+        // Default budget: shortlist = configured rerank_budget.
+        let r = idx.scan_bins(&q, &bins, 3, None);
+        assert_eq!(r.compressed_scanned, 20); // every probed code is ADC-scored
+        assert_eq!(r.candidates_scanned, 6); // only the shortlist is re-ranked
+        assert_eq!(r.ids.len(), 3);
+        // The shortlist keeps the ADC-best candidates, so the true neighbours
+        // survive and the exact re-rank orders them correctly.
+        let exact = idx.scan_bins_with_table(&q, &bins, 3, Some(1000), None);
+        assert_eq!(r.ids, exact.ids[..3]);
+        // Per-request budgets floor at k and cap the exact work.
+        for budget in [1, 4, 10] {
+            let r = idx.scan_bins(&q, &bins, 3, Some(budget));
+            assert_eq!(
+                r.candidates_scanned,
+                budget.clamp(3, 20),
+                "budget {budget}"
+            );
+        }
+    }
+
+    #[test]
+    fn with_scoring_exact_is_the_identity() {
+        let data = line_data(4, 5);
+        let plain = PartitionIndex::build(
+            GridPartitioner { bins: 4 },
+            &data,
+            Distance::SquaredEuclidean,
+        );
+        let reset = compressed_grid_index(8).with_scoring(Scoring::Exact);
+        let q = [2.4f32];
+        assert_eq!(reset.search(&q, 4, 2), plain.search(&q, 4, 2));
+        assert!(reset.quantizer().is_none());
+        assert!(reset.bin_codes(0).is_none());
+        assert!(reset.extract_bin_codes(&[0]).is_none());
+        assert!(reset
+            .adc_tables_batch(&Matrix::from_vec(1, 1, vec![0.5]))
+            .is_none());
     }
 
     #[test]

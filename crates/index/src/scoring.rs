@@ -1,0 +1,82 @@
+//! Scoring modes for the online phase: exact f32 rows, or a compressed first pass.
+//!
+//! The candidate scan of Algorithm 2 has two cost regimes. Exact scoring streams
+//! `4 * dim` bytes per candidate through the blocked kernels; compressed scoring
+//! streams one byte per subspace through a per-query ADC lookup table and re-ranks
+//! only a shortlist of survivors exactly — the classic VQ-accelerated pipeline
+//! (Jégou et al.'s IVFADC, ScaNN's anisotropic variant). [`Scoring`] is the switch
+//! between the two, and [`CodeQuantizer`] is the trait a quantizer implements to plug
+//! into it.
+//!
+//! The trait lives here (not in `usp-quant`) for the same layering reason
+//! [`crate::partitioner::Partitioner`] does: `usp-quant` depends on `usp-index`, so
+//! the index talks to quantizers through an interface and `ProductQuantizer`
+//! implements it one crate up. The ADC table itself and the blocked lookup kernel
+//! live in [`usp_linalg::kernel`], keeping a single compressed scoring implementation
+//! in the workspace.
+
+use std::sync::Arc;
+
+use usp_linalg::kernel::AdcTable;
+use usp_linalg::Distance;
+
+/// A trained vector quantizer the index can score candidates through: encodes rows
+/// into fixed-stride byte codes and builds per-query ADC tables for a metric.
+pub trait CodeQuantizer: Send + Sync {
+    /// Input dimensionality of the points the quantizer was trained on.
+    fn dim(&self) -> usize;
+
+    /// Bytes per encoded point (the code stride of the bin-contiguous code array).
+    fn code_len(&self) -> usize;
+
+    /// Encodes one point into `out` (`out.len() == self.code_len()`).
+    fn encode_into(&self, point: &[f32], out: &mut [u8]);
+
+    /// Builds the per-query ADC table for `distance`. Must be a pure function of
+    /// `(distance, query)` so tables built per query and per batch agree bit-for-bit.
+    fn adc_table(&self, distance: Distance, query: &[f32]) -> AdcTable;
+}
+
+/// How [`crate::PartitionIndex`] scores the candidate stream.
+#[derive(Clone)]
+pub enum Scoring {
+    /// Stream exact f32 rows through the blocked kernels (the default; bit-identical
+    /// to an index built without any scoring configuration).
+    Exact,
+    /// Two-phase: ADC-score every probed code, keep a shortlist, re-rank the
+    /// shortlist with the exact kernels so returned distances stay exact-kernel bits.
+    Compressed {
+        /// The trained quantizer; codes are built at index-construction time in the
+        /// same CSR permutation as the `flat` row copy.
+        quantizer: Arc<dyn CodeQuantizer>,
+        /// Default shortlist size (exact re-ranks per query) when a request does not
+        /// set its own budget; always at least `k` at query time.
+        rerank_budget: usize,
+    },
+}
+
+impl Scoring {
+    /// Compressed scoring with a default shortlist size.
+    pub fn compressed(quantizer: Arc<dyn CodeQuantizer>, rerank_budget: usize) -> Self {
+        assert!(
+            rerank_budget > 0,
+            "Scoring::compressed: rerank_budget must be positive"
+        );
+        Scoring::Compressed {
+            quantizer,
+            rerank_budget,
+        }
+    }
+}
+
+impl std::fmt::Debug for Scoring {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Scoring::Exact => write!(f, "Exact"),
+            Scoring::Compressed { rerank_budget, .. } => f
+                .debug_struct("Compressed")
+                .field("rerank_budget", rerank_budget)
+                .finish_non_exhaustive(),
+        }
+    }
+}

@@ -20,7 +20,7 @@
 //! as the scalar path ranks them).
 
 use crate::distance::Distance;
-use crate::topk::TopK;
+use crate::topk::{FlatTopK, TopK};
 
 /// Lane count of the blocked accumulators.
 const LANES: usize = 8;
@@ -281,6 +281,193 @@ impl<'a> SegmentedScan<'a> {
     }
 }
 
+/// Unroll width of the ADC lookup accumulation (one code byte per lane).
+const ADC_LANES: usize = 4;
+
+/// Blocked sum of one lookup per subspace: `Σ_s table[s * n_centroids + code[s]]`,
+/// accumulated over [`ADC_LANES`] independent lanes and combined in a fixed pairwise
+/// order — the compressed-domain analogue of the blocked row kernels above, and the
+/// same policy: every ADC scoring path must produce these bits.
+#[inline]
+fn lut_sum(table: &[f32], n_centroids: usize, code: &[u8]) -> f32 {
+    let mut acc = [0.0f32; ADC_LANES];
+    let chunks = code.len() / ADC_LANES;
+    for c in 0..chunks {
+        let cc = &code[c * ADC_LANES..c * ADC_LANES + ADC_LANES];
+        for l in 0..ADC_LANES {
+            acc[l] += table[(c * ADC_LANES + l) * n_centroids + cc[l] as usize];
+        }
+    }
+    for s in chunks * ADC_LANES..code.len() {
+        acc[s - chunks * ADC_LANES] += table[s * n_centroids + code[s] as usize];
+    }
+    (acc[0] + acc[1]) + (acc[2] + acc[3])
+}
+
+/// A per-query ADC (asymmetric distance computation) lookup table: for every subspace
+/// of a product code, the precomputed contribution of each centroid, so scoring a code
+/// is one table lookup per byte instead of a float-vector kernel.
+///
+/// The variant encodes how the metric decomposes over subspaces. The squared-Euclidean
+/// family and inner product are a single per-subspace sum ([`AdcTable::Sum`] — for
+/// `Euclidean` the sum is the *squared* distance, which ranks identically, and the
+/// exact re-rank restores true distances). Cosine does not decompose into one sum, but
+/// both of its ingredients do: `dot(q, x̂) = Σ_s dot(q_s, x̂_s)` and
+/// `|x̂|² = Σ_s |x̂_s|²`, so [`AdcTable::Cosine`] carries two tables and finishes with
+/// the cosine formula (zero norms maximally distant, matching the exact kernel).
+#[derive(Debug, Clone)]
+pub enum AdcTable {
+    /// One additive table: entry `s * n_centroids + c` is subspace `s`'s contribution
+    /// of centroid `c` (squared distance, or negated dot for inner product).
+    Sum {
+        /// `n_subspaces * n_centroids` contributions, subspace-major.
+        table: Vec<f32>,
+        /// Stride between subspaces.
+        n_centroids: usize,
+    },
+    /// Dual tables for cosine: per-centroid query dot and squared norm.
+    Cosine {
+        /// `dot[s * n_centroids + c] = dot(query_s, centroid_c)`.
+        dot: Vec<f32>,
+        /// `norm2[s * n_centroids + c] = |centroid_c|²`.
+        norm2: Vec<f32>,
+        /// Stride between subspaces.
+        n_centroids: usize,
+        /// Hoisted `|query|` (the blocked-kernel bits).
+        query_norm: f32,
+    },
+}
+
+impl AdcTable {
+    /// Approximate distance of one code (smaller is closer, same conventions as the
+    /// exact kernels: cosine with any zero norm is maximally distant at 1.0).
+    #[inline]
+    pub fn eval(&self, code: &[u8]) -> f32 {
+        match self {
+            AdcTable::Sum { table, n_centroids } => lut_sum(table, *n_centroids, code),
+            AdcTable::Cosine {
+                dot,
+                norm2,
+                n_centroids,
+                query_norm,
+            } => {
+                let ab = lut_sum(dot, *n_centroids, code);
+                let nr = lut_sum(norm2, *n_centroids, code).sqrt();
+                if *query_norm == 0.0 || nr == 0.0 {
+                    return 1.0;
+                }
+                1.0 - ab / (query_norm * nr)
+            }
+        }
+    }
+}
+
+/// Blocked ADC evaluation of one code against a per-query table — the single
+/// compressed-domain scoring implementation every ADC path routes through.
+#[inline]
+pub fn adc_eval(table: &AdcTable, code: &[u8]) -> f32 {
+    table.eval(code)
+}
+
+/// The compressed-domain analogue of [`SegmentedScan`]: stream contiguous code slices
+/// in stream order, each tagged with a caller-side base, keeping the best `k` under
+/// the (ADC distance, stream position) total order.
+///
+/// Winners come back as `(segment base, offset within segment, stream position,
+/// distance)` — the stream position is reported too because a compressed first pass
+/// re-ranks its survivors exactly, and the re-rank wants them in stream order so its
+/// distance ties break exactly like an exact scan over the same stream would.
+pub struct AdcScan<'a> {
+    table: &'a AdcTable,
+    code_len: usize,
+    /// Shortlist selector: compressed first passes keep `rerank_budget`-sized
+    /// shortlists (hundreds of survivors), where the flat pruned buffer beats the
+    /// bounded heap while producing the identical kept set and order.
+    top: FlatTopK,
+    /// Per-segment distance scratch, reused across segments so evaluation runs as
+    /// one long unbranched loop before any selection work.
+    dist_buf: Vec<f32>,
+    /// `(stream start, caller base)` per non-empty scanned segment (see
+    /// [`SegmentedScan`]).
+    segments: Vec<(usize, usize)>,
+    pos: usize,
+}
+
+impl<'a> AdcScan<'a> {
+    /// A compressed scan against `table` over codes of `code_len` bytes, keeping the
+    /// best `k` streamed.
+    pub fn new(table: &'a AdcTable, code_len: usize, k: usize) -> Self {
+        assert!(code_len > 0, "AdcScan: zero-length codes");
+        Self {
+            table,
+            code_len,
+            top: FlatTopK::new(k),
+            dist_buf: Vec::new(),
+            segments: Vec::new(),
+            pos: 0,
+        }
+    }
+
+    /// Streams the next `count` contiguous codes (`codes.len() == count * code_len`)
+    /// as one segment tagged `base`.
+    pub fn scan_segment(&mut self, codes: &[u8], count: usize, base: usize) {
+        assert_eq!(
+            codes.len(),
+            count * self.code_len,
+            "scan_segment: {} bytes is not {count} codes of {} bytes",
+            codes.len(),
+            self.code_len
+        );
+        if count == 0 {
+            return;
+        }
+        self.segments.push((self.pos, base));
+        // Two-pass loop: evaluate the whole segment into a reused distance buffer
+        // (the table variant is matched once, so the lookup loop is a long branch-free
+        // stream the compiler can pipeline), then offer the buffer to the selector,
+        // whose cached bound turns non-surviving rows into a single comparison.
+        // Evaluation bits and push order are identical to a naive per-row
+        // `table.eval` + push loop.
+        let m = self.code_len;
+        self.dist_buf.clear();
+        match self.table {
+            AdcTable::Sum { table, n_centroids } => {
+                let nc = *n_centroids;
+                self.dist_buf
+                    .extend(codes.chunks_exact(m).map(|code| lut_sum(table, nc, code)));
+            }
+            cosine => {
+                self.dist_buf
+                    .extend(codes.chunks_exact(m).map(|code| cosine.eval(code)));
+            }
+        }
+        for (r, &d) in self.dist_buf.iter().enumerate() {
+            self.top.push(self.pos + r, d);
+        }
+        self.pos += count;
+    }
+
+    /// Total codes streamed so far.
+    pub fn scanned(&self) -> usize {
+        self.pos
+    }
+
+    /// The winners as `(segment base, offset within segment, stream position,
+    /// distance)`, best first.
+    pub fn into_winners(self) -> Vec<(usize, usize, usize, f32)> {
+        let segments = self.segments;
+        self.top
+            .into_sorted()
+            .into_iter()
+            .map(|(pos, d)| {
+                let si = segments.partition_point(|&(start, _)| start <= pos) - 1;
+                let (stream_start, base) = segments[si];
+                (base, pos - stream_start, pos, d)
+            })
+            .collect()
+    }
+}
+
 #[cfg(test)]
 const ALL_DISTANCES: [Distance; 4] = [
     Distance::SquaredEuclidean,
@@ -410,6 +597,115 @@ mod tests {
         let mut scan = SegmentedScan::new(Distance::Cosine, &[], 0, 2);
         scan.scan_segment(&[], 3, 0);
         assert_eq!(scan.into_winners(), vec![(0, 0, 1.0), (0, 1, 1.0)]);
+    }
+
+    /// A deterministic `Sum` table plus codes for the ADC tests.
+    fn sum_table(n_subspaces: usize, n_centroids: usize, seed: u64) -> AdcTable {
+        let table =
+            crate::rng::normal_vector(&mut crate::rng::seeded(seed), n_subspaces * n_centroids);
+        AdcTable::Sum { table, n_centroids }
+    }
+
+    fn codes_for(n: usize, code_len: usize, n_centroids: usize, seed: u64) -> Vec<u8> {
+        (0..n * code_len)
+            .map(|i| {
+                (((i as u64)
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(seed)
+                    >> 33)
+                    % n_centroids as u64) as u8
+            })
+            .collect()
+    }
+
+    #[test]
+    fn adc_eval_matches_naive_lookup_sum() {
+        for m in [1, 2, 3, 4, 5, 7, 8, 13] {
+            let k = 16;
+            let table = sum_table(m, k, m as u64);
+            let codes = codes_for(6, m, k, 99);
+            let raw = match &table {
+                AdcTable::Sum { table, .. } => table.clone(),
+                _ => unreachable!(),
+            };
+            for code in codes.chunks_exact(m) {
+                // Naive left-to-right sum in f64: the blocked sum only reorders the
+                // same additions, so it must agree tightly.
+                let naive: f64 = code
+                    .iter()
+                    .enumerate()
+                    .map(|(s, &c)| raw[s * k + c as usize] as f64)
+                    .sum();
+                let blocked = adc_eval(&table, code);
+                assert!(
+                    (blocked as f64 - naive).abs() <= 1e-5 * naive.abs().max(1.0),
+                    "m={m}: blocked {blocked} vs naive {naive}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn adc_cosine_table_matches_explicit_formula() {
+        // Two subspaces, 3 centroids each; evaluate against the hand formula.
+        let dot = vec![1.0f32, 2.0, 3.0, -1.0, 0.5, 2.5];
+        let norm2 = vec![1.0f32, 4.0, 9.0, 1.0, 0.25, 6.25];
+        let table = AdcTable::Cosine {
+            dot: dot.clone(),
+            norm2: norm2.clone(),
+            n_centroids: 3,
+            query_norm: 2.0,
+        };
+        let code = [1u8, 2];
+        let ab = dot[1] + dot[3 + 2];
+        let nn = norm2[1] + norm2[3 + 2];
+        let expect = 1.0 - ab / (2.0 * nn.sqrt());
+        assert_eq!(adc_eval(&table, &code), expect);
+        // Zero query norm or zero reconstructed norm → maximally distant.
+        let zero_q = AdcTable::Cosine {
+            dot: dot.clone(),
+            norm2: norm2.clone(),
+            n_centroids: 3,
+            query_norm: 0.0,
+        };
+        assert_eq!(adc_eval(&zero_q, &code), 1.0);
+        let zero_row = AdcTable::Cosine {
+            dot,
+            norm2: vec![0.0; 6],
+            n_centroids: 3,
+            query_norm: 2.0,
+        };
+        assert_eq!(adc_eval(&zero_row, &code), 1.0);
+    }
+
+    #[test]
+    fn adc_scan_matches_materialised_selection() {
+        // The segmented compressed scan must select exactly what evaluating every
+        // code and running smallest_k_by over the concatenated stream selects.
+        let (m, k_cent, n) = (5, 32, 40);
+        let table = sum_table(m, k_cent, 7);
+        let codes = codes_for(n, m, k_cent, 3);
+        let reference = topk::smallest_k_by(n, 6, |i| adc_eval(&table, &codes[i * m..(i + 1) * m]));
+
+        let mut scan = AdcScan::new(&table, m, 6);
+        scan.scan_segment(&codes[..12 * m], 12, 0);
+        scan.scan_segment(&[], 0, 777); // empty segments leave no trace
+        scan.scan_segment(&codes[12 * m..], 28, 12);
+        assert_eq!(scan.scanned(), n);
+        let winners = scan.into_winners();
+        let stream: Vec<usize> = winners
+            .iter()
+            .map(|&(base, off, _, _)| base + off)
+            .collect();
+        assert_eq!(stream, reference);
+        // Stream positions and distances are consistent with the stream indices.
+        for &(base, off, pos, dist) in &winners {
+            assert_eq!(base + off, pos);
+            assert_eq!(
+                dist.to_bits(),
+                adc_eval(&table, &codes[pos * m..(pos + 1) * m]).to_bits()
+            );
+        }
     }
 
     #[test]

@@ -211,6 +211,91 @@ impl TopK {
     }
 }
 
+/// A drop-in alternative to [`TopK`] for *large* `k` (shortlist selection): instead of
+/// a bounded heap — whose `O(log k)` pop/push per accepted candidate dominates scans
+/// that keep hundreds of survivors — candidates accumulate in a flat buffer guarded by
+/// a cached rejection bound, and the buffer is pruned back to `k` by an `O(len)`
+/// selection whenever it doubles. Pushes that cannot survive cost one comparison;
+/// accepted pushes cost one append, amortized `O(1)`.
+///
+/// The kept set and the [`FlatTopK::into_sorted`] order are **identical** to [`TopK`]
+/// over the same pushes: both implement the module's total order (ascending key, NaN
+/// strictly last, ties by ascending push index), and the cached bound only ever
+/// rejects keys the heap would reject too — a rejected key is `>=` the `k`-th best of
+/// a prefix of the stream, and (pushes arriving in ascending index order) it loses
+/// the index tie-break against all of them as well. The proptests below pin the
+/// equivalence push-for-push against [`TopK`] over NaN/±∞/±0.0-seeded streams.
+#[derive(Debug, Clone)]
+pub struct FlatTopK {
+    k: usize,
+    /// Prune trigger: `2k`, so each `O(len)` prune amortizes over `k` appends.
+    cap: usize,
+    buf: Vec<Scored>,
+    /// Quick-reject threshold: keys `>= bound` cannot survive. NaN (compares false
+    /// with everything) while fewer than `k` candidates have been admitted or the
+    /// current `k`-th best is itself NaN.
+    bound: f32,
+}
+
+impl FlatTopK {
+    /// A selector keeping the `k` smallest pushed keys.
+    pub fn new(k: usize) -> Self {
+        Self {
+            k,
+            cap: k.saturating_mul(2),
+            // Capacity is a hint, as in TopK: an oversized "rank everything" k must
+            // not pre-allocate k slots.
+            buf: Vec::with_capacity(k.saturating_mul(2).saturating_add(1).min(4096)),
+            bound: f32::NAN,
+        }
+    }
+
+    /// Offers one `(index, key)` pair; kept iff it beats the current `k`-th best.
+    /// Indices must be pushed in ascending order (stream positions).
+    #[inline]
+    pub fn push(&mut self, index: usize, key: f32) {
+        if key >= self.bound || self.k == 0 {
+            return;
+        }
+        self.buf.push(Scored::new(index, key));
+        if self.buf.len() >= self.cap {
+            self.prune();
+        }
+    }
+
+    /// Shrinks the buffer back to the `k` best and refreshes the rejection bound.
+    fn prune(&mut self) {
+        if self.buf.len() <= self.k {
+            return;
+        }
+        self.buf.select_nth_unstable(self.k - 1);
+        self.buf.truncate(self.k);
+        let worst = self.buf[self.k - 1];
+        self.bound = if worst.nan { f32::NAN } else { worst.key };
+    }
+
+    /// Number of candidates currently buffered (may exceed `k` between prunes).
+    pub fn len(&self) -> usize {
+        self.buf.len().min(self.k)
+    }
+
+    /// True when nothing has been kept.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// The kept entries as `(index, key)` pairs, best first — [`TopK::into_sorted`]'s
+    /// exact order and NaN convention.
+    pub fn into_sorted(mut self) -> Vec<(usize, f32)> {
+        self.buf.sort_unstable();
+        self.buf.truncate(self.k);
+        self.buf
+            .into_iter()
+            .map(|s| (s.index, if s.nan { f32::NAN } else { s.key }))
+            .collect()
+    }
+}
+
 /// `(index, value)` pairs of the `k` smallest values, ascending.
 pub fn smallest_k_with_values(values: &[f32], k: usize) -> Vec<(usize, f32)> {
     smallest_k(values, k)
@@ -381,6 +466,42 @@ mod tests {
         top.push(0, 1.0);
         assert!(top.is_empty());
         assert!(top.into_sorted().is_empty());
+        let mut flat = FlatTopK::new(0);
+        flat.push(0, 1.0);
+        assert!(flat.is_empty());
+        assert!(flat.into_sorted().is_empty());
+    }
+
+    #[test]
+    fn flat_topk_matches_heap_topk_across_prunes() {
+        // 10k ascending-then-descending keys force many prune cycles at k=100.
+        let keys: Vec<f32> = (0..10_000)
+            .map(|i| {
+                if i % 2 == 0 {
+                    i as f32
+                } else {
+                    (10_000 - i) as f32
+                }
+            })
+            .collect();
+        let mut heap = TopK::new(100);
+        let mut flat = FlatTopK::new(100);
+        for (i, &x) in keys.iter().enumerate() {
+            heap.push(i, x);
+            flat.push(i, x);
+        }
+        assert_eq!(heap.into_sorted(), flat.into_sorted());
+    }
+
+    #[test]
+    fn flat_topk_with_oversized_k_returns_everything() {
+        let v = [3.0f32, 1.0, 2.0];
+        let mut flat = FlatTopK::new(usize::MAX);
+        for (i, &x) in v.iter().enumerate() {
+            flat.push(i, x);
+        }
+        let got: Vec<usize> = flat.into_sorted().into_iter().map(|(i, _)| i).collect();
+        assert_eq!(got, vec![1, 2, 0]);
     }
 
     #[test]
@@ -458,6 +579,28 @@ mod proptests {
             let i = argmax(&values).expect("finite input has a maximum");
             for &v in &values {
                 prop_assert!(values[i] >= v);
+            }
+        }
+
+        #[test]
+        fn flat_topk_is_push_for_push_identical_to_heap_topk(
+            finites in prop::collection::vec(-1e3f32..1e3, 1..300),
+            classes in prop::collection::vec(0u8..12, 1..300),
+            k in 1usize..40,
+        ) {
+            let values = build_special(&finites, &classes);
+            let mut heap = TopK::new(k);
+            let mut flat = FlatTopK::new(k);
+            for (i, &x) in values.iter().enumerate() {
+                heap.push(i, x);
+                flat.push(i, x);
+            }
+            let heap_entries = heap.into_sorted();
+            let flat_entries = flat.into_sorted();
+            prop_assert_eq!(heap_entries.len(), flat_entries.len());
+            for (h, f) in heap_entries.iter().zip(&flat_entries) {
+                prop_assert_eq!(h.0, f.0);
+                prop_assert_eq!(h.1.to_bits(), f.1.to_bits());
             }
         }
 

@@ -8,7 +8,9 @@
 
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
-use usp_linalg::{distance, Matrix};
+use usp_index::scoring::CodeQuantizer;
+use usp_linalg::kernel::{self, AdcTable};
+use usp_linalg::{distance, Distance, Matrix};
 
 use crate::anisotropic::{self, AnisotropicConfig};
 use crate::kmeans::{KMeans, KMeansConfig};
@@ -106,38 +108,51 @@ impl ProductQuantizer {
             CodebookKind::Anisotropic(a) => a.eta,
         };
 
-        let codebooks: Vec<Matrix> = ranges
+        // Stage 1: extract every subspace view into a dense matrix, parallel over
+        // rows (each row copy is position-determined, so block boundaries cannot
+        // change the result — the thread-count-invariance discipline of the shim).
+        let subs: Vec<Matrix> = ranges
+            .iter()
+            .map(|&(start, len)| {
+                let mut sub = Matrix::zeros(data.rows(), len);
+                sub.as_mut_slice()
+                    .par_chunks_mut(len.max(1))
+                    .enumerate()
+                    .for_each(|(i, row)| {
+                        if len > 0 {
+                            row.copy_from_slice(&data.row(i)[start..start + len]);
+                        }
+                    });
+                sub
+            })
+            .collect();
+
+        // Stage 2: train one codebook per subspace, parallel over subspaces (the
+        // trainers parallelise internally too; nested regions run inline on the shim).
+        let codebooks: Vec<Matrix> = subs
             .par_iter()
             .enumerate()
-            .map(|(s, &(start, len))| {
-                // Extract the subspace view into a dense matrix.
-                let mut sub = Matrix::zeros(data.rows(), len);
-                for i in 0..data.rows() {
-                    sub.row_mut(i)
-                        .copy_from_slice(&data.row(i)[start..start + len]);
-                }
-                match &config.codebook {
-                    CodebookKind::Standard => {
-                        KMeans::fit(
-                            &sub,
-                            &KMeansConfig {
-                                k: config.n_centroids,
-                                max_iters: config.max_iters,
-                                tol: 1e-4,
-                                seed: config.seed.wrapping_add(s as u64),
-                            },
-                        )
-                        .centroids
-                    }
-                    CodebookKind::Anisotropic(a) => anisotropic::train_codebook(
-                        &sub,
-                        config.n_centroids,
-                        &AnisotropicConfig {
-                            seed: a.seed.wrapping_add(s as u64),
-                            ..a.clone()
+            .map(|(s, sub)| match &config.codebook {
+                CodebookKind::Standard => {
+                    KMeans::fit(
+                        sub,
+                        &KMeansConfig {
+                            k: config.n_centroids,
+                            max_iters: config.max_iters,
+                            tol: 1e-4,
+                            seed: config.seed.wrapping_add(s as u64),
                         },
-                    ),
+                    )
+                    .centroids
                 }
+                CodebookKind::Anisotropic(a) => anisotropic::train_codebook(
+                    sub,
+                    config.n_centroids,
+                    &AnisotropicConfig {
+                        seed: a.seed.wrapping_add(s as u64),
+                        ..a.clone()
+                    },
+                ),
             })
             .collect();
 
@@ -164,44 +179,54 @@ impl ProductQuantizer {
         self.dim
     }
 
+    /// Encodes a single point into a caller-provided code slice
+    /// (`out.len() == n_subspaces`), allocation-free.
+    pub fn encode_into(&self, point: &[f32], out: &mut [u8]) {
+        assert_eq!(point.len(), self.dim, "encode: dimensionality mismatch");
+        assert_eq!(
+            out.len(),
+            self.n_subspaces(),
+            "encode_into: code slice length mismatch"
+        );
+        for (slot, (&(start, len), cb)) in
+            out.iter_mut().zip(self.ranges.iter().zip(&self.codebooks))
+        {
+            let sub = &point[start..start + len];
+            *slot = if self.encode_eta > 1.0 {
+                anisotropic::assign(sub, cb, self.encode_eta) as u8
+            } else {
+                let mut best = 0usize;
+                let mut best_d = f32::INFINITY;
+                for c in 0..cb.rows() {
+                    let d = distance::squared_euclidean(sub, cb.row(c));
+                    if d < best_d {
+                        best_d = d;
+                        best = c;
+                    }
+                }
+                best as u8
+            };
+        }
+    }
+
     /// Encodes a single point as one code per subspace.
     pub fn encode(&self, point: &[f32]) -> Vec<u8> {
-        assert_eq!(point.len(), self.dim, "encode: dimensionality mismatch");
-        self.ranges
-            .iter()
-            .zip(&self.codebooks)
-            .map(|(&(start, len), cb)| {
-                let sub = &point[start..start + len];
-                if self.encode_eta > 1.0 {
-                    anisotropic::assign(sub, cb, self.encode_eta) as u8
-                } else {
-                    let mut best = 0usize;
-                    let mut best_d = f32::INFINITY;
-                    for c in 0..cb.rows() {
-                        let d = distance::squared_euclidean(sub, cb.row(c));
-                        if d < best_d {
-                            best_d = d;
-                            best = c;
-                        }
-                    }
-                    best as u8
-                }
-            })
-            .collect()
+        let mut out = vec![0u8; self.n_subspaces()];
+        self.encode_into(point, &mut out);
+        out
     }
 
     /// Encodes every row of a matrix, returning a flat code buffer of stride
-    /// [`ProductQuantizer::n_subspaces`].
+    /// [`ProductQuantizer::n_subspaces`]. Parallel over rows with each worker writing
+    /// its codes straight into the shared buffer (no per-row allocation); row `i`'s
+    /// code is a pure function of row `i`, so the buffer is identical for any thread
+    /// count.
     pub fn encode_all(&self, data: &Matrix) -> Vec<u8> {
         let m = self.n_subspaces();
-        let codes: Vec<Vec<u8>> = (0..data.rows())
-            .into_par_iter()
-            .map(|i| self.encode(data.row(i)))
-            .collect();
-        let mut flat = Vec::with_capacity(data.rows() * m);
-        for c in codes {
-            flat.extend(c);
-        }
+        let mut flat = vec![0u8; data.rows() * m];
+        flat.par_chunks_mut(m)
+            .enumerate()
+            .for_each(|(i, out)| self.encode_into(data.row(i), out));
         flat
     }
 
@@ -219,30 +244,82 @@ impl ProductQuantizer {
         out
     }
 
-    /// Builds the per-query ADC lookup table: squared Euclidean distance from the query's
-    /// subvector to every centroid of every subspace (`n_subspaces * n_centroids` entries).
-    pub fn adc_table(&self, query: &[f32]) -> Vec<f32> {
+    /// Builds the per-query ADC lookup table for `metric`
+    /// (`n_subspaces * n_centroids` entries per constituent table).
+    ///
+    /// The squared-Euclidean family stores per-centroid squared subvector distances
+    /// (for `Euclidean` the summed value is the *squared* distance — rank-equivalent,
+    /// and a two-phase scan's exact re-rank restores true distances); inner product
+    /// stores negated dots (smaller = closer, like [`Distance::eval`]); cosine gets
+    /// the dual dot/norm² tables of [`AdcTable::Cosine`]. A pure function of
+    /// `(metric, query)`, so per-query and per-batch tables agree bit-for-bit.
+    pub fn adc_table(&self, metric: Distance, query: &[f32]) -> AdcTable {
         assert_eq!(query.len(), self.dim, "adc_table: dimensionality mismatch");
         let k = self.n_centroids();
-        let mut table = Vec::with_capacity(self.n_subspaces() * k);
-        for (&(start, len), cb) in self.ranges.iter().zip(&self.codebooks) {
-            let sub = &query[start..start + len];
-            for c in 0..k {
-                table.push(distance::squared_euclidean(sub, cb.row(c)));
+        let m = self.n_subspaces();
+        match metric {
+            Distance::SquaredEuclidean | Distance::Euclidean => {
+                let mut table = Vec::with_capacity(m * k);
+                for (&(start, len), cb) in self.ranges.iter().zip(&self.codebooks) {
+                    let sub = &query[start..start + len];
+                    for c in 0..k {
+                        table.push(distance::squared_euclidean(sub, cb.row(c)));
+                    }
+                }
+                AdcTable::Sum {
+                    table,
+                    n_centroids: k,
+                }
+            }
+            Distance::InnerProduct => {
+                let mut table = Vec::with_capacity(m * k);
+                for (&(start, len), cb) in self.ranges.iter().zip(&self.codebooks) {
+                    let sub = &query[start..start + len];
+                    for c in 0..k {
+                        table.push(distance::negative_dot(sub, cb.row(c)));
+                    }
+                }
+                AdcTable::Sum {
+                    table,
+                    n_centroids: k,
+                }
+            }
+            Distance::Cosine => {
+                let mut dot = Vec::with_capacity(m * k);
+                let mut norm2 = Vec::with_capacity(m * k);
+                for (&(start, len), cb) in self.ranges.iter().zip(&self.codebooks) {
+                    let sub = &query[start..start + len];
+                    for c in 0..k {
+                        let row = cb.row(c);
+                        dot.push(-distance::negative_dot(sub, row));
+                        norm2.push(-distance::negative_dot(row, row));
+                    }
+                }
+                AdcTable::Cosine {
+                    dot,
+                    norm2,
+                    n_centroids: k,
+                    query_norm: distance::norm(query),
+                }
             }
         }
-        table
     }
 
-    /// Approximate squared distance between the query (via its ADC table) and a code.
+    /// One ADC table per query row, parallel over rows — the batch-table API serving
+    /// layers amortise table construction through.
+    pub fn adc_tables_batch(&self, metric: Distance, queries: &Matrix) -> Vec<AdcTable> {
+        (0..queries.rows())
+            .into_par_iter()
+            .map(|qi| self.adc_table(metric, queries.row(qi)))
+            .collect()
+    }
+
+    /// Approximate distance between the query (via its ADC table) and a code,
+    /// evaluated by the workspace's single blocked lookup kernel
+    /// ([`usp_linalg::kernel::adc_eval`]).
     #[inline]
-    pub fn adc_distance(&self, table: &[f32], code: &[u8]) -> f32 {
-        let k = self.n_centroids();
-        let mut acc = 0.0f32;
-        for (s, &c) in code.iter().enumerate() {
-            acc += table[s * k + c as usize];
-        }
-        acc
+    pub fn adc_distance(&self, table: &AdcTable, code: &[u8]) -> f32 {
+        kernel::adc_eval(table, code)
     }
 
     /// Mean squared reconstruction error over a dataset (a quantization-quality metric).
@@ -255,6 +332,27 @@ impl ProductQuantizer {
             })
             .sum::<f64>()
             / data.rows().max(1) as f64
+    }
+}
+
+/// Plugs the product quantizer into [`usp_index::PartitionIndex`]'s compressed
+/// scoring mode (`usp-index` talks to quantizers through this trait because it sits
+/// below `usp-quant` in the crate graph).
+impl CodeQuantizer for ProductQuantizer {
+    fn dim(&self) -> usize {
+        ProductQuantizer::dim(self)
+    }
+
+    fn code_len(&self) -> usize {
+        self.n_subspaces()
+    }
+
+    fn encode_into(&self, point: &[f32], out: &mut [u8]) {
+        ProductQuantizer::encode_into(self, point, out)
+    }
+
+    fn adc_table(&self, distance: Distance, query: &[f32]) -> AdcTable {
+        ProductQuantizer::adc_table(self, distance, query)
     }
 }
 
@@ -310,7 +408,7 @@ mod tests {
         let data = clustered(150, 6, 3);
         let pq = ProductQuantizer::fit(&data, &ProductQuantizerConfig::standard(3, 8));
         let q = data.row_to_vec(7);
-        let table = pq.adc_table(&q);
+        let table = pq.adc_table(Distance::SquaredEuclidean, &q);
         for i in (0..data.rows()).step_by(17) {
             let code = pq.encode(data.row(i));
             let adc = pq.adc_distance(&table, &code);
@@ -323,12 +421,90 @@ mod tests {
     }
 
     #[test]
+    fn metric_aware_tables_match_decoded_metric() {
+        // Per metric, the ADC value of a code must equal the metric's scalar value
+        // against the decoded (reconstructed) point, up to summation order.
+        let data = clustered(150, 8, 7);
+        let pq = ProductQuantizer::fit(&data, &ProductQuantizerConfig::standard(4, 16));
+        let q = data.row_to_vec(11);
+        for metric in [
+            Distance::SquaredEuclidean,
+            Distance::InnerProduct,
+            Distance::Cosine,
+        ] {
+            let table = pq.adc_table(metric, &q);
+            for i in (0..data.rows()).step_by(13) {
+                let code = pq.encode(data.row(i));
+                let adc = pq.adc_distance(&table, &code);
+                let rec = pq.decode(&code);
+                let explicit = match metric {
+                    Distance::Cosine => distance::cosine(&q, &rec),
+                    Distance::InnerProduct => distance::negative_dot(&q, &rec),
+                    _ => distance::squared_euclidean(&q, &rec),
+                };
+                let tol = 1e-3 * explicit.abs().max(1.0);
+                assert!(
+                    (adc - explicit).abs() < tol,
+                    "{}: ADC {adc} vs decoded {explicit}",
+                    metric.name()
+                );
+            }
+        }
+        // Euclidean's table sums *squared* distances (rank-equivalent).
+        let te = pq.adc_table(Distance::Euclidean, &q);
+        let ts = pq.adc_table(Distance::SquaredEuclidean, &q);
+        let code = pq.encode(data.row(29));
+        assert_eq!(
+            pq.adc_distance(&te, &code).to_bits(),
+            pq.adc_distance(&ts, &code).to_bits()
+        );
+    }
+
+    #[test]
+    fn batch_tables_equal_per_query_tables() {
+        let data = clustered(120, 6, 8);
+        let pq = ProductQuantizer::fit(&data, &ProductQuantizerConfig::standard(3, 8));
+        let queries = clustered(7, 6, 90);
+        for metric in [Distance::SquaredEuclidean, Distance::Cosine] {
+            let batch = pq.adc_tables_batch(metric, &queries);
+            assert_eq!(batch.len(), 7);
+            for qi in 0..queries.rows() {
+                let single = pq.adc_table(metric, queries.row(qi));
+                // Bit-compare through evaluations over a few codes.
+                for i in (0..data.rows()).step_by(31) {
+                    let code = pq.encode(data.row(i));
+                    assert_eq!(
+                        pq.adc_distance(&batch[qi], &code).to_bits(),
+                        pq.adc_distance(&single, &code).to_bits(),
+                        "{} query {qi}",
+                        metric.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn encode_into_matches_encode_and_encode_all() {
+        let data = clustered(90, 8, 9);
+        let pq = ProductQuantizer::fit(&data, &ProductQuantizerConfig::standard(4, 8));
+        let all = pq.encode_all(&data);
+        assert_eq!(all.len(), 90 * 4);
+        let mut buf = [0u8; 4];
+        for i in 0..data.rows() {
+            pq.encode_into(data.row(i), &mut buf);
+            assert_eq!(&buf[..], &all[i * 4..(i + 1) * 4]);
+            assert_eq!(pq.encode(data.row(i)), &buf[..]);
+        }
+    }
+
+    #[test]
     fn adc_ranks_close_points_before_far_points() {
         let data = clustered(400, 8, 4);
         let pq = ProductQuantizer::fit(&data, &ProductQuantizerConfig::standard(4, 32));
         let codes = pq.encode_all(&data);
         let q = data.row_to_vec(0);
-        let table = pq.adc_table(&q);
+        let table = pq.adc_table(Distance::SquaredEuclidean, &q);
         // Compare mean ADC distance of the 20 exact-nearest points vs 20 exact-farthest.
         let mut exact: Vec<(usize, f32)> = (0..data.rows())
             .map(|i| (i, distance::squared_euclidean(&q, data.row(i))))

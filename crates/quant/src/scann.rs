@@ -7,8 +7,10 @@
 //! [`ScannSearcher::search_in_candidates`] scores only a caller-supplied candidate list —
 //! which is exactly how the partition-then-sketch pipelines in `usp-core` compose it.
 
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use usp_index::{AnnSearcher, SearchResult};
+use usp_linalg::kernel::{self, AdcTable};
 use usp_linalg::{topk, Distance, Matrix};
 
 use crate::pq::{ProductQuantizer, ProductQuantizerConfig};
@@ -97,31 +99,51 @@ impl ScannSearcher {
         &self.codes[id * m..(id + 1) * m]
     }
 
+    /// The per-query ADC table for this searcher's metric — build it once per query
+    /// and reuse it across candidate lists via
+    /// [`Self::search_in_candidates_with_table`].
+    pub fn adc_table(&self, query: &[f32]) -> AdcTable {
+        self.pq.adc_table(self.config.distance, query)
+    }
+
     /// ADC-scores a set of candidate ids, exactly re-ranks the best
     /// `max(rerank_size, k)` of them, and returns the top `k`.
     ///
     /// `candidates_scanned` in the returned result counts the *exact* distance evaluations
     /// (the re-ranked prefix), which is the cost axis shared with the partitioning methods;
-    /// the ADC pass costs one table lookup per subspace per candidate.
+    /// the ADC pass costs one table lookup per subspace per candidate and is reported
+    /// in `compressed_scanned`.
     pub fn search_in_candidates(
         &self,
         query: &[f32],
         candidates: &[u32],
         k: usize,
     ) -> SearchResult {
+        let table = self.adc_table(query);
+        self.search_in_candidates_with_table(query, &table, candidates, k)
+    }
+
+    /// [`Self::search_in_candidates`] with a caller-built table (see
+    /// [`Self::adc_table`]), so one table serves many candidate lists or a whole
+    /// batch. Scoring goes through the workspace's single blocked ADC kernel
+    /// ([`usp_linalg::kernel::adc_eval`]).
+    pub fn search_in_candidates_with_table(
+        &self,
+        query: &[f32],
+        table: &AdcTable,
+        candidates: &[u32],
+        k: usize,
+    ) -> SearchResult {
         if candidates.is_empty() {
             return SearchResult::empty();
         }
-        let table = self.pq.adc_table(query);
         let rerank = self.config.rerank_size.max(k).min(candidates.len());
-        let approx: Vec<f32> = candidates
-            .iter()
-            .map(|&id| self.pq.adc_distance(&table, self.code_of(id as usize)))
-            .collect();
-        let shortlist = topk::smallest_k(&approx, rerank);
+        let shortlist = topk::smallest_k_by(candidates.len(), rerank, |i| {
+            kernel::adc_eval(table, self.code_of(candidates[i] as usize))
+        });
         let exact_ids: Vec<u32> = shortlist.iter().map(|&i| candidates[i]).collect();
         let ids = usp_index::rerank::rerank(&self.data, query, &exact_ids, k, self.config.distance);
-        SearchResult::new(ids, rerank)
+        SearchResult::new(ids, rerank).with_compressed_scanned(candidates.len())
     }
 
     /// Full-dataset quantized search (the "vanilla ScaNN" baseline of Figure 7).
@@ -134,6 +156,18 @@ impl ScannSearcher {
 impl AnnSearcher for ScannSearcher {
     fn search(&self, query: &[f32], k: usize) -> SearchResult {
         self.search_all(query, k)
+    }
+
+    /// Parallel batch path: one ADC table per query through the batch-table API, the
+    /// full-id candidate list allocated once — element-wise identical to per-row
+    /// [`Self::search`] (tables are pure functions of the query).
+    fn search_batch(&self, queries: &Matrix, k: usize) -> Vec<SearchResult> {
+        let all: Vec<u32> = (0..self.data.rows() as u32).collect();
+        let tables = self.pq.adc_tables_batch(self.config.distance, queries);
+        (0..queries.rows())
+            .into_par_iter()
+            .map(|qi| self.search_in_candidates_with_table(queries.row(qi), &tables[qi], &all, k))
+            .collect()
     }
 
     fn name(&self) -> String {

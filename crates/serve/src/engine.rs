@@ -17,10 +17,13 @@ pub struct QueryOptions {
     pub k: usize,
     /// Number of bins to probe (`m′` of Algorithm 2), clamped to the bin count.
     pub probes: usize,
-    /// Cap on the number of candidates re-ranked per query. Candidates are kept in
-    /// bin-rank-then-bucket order, so the budget drops points from the *least*
-    /// probable probed bins first. `None` = exact Algorithm 2 (identical to
-    /// [`PartitionIndex::search`]).
+    /// Cap on the number of candidates scored **exactly** per query. In exact mode
+    /// candidates are kept in bin-rank-then-bucket order, so the budget drops points
+    /// from the *least* probable probed bins first; in compressed mode the same
+    /// number of exact evaluations is spent on the ADC-best shortlist instead (the
+    /// whole probed stream is still ADC-scored). `None` = the index's own default:
+    /// exact Algorithm 2, or the configured compressed `rerank_budget` (identical to
+    /// [`PartitionIndex::search`] either way).
     pub rerank_budget: Option<usize>,
 }
 
@@ -118,6 +121,7 @@ impl<P: Partitioner> QueryEngine<P> {
             &[busy],
             bins.into_iter(),
             result.candidates_scanned as u64,
+            result.compressed_scanned as u64,
             busy,
         );
         result
@@ -140,6 +144,11 @@ impl<P: Partitioner> QueryEngine<P> {
             .index
             .partitioner()
             .rank_bins_batch(queries, opts.probes);
+        // Compressed indexes amortise ADC-table construction across the micro-batch:
+        // one table per query, built in a single parallel region, shared by the scan
+        // fan-out below (tables are pure functions of the query, so per-batch tables
+        // answer bit-identically to per-query ones). `None` for exact indexes.
+        let tables = self.index.adc_tables_batch(queries);
         // The batched route work is shared; attribute an even share to each query's
         // recorded latency so percentiles still reflect end-to-end per-query cost.
         let route_share_us = (t0.elapsed().as_micros() as u64) / (queries.rows().max(1) as u64);
@@ -147,9 +156,13 @@ impl<P: Partitioner> QueryEngine<P> {
             .into_par_iter()
             .map(|qi| {
                 let t_scan = Instant::now();
-                let result =
-                    self.index
-                        .scan_bins(queries.row(qi), &ranked[qi], opts.k, opts.rerank_budget);
+                let result = self.index.scan_bins_with_table(
+                    queries.row(qi),
+                    &ranked[qi],
+                    opts.k,
+                    opts.rerank_budget,
+                    tables.as_ref().map(|t| &t[qi]),
+                );
                 Answered {
                     result,
                     latency_us: route_share_us + t_scan.elapsed().as_micros() as u64,
@@ -163,10 +176,15 @@ impl<P: Partitioner> QueryEngine<P> {
             .iter()
             .map(|a| a.result.candidates_scanned as u64)
             .sum();
+        let compressed: u64 = answered
+            .iter()
+            .map(|a| a.result.compressed_scanned as u64)
+            .sum();
         self.stats.record_batch(
             &latencies,
             ranked.iter().flat_map(|bins| bins.iter().copied()),
             scanned,
+            compressed,
             busy,
         );
         answered.into_iter().map(|a| a.result).collect()

@@ -29,12 +29,21 @@
 //! size** — `tests/shard_equivalence.rs` pins this across shard counts {1, 2, 4, 7},
 //! pool sizes, per-request knobs (including re-rank budgets) and micro-batched
 //! submissions.
+//!
+//! Compressed ([`usp_index::Scoring::Compressed`]) indexes shard the same way, with
+//! each shard additionally owning its bins' contiguous code slices
+//! ([`PartitionIndex::extract_bin_codes`]). Scatter tasks then ADC-score their code
+//! slices through the query's shared lookup table (keeping an ADC top-`shortlist`
+//! instead of a top-k), and the gather re-selects the global shortlist before exactly
+//! re-ranking it — reproducing the monolith's two-phase scan bit-for-bit under the
+//! same restriction argument, just with ADC scores in the scatter phase.
 
 use std::sync::Arc;
 use std::time::Instant;
 
 use rayon::prelude::*;
 use usp_index::{PartitionIndex, Partitioner, SearchResult};
+use usp_linalg::kernel::AdcTable;
 use usp_linalg::{kernel, topk, Matrix};
 
 use crate::engine::{BatchEngine, QueryOptions};
@@ -142,6 +151,9 @@ struct ShardData {
     /// `slots[bin]` = `(local_start, len)` of the bin's rows in `points`; `None` for
     /// bins this shard does not own.
     slots: Vec<Option<(u32, u32)>>,
+    /// Compressed codes of the owned rows (same row order as `points`, stride
+    /// [`usp_index::CodeQuantizer::code_len`]); `None` when the index scores exactly.
+    codes: Option<Vec<u8>>,
 }
 
 /// A slice of one query's candidate stream that lands on a single shard: `take`
@@ -158,9 +170,13 @@ struct Slice {
 struct Route {
     /// Ranked probed bins (recorded in the stats, like the monolith does).
     probed_bins: Vec<usize>,
-    /// Total candidates scanned after the re-rank budget — equals the monolith's
-    /// `candidates_scanned` by construction.
+    /// Exact distance evaluations this query pays — the budget-truncated stream
+    /// length in exact mode, the attainable ADC shortlist size in compressed mode.
+    /// Equals the monolith's `candidates_scanned` by construction.
     scanned: usize,
+    /// Candidates ADC-scored in compressed mode (the full probed stream); 0 in exact
+    /// mode. Equals the monolith's `compressed_scanned`.
+    compressed: usize,
     /// Per touched shard: the shard and its candidate slices in bin-rank order.
     subs: Vec<(usize, Vec<Slice>)>,
     route_us: u64,
@@ -220,6 +236,7 @@ impl<P: Partitioner> ShardedEngine<P> {
             .map(|s| {
                 let bins = map.bins_of(s);
                 let (points, global_ids) = index.extract_bins(bins);
+                let codes = index.extract_bin_codes(bins);
                 let mut slots = vec![None; index.num_bins()];
                 let mut offset = 0u32;
                 for &b in bins {
@@ -231,6 +248,7 @@ impl<P: Partitioner> ShardedEngine<P> {
                     points,
                     global_ids,
                     slots,
+                    codes,
                 }
             })
             .collect()
@@ -301,25 +319,54 @@ impl<P: Partitioner> ShardedEngine<P> {
         for (ti, &(qi, _)) in tasks.iter().enumerate() {
             task_ids[qi].push(ti);
         }
+        // Compressed indexes amortise ADC-table construction across the batch, exactly
+        // like the monolith engine: one table per query, shared by every scatter task
+        // of that query. `None` for exact indexes.
+        let tables = self.index.adc_tables_batch(queries);
         let partials: Vec<Partial> = tasks
             .par_iter()
-            .map(|&(qi, si)| self.run_task(queries.row(qi), &routes[qi].subs[si], opts.k))
+            .map(|&(qi, si)| {
+                // Compressed tasks keep a per-shard ADC top-`scanned` (the global
+                // shortlist restricted to one shard can never exceed the shortlist);
+                // exact tasks keep a per-shard top-k as before.
+                let keep = if tables.is_some() {
+                    routes[qi].scanned
+                } else {
+                    opts.k
+                };
+                self.run_task(
+                    queries.row(qi),
+                    &routes[qi].subs[si],
+                    keep,
+                    tables.as_ref().map(|t| &t[qi]),
+                )
+            })
             .collect();
 
         // Phase 3 — gather: merge each query's per-shard top-k lists (parallel over
         // queries; the ordered collect keeps request order).
         let merged: Vec<(SearchResult, u64)> = (0..queries.rows())
             .into_par_iter()
-            .map(|qi| Self::gather(&routes[qi], &task_ids[qi], &partials, opts.k))
+            .map(|qi| {
+                self.gather(
+                    queries.row(qi),
+                    &routes[qi],
+                    &task_ids[qi],
+                    &partials,
+                    opts.k,
+                )
+            })
             .collect();
 
         let busy = t0.elapsed().as_micros() as u64;
         let latencies: Vec<u64> = merged.iter().map(|(_, us)| *us).collect();
         let scanned: u64 = routes.iter().map(|r| r.scanned as u64).sum();
+        let compressed: u64 = routes.iter().map(|r| r.compressed as u64).sum();
         self.stats.record_batch(
             &latencies,
             routes.iter().flat_map(|r| r.probed_bins.iter().copied()),
             scanned,
+            compressed,
             busy,
         );
         merged.into_iter().map(|(r, _)| r).collect()
@@ -344,14 +391,22 @@ impl<P: Partitioner> ShardedEngine<P> {
     /// bins by owning shard (`rank_share_us` is this query's share of the batched
     /// bin-ranking forward, folded into the recorded route latency).
     ///
-    /// The monolith concatenates bucket contents in bin-rank order and truncates to
-    /// the budget; a candidate therefore survives iff its global position is below the
-    /// budget. Tracking each bin's start offset in that untruncated concatenation
+    /// In exact mode the monolith concatenates bucket contents in bin-rank order and
+    /// truncates to the budget; a candidate therefore survives iff its global position
+    /// is below the budget. In compressed mode the monolith ADC-scores the *whole*
+    /// stream and the budget instead sizes the exactly re-ranked shortlist, so the
+    /// slices cover every probed bucket and `scanned` is the attainable shortlist.
+    /// Either way, tracking each bin's start offset in the untruncated concatenation
     /// gives every shard-local candidate its global position — the tie-break key the
     /// merge needs for bit-identical answers.
     fn route(&self, bins: Vec<usize>, opts: &QueryOptions, rank_share_us: u64) -> Route {
         let t0 = Instant::now();
-        let budget = opts.rerank_budget.unwrap_or(usize::MAX);
+        let compressed_mode = self.index.compressed_rerank_budget();
+        let budget = match compressed_mode {
+            // Compressed: no stream truncation — the ADC pass sees everything.
+            Some(_) => usize::MAX,
+            None => opts.rerank_budget.unwrap_or(usize::MAX),
+        };
         let mut subs: Vec<(usize, Vec<Slice>)> = Vec::new();
         let mut offset = 0usize;
         let mut scanned = 0usize;
@@ -374,51 +429,97 @@ impl<P: Partitioner> ShardedEngine<P> {
             }
             offset += len as usize;
         }
+        let (scanned, compressed) = match compressed_mode {
+            Some(default_budget) => {
+                let shortlist = opts.rerank_budget.unwrap_or(default_budget).max(opts.k);
+                (shortlist.min(offset), offset)
+            }
+            None => (scanned, 0),
+        };
         Route {
             probed_bins: bins,
             scanned,
+            compressed,
             subs,
             route_us: rank_share_us + t0.elapsed().as_micros() as u64,
         }
     }
 
     /// Phase 2 for one (query, shard) task: stream the shard-local candidate slices —
-    /// each a contiguous run of the shard's bin-ordered point copy — through the
-    /// blocked kernel, keeping the shard's top `k` under the (distance, global
-    /// position) order.
+    /// each a contiguous run of the shard's bin-ordered copy — through the blocked
+    /// kernel, keeping the shard's top `keep` under the (score, global position)
+    /// order. Exact tasks (`table` = `None`) score rows with the distance kernels and
+    /// `keep` = k; compressed tasks ADC-score the shard's code slices through the
+    /// query's shared table and `keep` = the query's shortlist size.
     ///
-    /// The fused scan breaks distance ties by index into the scanned stream; the
-    /// slices are visited in bin-rank order, so that index order *is* ascending global
-    /// position — each shard's survivors are exactly the monolith's top-k restricted
-    /// to this shard. The distances are the same bits the monolith's
-    /// [`PartitionIndex::scan_bins`] computes, because both call the same kernel over
-    /// bit-exact row copies.
-    fn run_task(&self, query: &[f32], sub: &(usize, Vec<Slice>), k: usize) -> Partial {
+    /// The fused scans break score ties by index into the scanned stream; the slices
+    /// are visited in bin-rank order, so that index order *is* ascending global
+    /// position — each shard's survivors are exactly the monolith's top-`keep`
+    /// restricted to this shard. The scores are the same bits the monolith's
+    /// [`PartitionIndex::scan_bins`] computes, because both call the same kernels
+    /// over bit-exact copies.
+    fn run_task(
+        &self,
+        query: &[f32],
+        sub: &(usize, Vec<Slice>),
+        keep: usize,
+        table: Option<&AdcTable>,
+    ) -> Partial {
         let t0 = Instant::now();
         let (shard_id, slices) = sub;
         let shard = &self.shards[*shard_id];
-        let dim = shard.points.cols();
-        let mut scan = kernel::SegmentedScan::new(self.index.distance(), query, dim, k);
-        for (si, s) in slices.iter().enumerate() {
-            let lo = s.local_start as usize * dim;
-            scan.scan_segment(
-                &shard.points.as_slice()[lo..lo + s.take as usize * dim],
-                s.take as usize,
-                si,
-            );
-        }
-        let entries = scan
-            .into_winners()
-            .into_iter()
-            .map(|(si, off, dist)| {
-                let s = &slices[si];
-                (
-                    s.global_offset + off,
-                    dist,
-                    shard.global_ids[s.local_start as usize + off],
-                )
-            })
-            .collect();
+        let entries = match table {
+            None => {
+                let dim = shard.points.cols();
+                let mut scan = kernel::SegmentedScan::new(self.index.distance(), query, dim, keep);
+                for (si, s) in slices.iter().enumerate() {
+                    let lo = s.local_start as usize * dim;
+                    scan.scan_segment(
+                        &shard.points.as_slice()[lo..lo + s.take as usize * dim],
+                        s.take as usize,
+                        si,
+                    );
+                }
+                scan.into_winners()
+                    .into_iter()
+                    .map(|(si, off, dist)| {
+                        let s = &slices[si];
+                        (
+                            s.global_offset + off,
+                            dist,
+                            shard.global_ids[s.local_start as usize + off],
+                        )
+                    })
+                    .collect()
+            }
+            Some(table) => {
+                let codes = shard
+                    .codes
+                    .as_ref()
+                    .expect("compressed index shards carry code slices");
+                let m = self
+                    .index
+                    .quantizer()
+                    .expect("compressed index has a quantizer")
+                    .code_len();
+                let mut scan = kernel::AdcScan::new(table, m, keep);
+                for (si, s) in slices.iter().enumerate() {
+                    let lo = s.local_start as usize * m;
+                    scan.scan_segment(&codes[lo..lo + s.take as usize * m], s.take as usize, si);
+                }
+                scan.into_winners()
+                    .into_iter()
+                    .map(|(si, off, _pos, dist)| {
+                        let s = &slices[si];
+                        (
+                            s.global_offset + off,
+                            dist,
+                            shard.global_ids[s.local_start as usize + off],
+                        )
+                    })
+                    .collect()
+            }
+        };
         Partial {
             entries,
             task_us: t0.elapsed().as_micros() as u64,
@@ -426,13 +527,20 @@ impl<P: Partitioner> ShardedEngine<P> {
     }
 
     /// Phase 3 for one query: pool the shard partials, restore global candidate order,
-    /// and re-select the final top `k`.
+    /// and re-select the final answer.
     ///
     /// Sorting the pooled entries by global position makes `smallest_k_by`'s
     /// tie-by-index identical to the monolith's tie-by-candidate-position, and every
-    /// monolith winner is present (it survived its own shard's top-k), so the selected
-    /// ids — and their order — match the unsharded re-rank exactly.
+    /// monolith winner is present (it survived its own shard's top-`keep`), so the
+    /// selection matches the unsharded scan exactly. Exact mode stops there; in
+    /// compressed mode the pooled scores are ADC scores, so the gather re-selects the
+    /// global shortlist (`route.scanned` best ADC candidates), restores *its* stream
+    /// order, and re-ranks the survivors with the exact kernel over the routing
+    /// index's rows — the same bits and tie order as the monolith's two-phase
+    /// [`PartitionIndex::scan_bins`], hence bit-identical answers in both modes.
     fn gather(
+        &self,
+        query: &[f32],
         route: &Route,
         task_ids: &[usize],
         partials: &[Partial],
@@ -444,17 +552,37 @@ impl<P: Partitioner> ShardedEngine<P> {
             .flat_map(|&ti| partials[ti].entries.iter().copied())
             .collect();
         pooled.sort_unstable_by_key(|&(pos, _, _)| pos);
-        let ids: Vec<usize> = topk::smallest_k_by(pooled.len(), k, |i| pooled[i].1)
-            .into_iter()
-            .map(|i| pooled[i].2 as usize)
-            .collect();
+        let result = if route.compressed == 0 {
+            let ids: Vec<usize> = topk::smallest_k_by(pooled.len(), k, |i| pooled[i].1)
+                .into_iter()
+                .map(|i| pooled[i].2 as usize)
+                .collect();
+            SearchResult::new(ids, route.scanned)
+        } else {
+            // Global ADC shortlist, then back into stream order so the exact
+            // re-rank's tie-by-push-index equals tie-by-stream-position.
+            let mut survivors = topk::smallest_k_by(pooled.len(), route.scanned, |i| pooled[i].1);
+            survivors.sort_unstable();
+            let scorer = kernel::QueryScorer::new(self.index.distance(), query);
+            let data = self.index.data();
+            let mut top = topk::TopK::new(k);
+            for (rank, &i) in survivors.iter().enumerate() {
+                top.push(rank, scorer.eval(data.row(pooled[i].2 as usize)));
+            }
+            let ids = top
+                .into_sorted()
+                .into_iter()
+                .map(|(rank, _)| pooled[survivors[rank]].2 as usize)
+                .collect();
+            SearchResult::new(ids, survivors.len()).with_compressed_scanned(route.compressed)
+        };
         let slowest_shard = task_ids
             .iter()
             .map(|&ti| partials[ti].task_us)
             .max()
             .unwrap_or(0);
         let latency = route.route_us + slowest_shard + t0.elapsed().as_micros() as u64;
-        (SearchResult::new(ids, route.scanned), latency)
+        (result, latency)
     }
 }
 

@@ -115,6 +115,9 @@ struct Inner {
     queries: u64,
     batches: u64,
     candidates_scanned: u64,
+    /// Candidates scored in the compressed domain (ADC lookups) before the exact
+    /// pass; 0 while the engine serves an exact-mode index.
+    compressed_scanned: u64,
     /// Wall-clock busy time across batches, µs (idle time between batches excluded,
     /// so `qps` measures the engine, not the request arrival process).
     busy_us: u64,
@@ -130,6 +133,7 @@ impl ServeStats {
                 queries: 0,
                 batches: 0,
                 candidates_scanned: 0,
+                compressed_scanned: 0,
                 busy_us: 0,
                 latencies: LatencyHistogram::new(),
                 bin_probes: vec![0; bins],
@@ -137,18 +141,22 @@ impl ServeStats {
         }
     }
 
-    /// Folds one served batch into the counters.
+    /// Folds one served batch into the counters. `candidates_scanned` counts exact
+    /// distance evaluations; `compressed_scanned` counts first-pass ADC evaluations
+    /// (0 for exact-mode engines).
     pub(crate) fn record_batch(
         &self,
         latencies_us: &[u64],
         probed_bins: impl Iterator<Item = usize>,
         candidates_scanned: u64,
+        compressed_scanned: u64,
         busy_us: u64,
     ) {
         let mut inner = self.inner.lock().unwrap();
         inner.queries += latencies_us.len() as u64;
         inner.batches += 1;
         inner.candidates_scanned += candidates_scanned;
+        inner.compressed_scanned += compressed_scanned;
         inner.busy_us += busy_us;
         for &l in latencies_us {
             inner.latencies.record(l);
@@ -168,6 +176,14 @@ impl ServeStats {
             mean_batch_size: ratio(inner.queries as f64, inner.batches as f64),
             qps: ratio(inner.queries as f64, busy_secs),
             mean_candidates: ratio(inner.candidates_scanned as f64, inner.queries as f64),
+            mean_compressed_candidates: ratio(
+                inner.compressed_scanned as f64,
+                inner.queries as f64,
+            ),
+            survivor_ratio: ratio(
+                inner.candidates_scanned as f64,
+                inner.compressed_scanned as f64,
+            ),
             mean_latency_us: inner.latencies.mean(),
             p50_latency_us: inner.latencies.percentile(0.50),
             p99_latency_us: inner.latencies.percentile(0.99),
@@ -183,6 +199,7 @@ impl ServeStats {
             queries: 0,
             batches: 0,
             candidates_scanned: 0,
+            compressed_scanned: 0,
             busy_us: 0,
             latencies: LatencyHistogram::new(),
             bin_probes: vec![0; bins],
@@ -209,8 +226,13 @@ pub struct StatsSnapshot {
     pub mean_batch_size: f64,
     /// Queries per second of engine busy time (idle gaps between batches excluded).
     pub qps: f64,
-    /// Mean candidate-set size per query.
+    /// Mean candidate-set size per query (exact distance evaluations).
     pub mean_candidates: f64,
+    /// Mean compressed-pass (ADC) candidates per query; 0.0 for exact-mode engines.
+    pub mean_compressed_candidates: f64,
+    /// Fraction of compressed-pass candidates surviving into the exact re-rank
+    /// (`candidates_scanned / compressed_scanned`); 0.0 when no compressed pass ran.
+    pub survivor_ratio: f64,
     /// Mean per-query latency, µs (exact).
     pub mean_latency_us: f64,
     /// Median per-query latency, µs (log-bucketed: exact below 128 µs, within 1/64
@@ -234,7 +256,7 @@ mod tests {
         // idx = round((n-1) * q): round(49.5) = 50 -> value 51.
         let stats = ServeStats::new(1);
         let samples: Vec<u64> = (1..=100).collect();
-        stats.record_batch(&samples, std::iter::empty(), 0, 100);
+        stats.record_batch(&samples, std::iter::empty(), 0, 0, 100);
         let snap = stats.snapshot();
         assert_eq!(snap.p50_latency_us, 51);
         assert_eq!(snap.p99_latency_us, 99);
@@ -251,7 +273,7 @@ mod tests {
         assert_eq!(snap.qps, 0.0);
         // A batch that recorded zero queries (possible via an empty flush) must not
         // poison the ratios either.
-        stats.record_batch(&[], std::iter::empty(), 0, 5);
+        stats.record_batch(&[], std::iter::empty(), 0, 0, 5);
         let snap = stats.snapshot();
         assert_eq!(snap.queries, 0);
         assert_eq!(snap.batches, 1);
@@ -263,7 +285,7 @@ mod tests {
     #[test]
     fn single_sample_is_every_percentile() {
         let stats = ServeStats::new(1);
-        stats.record_batch(&[42], [0usize].into_iter(), 10, 42);
+        stats.record_batch(&[42], [0usize].into_iter(), 10, 0, 42);
         let snap = stats.snapshot();
         assert_eq!(snap.mean_latency_us, 42.0);
         assert_eq!(snap.p50_latency_us, 42);
@@ -273,7 +295,7 @@ mod tests {
     #[test]
     fn all_equal_latencies_collapse_the_distribution() {
         let stats = ServeStats::new(1);
-        stats.record_batch(&[7; 33], std::iter::empty(), 0, 33);
+        stats.record_batch(&[7; 33], std::iter::empty(), 0, 0, 33);
         let snap = stats.snapshot();
         assert_eq!(snap.mean_latency_us, 7.0);
         assert_eq!(snap.p50_latency_us, 7);
@@ -286,7 +308,7 @@ mod tests {
         // sample) and p99 lands there too — documents the nearest-rank convention so a
         // refactor cannot silently shift it.
         let stats = ServeStats::new(1);
-        stats.record_batch(&[10, 20], std::iter::empty(), 0, 30);
+        stats.record_batch(&[10, 20], std::iter::empty(), 0, 0, 30);
         let snap = stats.snapshot();
         assert_eq!(snap.p50_latency_us, 20);
         assert_eq!(snap.p99_latency_us, 20);
@@ -300,8 +322,8 @@ mod tests {
         // recorded after a million cheap queries still surfaces at p100, within the
         // documented 1/64 relative error, and the mean stays exact.
         let stats = ServeStats::new(1);
-        stats.record_batch(&vec![5; 1 << 20], std::iter::empty(), 0, 100);
-        stats.record_batch(&[1_000_000], std::iter::empty(), 0, 100);
+        stats.record_batch(&vec![5; 1 << 20], std::iter::empty(), 0, 0, 100);
+        stats.record_batch(&[1_000_000], std::iter::empty(), 0, 0, 100);
         let snap = stats.snapshot();
         assert_eq!(snap.queries, (1 << 20) + 1);
         assert_eq!(snap.batches, 2);
@@ -353,10 +375,30 @@ mod tests {
     }
 
     #[test]
+    fn compressed_pass_telemetry_tracks_survivor_ratio() {
+        let stats = ServeStats::new(2);
+        // Exact-only traffic leaves the compressed counters at zero (and the ratio
+        // well-defined at 0.0, not NaN).
+        stats.record_batch(&[5, 5], std::iter::empty(), 40, 0, 10);
+        let snap = stats.snapshot();
+        assert_eq!(snap.mean_compressed_candidates, 0.0);
+        assert_eq!(snap.survivor_ratio, 0.0);
+        // Two compressed queries: 1000 ADC evaluations feeding 100 exact re-ranks.
+        stats.record_batch(&[5, 5], std::iter::empty(), 60, 1000, 10);
+        let snap = stats.snapshot();
+        assert_eq!(snap.queries, 4);
+        assert_eq!(snap.mean_candidates, 25.0);
+        assert_eq!(snap.mean_compressed_candidates, 250.0);
+        assert_eq!(snap.survivor_ratio, 0.1);
+        stats.reset();
+        assert_eq!(stats.snapshot().survivor_ratio, 0.0);
+    }
+
+    #[test]
     fn record_and_snapshot_round_trip() {
         let stats = ServeStats::new(4);
-        stats.record_batch(&[10, 20, 30], [0usize, 1, 1, 3].into_iter(), 600, 60);
-        stats.record_batch(&[40], [2usize].into_iter(), 100, 40);
+        stats.record_batch(&[10, 20, 30], [0usize, 1, 1, 3].into_iter(), 600, 0, 60);
+        stats.record_batch(&[40], [2usize].into_iter(), 100, 0, 40);
         let snap = stats.snapshot();
         assert_eq!(snap.queries, 4);
         assert_eq!(snap.batches, 2);

@@ -171,6 +171,42 @@ fn partition_index_build_is_thread_count_invariant() {
 }
 
 #[test]
+fn compressed_index_build_is_thread_count_invariant() {
+    // The CSR code array is encoded in a parallel region at `with_scoring` time and
+    // the quantizer itself trains each subspace in parallel; both must be
+    // thread-count invariant for compressed answers to be reproducible.
+    let data = synthetic::blobs(500, 8, 4, 1.5, 81).points().clone();
+    let queries = random_matrix(12, 8, 82);
+
+    let build = |threads: usize| {
+        with_num_threads(threads, || {
+            let pq = ProductQuantizer::fit(&data, &ProductQuantizerConfig::standard(4, 8));
+            let partitioner = KMeansPartitioner::fit(&data, 4, 7);
+            PartitionIndex::build(partitioner, &data, DIST)
+                .with_scoring(usp_index::Scoring::compressed(Arc::new(pq), 30))
+        })
+    };
+    let reference = build(1);
+    for &t in THREAD_COUNTS {
+        let index = build(t);
+        for bin in 0..reference.num_bins() {
+            assert_eq!(
+                reference.bin_codes(bin),
+                index.bin_codes(bin),
+                "bin {bin} codes differ at {t} threads"
+            );
+        }
+        for qi in 0..queries.rows() {
+            assert_eq!(
+                reference.search(queries.row(qi), 5, 2),
+                with_num_threads(t, || index.search(queries.row(qi), 5, 2)),
+                "compressed search differs at {t} threads"
+            );
+        }
+    }
+}
+
+#[test]
 fn recall_sweep_is_thread_count_invariant() {
     // The batch query-scoring loop in usp-eval fans out per query; its ordered merge
     // must keep the sweep deterministic.

@@ -157,7 +157,7 @@ impl Partitioner for CrossPolytopeLsh {
 mod tests {
     use super::*;
     use usp_index::{PartitionIndex, Partitioner};
-    use usp_linalg::Distance;
+    use usp_linalg::{topk, Distance};
 
     fn gaussian(n: usize, d: usize, seed: u64) -> Matrix {
         lrng::normal_matrix(&mut lrng::seeded(seed), n, d, 1.0)
@@ -198,13 +198,38 @@ mod tests {
         let own = lsh.hash(q);
         let ranked = lsh.rank_bins(q, 2);
         // The second-ranked bin differs from the own bin by exactly the lowest-|margin| bit.
+        // Nan-class comparator, not `partial_cmp().unwrap()`: a degenerate query (see the
+        // NaN regression below) must break the assertion, not the comparator.
         let cheapest_bit = margins
             .iter()
             .enumerate()
-            .min_by(|a, b| a.1.abs().partial_cmp(&b.1.abs()).unwrap())
+            .min_by(|a, b| topk::nan_class_cmp(a.1.abs(), b.1.abs()))
             .unwrap()
             .0;
         assert_eq!(ranked[1], own ^ (1 << cheapest_bit));
+    }
+
+    #[test]
+    fn hyperplane_nan_queries_rank_without_panicking() {
+        // One NaN coordinate poisons every margin. Pre-fix, the cheapest-bit selection
+        // above used `partial_cmp().unwrap()` and died on exactly this input; the
+        // nan-class comparator classes all-NaN margins as equal and picks the first
+        // bit, and bin ranking itself stays deterministic.
+        let data = gaussian(100, 4, 5);
+        let lsh = HyperplaneLsh::fit(&data, 3, 6);
+        let q = [f32::NAN, 0.5, -0.5, 1.0];
+        let margins = lsh.margins(&q);
+        assert!(margins.iter().all(|m| m.is_nan()));
+        let cheapest_bit = margins
+            .iter()
+            .enumerate()
+            .min_by(|a, b| topk::nan_class_cmp(a.1.abs(), b.1.abs()))
+            .unwrap()
+            .0;
+        assert_eq!(cheapest_bit, 0, "all-equal NaN class picks the first bit");
+        let ranked = lsh.rank_bins(&q, 8);
+        assert_eq!(ranked, lsh.rank_bins(&q, 8), "NaN ranking must be stable");
+        assert_eq!(ranked.len(), 8);
     }
 
     #[test]

@@ -204,6 +204,24 @@ mod tests {
     }
 
     #[test]
+    fn exact_knn_with_nan_rows_ranks_them_strictly_last() {
+        // A corrupt base row (all-NaN) must not panic the ground truth and must lose
+        // every comparison: the nan-class order puts NaN distances after all finite
+        // ones, ties broken by index.
+        let base = Matrix::from_vec(4, 2, vec![0.0, 0.0, f32::NAN, f32::NAN, 1.0, 1.0, 5.0, 5.0]);
+        let q = Matrix::from_vec(1, 2, vec![0.1, 0.1]);
+        let got = exact_knn(&base, &q, 4, Distance::SquaredEuclidean);
+        assert_eq!(got[0], vec![0, 2, 3, 1], "NaN row must rank last");
+        // And the naive nan-class oracle (the proptest comparator) agrees.
+        let mut dists: Vec<(usize, f32)> = (0..4)
+            .map(|i| (i, Distance::SquaredEuclidean.eval(q.row(0), base.row(i))))
+            .collect();
+        dists.sort_by(|a, b| topk::nan_class_cmp(a.1, b.1).then(a.0.cmp(&b.0)));
+        let naive: Vec<usize> = dists.into_iter().map(|(i, _)| i).collect();
+        assert_eq!(got[0], naive);
+    }
+
+    #[test]
     fn knn_accuracy_counts_overlap() {
         assert_eq!(knn_accuracy(&[1, 2, 3], &[1, 2, 3]), 1.0);
         assert_eq!(knn_accuracy(&[1, 9, 8], &[1, 2, 3]), 1.0 / 3.0);
@@ -229,7 +247,9 @@ mod proptests {
             let mut dists: Vec<(usize, f32)> = (0..n)
                 .map(|i| (i, Distance::SquaredEuclidean.eval(q.row(0), base.row(i))))
                 .collect();
-            dists.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)));
+            // Nan-class comparator, not `partial_cmp().unwrap()`: the oracle must not
+            // be the one thing in the pipeline that panics on a NaN distance.
+            dists.sort_by(|a, b| topk::nan_class_cmp(a.1, b.1).then(a.0.cmp(&b.0)));
             let naive: Vec<usize> = dists.into_iter().take(k).map(|(i, _)| i).collect();
             prop_assert_eq!(&fast[0], &naive);
         }

@@ -8,7 +8,7 @@
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use usp_index::SearchResult;
-use usp_linalg::Matrix;
+use usp_linalg::{topk, Matrix};
 
 /// One point of a recall-vs-candidates curve.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -81,7 +81,9 @@ pub fn sweep_probes(
 /// Returns `None` when the sweep never reaches the target.
 pub fn candidates_at_recall(points: &[SweepPoint], target_recall: f64) -> Option<f64> {
     let mut sorted: Vec<&SweepPoint> = points.iter().collect();
-    sorted.sort_by(|a, b| a.mean_candidates.partial_cmp(&b.mean_candidates).unwrap());
+    // Nan-class comparator: a sweep point with a NaN mean (e.g. a recall curve built
+    // from a corrupt run) sorts strictly last instead of panicking the whole report.
+    sorted.sort_by(|a, b| topk::nan_class_cmp_f64(a.mean_candidates, b.mean_candidates));
     let mut prev: Option<&SweepPoint> = None;
     for p in sorted {
         if p.recall >= target_recall {
@@ -170,6 +172,34 @@ mod tests {
         assert!((c - 150.0).abs() < 1e-6);
         assert!(candidates_at_recall(&points, 0.95).is_none());
         assert!((candidates_at_recall(&points, 0.5).unwrap() - 100.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn interpolation_survives_nan_sweep_points() {
+        // A corrupt point (NaN mean) must neither panic the sort (the pre-fix
+        // `partial_cmp().unwrap()` did) nor shadow the valid curve: the nan class
+        // sorts strictly last, so interpolation over the finite points still works.
+        let points = vec![
+            SweepPoint {
+                probes: 3,
+                mean_candidates: f64::NAN,
+                recall: 0.2,
+            },
+            SweepPoint {
+                probes: 1,
+                mean_candidates: 100.0,
+                recall: 0.5,
+            },
+            SweepPoint {
+                probes: 2,
+                mean_candidates: 200.0,
+                recall: 0.9,
+            },
+        ];
+        let c = candidates_at_recall(&points, 0.7).unwrap();
+        assert!((c - 150.0).abs() < 1e-6);
+        // An unreached target is still an orderly None, NaN point present or not.
+        assert!(candidates_at_recall(&points, 0.95).is_none());
     }
 
     #[test]

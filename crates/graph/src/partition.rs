@@ -46,9 +46,16 @@ impl GraphPartitionConfig {
 }
 
 /// Partitions the graph into `cfg.bins` balanced parts, returning one label per vertex.
+///
+/// # Panics
+///
+/// If `cfg.bins == 0`. Zero bins used to be silently clamped to one, which produced
+/// an all-zero labelling a caller almost certainly did not mean to train on; a
+/// misconfiguration now fails loudly at the call site.
 pub fn partition_graph(graph: &KnnGraph, cfg: &GraphPartitionConfig) -> Vec<usize> {
     let n = graph.len();
-    let m = cfg.bins.max(1);
+    assert!(cfg.bins >= 1, "partition_graph: bins must be >= 1");
+    let m = cfg.bins;
     if n == 0 {
         return Vec::new();
     }
@@ -92,8 +99,15 @@ pub fn partition_graph(graph: &KnnGraph, cfg: &GraphPartitionConfig) -> Vec<usiz
             }
         }
         if best_score == f64::NEG_INFINITY {
-            // All bins at capacity (can only happen through rounding): pick the smallest.
-            best_bin = (0..m).min_by_key(|&b| sizes[b]).unwrap();
+            // All bins at capacity (can only happen through ceil-rounding the
+            // capacity when `n` is not divisible by `m`): deliberately overflow the
+            // smallest bin rather than fail — every node must receive a label, and
+            // the refinement passes below never grow a bin past the capacity again.
+            // The `min_by_key` is total because `m >= 1` is asserted above, so the
+            // range is never empty.
+            best_bin = (0..m)
+                .min_by_key(|&b| sizes[b])
+                .expect("bins >= 1 is asserted on entry");
         }
         labels[v] = best_bin;
         sizes[best_bin] += 1;
@@ -268,6 +282,16 @@ mod tests {
             .all(|&l| l == 0));
         let empty = KnnGraph::from_adjacency(vec![]);
         assert!(partition_graph(&empty, &GraphPartitionConfig::new(4)).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "bins must be >= 1")]
+    fn zero_bins_is_rejected_loudly() {
+        // Pre-fix, `bins: 0` was silently clamped to a single bin and returned an
+        // all-zero labelling — a misconfigured training run would "succeed" with
+        // useless supervision. It must panic instead.
+        let g = two_cluster_graph(5);
+        partition_graph(&g, &GraphPartitionConfig::new(0));
     }
 
     #[test]

@@ -14,16 +14,20 @@
 //!   by the non-partitioning indexes (HNSW, IVF) compared in Figure 7;
 //! * [`scoring`] — the exact-f32 vs compressed (PQ/ADC) scoring switch and the
 //!   [`scoring::CodeQuantizer`] interface quantizers implement to plug into it;
+//! * [`mutation`] — the streaming write path: per-bin membins, tombstones, and the
+//!   compaction bookkeeping behind `PartitionIndex::{insert, delete, compact}`;
 //! * [`rerank`] — brute-force re-ranking of a candidate list;
 //! * [`balance`] — partition balance statistics (the computational-cost side of the loss).
 
 pub mod balance;
+pub mod mutation;
 pub mod partition_index;
 pub mod partitioner;
 pub mod rerank;
 pub mod scoring;
 pub mod searcher;
 
+pub use mutation::{CompactionReport, MutationStats};
 pub use partition_index::PartitionIndex;
 pub use partitioner::Partitioner;
 pub use scoring::{CodeQuantizer, Scoring};

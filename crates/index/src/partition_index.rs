@@ -30,7 +30,8 @@
 //! first pass streams `code_len` bytes per candidate instead of `4 * dim`. Exact mode
 //! is untouched by construction: it is the same code path as before the enum existed.
 
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, RwLock};
 
 use rayon::prelude::*;
 use usp_linalg::kernel::AdcTable;
@@ -38,9 +39,23 @@ use usp_linalg::topk::TopK;
 use usp_linalg::{kernel, Distance, Matrix};
 
 use crate::balance::BalanceStats;
+use crate::mutation::{CompactionReport, DeltaView, MutationState, MutationStats};
 use crate::partitioner::Partitioner;
 use crate::scoring::{CodeQuantizer, Scoring};
 use crate::searcher::{AnnSearcher, SearchResult};
+
+/// Default [`PartitionIndex::needs_compaction`] threshold: compact once the delta
+/// (inserts + base tombstones) reaches 10% of the base point count.
+const DEFAULT_COMPACTION_THRESHOLD: f64 = 0.1;
+
+/// Where one scanned run of contiguous rows came from, for resolving segmented-scan
+/// winners of a delta-aware scan back to global ids.
+enum RunSrc {
+    /// Live CSR rows starting at this CSR local position.
+    Csr(usize),
+    /// Live membin rows of `(bin, first membin row)`.
+    Mem(usize, usize),
+}
 
 /// The resolved scoring state: [`Scoring`] plus the code array built from it.
 enum ScoringMode {
@@ -71,6 +86,14 @@ pub struct PartitionIndex<P: Partitioner> {
     flat: Matrix,
     /// Exact or compressed candidate scoring (exact unless configured).
     scoring: ScoringMode,
+    /// Outstanding inserts and tombstones (see [`crate::mutation`]). Queries read it
+    /// through [`Self::delta`]; `insert`/`delete` take the write lock per operation.
+    mutation: RwLock<MutationState>,
+    /// Fast dirty flag mirroring `!mutation.is_clean()`: a clean index's query path
+    /// never touches the lock and is bit-for-bit the pre-mutation-layer code path.
+    mutated: AtomicBool,
+    /// [`Self::needs_compaction`] fires when the delta fraction reaches this.
+    compaction_threshold: f64,
 }
 
 impl<P: Partitioner> PartitionIndex<P> {
@@ -152,6 +175,9 @@ impl<P: Partitioner> PartitionIndex<P> {
             bin_offsets,
             flat,
             scoring: ScoringMode::Exact,
+            mutation: RwLock::new(MutationState::new(dim, n, m)),
+            mutated: AtomicBool::new(false),
+            compaction_threshold: DEFAULT_COMPACTION_THRESHOLD,
         }
     }
 
@@ -164,6 +190,10 @@ impl<P: Partitioner> PartitionIndex<P> {
     /// to one never configured. Compressed scoring needs `dim > 0` (degenerate
     /// zero-dimensional datasets stay on the exact path).
     pub fn with_scoring(mut self, scoring: Scoring) -> Self {
+        assert!(
+            !self.is_mutated(),
+            "with_scoring: configure scoring before mutating the index"
+        );
         match scoring {
             Scoring::Exact => self.scoring = ScoringMode::Exact,
             Scoring::Compressed {
@@ -262,11 +292,32 @@ impl<P: Partitioner> PartitionIndex<P> {
     /// bin). [`Self::scan_bins`] scores exactly this stream without materialising it;
     /// `probe` remains the id-level view for callers that want the candidates
     /// themselves (diagnostics, external re-rankers).
+    /// With outstanding mutations the stream is the delta-aware one: live CSR ids in
+    /// bucket order, then the bin's live membin ids in insertion order — tombstoned
+    /// ids never appear.
     pub fn probe(&self, query: &[f32], probes: usize) -> (Vec<usize>, Vec<u32>) {
         let bins = self.partitioner.rank_bins(query, probes);
         let mut out = Vec::new();
+        if !self.is_mutated() {
+            for &b in &bins {
+                out.extend_from_slice(self.bucket(b));
+            }
+            return (bins, out);
+        }
+        let delta = self.delta();
         for &b in &bins {
-            out.extend_from_slice(self.bucket(b));
+            let start = self.bin_offsets[b];
+            for (j, &id) in self.bucket(b).iter().enumerate() {
+                if !delta.csr_deleted()[start + j] {
+                    out.push(id);
+                }
+            }
+            let mb = delta.membin(b);
+            for (j, &id) in mb.ids().iter().enumerate() {
+                if !mb.deleted()[j] {
+                    out.push(id);
+                }
+            }
         }
         (bins, out)
     }
@@ -293,7 +344,45 @@ impl<P: Partitioner> PartitionIndex<P> {
     /// re-gather. Row values are bit-exact copies, so distances computed against the
     /// extracted rows equal distances against the original rows. Listing a bin twice
     /// extracts its points twice.
+    ///
+    /// With outstanding mutations the extraction is delta-aware: tombstoned rows are
+    /// skipped and each bin's live membin rows follow its live CSR rows, mirroring
+    /// the delta scan stream. Callers needing the raw positional CSR copy (shard
+    /// views, which overlay the delta themselves) use [`Self::extract_bins_csr`].
     pub fn extract_bins(&self, bins: &[usize]) -> (Matrix, Vec<u32>) {
+        if !self.is_mutated() {
+            return self.extract_bins_csr(bins);
+        }
+        let dim = self.data.cols();
+        let delta = self.delta();
+        let mut flat = Vec::new();
+        let mut ids = Vec::new();
+        for &b in bins {
+            let start = self.bin_offsets[b];
+            for (j, &id) in self.bucket(b).iter().enumerate() {
+                if !delta.csr_deleted()[start + j] {
+                    flat.extend_from_slice(&self.bin_rows(b)[j * dim..(j + 1) * dim]);
+                    ids.push(id);
+                }
+            }
+            let mb = delta.membin(b);
+            for (j, &id) in mb.ids().iter().enumerate() {
+                if !mb.deleted()[j] {
+                    flat.extend_from_slice(mb.row(j));
+                    ids.push(id);
+                }
+            }
+        }
+        let total = ids.len();
+        (Matrix::from_vec(total, dim, flat), ids)
+    }
+
+    /// The raw positional bin extraction over the immutable CSR arrays only: exactly
+    /// the pre-mutation-layer [`Self::extract_bins`], ignoring membins and
+    /// tombstones. Row `j` of a listed bin's slice is always `bucket(bin)[j]`, so
+    /// positions line up with [`Self::bin_codes`] slices and with the delta's
+    /// CSR-position tombstone mask.
+    pub fn extract_bins_csr(&self, bins: &[usize]) -> (Matrix, Vec<u32>) {
         let dim = self.data.cols();
         let total: usize = bins
             .iter()
@@ -352,8 +441,16 @@ impl<P: Partitioner> PartitionIndex<P> {
         budget: Option<usize>,
         table: Option<&AdcTable>,
     ) -> SearchResult {
+        let delta = if self.is_mutated() {
+            Some(self.delta())
+        } else {
+            None
+        };
         match &self.scoring {
-            ScoringMode::Exact => self.scan_bins_exact(query, bins, k, budget),
+            ScoringMode::Exact => match delta {
+                None => self.scan_bins_exact(query, bins, k, budget),
+                Some(delta) => self.scan_bins_exact_delta(query, bins, k, budget, &delta),
+            },
             ScoringMode::Compressed {
                 quantizer,
                 codes,
@@ -368,15 +465,27 @@ impl<P: Partitioner> PartitionIndex<P> {
                     }
                 };
                 let shortlist = budget.unwrap_or(*rerank_budget).max(k);
-                self.scan_bins_compressed(
-                    query,
-                    table,
-                    codes,
-                    quantizer.code_len(),
-                    bins,
-                    k,
-                    shortlist,
-                )
+                match delta {
+                    None => self.scan_bins_compressed(
+                        query,
+                        table,
+                        codes,
+                        quantizer.code_len(),
+                        bins,
+                        k,
+                        shortlist,
+                    ),
+                    Some(delta) => self.scan_bins_compressed_delta(
+                        query,
+                        table,
+                        codes,
+                        quantizer.code_len(),
+                        bins,
+                        k,
+                        shortlist,
+                        &delta,
+                    ),
+                }
             }
         }
     }
@@ -471,6 +580,171 @@ impl<P: Partitioner> PartitionIndex<P> {
         SearchResult::new(ids, survivors.len()).with_compressed_scanned(compressed)
     }
 
+    /// [`Self::scan_bins_exact`] over a dirty index: per probed bin, the live CSR
+    /// rows (bucket order) then the live membin rows (insertion order), streamed as
+    /// contiguous live runs through the same [`kernel::SegmentedScan`]. The budget
+    /// counts **live** candidates, so `candidates_scanned` keeps its meaning (exact
+    /// distance evaluations) and a budgeted scan still truncates the least probable
+    /// end of the stream.
+    fn scan_bins_exact_delta(
+        &self,
+        query: &[f32],
+        bins: &[usize],
+        k: usize,
+        budget: Option<usize>,
+        delta: &MutationState,
+    ) -> SearchResult {
+        let budget = budget.unwrap_or(usize::MAX);
+        let dim = self.flat.cols();
+        let mut scan = kernel::SegmentedScan::new(self.distance, query, dim, k);
+        let mut runs: Vec<RunSrc> = Vec::new();
+        'bins: for &b in bins {
+            let start = self.bin_offsets[b];
+            let len = self.bin_offsets[b + 1] - start;
+            if scan.scanned() == budget {
+                break;
+            }
+            let remaining = budget - scan.scanned();
+            if delta.csr_dead_in_bin(b) == 0 {
+                // Untouched bin: one contiguous run, exactly the clean scan's take.
+                let take = len.min(remaining);
+                if take > 0 {
+                    runs.push(RunSrc::Csr(start));
+                    scan.scan_segment(
+                        &self.flat.as_slice()[start * dim..(start + take) * dim],
+                        take,
+                        runs.len() - 1,
+                    );
+                }
+            } else {
+                for (off, rlen) in
+                    kernel::live_runs(&delta.csr_deleted()[start..start + len], remaining)
+                {
+                    runs.push(RunSrc::Csr(start + off));
+                    scan.scan_segment(
+                        &self.flat.as_slice()[(start + off) * dim..(start + off + rlen) * dim],
+                        rlen,
+                        runs.len() - 1,
+                    );
+                }
+            }
+            let mb = delta.membin(b);
+            if !mb.is_empty() {
+                if scan.scanned() == budget {
+                    break 'bins;
+                }
+                let remaining = budget - scan.scanned();
+                for (off, rlen) in kernel::live_runs(mb.deleted(), remaining) {
+                    runs.push(RunSrc::Mem(b, off));
+                    scan.scan_segment(
+                        &mb.rows()[off * dim..(off + rlen) * dim],
+                        rlen,
+                        runs.len() - 1,
+                    );
+                }
+            }
+        }
+        let scanned = scan.scanned();
+        let ids = scan
+            .into_winners()
+            .into_iter()
+            .map(|(ri, off, _)| match runs[ri] {
+                RunSrc::Csr(start) => self.ids[start + off] as usize,
+                RunSrc::Mem(bin, row_start) => delta.membin(bin).ids()[row_start + off] as usize,
+            })
+            .collect();
+        SearchResult::new(ids, scanned)
+    }
+
+    /// [`Self::scan_bins_compressed`] over a dirty index. The compressed first pass
+    /// covers only the live **CSR** codes (membins carry no codes); the exact second
+    /// pass re-ranks the shortlist survivors in stream order and then appends every
+    /// live membin row of the probed bins — membin rows are always exact-scored, in
+    /// the same bin-rank/insertion stream order as the exact delta scan, so small
+    /// deltas cost `delta_live` extra exact evaluations instead of a re-encode.
+    /// `candidates_scanned` counts all exact evaluations (survivors + membin rows).
+    #[allow(clippy::too_many_arguments)]
+    fn scan_bins_compressed_delta(
+        &self,
+        query: &[f32],
+        table: &AdcTable,
+        codes: &[u8],
+        code_len: usize,
+        bins: &[usize],
+        k: usize,
+        shortlist: usize,
+        delta: &MutationState,
+    ) -> SearchResult {
+        let mut scan = kernel::AdcScan::new(table, code_len, shortlist);
+        let mut runs: Vec<usize> = Vec::new();
+        for &b in bins {
+            let start = self.bin_offsets[b];
+            let len = self.bin_offsets[b + 1] - start;
+            if delta.csr_dead_in_bin(b) == 0 {
+                if len > 0 {
+                    runs.push(start);
+                    scan.scan_segment(
+                        &codes[start * code_len..(start + len) * code_len],
+                        len,
+                        runs.len() - 1,
+                    );
+                }
+            } else {
+                for (off, rlen) in
+                    kernel::live_runs(&delta.csr_deleted()[start..start + len], usize::MAX)
+                {
+                    runs.push(start + off);
+                    scan.scan_segment(
+                        &codes[(start + off) * code_len..(start + off + rlen) * code_len],
+                        rlen,
+                        runs.len() - 1,
+                    );
+                }
+            }
+        }
+        let compressed = scan.scanned();
+        let mut survivors: Vec<(usize, usize)> = scan
+            .into_winners()
+            .into_iter()
+            .map(|(ri, off, pos, _)| (pos, runs[ri] + off))
+            .collect();
+        survivors.sort_unstable_by_key(|&(pos, _)| pos);
+        let dim = self.flat.cols();
+        let scorer = kernel::QueryScorer::new(self.distance, query);
+        let mut top = TopK::new(k);
+        for (rank, &(_, csr)) in survivors.iter().enumerate() {
+            top.push(
+                rank,
+                scorer.eval(&self.flat.as_slice()[csr * dim..(csr + 1) * dim]),
+            );
+        }
+        // Membin tail: live delta rows of the probed bins, after every survivor in
+        // the stream order (they were appended after the base points).
+        let s = survivors.len();
+        let mut mem_ids: Vec<u32> = Vec::new();
+        for &b in bins {
+            let mb = delta.membin(b);
+            for (j, &id) in mb.ids().iter().enumerate() {
+                if !mb.deleted()[j] {
+                    top.push(s + mem_ids.len(), scorer.eval(mb.row(j)));
+                    mem_ids.push(id);
+                }
+            }
+        }
+        let ids = top
+            .into_sorted()
+            .into_iter()
+            .map(|(rank, _)| {
+                if rank < s {
+                    self.ids[survivors[rank].1] as usize
+                } else {
+                    mem_ids[rank - s] as usize
+                }
+            })
+            .collect();
+        SearchResult::new(ids, s + mem_ids.len()).with_compressed_scanned(compressed)
+    }
+
     /// The quantizer behind [`Scoring::Compressed`], if one is configured.
     pub fn quantizer(&self) -> Option<&Arc<dyn CodeQuantizer>> {
         match &self.scoring {
@@ -532,6 +806,189 @@ impl<P: Partitioner> PartitionIndex<P> {
         }
     }
 
+    /// True when inserts or deletes are outstanding (the delta-aware scan paths are
+    /// in force). A clean index — never mutated, or freshly compacted — answers on
+    /// the pre-mutation-layer code paths, bit for bit.
+    pub fn is_mutated(&self) -> bool {
+        self.mutated.load(Ordering::Acquire)
+    }
+
+    /// A read view of the outstanding delta, held for the duration of one scan or
+    /// one sharded batch. Blocks writers for as long as it is held.
+    pub fn delta(&self) -> DeltaView<'_> {
+        DeltaView(self.mutation.read().expect("mutation lock poisoned"))
+    }
+
+    /// Inserts a point: routes it through the trained partitioner into its bin's
+    /// membin and returns its global id (`base_n + insertion number`). The point is
+    /// visible to every subsequent scan; it gets no code until [`Self::compact`]
+    /// folds it into the CSR arrays (membins are exact-scanned).
+    pub fn insert(&self, point: &[f32]) -> usize {
+        assert_eq!(
+            point.len(),
+            self.data.cols(),
+            "insert: point dim {} != index dim {}",
+            point.len(),
+            self.data.cols()
+        );
+        let bin = self.partitioner.assign(point);
+        assert!(
+            bin < self.num_bins(),
+            "partitioner assigned bin {bin} but reports only {} bins",
+            self.num_bins()
+        );
+        let mut state = self.mutation.write().expect("mutation lock poisoned");
+        let id = state.base_n() + state.total_inserts();
+        state.push_insert(bin, u32::try_from(id).expect("id exceeds u32"), point);
+        drop(state);
+        self.mutated.store(true, Ordering::Release);
+        id
+    }
+
+    /// Tombstones a point by global id (base or inserted). Returns false when the id
+    /// is out of range or already deleted. The point stops appearing in results
+    /// immediately; its storage is reclaimed by [`Self::compact`].
+    pub fn delete(&self, id: usize) -> bool {
+        let mut state = self.mutation.write().expect("mutation lock poisoned");
+        let deleted = if id < state.base_n() {
+            let b = self.assignments[id];
+            let pos = self
+                .bucket(b)
+                .binary_search(&(id as u32))
+                .expect("assigned bin's bucket holds the id");
+            state.tombstone_csr(b, self.bin_offsets[b] + pos)
+        } else if id < state.base_n() + state.total_inserts() {
+            state.tombstone_insert(id)
+        } else {
+            false
+        };
+        drop(state);
+        if deleted {
+            self.mutated.store(true, Ordering::Release);
+        }
+        deleted
+    }
+
+    /// Sets the delta fraction at which [`Self::needs_compaction`] fires
+    /// (default 0.1). Carried across [`Self::compact`].
+    pub fn with_compaction_threshold(mut self, threshold: f64) -> Self {
+        assert!(
+            threshold > 0.0,
+            "with_compaction_threshold: threshold must be positive"
+        );
+        self.compaction_threshold = threshold;
+        self
+    }
+
+    /// True once the outstanding delta — inserts plus base tombstones — reaches the
+    /// configured fraction of the base point count. The stats-driven serving loop
+    /// polls this next to its rebalance check.
+    pub fn needs_compaction(&self) -> bool {
+        if !self.is_mutated() {
+            return false;
+        }
+        let state = self.mutation.read().expect("mutation lock poisoned");
+        let delta = (state.total_inserts() + state.csr_dead()) as f64;
+        delta >= self.compaction_threshold * state.base_n().max(1) as f64
+    }
+
+    /// A snapshot of the outstanding delta.
+    pub fn mutation_stats(&self) -> MutationStats {
+        let state = self.mutation.read().expect("mutation lock poisoned");
+        MutationStats {
+            base_points: state.base_n(),
+            inserts: state.total_inserts(),
+            live_inserts: state.live_inserts(),
+            tombstones: state.csr_dead() + state.dead_inserts(),
+            delta_fraction: (state.total_inserts() + state.csr_dead()) as f64
+                / state.base_n().max(1) as f64,
+        }
+    }
+
+    /// Builds the compacted index: the delta folded into fresh CSR arrays
+    /// (`bin_offsets`/`ids`/`flat`, plus a re-encoded code array when compressed)
+    /// over the final live point set — live base points first in ascending old id,
+    /// then live inserts in insertion order, each keeping its recorded bin. The
+    /// result is clean, preserves every CSR invariant by construction (it goes
+    /// through the same constructor as a fresh build), and answers **bit-identically**
+    /// to `PartitionIndex::from_assignments` over the same point set — the
+    /// equivalence `tests/mutation_equivalence.rs` pins.
+    pub fn compacted(&self) -> (Self, CompactionReport)
+    where
+        P: Clone,
+    {
+        let state = self.mutation.read().expect("mutation lock poisoned");
+        let dim = self.data.cols();
+        let base_n = state.base_n();
+        // The CSR tombstone mask is positional; flip it to id-indexed for the
+        // ascending-id rebuild walk.
+        let mut deleted_by_id = vec![false; base_n];
+        for (local, &dead) in state.csr_deleted().iter().enumerate() {
+            if dead {
+                deleted_by_id[self.ids[local] as usize] = true;
+            }
+        }
+        let total = base_n + state.total_inserts();
+        let mut id_map: Vec<Option<u32>> = vec![None; total];
+        let mut flat: Vec<f32> = Vec::new();
+        let mut assignments: Vec<usize> = Vec::new();
+        let mut next = 0u32;
+        for id in 0..base_n {
+            if deleted_by_id[id] {
+                continue;
+            }
+            id_map[id] = Some(next);
+            next += 1;
+            flat.extend_from_slice(self.data.row(id));
+            assignments.push(self.assignments[id]);
+        }
+        let mut merged_inserts = 0;
+        for (j, &(bin, row)) in state.insert_locs().iter().enumerate() {
+            let mb = state.membin(bin as usize);
+            if mb.deleted()[row as usize] {
+                continue;
+            }
+            id_map[base_n + j] = Some(next);
+            next += 1;
+            flat.extend_from_slice(mb.row(row as usize));
+            assignments.push(bin as usize);
+            merged_inserts += 1;
+        }
+        drop(state);
+        let live = next as usize;
+        let data = Matrix::from_vec(live, dim, flat);
+        let report = CompactionReport {
+            live_points: live,
+            merged_inserts,
+            dropped_tombstones: total - live,
+            id_map,
+        };
+        let mut new = Self::from_parts(self.partitioner.clone(), &data, assignments, self.distance);
+        new.compaction_threshold = self.compaction_threshold;
+        let new = match &self.scoring {
+            ScoringMode::Exact => new,
+            ScoringMode::Compressed {
+                quantizer,
+                rerank_budget,
+                ..
+            } => new.with_scoring(Scoring::Compressed {
+                quantizer: Arc::clone(quantizer),
+                rerank_budget: *rerank_budget,
+            }),
+        };
+        (new, report)
+    }
+
+    /// Compacts in place: replaces this index with [`Self::compacted`]'s result.
+    pub fn compact(&mut self) -> CompactionReport
+    where
+        P: Clone,
+    {
+        let (new, report) = self.compacted();
+        *self = new;
+        report
+    }
+
     /// Full query: probe bins, scan their contiguous candidate rows, return the top `k`
     /// together with the number of candidates scanned.
     pub fn search(&self, query: &[f32], k: usize, probes: usize) -> SearchResult {
@@ -588,6 +1045,7 @@ mod tests {
     use crate::partitioner::Partitioner;
 
     /// A 1-D grid partitioner: bin = floor(x) clamped to [0, bins).
+    #[derive(Clone)]
     struct GridPartitioner {
         bins: usize,
     }
@@ -844,11 +1302,7 @@ mod tests {
         // Per-request budgets floor at k and cap the exact work.
         for budget in [1, 4, 10] {
             let r = idx.scan_bins(&q, &bins, 3, Some(budget));
-            assert_eq!(
-                r.candidates_scanned,
-                budget.clamp(3, 20),
-                "budget {budget}"
-            );
+            assert_eq!(r.candidates_scanned, budget.clamp(3, 20), "budget {budget}");
         }
     }
 
@@ -961,6 +1415,190 @@ mod tests {
         let res = idx.search(&[], 3, 2);
         assert_eq!(res.candidates_scanned, 6);
         assert_eq!(res.ids, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn insert_routes_through_the_partitioner_and_is_searchable() {
+        let data = line_data(4, 5);
+        let idx = PartitionIndex::build(
+            GridPartitioner { bins: 4 },
+            &data,
+            Distance::SquaredEuclidean,
+        );
+        assert!(!idx.is_mutated());
+        let id = idx.insert(&[2.45]);
+        assert_eq!(id, 20);
+        assert!(idx.is_mutated());
+        // The point landed in bin 2's membin under its grid assignment.
+        let delta = idx.delta();
+        assert_eq!(delta.membin(2).ids(), &[20]);
+        assert_eq!(delta.membin(2).row(0), &[2.45]);
+        drop(delta);
+        // It is immediately the nearest neighbour of a matching query.
+        let res = idx.search(&[2.44], 1, 1);
+        assert_eq!(res.ids, vec![20]);
+        assert_eq!(res.candidates_scanned, 6); // 5 CSR rows + 1 membin row
+                                               // And it appears in the probe stream after the bin's CSR ids.
+        let (_, cands) = idx.probe(&[2.5], 1);
+        assert_eq!(*cands.last().unwrap(), 20);
+    }
+
+    #[test]
+    fn delete_hides_points_and_rejects_bad_ids() {
+        let data = line_data(4, 5);
+        let idx = PartitionIndex::build(
+            GridPartitioner { bins: 4 },
+            &data,
+            Distance::SquaredEuclidean,
+        );
+        let victim = idx.search(&[1.95], 1, 1).ids[0];
+        assert!(idx.delete(victim));
+        assert!(!idx.delete(victim), "double delete reports false");
+        assert!(!idx.delete(999), "out-of-range id reports false");
+        assert!(!idx.search(&[1.95], 5, 4).ids.contains(&victim));
+        // Deleting an inserted point hides it too.
+        let id = idx.insert(&[1.95]);
+        assert_eq!(idx.search(&[1.95], 1, 1).ids, vec![id]);
+        assert!(idx.delete(id));
+        assert!(!idx.search(&[1.95], 5, 4).ids.contains(&id));
+    }
+
+    #[test]
+    fn delta_scan_budget_counts_live_candidates() {
+        let data = line_data(4, 5);
+        let idx = PartitionIndex::build(
+            GridPartitioner { bins: 4 },
+            &data,
+            Distance::SquaredEuclidean,
+        );
+        let q = [1.95f32];
+        let (bins, live) = {
+            idx.delete(idx.bucket(1)[0] as usize);
+            idx.delete(idx.bucket(1)[3] as usize);
+            idx.insert(&[1.2]);
+            idx.probe(&q, 3)
+        };
+        for budget in [0, 1, 3, 5, 9, 100] {
+            let got = idx.scan_bins(&q, &bins, 3, Some(budget));
+            assert_eq!(
+                got.candidates_scanned,
+                budget.min(live.len()),
+                "budget {budget}"
+            );
+            // The budgeted result equals re-ranking the truncated live stream
+            // (id 20 is the inserted point: rerank gathers from data(), which does
+            // not hold membin rows, so only compare while the stream stays in base).
+            let truncated: Vec<u32> = live.iter().copied().take(budget).collect();
+            if truncated.iter().all(|&c| (c as usize) < 20) {
+                let expect = crate::rerank::rerank(idx.data(), &q, &truncated, 3, idx.distance());
+                assert_eq!(got.ids, expect, "budget {budget}");
+            }
+        }
+    }
+
+    #[test]
+    fn compaction_folds_the_delta_and_resets_to_clean() {
+        let data = line_data(4, 5);
+        let mut idx = PartitionIndex::build(
+            GridPartitioner { bins: 4 },
+            &data,
+            Distance::SquaredEuclidean,
+        );
+        idx.delete(7);
+        let a = idx.insert(&[0.2]);
+        let b = idx.insert(&[3.72]);
+        idx.delete(a);
+        let report = idx.compact();
+        assert!(!idx.is_mutated());
+        assert_eq!(report.live_points, 20); // 20 - 1 deleted + 2 inserted - 1 deleted
+        assert_eq!(report.merged_inserts, 1);
+        assert_eq!(report.dropped_tombstones, 2);
+        assert_eq!(report.id_map.len(), 22);
+        assert_eq!(report.id_map[7], None);
+        assert_eq!(report.id_map[a], None);
+        // Survivors keep ascending-id order: ids below 7 unchanged, above shifted.
+        assert_eq!(report.id_map[0], Some(0));
+        assert_eq!(report.id_map[8], Some(7));
+        let new_b = report.id_map[b].unwrap() as usize;
+        assert_eq!(new_b, 19);
+        // The merged insert is a first-class CSR point now.
+        assert_eq!(idx.search(&[3.73], 1, 1).ids, vec![new_b]);
+        // CSR invariants hold on the compacted arrays.
+        assert_eq!(*idx.bin_offsets().last().unwrap(), 20);
+        let mut sorted = idx.local_to_global().to_vec();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..20).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn compacted_compressed_index_reencodes_codes() {
+        let mut idx = compressed_grid_index(1000);
+        let id = idx.insert(&[2.6]);
+        idx.delete(3);
+        // Pre-compaction: the inserted point is found through the membin tail.
+        assert_eq!(idx.search(&[2.6], 1, 1).ids, vec![id]);
+        let report = idx.compact();
+        assert!(
+            idx.quantizer().is_some(),
+            "scoring mode survives compaction"
+        );
+        assert_eq!(idx.compressed_rerank_budget(), Some(1000));
+        let new_id = report.id_map[id].unwrap() as usize;
+        assert_eq!(idx.search(&[2.6], 1, 1).ids, vec![new_id]);
+        // The re-encoded code array mirrors the new CSR permutation.
+        for bin in 0..4 {
+            let codes = idx.bin_codes(bin).unwrap();
+            for (j, &pid) in idx.bucket(bin).iter().enumerate() {
+                let x = idx.data().row(pid as usize)[0];
+                assert_eq!(codes[j] as usize, x.floor() as usize);
+            }
+        }
+    }
+
+    #[test]
+    fn needs_compaction_thresholds_the_delta_fraction() {
+        let data = line_data(4, 5); // base_n = 20
+        let idx = PartitionIndex::build(
+            GridPartitioner { bins: 4 },
+            &data,
+            Distance::SquaredEuclidean,
+        )
+        .with_compaction_threshold(0.2); // fires at delta >= 4
+        assert!(!idx.needs_compaction());
+        idx.insert(&[1.0]);
+        idx.insert(&[2.0]);
+        idx.delete(0);
+        assert!(!idx.needs_compaction());
+        let stats = idx.mutation_stats();
+        assert_eq!(
+            (stats.base_points, stats.inserts, stats.tombstones),
+            (20, 2, 1)
+        );
+        assert!((stats.delta_fraction - 0.15).abs() < 1e-12);
+        idx.delete(1);
+        assert!(idx.needs_compaction());
+    }
+
+    #[test]
+    fn extract_bins_is_delta_aware_but_csr_extraction_is_positional() {
+        let data = line_data(4, 5);
+        let idx = PartitionIndex::build(
+            GridPartitioner { bins: 4 },
+            &data,
+            Distance::SquaredEuclidean,
+        );
+        let dead = idx.bucket(2)[1] as usize;
+        idx.delete(dead);
+        let ins = idx.insert(&[2.9]) as u32;
+        let (sub, ids) = idx.extract_bins(&[2]);
+        assert_eq!(sub.rows(), 5); // 5 - 1 dead + 1 membin
+        assert!(!ids.contains(&(dead as u32)));
+        assert_eq!(*ids.last().unwrap(), ins);
+        assert_eq!(sub.row(4), &[2.9]);
+        // The positional CSR extraction still returns every slot, tombstoned or not.
+        let (csr_sub, csr_ids) = idx.extract_bins_csr(&[2]);
+        assert_eq!(csr_sub.rows(), 5);
+        assert_eq!(csr_ids, idx.bucket(2));
     }
 
     #[test]

@@ -60,6 +60,35 @@ impl Ord for Scored {
     }
 }
 
+/// The module's nan-class total order as a bare comparator: non-NaN values ascending
+/// via `partial_cmp`, every NaN strictly after every comparable value, two NaNs equal.
+///
+/// This is [`Scored`]'s ordering without the index tie-break, exported so ad-hoc
+/// `sort_by`/`min_by` call sites (baseline hash margins, ground-truth oracles, sweep
+/// curves) can share the convention instead of the panicking
+/// `partial_cmp().unwrap()` idiom. Callers wanting deterministic ties should chain
+/// their own index tie-break, exactly as [`Scored::cmp`] does.
+#[inline]
+pub fn nan_class_cmp(a: f32, b: f32) -> Ordering {
+    match (a.is_nan(), b.is_nan()) {
+        (true, true) => Ordering::Equal,
+        (true, false) => Ordering::Greater,
+        (false, true) => Ordering::Less,
+        (false, false) => a.partial_cmp(&b).expect("non-NaN floats always compare"),
+    }
+}
+
+/// [`nan_class_cmp`] for `f64` keys (sweep statistics are accumulated in `f64`).
+#[inline]
+pub fn nan_class_cmp_f64(a: f64, b: f64) -> Ordering {
+    match (a.is_nan(), b.is_nan()) {
+        (true, true) => Ordering::Equal,
+        (true, false) => Ordering::Greater,
+        (false, true) => Ordering::Less,
+        (false, false) => a.partial_cmp(&b).expect("non-NaN floats always compare"),
+    }
+}
+
 /// Index of the maximum element (first one on ties), skipping NaN entries.
 ///
 /// Returns `None` for an empty or all-NaN slice — the pre-hardening version silently
@@ -521,6 +550,32 @@ mod tests {
         let data = vec![1.0, 2.0];
         let idx = top_k_per_column(&data, 1, 2, 5);
         assert_eq!(idx.len(), 2);
+    }
+
+    #[test]
+    fn nan_class_cmp_is_total_with_nan_strictly_last() {
+        use Ordering::*;
+        assert_eq!(nan_class_cmp(1.0, 2.0), Less);
+        assert_eq!(nan_class_cmp(2.0, 1.0), Greater);
+        assert_eq!(nan_class_cmp(1.0, 1.0), Equal);
+        assert_eq!(nan_class_cmp(-0.0, 0.0), Equal);
+        assert_eq!(nan_class_cmp(f32::NAN, f32::NAN), Equal);
+        assert_eq!(nan_class_cmp(f32::NAN, f32::INFINITY), Greater);
+        assert_eq!(nan_class_cmp(f32::NEG_INFINITY, f32::NAN), Less);
+        assert_eq!(nan_class_cmp_f64(f64::NAN, f64::INFINITY), Greater);
+        assert_eq!(nan_class_cmp_f64(f64::NEG_INFINITY, 3.0), Less);
+        assert_eq!(nan_class_cmp_f64(f64::NAN, f64::NAN), Equal);
+        assert_eq!(nan_class_cmp_f64(-0.0, 0.0), Equal);
+    }
+
+    #[test]
+    fn nan_class_cmp_with_index_tiebreak_matches_module_selection_order() {
+        // Sorting by (nan_class_cmp, index) must reproduce argsort exactly — the
+        // exported comparator is the same total order Scored implements.
+        let v = [2.0f32, f32::NAN, -1.0, f32::NAN, 2.0, f32::INFINITY];
+        let mut idx: Vec<usize> = (0..v.len()).collect();
+        idx.sort_by(|&a, &b| nan_class_cmp(v[a], v[b]).then_with(|| a.cmp(&b)));
+        assert_eq!(idx, argsort(&v));
     }
 
     #[test]

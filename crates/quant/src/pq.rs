@@ -499,6 +499,38 @@ mod tests {
     }
 
     #[test]
+    fn encoding_is_a_pure_per_row_function_under_permutation() {
+        // Compaction re-encodes the permuted survivor rows through the *shared*
+        // quantizer and expects bit-identical codes to the original encoding of
+        // the same rows. That only holds if encoding is a pure function of the
+        // row alone — no hidden per-call or per-batch state. Pin it: encoding a
+        // row-permuted copy of the data equals gathering the original per-row
+        // codes through the permutation.
+        let data = clustered(60, 8, 11);
+        let pq = ProductQuantizer::fit(&data, &ProductQuantizerConfig::standard(4, 8));
+        let original = pq.encode_all(&data);
+        // A fixed non-trivial permutation (reversal interleaved with a stride).
+        let perm: Vec<usize> = (0..60).map(|j| (j * 7 + 3) % 60).collect();
+        let mut permuted = Matrix::zeros(60, 8);
+        for (j, &src) in perm.iter().enumerate() {
+            permuted.row_mut(j).copy_from_slice(data.row(src));
+        }
+        let re = pq.encode_all(&permuted);
+        for (j, &src) in perm.iter().enumerate() {
+            assert_eq!(
+                &re[j * 4..(j + 1) * 4],
+                &original[src * 4..(src + 1) * 4],
+                "row {j} (source {src}) re-encoded differently"
+            );
+            // And repeated single-row calls agree with both.
+            assert_eq!(
+                pq.encode(permuted.row(j)),
+                &original[src * 4..(src + 1) * 4]
+            );
+        }
+    }
+
+    #[test]
     fn adc_ranks_close_points_before_far_points() {
         let data = clustered(400, 8, 4);
         let pq = ProductQuantizer::fit(&data, &ProductQuantizerConfig::standard(4, 32));

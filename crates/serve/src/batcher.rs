@@ -9,6 +9,7 @@
 //! channels, and micro-batched answers are identical to direct
 //! [`QueryEngine::query`] answers (batching never changes semantics).
 
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
@@ -30,6 +31,11 @@ struct Shared<E: BatchEngine> {
 struct State {
     pending: Vec<(Vec<f32>, mpsc::Sender<SearchResult>)>,
     shutdown: bool,
+    /// Set (with the flusher's panic message) when the flusher thread died in
+    /// [`BatchEngine::serve_batch`]. Pending senders were dropped at that point, so
+    /// outstanding receivers observe [`mpsc::RecvError`] instead of blocking
+    /// forever, and the next [`MicroBatcher::submit`] resurfaces the panic.
+    panicked: Option<String>,
 }
 
 /// Accumulates single queries into micro-batches served on the engine's pooled path.
@@ -56,6 +62,7 @@ impl<E: BatchEngine + 'static> MicroBatcher<E> {
             state: Mutex::new(State {
                 pending: Vec::new(),
                 shutdown: false,
+                panicked: None,
             }),
             cv: Condvar::new(),
         });
@@ -74,6 +81,12 @@ impl<E: BatchEngine + 'static> MicroBatcher<E> {
 
     /// Enqueues a query; the returned receiver yields the answer once the query's
     /// micro-batch is flushed. `query.len()` must equal the indexed dimensionality.
+    ///
+    /// # Panics
+    ///
+    /// If the flusher thread died in a previous flush (the engine panicked under a
+    /// batch), the panic is resurfaced here instead of silently enqueueing a query
+    /// nothing will ever serve.
     pub fn submit(&self, query: Vec<f32>) -> mpsc::Receiver<SearchResult> {
         assert_eq!(
             query.len(),
@@ -82,7 +95,19 @@ impl<E: BatchEngine + 'static> MicroBatcher<E> {
         );
         let (tx, rx) = mpsc::channel();
         let mut state = self.shared.state.lock().unwrap();
-        assert!(!state.shutdown, "MicroBatcher: submit after shutdown");
+        if let Some(msg) = state.panicked.clone() {
+            // Release the lock before panicking: poisoning the mutex here would turn
+            // every later `lock().unwrap()` (submit, pending, Drop) into a confusing
+            // `PoisonError` panic instead of this message.
+            drop(state);
+            panic!("MicroBatcher: flusher thread panicked: {msg}");
+        }
+        if state.shutdown {
+            // Defensive (unreachable through safe code: `Drop` takes `&mut self`, so
+            // no `&self` caller can race it): drop `tx` so the receiver reports
+            // `RecvError` instead of blocking on a flush that will never come.
+            return rx;
+        }
         state.pending.push((query, tx));
         drop(state);
         self.shared.cv.notify_all();
@@ -100,7 +125,15 @@ impl<E: BatchEngine + 'static> Drop for MicroBatcher<E> {
         self.shared.state.lock().unwrap().shutdown = true;
         self.shared.cv.notify_all();
         if let Some(handle) = self.flusher.take() {
-            let _ = handle.join();
+            if let Err(payload) = handle.join() {
+                // The flusher died in the engine; swallowing the payload here (the
+                // old `let _ = handle.join()`) hid the failure from every caller
+                // that never submitted again. Resurface it — unless we are already
+                // unwinding, where a double panic would abort the process.
+                if !std::thread::panicking() {
+                    resume_unwind(payload);
+                }
+            }
         }
     }
 }
@@ -142,7 +175,32 @@ fn flusher_loop<E: BatchEngine>(shared: &Shared<E>) {
             flat.extend_from_slice(query);
         }
         let queries = Matrix::from_vec(batch.len(), dim, flat);
-        let results = shared.engine.serve_batch(&queries, &shared.opts);
+        // A panicking engine must not take the batcher's callers down with it:
+        // without the catch, the flusher thread dies silently and every
+        // outstanding (and future) `submit` receiver blocks forever on a channel
+        // whose sender is parked in a dead thread's queue. Catch the unwind,
+        // record it, drop every pending sender (receivers observe `RecvError`),
+        // and re-raise so `submit` and `Drop` can resurface the original panic.
+        let served = catch_unwind(AssertUnwindSafe(|| {
+            shared.engine.serve_batch(&queries, &shared.opts)
+        }));
+        let results = match served {
+            Ok(results) => results,
+            Err(payload) => {
+                let msg = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "non-string panic payload".to_string());
+                let mut state = shared.state.lock().unwrap();
+                state.panicked = Some(msg);
+                state.pending.clear();
+                drop(state);
+                shared.cv.notify_all();
+                drop(batch);
+                resume_unwind(payload);
+            }
+        };
         for ((_, tx), result) in batch.into_iter().zip(results) {
             // A caller that dropped its receiver just doesn't get the answer.
             let _ = tx.send(result);
@@ -249,6 +307,88 @@ mod tests {
             snap.batches, 3,
             "overfilled queue must drain in max_batch slices"
         );
+    }
+
+    /// An engine whose every batch panics — the failure mode behind the old hang.
+    struct PanickingEngine;
+
+    impl BatchEngine for PanickingEngine {
+        fn dims(&self) -> usize {
+            2
+        }
+
+        fn serve_batch(&self, _queries: &Matrix, _opts: &QueryOptions) -> Vec<SearchResult> {
+            panic!("engine exploded under a batch");
+        }
+    }
+
+    #[test]
+    fn engine_panic_fails_receivers_instead_of_hanging() {
+        let batcher = MicroBatcher::new(
+            Arc::new(PanickingEngine),
+            QueryOptions::new(1, 1),
+            4,
+            Duration::from_millis(1),
+        );
+        let rx = batcher.submit(vec![0.0, 1.0]);
+        // Pre-fix, the flusher died silently and this recv blocked forever; now the
+        // batch's senders are dropped on unwind, so the receiver observes a clean
+        // disconnect.
+        assert!(
+            rx.recv().is_err(),
+            "receiver must observe the dropped sender"
+        );
+        // The next submit resurfaces the flusher's panic (with the original message)
+        // instead of enqueueing a query nothing will ever serve...
+        let err = catch_unwind(AssertUnwindSafe(|| batcher.submit(vec![2.0, 3.0])))
+            .expect_err("submit after a flusher panic must panic");
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("flusher thread panicked"), "got: {msg}");
+        assert!(msg.contains("engine exploded under a batch"), "got: {msg}");
+        // ...and a later submit keeps resurfacing it (the flag is sticky).
+        assert!(catch_unwind(AssertUnwindSafe(|| batcher.submit(vec![4.0, 5.0]))).is_err());
+        // Dropping the batcher re-raises the original payload too — the old
+        // `let _ = handle.join()` swallowed it.
+        let err = catch_unwind(AssertUnwindSafe(move || drop(batcher)))
+            .expect_err("drop must resurface the flusher panic");
+        assert_eq!(
+            err.downcast_ref::<&str>(),
+            Some(&"engine exploded under a batch")
+        );
+    }
+
+    #[test]
+    fn submits_racing_shutdown_all_resolve() {
+        // Submitters hammer the batcher from four threads while the main thread
+        // drops its handle; the batcher's Drop then runs on whichever thread
+        // releases the last Arc. Every submit must resolve — an answer or a clean
+        // `RecvError` — never a hang and never a shutdown assert.
+        let engine = engine();
+        let opts = QueryOptions::new(2, 2);
+        let batcher = Arc::new(MicroBatcher::new(
+            Arc::clone(&engine),
+            opts,
+            3,
+            Duration::from_millis(1),
+        ));
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let batcher = Arc::clone(&batcher);
+            let engine = Arc::clone(&engine);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..25 {
+                    let q = vec![t as f32, i as f32 * 0.2, -1.0];
+                    // A RecvError means shutdown won the race — fine, just no hang.
+                    if let Ok(got) = batcher.submit(q.clone()).recv() {
+                        assert_eq!(got, engine.index().search(&q, opts.k, opts.probes));
+                    }
+                }
+            }));
+        }
+        drop(batcher);
+        for h in handles {
+            h.join().unwrap();
+        }
     }
 
     #[test]

@@ -107,6 +107,34 @@ impl<P: Partitioner> QueryEngine<P> {
         &self.index
     }
 
+    /// Inserts a point through the index's streaming write path (see
+    /// [`PartitionIndex::insert`]) and returns its id. Subsequent queries on this
+    /// engine see the point immediately — `serve_batch` routes through the same
+    /// delta-aware scan as [`PartitionIndex::search`].
+    pub fn insert(&self, point: &[f32]) -> usize {
+        let id = self.index.insert(point);
+        self.stats.record_insert();
+        id
+    }
+
+    /// Tombstones a point (see [`PartitionIndex::delete`]); returns whether this call
+    /// deleted it.
+    pub fn delete(&self, id: usize) -> bool {
+        let deleted = self.index.delete(id);
+        if deleted {
+            self.stats.record_delete();
+        }
+        deleted
+    }
+
+    /// Whether the index's outstanding delta crossed its compaction threshold (see
+    /// [`PartitionIndex::needs_compaction`]). Compaction itself needs `&mut` access
+    /// to the index, so it happens where the `Arc` is uniquely held (or by swapping
+    /// in [`PartitionIndex::compacted`]'s result).
+    pub fn needs_compaction(&self) -> bool {
+        self.index.needs_compaction()
+    }
+
     /// Answers one query immediately (recorded as a batch of one). Latency-sensitive
     /// single lookups that can tolerate a small delay should go through a
     /// [`crate::MicroBatcher`] instead, which rides the batched path.
@@ -306,6 +334,36 @@ mod tests {
         assert!(snap.mean_candidates > 0.0);
         engine.reset_stats();
         assert_eq!(engine.stats().queries, 0);
+    }
+
+    #[test]
+    fn mutations_flow_through_serving_and_the_stats() {
+        let index = small_index();
+        let engine = QueryEngine::new(Arc::clone(&index));
+        let q = queries();
+        let opts = QueryOptions::new(3, 2);
+        // A point inserted through the engine is findable via the batched path...
+        let id = engine.insert(&[9.0, 9.0]);
+        assert_eq!(id, 40);
+        let probe = Matrix::from_vec(1, 2, vec![9.1, 8.9]);
+        let got = engine.serve_batch(&probe, &QueryOptions::new(1, 5));
+        assert_eq!(got[0].ids, vec![id]);
+        // ...and the batch stays equal to the per-query delta-aware reference.
+        let batch = engine.serve_batch(&q, &opts);
+        for qi in 0..q.rows() {
+            assert_eq!(batch[qi], index.search(q.row(qi), 3, 2));
+        }
+        // Deletes hide points; double-deletes and unknown ids count nothing.
+        assert!(engine.delete(7));
+        assert!(!engine.delete(7));
+        assert!(!engine.delete(999));
+        let after = engine.serve_batch(&q, &opts);
+        for (qi, r) in after.iter().enumerate() {
+            assert!(!r.ids.contains(&7), "tombstoned id returned at {qi}");
+            assert_eq!(r, &index.search(q.row(qi), 3, 2));
+        }
+        let snap = engine.stats();
+        assert_eq!((snap.inserts, snap.deletes), (1, 1));
     }
 
     #[test]

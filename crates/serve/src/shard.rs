@@ -42,7 +42,8 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use rayon::prelude::*;
-use usp_index::{PartitionIndex, Partitioner, SearchResult};
+use usp_index::mutation::{DeltaView, MutationState};
+use usp_index::{CompactionReport, PartitionIndex, Partitioner, SearchResult};
 use usp_linalg::kernel::AdcTable;
 use usp_linalg::{kernel, topk, Matrix};
 
@@ -189,6 +190,53 @@ struct Partial {
     task_us: u64,
 }
 
+/// A slice of one query's **live** candidate stream landing on a single shard while
+/// the index carries an uncompacted delta: the first `csr_take` live CSR rows of
+/// `bin` (bucket order) followed by its first `mem_take` live membin rows (insertion
+/// order), occupying positions `global_offset ..` in the monolith's live delta
+/// stream (per probed bin: live CSR rows, then live membin rows).
+#[derive(Debug, Clone, Copy)]
+struct DeltaSlice {
+    bin: usize,
+    global_offset: usize,
+    csr_take: u32,
+    mem_take: u32,
+}
+
+/// Everything the router decided about one query against a dirty index.
+struct DeltaRoute {
+    probed_bins: Vec<usize>,
+    /// Exact distance evaluations (the monolith's `candidates_scanned`): the
+    /// budget-truncated live stream length in exact mode; the attainable ADC
+    /// shortlist plus every probed live membin row in compressed mode.
+    scanned: usize,
+    /// Attainable ADC shortlist size (0 in exact mode) — the per-shard ADC keep and
+    /// the gather's re-selection size.
+    shortlist: usize,
+    /// Live CSR codes ADC-scored (0 in exact mode). Equals the monolith's
+    /// `compressed_scanned`.
+    compressed: usize,
+    subs: Vec<(usize, Vec<DeltaSlice>)>,
+    route_us: u64,
+}
+
+/// Where one contiguous run streamed by a delta scatter task came from.
+enum DeltaSrc {
+    /// Shard-local row start (the shard's positional CSR copy).
+    Shard(usize),
+    /// `(bin, membin row start)` — rows read through the batch's [`DeltaView`].
+    Mem(usize, usize),
+}
+
+/// One delta scatter task's result: ADC-scored live CSR candidates (compressed mode
+/// only) and exactly-scored candidates (the whole task in exact mode; the membin
+/// tail in compressed mode), each `(global live-stream position, score, global id)`.
+struct DeltaPartial {
+    adc: Vec<(usize, f32, u32)>,
+    exact: Vec<(usize, f32, u32)>,
+    task_us: u64,
+}
+
 /// A sharded scatter/gather serving engine, answer-equivalent to [`crate::QueryEngine`].
 ///
 /// The full index stays behind an `Arc` for routing (bin ranking + bucket sizes); each
@@ -235,7 +283,11 @@ impl<P: Partitioner> ShardedEngine<P> {
             .into_par_iter()
             .map(|s| {
                 let bins = map.bins_of(s);
-                let (points, global_ids) = index.extract_bins(bins);
+                // Positional CSR extraction, not the delta-aware `extract_bins`: the
+                // shard copy must mirror the CSR layout row-for-row (tombstoned rows
+                // included) so delta scans can mask it with the same live runs the
+                // monolith uses, and `slots` stays aligned with `extract_bin_codes`.
+                let (points, global_ids) = index.extract_bins_csr(bins);
                 let codes = index.extract_bin_codes(bins);
                 let mut slots = vec![None; index.num_bins()];
                 let mut offset = 0u32;
@@ -279,6 +331,53 @@ impl<P: Partitioner> ShardedEngine<P> {
         self.map = map;
     }
 
+    /// Inserts a point through the routing index's streaming write path (see
+    /// [`PartitionIndex::insert`]). The point lands in its bin's membin, so it is
+    /// served by whichever shard owns that bin — shard copies themselves are
+    /// immutable CSR views and need no rebuild until compaction.
+    pub fn insert(&self, point: &[f32]) -> usize {
+        let id = self.index.insert(point);
+        self.stats.record_insert();
+        id
+    }
+
+    /// Tombstones a point (see [`PartitionIndex::delete`]); returns whether this call
+    /// deleted it. The tombstone is consulted by every shard's delta scan.
+    pub fn delete(&self, id: usize) -> bool {
+        let deleted = self.index.delete(id);
+        if deleted {
+            self.stats.record_delete();
+        }
+        deleted
+    }
+
+    /// Whether the routing index's outstanding delta crossed its compaction
+    /// threshold (see [`PartitionIndex::needs_compaction`]).
+    pub fn needs_compaction(&self) -> bool {
+        self.index.needs_compaction()
+    }
+
+    /// The maintenance tick of a mutable sharded deployment: if the delta crossed
+    /// the compaction threshold, folds it into a fresh index
+    /// ([`PartitionIndex::compacted`]) and swaps it in; then re-packs the bin→shard
+    /// map from the recorded probe loads and rebuilds the shard views either way
+    /// (the existing [`Self::rebalance_from_stats`] loop). Returns the compaction
+    /// report — with its id remapping — when a compaction ran.
+    pub fn compact_and_rebalance(&mut self) -> Option<CompactionReport>
+    where
+        P: Clone,
+    {
+        let report = if self.index.needs_compaction() {
+            let (compacted, report) = self.index.compacted();
+            self.index = Arc::new(compacted);
+            Some(report)
+        } else {
+            None
+        };
+        self.rebalance_from_stats();
+        report
+    }
+
     /// Answers one query immediately (recorded as a batch of one).
     pub fn query(&self, query: &[f32], opts: &QueryOptions) -> SearchResult {
         let queries = Matrix::from_vec(1, query.len(), query.to_vec());
@@ -292,6 +391,9 @@ impl<P: Partitioner> ShardedEngine<P> {
     /// Results come back in request order and are bit-identical to the unsharded
     /// [`crate::QueryEngine::serve_batch`] for any shard count and pool size.
     pub fn serve_batch(&self, queries: &Matrix, opts: &QueryOptions) -> Vec<SearchResult> {
+        if self.index.is_mutated() {
+            return self.serve_batch_delta(queries, opts);
+        }
         let t0 = Instant::now();
 
         // Phase 1 — route: one batched partitioner forward ranks every query's bins
@@ -584,6 +686,400 @@ impl<P: Partitioner> ShardedEngine<P> {
         let latency = route.route_us + slowest_shard + t0.elapsed().as_micros() as u64;
         (result, latency)
     }
+
+    /// [`Self::serve_batch`] while the index carries an uncompacted delta. Same
+    /// three phases, over the **live** candidate stream the monolith's delta scans
+    /// walk (per probed bin: live CSR rows in bucket order, then live membin rows in
+    /// insertion order). One [`DeltaView`] read guard spans all three phases, so
+    /// inserts and deletes racing the batch serialize before or after it — never
+    /// between route and scatter. Membins are scanned by the shard that owns their
+    /// bin, reading rows through the shared view; tombstones mask each shard's
+    /// positional CSR copy with the same live runs the monolith uses, so answers
+    /// stay bit-identical to [`PartitionIndex::search`] on the dirty index for any
+    /// shard count and pool size.
+    fn serve_batch_delta(&self, queries: &Matrix, opts: &QueryOptions) -> Vec<SearchResult> {
+        let t0 = Instant::now();
+        let delta: DeltaView<'_> = self.index.delta();
+        let ranked = self
+            .index
+            .partitioner()
+            .rank_bins_batch(queries, opts.probes);
+        let rank_share_us = (t0.elapsed().as_micros() as u64) / (queries.rows().max(1) as u64);
+        let routes: Vec<DeltaRoute> = ranked
+            .into_par_iter()
+            .map(|bins| self.route_delta(bins, opts, rank_share_us, &delta))
+            .collect();
+
+        let tasks: Vec<(usize, usize)> = routes
+            .iter()
+            .enumerate()
+            .flat_map(|(qi, r)| (0..r.subs.len()).map(move |si| (qi, si)))
+            .collect();
+        let mut task_ids: Vec<Vec<usize>> = vec![Vec::new(); queries.rows()];
+        for (ti, &(qi, _)) in tasks.iter().enumerate() {
+            task_ids[qi].push(ti);
+        }
+        let tables = self.index.adc_tables_batch(queries);
+        let partials: Vec<DeltaPartial> = tasks
+            .par_iter()
+            .map(|&(qi, si)| {
+                let keep = if tables.is_some() {
+                    routes[qi].shortlist
+                } else {
+                    opts.k
+                };
+                self.run_task_delta(
+                    queries.row(qi),
+                    &routes[qi].subs[si],
+                    keep,
+                    tables.as_ref().map(|t| &t[qi]),
+                    &delta,
+                )
+            })
+            .collect();
+
+        let merged: Vec<(SearchResult, u64)> = (0..queries.rows())
+            .into_par_iter()
+            .map(|qi| {
+                self.gather_delta(
+                    queries.row(qi),
+                    &routes[qi],
+                    &task_ids[qi],
+                    &partials,
+                    opts.k,
+                )
+            })
+            .collect();
+
+        let busy = t0.elapsed().as_micros() as u64;
+        let latencies: Vec<u64> = merged.iter().map(|(_, us)| *us).collect();
+        let scanned: u64 = routes.iter().map(|r| r.scanned as u64).sum();
+        let compressed: u64 = routes.iter().map(|r| r.compressed as u64).sum();
+        self.stats.record_batch(
+            &latencies,
+            routes.iter().flat_map(|r| r.probed_bins.iter().copied()),
+            scanned,
+            compressed,
+            busy,
+        );
+        merged.into_iter().map(|(r, _)| r).collect()
+    }
+
+    /// Phase 1 for one query against a dirty index: slice the **live** delta stream
+    /// by owning shard. The budget counts live candidates (the monolith's delta
+    /// contract), truncating each bin to its first live CSR rows then its first live
+    /// membin rows; positions are tracked in the untruncated live stream, which
+    /// orders candidates exactly as the monolith's delta scans push them. In
+    /// compressed mode nothing truncates: the ADC pass covers every live CSR code
+    /// and `shortlist` bounds the exact re-rank instead.
+    fn route_delta(
+        &self,
+        bins: Vec<usize>,
+        opts: &QueryOptions,
+        rank_share_us: u64,
+        delta: &MutationState,
+    ) -> DeltaRoute {
+        let t0 = Instant::now();
+        let offsets = self.index.bin_offsets();
+        let compressed_mode = self.index.compressed_rerank_budget();
+        let budget = match compressed_mode {
+            Some(_) => usize::MAX,
+            None => opts.rerank_budget.unwrap_or(usize::MAX),
+        };
+        let mut subs: Vec<(usize, Vec<DeltaSlice>)> = Vec::new();
+        let mut offset = 0usize;
+        let mut taken = 0usize;
+        let mut csr_live_total = 0usize;
+        let mut mem_live_total = 0usize;
+        for &b in &bins {
+            let shard = self.map.shard_of(b);
+            let csr_live = (offsets[b + 1] - offsets[b]) - delta.csr_dead_in_bin(b);
+            let mem_live = delta.membin(b).live();
+            let bin_live = csr_live + mem_live;
+            let take = bin_live.min(budget.saturating_sub(offset));
+            let csr_take = take.min(csr_live);
+            if take > 0 {
+                let slice = DeltaSlice {
+                    bin: b,
+                    global_offset: offset,
+                    csr_take: csr_take as u32,
+                    mem_take: (take - csr_take) as u32,
+                };
+                match subs.iter_mut().find(|(s, _)| *s == shard) {
+                    Some((_, slices)) => slices.push(slice),
+                    None => subs.push((shard, vec![slice])),
+                }
+                taken += take;
+            }
+            csr_live_total += csr_live;
+            mem_live_total += mem_live;
+            offset += bin_live;
+        }
+        let (scanned, shortlist, compressed) = match compressed_mode {
+            Some(default_budget) => {
+                let shortlist = opts
+                    .rerank_budget
+                    .unwrap_or(default_budget)
+                    .max(opts.k)
+                    .min(csr_live_total);
+                (shortlist + mem_live_total, shortlist, csr_live_total)
+            }
+            None => (taken, 0, 0),
+        };
+        DeltaRoute {
+            probed_bins: bins,
+            scanned,
+            shortlist,
+            compressed,
+            subs,
+            route_us: rank_share_us + t0.elapsed().as_micros() as u64,
+        }
+    }
+
+    /// Phase 2 for one (query, shard) delta task. Exact mode streams the slice's
+    /// live CSR runs (masked out of the shard's positional copy) and live membin
+    /// runs (read through the [`DeltaView`]) through one [`kernel::SegmentedScan`]
+    /// in live-stream order, keeping the shard's top `keep` — push order within the
+    /// task is ascending global position, so ties resolve exactly as in the
+    /// monolith's delta stream. Compressed mode ADC-scores the live CSR code runs
+    /// (keeping `keep` = the query's shortlist) and exact-scores **every** live
+    /// membin row of its bins — the monolith re-ranks all of them, so none may be
+    /// dropped shard-locally.
+    fn run_task_delta(
+        &self,
+        query: &[f32],
+        sub: &(usize, Vec<DeltaSlice>),
+        keep: usize,
+        table: Option<&AdcTable>,
+        delta: &MutationState,
+    ) -> DeltaPartial {
+        let t0 = Instant::now();
+        let (shard_id, slices) = sub;
+        let shard = &self.shards[*shard_id];
+        let offsets = self.index.bin_offsets();
+        let mut adc: Vec<(usize, f32, u32)> = Vec::new();
+        let mut exact: Vec<(usize, f32, u32)> = Vec::new();
+        match table {
+            None => {
+                let dim = shard.points.cols();
+                let mut scan = kernel::SegmentedScan::new(self.index.distance(), query, dim, keep);
+                let mut runs: Vec<(usize, DeltaSrc)> = Vec::new();
+                for s in slices {
+                    let (local_start, _) =
+                        shard.slots[s.bin].expect("routed bin must be owned by its mapped shard");
+                    let local_start = local_start as usize;
+                    let csr_start = offsets[s.bin];
+                    let csr_len = offsets[s.bin + 1] - csr_start;
+                    if delta.csr_dead_in_bin(s.bin) == 0 {
+                        // Untouched bin: one contiguous prefix, like the clean path.
+                        let take = s.csr_take as usize;
+                        if take > 0 {
+                            runs.push((s.global_offset, DeltaSrc::Shard(local_start)));
+                            scan.scan_segment(
+                                &shard.points.as_slice()
+                                    [local_start * dim..(local_start + take) * dim],
+                                take,
+                                runs.len() - 1,
+                            );
+                        }
+                    } else {
+                        let mut live_seen = 0usize;
+                        for (off, rlen) in kernel::live_runs(
+                            &delta.csr_deleted()[csr_start..csr_start + csr_len],
+                            s.csr_take as usize,
+                        ) {
+                            runs.push((
+                                s.global_offset + live_seen,
+                                DeltaSrc::Shard(local_start + off),
+                            ));
+                            scan.scan_segment(
+                                &shard.points.as_slice()
+                                    [(local_start + off) * dim..(local_start + off + rlen) * dim],
+                                rlen,
+                                runs.len() - 1,
+                            );
+                            live_seen += rlen;
+                        }
+                    }
+                    if s.mem_take > 0 {
+                        let mb = delta.membin(s.bin);
+                        let mut mem_seen = 0usize;
+                        for (off, rlen) in kernel::live_runs(mb.deleted(), s.mem_take as usize) {
+                            runs.push((
+                                s.global_offset + s.csr_take as usize + mem_seen,
+                                DeltaSrc::Mem(s.bin, off),
+                            ));
+                            scan.scan_segment(
+                                &mb.rows()[off * dim..(off + rlen) * dim],
+                                rlen,
+                                runs.len() - 1,
+                            );
+                            mem_seen += rlen;
+                        }
+                    }
+                }
+                exact = scan
+                    .into_winners()
+                    .into_iter()
+                    .map(|(ri, off, dist)| {
+                        let (pos_base, ref src) = runs[ri];
+                        let id = match *src {
+                            DeltaSrc::Shard(local) => shard.global_ids[local + off],
+                            DeltaSrc::Mem(bin, row_start) => {
+                                delta.membin(bin).ids()[row_start + off]
+                            }
+                        };
+                        (pos_base + off, dist, id)
+                    })
+                    .collect();
+            }
+            Some(table) => {
+                let codes = shard
+                    .codes
+                    .as_ref()
+                    .expect("compressed index shards carry code slices");
+                let m = self
+                    .index
+                    .quantizer()
+                    .expect("compressed index has a quantizer")
+                    .code_len();
+                let mut scan = kernel::AdcScan::new(table, m, keep);
+                let mut runs: Vec<(usize, usize)> = Vec::new();
+                let scorer = kernel::QueryScorer::new(self.index.distance(), query);
+                for s in slices {
+                    let (local_start, _) =
+                        shard.slots[s.bin].expect("routed bin must be owned by its mapped shard");
+                    let local_start = local_start as usize;
+                    let csr_start = offsets[s.bin];
+                    let csr_len = offsets[s.bin + 1] - csr_start;
+                    // Compressed routes never truncate: csr_take = the bin's live count.
+                    if delta.csr_dead_in_bin(s.bin) == 0 {
+                        if csr_len > 0 {
+                            runs.push((s.global_offset, local_start));
+                            scan.scan_segment(
+                                &codes[local_start * m..(local_start + csr_len) * m],
+                                csr_len,
+                                runs.len() - 1,
+                            );
+                        }
+                    } else {
+                        let mut live_seen = 0usize;
+                        for (off, rlen) in kernel::live_runs(
+                            &delta.csr_deleted()[csr_start..csr_start + csr_len],
+                            usize::MAX,
+                        ) {
+                            runs.push((s.global_offset + live_seen, local_start + off));
+                            scan.scan_segment(
+                                &codes[(local_start + off) * m..(local_start + off + rlen) * m],
+                                rlen,
+                                runs.len() - 1,
+                            );
+                            live_seen += rlen;
+                        }
+                    }
+                    let mb = delta.membin(s.bin);
+                    let mut mem_seen = 0usize;
+                    for (j, &id) in mb.ids().iter().enumerate() {
+                        if !mb.deleted()[j] {
+                            exact.push((
+                                s.global_offset + s.csr_take as usize + mem_seen,
+                                scorer.eval(mb.row(j)),
+                                id,
+                            ));
+                            mem_seen += 1;
+                        }
+                    }
+                }
+                adc = scan
+                    .into_winners()
+                    .into_iter()
+                    .map(|(ri, off, _pos, dist)| {
+                        let (pos_base, local) = runs[ri];
+                        (pos_base + off, dist, shard.global_ids[local + off])
+                    })
+                    .collect();
+            }
+        }
+        DeltaPartial {
+            adc,
+            exact,
+            task_us: t0.elapsed().as_micros() as u64,
+        }
+    }
+
+    /// Phase 3 for one query against a dirty index. Exact mode pools the exact
+    /// entries, restores live-stream order, and re-selects top-k — the same
+    /// restriction argument as the clean gather, over the delta stream. Compressed
+    /// mode re-selects the global ADC shortlist from the pooled live-CSR entries,
+    /// re-ranks the survivors exactly in stream order (ranks `0..s`), then pushes
+    /// the pooled membin tail after them (ranks `s..`) with the scatter-computed
+    /// exact scores — reproducing [`PartitionIndex`]'s compressed delta scan
+    /// bit-for-bit.
+    fn gather_delta(
+        &self,
+        query: &[f32],
+        route: &DeltaRoute,
+        task_ids: &[usize],
+        partials: &[DeltaPartial],
+        k: usize,
+    ) -> (SearchResult, u64) {
+        let t0 = Instant::now();
+        let result = if route.compressed == 0 {
+            let mut pooled: Vec<(usize, f32, u32)> = task_ids
+                .iter()
+                .flat_map(|&ti| partials[ti].exact.iter().copied())
+                .collect();
+            pooled.sort_unstable_by_key(|&(pos, _, _)| pos);
+            let ids: Vec<usize> = topk::smallest_k_by(pooled.len(), k, |i| pooled[i].1)
+                .into_iter()
+                .map(|i| pooled[i].2 as usize)
+                .collect();
+            SearchResult::new(ids, route.scanned)
+        } else {
+            let mut pooled: Vec<(usize, f32, u32)> = task_ids
+                .iter()
+                .flat_map(|&ti| partials[ti].adc.iter().copied())
+                .collect();
+            pooled.sort_unstable_by_key(|&(pos, _, _)| pos);
+            let mut survivors = topk::smallest_k_by(pooled.len(), route.shortlist, |i| pooled[i].1);
+            survivors.sort_unstable();
+            let scorer = kernel::QueryScorer::new(self.index.distance(), query);
+            let data = self.index.data();
+            let mut top = topk::TopK::new(k);
+            for (rank, &i) in survivors.iter().enumerate() {
+                // Shortlist survivors are CSR rows, so their ids index `data`.
+                top.push(rank, scorer.eval(data.row(pooled[i].2 as usize)));
+            }
+            let mut mem: Vec<(usize, f32, u32)> = task_ids
+                .iter()
+                .flat_map(|&ti| partials[ti].exact.iter().copied())
+                .collect();
+            mem.sort_unstable_by_key(|&(pos, _, _)| pos);
+            let s = survivors.len();
+            for (j, &(_, dist, _)) in mem.iter().enumerate() {
+                top.push(s + j, dist);
+            }
+            let ids = top
+                .into_sorted()
+                .into_iter()
+                .map(|(rank, _)| {
+                    if rank < s {
+                        pooled[survivors[rank]].2 as usize
+                    } else {
+                        mem[rank - s].2 as usize
+                    }
+                })
+                .collect();
+            SearchResult::new(ids, s + mem.len()).with_compressed_scanned(route.compressed)
+        };
+        let slowest_shard = task_ids
+            .iter()
+            .map(|&ti| partials[ti].task_us)
+            .max()
+            .unwrap_or(0);
+        let latency = route.route_us + slowest_shard + t0.elapsed().as_micros() as u64;
+        (result, latency)
+    }
 }
 
 impl<P: Partitioner> BatchEngine for ShardedEngine<P> {
@@ -743,6 +1239,110 @@ mod tests {
         );
         // ...and the answers are unchanged.
         assert_eq!(ShardedEngine::serve_batch(&engine, &q, &opts), before);
+    }
+
+    #[test]
+    fn mutated_sharded_answers_match_the_dirty_monolith() {
+        let index = small_index();
+        // Dirty the index across several bins: tombstones on base points plus
+        // hash-routed inserts (one of which is tombstoned again).
+        for id in [3usize, 10, 29, 44] {
+            assert!(index.delete(id));
+        }
+        let mut inserted = Vec::new();
+        for i in 0..5 {
+            inserted.push(index.insert(&[i as f32 * 0.7 - 1.4, 2.0 - i as f32 * 0.5]));
+        }
+        assert!(index.delete(inserted[2]));
+        let q = queries();
+        for shards in [1, 2, 3, 7] {
+            let engine = ShardedEngine::with_shards(Arc::clone(&index), shards);
+            for &(k, probes) in &[(1usize, 1usize), (3, 2), (5, 7)] {
+                let opts = QueryOptions::new(k, probes);
+                let got = ShardedEngine::serve_batch(&engine, &q, &opts);
+                for qi in 0..q.rows() {
+                    let expect = index.search(q.row(qi), k, probes);
+                    assert_eq!(got[qi], expect, "shards={shards} k={k} probes={probes}");
+                    assert!(
+                        !got[qi]
+                            .ids
+                            .iter()
+                            .any(|&id| [3, 10, 29, 44, inserted[2]].contains(&id)),
+                        "tombstoned id served (shards={shards})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dirty_rerank_budget_matches_unsharded_engine() {
+        let index = small_index();
+        for id in [0usize, 17, 18, 52] {
+            assert!(index.delete(id));
+        }
+        for i in 0..4 {
+            index.insert(&[1.0 - i as f32, i as f32 * 0.3]);
+        }
+        let unsharded = QueryEngine::new(Arc::clone(&index));
+        let q = queries();
+        for shards in [1, 2, 4] {
+            let sharded = ShardedEngine::with_shards(Arc::clone(&index), shards);
+            for budget in [0, 1, 4, 9, 1000] {
+                let opts = QueryOptions::new(4, 5).with_rerank_budget(budget);
+                assert_eq!(
+                    ShardedEngine::serve_batch(&sharded, &q, &opts),
+                    QueryEngine::serve_batch(&unsharded, &q, &opts),
+                    "shards={shards} budget={budget}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn compact_and_rebalance_folds_the_delta_and_matches_a_fresh_build() {
+        let index = small_index();
+        let mut engine = ShardedEngine::with_shards(Arc::clone(&index), 3);
+        // Clean index: the tick rebalances but reports no compaction.
+        assert!(engine.compact_and_rebalance().is_none());
+        let inserts: Vec<Vec<f32>> = (0..7)
+            .map(|i| vec![i as f32 * 0.25 - 1.0, 1.5 - i as f32 * 0.1])
+            .collect();
+        for p in &inserts {
+            engine.insert(p);
+        }
+        assert!(engine.delete(5));
+        assert!(
+            engine.needs_compaction(),
+            "7 inserts + 1 delete on 60 points"
+        );
+        let report = engine.compact_and_rebalance().expect("compaction ran");
+        assert_eq!(report.live_points, 60 + 7 - 1);
+        assert_eq!(report.merged_inserts, 7);
+        assert!(!engine.index().is_mutated());
+        let snap = engine.stats();
+        assert_eq!((snap.inserts, snap.deletes), (7, 1));
+        // The swapped-in index answers like a fresh build over the final point set.
+        let n = 60;
+        let mut flat: Vec<f32> = (0..n * 2)
+            .map(|i| ((i * 37 % 101) as f32) / 10.0 - 5.0)
+            .collect();
+        let dead_row = 5usize;
+        flat.drain(dead_row * 2..dead_row * 2 + 2);
+        for p in &inserts {
+            flat.extend_from_slice(p);
+        }
+        let fresh = PartitionIndex::build(
+            RoundRobinPartitioner::new(7),
+            &Matrix::from_vec(n - 1 + inserts.len(), 2, flat),
+            Distance::SquaredEuclidean,
+        );
+        let q = queries();
+        let opts = QueryOptions::new(3, 4);
+        let got = ShardedEngine::serve_batch(&engine, &q, &opts);
+        for qi in 0..q.rows() {
+            assert_eq!(got[qi], fresh.search(q.row(qi), 3, 4), "query {qi}");
+        }
     }
 
     #[test]

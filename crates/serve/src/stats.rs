@@ -121,6 +121,10 @@ struct Inner {
     /// Wall-clock busy time across batches, µs (idle time between batches excluded,
     /// so `qps` measures the engine, not the request arrival process).
     busy_us: u64,
+    /// Points inserted through the serving engine since the last reset.
+    inserts: u64,
+    /// Points deleted (tombstoned) through the serving engine since the last reset.
+    deletes: u64,
     latencies: LatencyHistogram,
     /// `bin_probes[b]` = how many times bin `b` was probed (its candidates scanned).
     bin_probes: Vec<u64>,
@@ -135,6 +139,8 @@ impl ServeStats {
                 candidates_scanned: 0,
                 compressed_scanned: 0,
                 busy_us: 0,
+                inserts: 0,
+                deletes: 0,
                 latencies: LatencyHistogram::new(),
                 bin_probes: vec![0; bins],
             }),
@@ -166,6 +172,16 @@ impl ServeStats {
         }
     }
 
+    /// Counts one point inserted through the engine's write path.
+    pub(crate) fn record_insert(&self) {
+        self.inner.lock().unwrap().inserts += 1;
+    }
+
+    /// Counts one point deleted (tombstoned) through the engine's write path.
+    pub(crate) fn record_delete(&self) {
+        self.inner.lock().unwrap().deletes += 1;
+    }
+
     /// A point-in-time summary of everything recorded so far.
     pub(crate) fn snapshot(&self) -> StatsSnapshot {
         let inner = self.inner.lock().unwrap();
@@ -187,6 +203,8 @@ impl ServeStats {
             mean_latency_us: inner.latencies.mean(),
             p50_latency_us: inner.latencies.percentile(0.50),
             p99_latency_us: inner.latencies.percentile(0.99),
+            inserts: inner.inserts,
+            deletes: inner.deletes,
             bin_probes: inner.bin_probes.clone(),
         }
     }
@@ -201,6 +219,8 @@ impl ServeStats {
             candidates_scanned: 0,
             compressed_scanned: 0,
             busy_us: 0,
+            inserts: 0,
+            deletes: 0,
             latencies: LatencyHistogram::new(),
             bin_probes: vec![0; bins],
         };
@@ -240,6 +260,11 @@ pub struct StatsSnapshot {
     pub p50_latency_us: u64,
     /// 99th-percentile per-query latency, µs (same bounded relative error).
     pub p99_latency_us: u64,
+    /// Points inserted through the engine's write path since the last reset.
+    pub inserts: u64,
+    /// Points deleted (tombstoned) through the engine's write path since the last
+    /// reset.
+    pub deletes: u64,
     /// Per-bin probe counts (`bin_probes[b]` = times bin `b`'s candidates were
     /// scanned) — the skew diagnostic for sharding decisions.
     pub bin_probes: Vec<u64>,
@@ -392,6 +417,20 @@ mod tests {
         assert_eq!(snap.survivor_ratio, 0.1);
         stats.reset();
         assert_eq!(stats.snapshot().survivor_ratio, 0.0);
+    }
+
+    #[test]
+    fn mutation_counters_accumulate_and_reset() {
+        let stats = ServeStats::new(2);
+        assert_eq!((stats.snapshot().inserts, stats.snapshot().deletes), (0, 0));
+        stats.record_insert();
+        stats.record_insert();
+        stats.record_delete();
+        let snap = stats.snapshot();
+        assert_eq!((snap.inserts, snap.deletes), (2, 1));
+        stats.reset();
+        let snap = stats.snapshot();
+        assert_eq!((snap.inserts, snap.deletes), (0, 0));
     }
 
     #[test]

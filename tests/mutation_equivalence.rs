@@ -1,0 +1,430 @@
+//! Mutation equivalence harness: streaming inserts/deletes/compaction vs fresh builds.
+//!
+//! The mutation layer's contract has three levels, all pinned here against a
+//! model-based reference (a plain list of live points in the canonical compaction
+//! order — live base points ascending by old id, then live inserts in insertion
+//! order):
+//!
+//! - **Uncompacted, exact mode** — a dirty index answers with the *same id set* as a
+//!   fresh build over the final live point set (tie order inside the candidate
+//!   stream matches too, because CSR-then-membin order equals the canonical order,
+//!   but only the set is contractual). Tombstoned points never appear.
+//! - **Cross-path** — on the same dirty index, the per-query `PartitionIndex::search`
+//!   reference, the batched `QueryEngine`, and the `ShardedEngine` (every shard
+//!   count, with and without a re-rank budget) answer **bit-identically**; an
+//!   execution strategy is never a semantic change, mutated or not.
+//! - **Compacted** — after folding the delta, the index answers bit-identically to
+//!   `PartitionIndex::build` over the same final point set, in exact mode *and* in
+//!   compressed mode with shared codebooks (compaction re-encodes through the same
+//!   `CodeQuantizer`), and every CSR invariant holds by construction.
+//!
+//! CI re-runs the whole suite under `USP_NUM_THREADS=1` and `USP_NUM_THREADS=4`; the
+//! proptests additionally pin both pool sizes inside each case.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+use std::time::Duration;
+
+use neural_partitioner::serve::{MicroBatcher, QueryEngine, QueryOptions, ShardedEngine};
+use proptest::prelude::*;
+use rayon::with_num_threads;
+use usp_index::partitioner::RoundRobinPartitioner;
+use usp_index::{PartitionIndex, Partitioner, Scoring, SearchResult};
+use usp_linalg::{rng as lrng, Distance, Matrix};
+use usp_quant::{ProductQuantizer, ProductQuantizerConfig};
+
+const DIST: Distance = Distance::SquaredEuclidean;
+/// Re-rank budget used by every compressed index in this suite (shared between the
+/// mutated index and its fresh reference so the shortlist semantics line up).
+const RERANK_BUDGET: usize = 16;
+/// Deletes are skipped once the live set would drop below this floor, so top-k
+/// searches stay meaningful for every generated workload.
+const MIN_LIVE: usize = 8;
+
+fn normal_points(n: usize, dim: usize, seed: u64) -> Matrix {
+    lrng::normal_matrix(&mut lrng::seeded(seed), n, dim, 1.0)
+}
+
+/// One step of a streaming workload.
+#[derive(Clone, Debug)]
+enum Op {
+    Insert(u64),
+    Delete(u64),
+    Compact,
+}
+
+/// Decodes proptest-generated `(selector, seed)` pairs into a workload: inserts in
+/// the majority, deletes next, the occasional mid-stream compaction.
+fn decode_ops(raw: &[(u8, u64)]) -> Vec<Op> {
+    raw.iter()
+        .map(|&(sel, seed)| match sel % 8 {
+            0..=4 => Op::Insert(seed),
+            5 | 6 => Op::Delete(seed),
+            _ => Op::Compact,
+        })
+        .collect()
+}
+
+/// The model next to the index under test: the live points in canonical compaction
+/// order, each with its current global id. Applying an op updates both sides.
+struct Harness {
+    idx: Arc<PartitionIndex<RoundRobinPartitioner>>,
+    live: Vec<(usize, Vec<f32>)>,
+    dim: usize,
+}
+
+impl Harness {
+    fn new(idx: PartitionIndex<RoundRobinPartitioner>, base: &Matrix) -> Self {
+        let live = (0..base.rows())
+            .map(|i| (i, base.row(i).to_vec()))
+            .collect();
+        Self {
+            idx: Arc::new(idx),
+            live,
+            dim: base.cols(),
+        }
+    }
+
+    /// Applies the workload; a deterministic function of `ops`, so two harnesses fed
+    /// the same workload (e.g. the exact and compressed twins) stay in lockstep.
+    fn apply(&mut self, ops: &[Op]) {
+        for (step, op) in ops.iter().enumerate() {
+            match *op {
+                Op::Insert(seed) => {
+                    // Mix the step number in so repeated selector seeds still yield
+                    // distinct points (distance ties would weaken set comparisons).
+                    let mut rng = lrng::seeded(seed ^ ((step as u64) << 32) ^ 0x5eed);
+                    let p: Vec<f32> = (0..self.dim)
+                        .map(|_| lrng::standard_normal(&mut rng))
+                        .collect();
+                    let id = self.idx.insert(&p);
+                    self.live.push((id, p));
+                }
+                Op::Delete(sel) => {
+                    if self.live.len() <= MIN_LIVE {
+                        continue;
+                    }
+                    let at = (sel as usize) % self.live.len();
+                    let (id, _) = self.live.remove(at);
+                    assert!(self.idx.delete(id), "live id {id} must be deletable");
+                    assert!(!self.idx.delete(id), "double delete must report false");
+                }
+                Op::Compact => {
+                    let (new, report) = self.idx.compacted();
+                    assert_eq!(report.live_points, self.live.len());
+                    for (row, (id, _)) in self.live.iter_mut().enumerate() {
+                        let renumbered =
+                            report.id_map[*id].expect("live id survives compaction") as usize;
+                        // Dense renumbering follows the canonical order, so the new
+                        // id of the j-th live point is exactly j.
+                        assert_eq!(renumbered, row, "renumbering left canonical order");
+                        *id = renumbered;
+                    }
+                    assert!(!new.is_mutated(), "compaction must leave a clean index");
+                    self.idx = Arc::new(new);
+                }
+            }
+        }
+    }
+
+    /// The final live point set as a matrix, in canonical order (fresh-build input).
+    fn final_points(&self) -> Matrix {
+        let flat: Vec<f32> = self
+            .live
+            .iter()
+            .flat_map(|(_, p)| p.iter().copied())
+            .collect();
+        Matrix::from_vec(self.live.len(), self.dim, flat)
+    }
+
+    /// Maps a dirty-index global id to its row in [`Self::final_points`], i.e. to the
+    /// id the fresh reference build assigns the same point.
+    fn to_fresh_ids(&self) -> HashMap<usize, usize> {
+        self.live
+            .iter()
+            .enumerate()
+            .map(|(row, (id, _))| (*id, row))
+            .collect()
+    }
+}
+
+/// CSR invariants of a clean index over `n` points: offsets monotone and covering,
+/// buckets ascending, every point in exactly one bucket.
+fn assert_csr_invariants<P: Partitioner>(idx: &PartitionIndex<P>, n: usize) {
+    let off = idx.bin_offsets();
+    assert_eq!(off[0], 0);
+    assert!(off.windows(2).all(|w| w[0] <= w[1]), "offsets not monotone");
+    assert_eq!(*off.last().unwrap(), n);
+    let mut seen = vec![false; n];
+    for b in 0..idx.num_bins() {
+        let bucket = idx.bucket(b);
+        assert!(
+            bucket.windows(2).all(|w| w[0] < w[1]),
+            "bucket {b} not strictly ascending"
+        );
+        for &id in bucket {
+            assert!(!seen[id as usize], "id {id} in two buckets");
+            seen[id as usize] = true;
+        }
+    }
+    assert!(seen.into_iter().all(|s| s), "some point lost from the CSR");
+}
+
+/// Cross-path bit-identity on a (possibly dirty) index: searcher vs `QueryEngine` vs
+/// `ShardedEngine`, unbudgeted and budgeted. Returns the per-query searcher answers.
+fn assert_cross_path(
+    idx: &Arc<PartitionIndex<RoundRobinPartitioner>>,
+    queries: &Matrix,
+    k: usize,
+    probes: usize,
+) -> Vec<SearchResult> {
+    let per_query: Vec<SearchResult> = (0..queries.rows())
+        .map(|qi| idx.search(queries.row(qi), k, probes))
+        .collect();
+    let opts = QueryOptions::new(k, probes);
+    let engine = QueryEngine::new(Arc::clone(idx));
+    assert_eq!(
+        per_query,
+        engine.serve_batch(queries, &opts),
+        "QueryEngine diverged from the per-query searcher"
+    );
+    for shards in [1usize, 3] {
+        let sharded = ShardedEngine::with_shards(Arc::clone(idx), shards);
+        assert_eq!(
+            per_query,
+            sharded.serve_batch(queries, &opts),
+            "ShardedEngine({shards}) diverged from the per-query searcher"
+        );
+    }
+    // Budget semantics are defined by the unsharded engine; the sharded path must
+    // replicate them through its delta-aware per-shard slicing.
+    let budgeted = QueryOptions::new(k, probes).with_rerank_budget(5);
+    let reference = engine.serve_batch(queries, &budgeted);
+    for shards in [1usize, 3] {
+        assert_eq!(
+            reference,
+            ShardedEngine::with_shards(Arc::clone(idx), shards).serve_batch(queries, &budgeted),
+            "budgeted ShardedEngine({shards}) diverged from the unsharded engine"
+        );
+    }
+    per_query
+}
+
+/// The full exact-mode contract for one mutated harness.
+fn check_exact(h: &Harness, queries: &Matrix, k: usize, probes: usize) {
+    let fresh = PartitionIndex::build(
+        RoundRobinPartitioner::new(h.idx.num_bins()),
+        &h.final_points(),
+        DIST,
+    );
+    let to_fresh = h.to_fresh_ids();
+    let per_query = assert_cross_path(&h.idx, queries, k, probes);
+    for (qi, res) in per_query.iter().enumerate() {
+        // Tombstones never surface: every returned id must map to a live point.
+        let mapped: HashSet<usize> = res
+            .ids
+            .iter()
+            .map(|id| {
+                *to_fresh
+                    .get(id)
+                    .unwrap_or_else(|| panic!("query {qi}: dead or unknown id {id} returned"))
+            })
+            .collect();
+        let fresh_ids: HashSet<usize> = fresh
+            .search(queries.row(qi), k, probes)
+            .ids
+            .into_iter()
+            .collect();
+        assert_eq!(
+            mapped, fresh_ids,
+            "query {qi}: dirty id set diverged from the fresh build"
+        );
+    }
+    // Compacting folds the delta into an index that is bit-identical to the fresh
+    // build — ids included, because compaction renumbers in canonical order.
+    let (compacted, _) = h.idx.compacted();
+    for qi in 0..queries.rows() {
+        assert_eq!(
+            compacted.search(queries.row(qi), k, probes),
+            fresh.search(queries.row(qi), k, probes),
+            "query {qi}: compacted answer differs from the fresh build"
+        );
+    }
+    assert_csr_invariants(&compacted, h.live.len());
+}
+
+/// The compressed-mode contract: cross-path identity while dirty, and post-compaction
+/// bit-identity to a fresh compressed build sharing the *same* quantizer.
+fn check_compressed(
+    h: &Harness,
+    pq: &Arc<ProductQuantizer>,
+    queries: &Matrix,
+    k: usize,
+    probes: usize,
+) {
+    assert_cross_path(&h.idx, queries, k, probes);
+    let fresh = PartitionIndex::build(
+        RoundRobinPartitioner::new(h.idx.num_bins()),
+        &h.final_points(),
+        DIST,
+    )
+    .with_scoring(Scoring::compressed(
+        Arc::clone(pq) as Arc<dyn usp_index::CodeQuantizer>,
+        RERANK_BUDGET,
+    ));
+    let (compacted, _) = h.idx.compacted();
+    for qi in 0..queries.rows() {
+        assert_eq!(
+            compacted.search(queries.row(qi), k, probes),
+            fresh.search(queries.row(qi), k, probes),
+            "query {qi}: compacted compressed answer differs from the fresh build"
+        );
+    }
+    assert_csr_invariants(&compacted, h.live.len());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Random streaming workloads (inserts, deletes, mid-stream compactions) against
+    /// the model, in exact and compressed mode, under both pool sizes.
+    #[test]
+    fn streaming_workloads_match_fresh_builds(
+        seed in 0u64..1000,
+        base_n in 12usize..40,
+        dim in 2usize..5,
+        bins in 2usize..7,
+        raw_ops in prop::collection::vec((0u8..8, 0u64..1_000_000u64), 4..16),
+    ) {
+        let ops = decode_ops(&raw_ops);
+        let base = normal_points(base_n, dim, seed);
+        let queries = normal_points(4, dim, seed.wrapping_add(101));
+        // One quantizer, fit once, shared by the mutated index and its fresh
+        // reference: compaction must re-encode through these exact codebooks.
+        let pq = with_num_threads(1, || {
+            Arc::new(ProductQuantizer::fit(&base, &ProductQuantizerConfig::standard(2, 8)))
+        });
+        for threads in [1usize, 4] {
+            with_num_threads(threads, || {
+                let mut exact = Harness::new(
+                    PartitionIndex::build(RoundRobinPartitioner::new(bins), &base, DIST),
+                    &base,
+                );
+                exact.apply(&ops);
+                check_exact(&exact, &queries, 5, 3);
+
+                let compressed_idx =
+                    PartitionIndex::build(RoundRobinPartitioner::new(bins), &base, DIST)
+                        .with_scoring(Scoring::compressed(
+                            Arc::clone(&pq) as Arc<dyn usp_index::CodeQuantizer>,
+                            RERANK_BUDGET,
+                        ));
+                let mut compressed = Harness::new(compressed_idx, &base);
+                compressed.apply(&ops);
+                check_compressed(&compressed, &pq, &queries, 5, 3);
+            });
+        }
+    }
+}
+
+#[test]
+fn compaction_threshold_and_report_bookkeeping() {
+    let base = normal_points(20, 2, 3);
+    let idx = PartitionIndex::build(RoundRobinPartitioner::new(3), &base, DIST)
+        .with_compaction_threshold(0.25);
+    assert!(
+        !idx.needs_compaction(),
+        "a clean index never needs compaction"
+    );
+    let extra = normal_points(4, 2, 77);
+    let ids: Vec<usize> = (0..4).map(|i| idx.insert(extra.row(i))).collect();
+    assert_eq!(
+        ids,
+        vec![20, 21, 22, 23],
+        "insert ids are dense above base_n"
+    );
+    assert!(idx.delete(ids[1]), "inserted point is deletable");
+    assert!(idx.delete(5), "base point is deletable");
+    // Delta = 4 inserts + 1 base tombstone = 5 = 0.25 * 20: exactly at threshold.
+    assert!(idx.needs_compaction());
+    let stats = idx.mutation_stats();
+    assert_eq!(
+        (
+            stats.base_points,
+            stats.inserts,
+            stats.live_inserts,
+            stats.tombstones
+        ),
+        (20, 4, 3, 2)
+    );
+
+    let mut idx = idx;
+    let report = idx.compact();
+    assert_eq!(report.live_points, 22); // 20 - 1 dead base + 3 live inserts
+    assert_eq!(report.merged_inserts, 3);
+    assert_eq!(report.dropped_tombstones, 2);
+    assert_eq!(report.id_map.len(), 24);
+    assert!(
+        report.id_map[5].is_none(),
+        "deleted base id maps to nothing"
+    );
+    assert!(
+        report.id_map[21].is_none(),
+        "deleted insert maps to nothing"
+    );
+    assert_eq!(report.id_map.iter().flatten().count(), 22);
+
+    assert!(!idx.is_mutated());
+    assert!(!idx.needs_compaction());
+    assert_eq!(idx.mutation_stats().base_points, 22);
+    assert_csr_invariants(&idx, 22);
+}
+
+#[test]
+fn mutated_micro_batcher_survives_submits_racing_drop() {
+    // The panic-safety rework of the flusher must not regress orderly shutdown on
+    // the mutated serving path: submits racing the batcher's Drop either get the
+    // correct answer or a clean disconnect — never a hang, never a wrong answer.
+    let base = normal_points(80, 3, 9);
+    let idx = Arc::new(PartitionIndex::build(
+        RoundRobinPartitioner::new(4),
+        &base,
+        DIST,
+    ));
+    let fresh = normal_points(6, 3, 10);
+    for i in 0..6 {
+        idx.insert(fresh.row(i));
+    }
+    assert!(idx.delete(12) && idx.delete(81));
+    let queries = normal_points(8, 3, 11);
+    let opts = QueryOptions::new(3, 2);
+    let reference: Vec<SearchResult> = (0..queries.rows())
+        .map(|qi| idx.search(queries.row(qi), opts.k, opts.probes))
+        .collect();
+
+    let engine = Arc::new(ShardedEngine::with_shards(Arc::clone(&idx), 3));
+    let batcher = Arc::new(MicroBatcher::new(engine, opts, 8, Duration::from_millis(1)));
+    let workers: Vec<_> = (0..4)
+        .map(|t| {
+            let batcher = Arc::clone(&batcher);
+            let queries = queries.clone();
+            std::thread::spawn(move || {
+                (0..20)
+                    .map(|i| {
+                        let qi = (t * 5 + i) % queries.rows();
+                        (qi, batcher.submit(queries.row(qi).to_vec()))
+                    })
+                    .collect::<Vec<_>>()
+            })
+        })
+        .collect();
+    drop(batcher); // race shutdown against the submitting threads
+    for worker in workers {
+        for (qi, rx) in worker.join().expect("submitting thread must not panic") {
+            // A RecvError means shutdown won the race: disconnect, not a hang.
+            if let Ok(res) = rx.recv() {
+                assert_eq!(res, reference[qi], "query {qi} answered wrongly");
+            }
+        }
+    }
+}

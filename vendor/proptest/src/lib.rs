@@ -321,6 +321,8 @@ impl_strategy_for_tuple! {
     (A.0, B.1)
     (A.0, B.1, C.2)
     (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
 }
 
 /// `Just` strategy: always the same value.
@@ -572,6 +574,13 @@ mod tests {
         #[test]
         fn tuple_strategies_work(pair in (0usize..4, 0usize..4)) {
             prop_assert!(pair.0 < 4 && pair.1 < 4);
+        }
+
+        #[test]
+        fn wide_tuple_strategies_work(
+            six in (0u8..2, 0u8..2, 0u8..2, 0u8..2, 0u8..2, 0u8..2),
+        ) {
+            prop_assert!(six.0 < 2 && six.5 < 2);
         }
     }
 

@@ -88,7 +88,7 @@ impl SplitStrategy for BoostedForestStrategy {
         for _ in 0..self.candidates {
             let w = lrng::random_unit_vector(rng, d);
             let mut projs: Vec<f32> = indices.iter().map(|&i| dot(data.row(i), &w)).collect();
-            projs.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+            projs.sort_by(|a, b| usp_linalg::topk::nan_class_cmp(*a, *b));
             let t = projs[projs.len() / 2];
             let cost = self.separation_cost(data, indices, &w, t);
             if cost < best_cost {

@@ -46,7 +46,7 @@ fn median(mut values: Vec<f32>) -> f32 {
     if values.is_empty() {
         return 0.0;
     }
-    values.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    values.sort_by(|a, b| usp_linalg::topk::nan_class_cmp(*a, *b));
     let n = values.len();
     if n % 2 == 1 {
         values[n / 2]

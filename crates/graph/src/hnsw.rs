@@ -53,10 +53,7 @@ impl PartialOrd for HeapItem {
 }
 impl Ord for HeapItem {
     fn cmp(&self, other: &Self) -> Ordering {
-        self.dist
-            .partial_cmp(&other.dist)
-            .unwrap_or(Ordering::Equal)
-            .then_with(|| self.id.cmp(&other.id))
+        usp_linalg::topk::nan_class_cmp(self.dist, other.dist).then_with(|| self.id.cmp(&other.id))
     }
 }
 
@@ -176,7 +173,7 @@ impl Hnsw {
                             )
                         })
                         .collect();
-                    with_d.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(Ordering::Equal));
+                    with_d.sort_by(|a, b| usp_linalg::topk::nan_class_cmp(a.0, b.0));
                     with_d.truncate(max_links);
                     self.neighbors[nbr as usize][l] = with_d.into_iter().map(|(_, x)| x).collect();
                 }

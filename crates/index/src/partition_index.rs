@@ -810,6 +810,9 @@ impl<P: Partitioner> PartitionIndex<P> {
     /// in force). A clean index — never mutated, or freshly compacted — answers on
     /// the pre-mutation-layer code paths, bit for bit.
     pub fn is_mutated(&self) -> bool {
+        // ordering: Acquire pairs with the Release stores in insert()/delete() —
+        // a reader that observes `true` also observes the delta state those
+        // writers published under the mutation lock before storing the flag.
         self.mutated.load(Ordering::Acquire)
     }
 
@@ -841,6 +844,8 @@ impl<P: Partitioner> PartitionIndex<P> {
         let id = state.base_n() + state.total_inserts();
         state.push_insert(bin, u32::try_from(id).expect("id exceeds u32"), point);
         drop(state);
+        // ordering: Release publishes the delta written above (under the lock,
+        // now dropped) to any reader whose is_mutated() Acquire-load sees `true`.
         self.mutated.store(true, Ordering::Release);
         id
     }
@@ -864,6 +869,8 @@ impl<P: Partitioner> PartitionIndex<P> {
         };
         drop(state);
         if deleted {
+            // ordering: Release pairs with the Acquire load in is_mutated(),
+            // publishing the tombstone recorded above.
             self.mutated.store(true, Ordering::Release);
         }
         deleted

@@ -94,7 +94,9 @@ pub fn symmetric_eigen(matrix: &[f64], n: usize, max_sweeps: usize) -> Symmetric
             (lambda, vec)
         })
         .collect();
-    pairs.sort_by(|x, y| y.0.partial_cmp(&x.0).unwrap_or(std::cmp::Ordering::Equal));
+    // Descending on finite eigenvalues; nan_class gives a deterministic total
+    // order (a NaN eigenvalue means the input was already garbage).
+    pairs.sort_by(|x, y| crate::topk::nan_class_cmp_f64(y.0, x.0));
 
     SymmetricEigen {
         eigenvalues: pairs.iter().map(|(l, _)| *l).collect(),

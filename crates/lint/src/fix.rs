@@ -1,0 +1,126 @@
+//! `--fix`: advisory stub insertion. For the two comment-presence rules the
+//! *location* of the missing comment is mechanical even though its *content*
+//! never is — no tool can know which happens-before edge an ordering relies on.
+//! So `--fix` inserts an indentation-matched TODO stub at each finding site and
+//! leaves the justification to a human; the tree still fails the lint until the
+//! TODOs are replaced with real invariants (the stub text deliberately does not
+//! say `ordering:`/`SAFETY:` followed by a plausible-looking lie).
+
+use crate::Finding;
+use std::collections::BTreeMap;
+
+pub const ORDERING_STUB: &str = "// ordering: TODO(usp-lint): justify this memory ordering choice.";
+pub const SAFETY_STUB: &str =
+    "// SAFETY: TODO(usp-lint): document the invariant that makes this sound.";
+
+fn stub_for(rule: &str) -> Option<&'static str> {
+    match rule {
+        "undocumented-atomic-ordering" => Some(ORDERING_STUB),
+        "unsafe-needs-safety-comment" => Some(SAFETY_STUB),
+        _ => None,
+    }
+}
+
+/// Returns `text` with a stub line inserted above each fixable finding line,
+/// and how many stubs were inserted. Insertions are applied bottom-up so
+/// earlier findings' line numbers stay valid; several findings on one line
+/// produce one stub.
+pub fn apply_to_text(text: &str, findings: &[&Finding]) -> (String, usize) {
+    let mut lines: Vec<String> = text.lines().map(String::from).collect();
+    // line -> stub, deduplicated; BTreeMap iterates ascending so rev() is bottom-up.
+    let mut stubs: BTreeMap<usize, &'static str> = BTreeMap::new();
+    for f in findings {
+        if let Some(stub) = stub_for(f.rule) {
+            stubs.entry(f.line as usize).or_insert(stub);
+        }
+    }
+    let inserted = stubs.len();
+    for (&line, &stub) in stubs.iter().rev() {
+        if line == 0 || line > lines.len() {
+            continue;
+        }
+        let indent: String = lines[line - 1]
+            .chars()
+            .take_while(|c| *c == ' ' || *c == '\t')
+            .collect();
+        lines.insert(line - 1, format!("{indent}{stub}"));
+    }
+    let mut out = lines.join("\n");
+    if text.ends_with('\n') {
+        out.push('\n');
+    }
+    (out, inserted)
+}
+
+/// Applies stubs for every fixable finding, grouped per file under `root`.
+/// Returns the number of stubs written. Purely advisory: the stubs keep the
+/// lint red until a human replaces the TODO with the actual invariant.
+pub fn apply(root: &std::path::Path, findings: &[Finding]) -> std::io::Result<usize> {
+    let mut by_file: BTreeMap<&str, Vec<&Finding>> = BTreeMap::new();
+    for f in findings {
+        if stub_for(f.rule).is_some() {
+            by_file.entry(f.path.as_str()).or_default().push(f);
+        }
+    }
+    let mut total = 0;
+    for (path, file_findings) in by_file {
+        let abs = root.join(path);
+        let text = std::fs::read_to_string(&abs)?;
+        let (fixed, n) = apply_to_text(&text, &file_findings);
+        if n > 0 {
+            std::fs::write(&abs, fixed)?;
+            total += n;
+        }
+    }
+    Ok(total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(rule: &'static str, line: u32) -> Finding {
+        Finding {
+            rule,
+            path: "crates/x/src/a.rs".into(),
+            line,
+            col: 1,
+            message: String::new(),
+        }
+    }
+
+    #[test]
+    fn inserts_indent_matched_stub_above_site() {
+        let src = "fn f(a: &AtomicBool) {\n    a.load(Ordering::Acquire);\n}\n";
+        let f = finding("undocumented-atomic-ordering", 2);
+        let (out, n) = apply_to_text(src, &[&f]);
+        assert_eq!(n, 1);
+        assert_eq!(
+            out,
+            format!("fn f(a: &AtomicBool) {{\n    {ORDERING_STUB}\n    a.load(Ordering::Acquire);\n}}\n")
+        );
+    }
+
+    #[test]
+    fn multiple_findings_apply_bottom_up_and_dedup_per_line() {
+        let src = "unsafe { a() }\nunsafe { b() }\n";
+        let f1 = finding("unsafe-needs-safety-comment", 1);
+        let f1b = finding("unsafe-needs-safety-comment", 1);
+        let f2 = finding("unsafe-needs-safety-comment", 2);
+        let (out, n) = apply_to_text(src, &[&f1, &f1b, &f2]);
+        assert_eq!(n, 2);
+        assert_eq!(
+            out,
+            format!("{SAFETY_STUB}\nunsafe {{ a() }}\n{SAFETY_STUB}\nunsafe {{ b() }}\n")
+        );
+    }
+
+    #[test]
+    fn non_fixable_rules_are_untouched() {
+        let src = "fn f() {}\n";
+        let f = finding("nan-unsafe-cmp", 1);
+        let (out, n) = apply_to_text(src, &[&f]);
+        assert_eq!(n, 0);
+        assert_eq!(out, src);
+    }
+}

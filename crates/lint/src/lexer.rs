@@ -1,0 +1,615 @@
+//! A hand-rolled Rust lexer sufficient for rule matching: it strips comments,
+//! strings and char literals out of the token stream (recording comments on the
+//! side, because several rules key on them), distinguishes char literals from
+//! lifetimes, tracks brace depth, and marks which tokens sit inside test scopes
+//! (`#[cfg(test)]` items, `mod tests`, `#[test]` functions, files under `tests/`).
+//!
+//! It is *not* a parser: rules match on spanned token patterns, which is exactly
+//! the right altitude for convention checks ("no `partial_cmp().unwrap()`",
+//! "every `Ordering::` site carries a justification") and keeps the linter
+//! dependency-free and total — any byte sequence lexes to *something*.
+
+/// Token classification. Punctuation is stored with maximal munch (`::`, `+=`,
+/// `..=`, …) so rules can match operator shapes directly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    Ident,
+    Number,
+    Lifetime,
+    Punct,
+}
+
+#[derive(Debug, Clone)]
+pub struct Token {
+    pub kind: TokKind,
+    pub text: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column (in chars).
+    pub col: u32,
+    /// Brace depth surrounding the token: a `{` carries the depth *outside* the
+    /// braces it opens, and its matching `}` carries that same depth.
+    pub depth: u32,
+    /// True inside `#[cfg(test)]` / `mod tests` / `#[test]` scopes, and for every
+    /// token of a file under a `tests/` directory.
+    pub in_test: bool,
+}
+
+impl Token {
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+    pub fn is_punct(&self, s: &str) -> bool {
+        self.kind == TokKind::Punct && self.text == s
+    }
+}
+
+/// A comment, kept out of the token stream but recorded for the rules that
+/// require them (`// SAFETY:`, `// ordering:`, `// lint:allow(...)`).
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// 1-based line the comment ends on (> `line` only for block comments).
+    pub end_line: u32,
+    /// Body text without the `//` / `/* */` markers.
+    pub text: String,
+    /// `///`, `//!`, `/**`, `/*!`.
+    pub doc: bool,
+    /// True when a token precedes the comment on its starting line.
+    pub trailing: bool,
+}
+
+/// One lexed source file.
+#[derive(Debug)]
+pub struct LexedFile {
+    /// Repo-relative path with `/` separators.
+    pub path: String,
+    pub tokens: Vec<Token>,
+    pub comments: Vec<Comment>,
+    pub is_test_file: bool,
+}
+
+impl LexedFile {
+    /// True when any token sits on `line`.
+    pub fn line_has_code(&self, line: u32) -> bool {
+        self.tokens
+            .binary_search_by(|t| t.line.cmp(&line))
+            .map_or_else(|_| false, |_| true)
+    }
+
+    /// All comments whose span covers `line`.
+    pub fn comments_on_line(&self, line: u32) -> impl Iterator<Item = &Comment> {
+        self.comments
+            .iter()
+            .filter(move |c| c.line <= line && line <= c.end_line)
+    }
+}
+
+/// Lexes `text` into tokens + comments. `path` must be repo-relative with `/`
+/// separators; it decides the `is_test_file` flag.
+pub fn lex(path: &str, text: &str) -> LexedFile {
+    let is_test_file = path.starts_with("tests/") || path.contains("/tests/");
+    let chars: Vec<char> = text.chars().collect();
+    let mut tokens: Vec<Token> = Vec::new();
+    let mut comments: Vec<Comment> = Vec::new();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+    let mut col: u32 = 1;
+    let mut depth: u32 = 0;
+    let mut last_token_line: u32 = 0;
+
+    macro_rules! bump {
+        () => {{
+            if chars[i] == '\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+            i += 1;
+        }};
+    }
+
+    while i < chars.len() {
+        let c = chars[i];
+        let (tline, tcol) = (line, col);
+
+        // ---- whitespace
+        if c.is_whitespace() {
+            bump!();
+            continue;
+        }
+
+        // ---- comments
+        if c == '/' && i + 1 < chars.len() && chars[i + 1] == '/' {
+            let doc = matches!(chars.get(i + 2), Some('/') | Some('!'))
+                // `////...` dividers are plain comments, not docs.
+                && chars.get(i + 3) != Some(&'/');
+            let mut body = String::new();
+            while i < chars.len() && chars[i] != '\n' {
+                body.push(chars[i]);
+                bump!();
+            }
+            let trimmed = body
+                .trim_start_matches('/')
+                .trim_start_matches('!')
+                .to_string();
+            comments.push(Comment {
+                line: tline,
+                end_line: tline,
+                text: trimmed,
+                doc,
+                trailing: last_token_line == tline,
+            });
+            continue;
+        }
+        if c == '/' && i + 1 < chars.len() && chars[i + 1] == '*' {
+            let doc =
+                matches!(chars.get(i + 2), Some('*') | Some('!')) && chars.get(i + 3) != Some(&'/');
+            let mut body = String::new();
+            let mut nest = 0usize;
+            while i < chars.len() {
+                if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
+                    nest += 1;
+                    bump!();
+                    bump!();
+                    continue;
+                }
+                if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
+                    nest -= 1;
+                    bump!();
+                    bump!();
+                    if nest == 0 {
+                        break;
+                    }
+                    continue;
+                }
+                body.push(chars[i]);
+                bump!();
+            }
+            comments.push(Comment {
+                line: tline,
+                end_line: line,
+                text: body,
+                doc,
+                trailing: last_token_line == tline,
+            });
+            continue;
+        }
+
+        // ---- string-ish literals (stripped; they never yield tokens)
+        // Raw strings r"..." / r#"..."# (and br variants), checked before idents.
+        if (c == 'r' || c == 'b') && raw_string_hashes(&chars, i).is_some() {
+            let (start, hashes) = raw_string_hashes(&chars, i).expect("checked above");
+            // Skip prefix up to and including the opening quote.
+            while i < start {
+                bump!();
+            }
+            bump!(); // the opening `"`
+            loop {
+                if i >= chars.len() {
+                    break;
+                }
+                if chars[i] == '"' && closes_raw(&chars, i, hashes) {
+                    bump!(); // `"`
+                    for _ in 0..hashes {
+                        bump!();
+                    }
+                    break;
+                }
+                bump!();
+            }
+            continue;
+        }
+        if c == '"' || (c == 'b' && chars.get(i + 1) == Some(&'"')) {
+            if c == 'b' {
+                bump!();
+            }
+            bump!(); // opening quote
+            while i < chars.len() {
+                if chars[i] == '\\' {
+                    bump!();
+                    if i < chars.len() {
+                        bump!();
+                    }
+                    continue;
+                }
+                if chars[i] == '"' {
+                    bump!();
+                    break;
+                }
+                bump!();
+            }
+            continue;
+        }
+        // Char literal vs lifetime. `b'x'` is always a char literal.
+        if c == '\'' || (c == 'b' && chars.get(i + 1) == Some(&'\'')) {
+            let q = if c == 'b' { i + 1 } else { i };
+            let escaped = chars.get(q + 1) == Some(&'\\');
+            let closes = chars.get(q + 2) == Some(&'\'');
+            if c == 'b' || escaped || closes {
+                // Char literal: skip to the closing quote.
+                if c == 'b' {
+                    bump!();
+                }
+                bump!(); // opening '
+                while i < chars.len() {
+                    if chars[i] == '\\' {
+                        bump!();
+                        if i < chars.len() {
+                            bump!();
+                        }
+                        continue;
+                    }
+                    if chars[i] == '\'' {
+                        bump!();
+                        break;
+                    }
+                    bump!();
+                }
+            } else {
+                // Lifetime: `'` + ident chars, no closing quote.
+                bump!();
+                let mut name = String::from("'");
+                while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                    name.push(chars[i]);
+                    bump!();
+                }
+                tokens.push(Token {
+                    kind: TokKind::Lifetime,
+                    text: name,
+                    line: tline,
+                    col: tcol,
+                    depth,
+                    in_test: false,
+                });
+                last_token_line = tline;
+            }
+            continue;
+        }
+
+        // ---- identifiers (incl. raw idents r#ident)
+        if c.is_alphabetic() || c == '_' {
+            let mut name = String::new();
+            if c == 'r' && chars.get(i + 1) == Some(&'#') {
+                let after = chars.get(i + 2);
+                if after.is_some_and(|ch| ch.is_alphabetic() || *ch == '_') {
+                    bump!();
+                    bump!();
+                }
+            }
+            while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                name.push(chars[i]);
+                bump!();
+            }
+            tokens.push(Token {
+                kind: TokKind::Ident,
+                text: name,
+                line: tline,
+                col: tcol,
+                depth,
+                in_test: false,
+            });
+            last_token_line = tline;
+            continue;
+        }
+
+        // ---- numbers
+        if c.is_ascii_digit() {
+            let mut text = String::new();
+            if c == '0' && matches!(chars.get(i + 1), Some('x' | 'X' | 'b' | 'B' | 'o' | 'O')) {
+                text.push(chars[i]);
+                bump!();
+                text.push(chars[i]);
+                bump!();
+                while i < chars.len() && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
+                    text.push(chars[i]);
+                    bump!();
+                }
+            } else {
+                while i < chars.len() && (chars[i].is_ascii_digit() || chars[i] == '_') {
+                    text.push(chars[i]);
+                    bump!();
+                }
+                // Fractional part only when a digit follows the dot (so `0..n` and
+                // `x.0.partial_cmp` keep their dots as punctuation).
+                if i < chars.len()
+                    && chars[i] == '.'
+                    && chars.get(i + 1).is_some_and(char::is_ascii_digit)
+                {
+                    text.push('.');
+                    bump!();
+                    while i < chars.len() && (chars[i].is_ascii_digit() || chars[i] == '_') {
+                        text.push(chars[i]);
+                        bump!();
+                    }
+                }
+                // Exponent.
+                if i < chars.len()
+                    && matches!(chars[i], 'e' | 'E')
+                    && (chars.get(i + 1).is_some_and(char::is_ascii_digit)
+                        || (matches!(chars.get(i + 1), Some('+' | '-'))
+                            && chars.get(i + 2).is_some_and(char::is_ascii_digit)))
+                {
+                    text.push(chars[i]);
+                    bump!();
+                    if matches!(chars[i], '+' | '-') {
+                        text.push(chars[i]);
+                        bump!();
+                    }
+                    while i < chars.len() && (chars[i].is_ascii_digit() || chars[i] == '_') {
+                        text.push(chars[i]);
+                        bump!();
+                    }
+                }
+                // Type suffix (`1f32`, `7usize`).
+                while i < chars.len() && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
+                    text.push(chars[i]);
+                    bump!();
+                }
+            }
+            tokens.push(Token {
+                kind: TokKind::Number,
+                text,
+                line: tline,
+                col: tcol,
+                depth,
+                in_test: false,
+            });
+            last_token_line = tline;
+            continue;
+        }
+
+        // ---- punctuation (maximal munch)
+        let rest: String = chars[i..chars.len().min(i + 3)].iter().collect();
+        let mut op_len = 1;
+        for op in [
+            "..=", "<<=", ">>=", "::", "->", "=>", "..", "+=", "-=", "*=", "/=", "%=", "^=", "&=",
+            "|=", "==", "!=", "<=", ">=", "&&", "||", "<<", ">>",
+        ] {
+            if rest.starts_with(op) {
+                op_len = op.chars().count();
+                break;
+            }
+        }
+        let text: String = chars[i..i + op_len].iter().collect();
+        let tok_depth = if text == "}" {
+            depth.saturating_sub(1)
+        } else {
+            depth
+        };
+        if text == "{" {
+            depth += 1;
+        } else if text == "}" {
+            depth = depth.saturating_sub(1);
+        }
+        for _ in 0..op_len {
+            bump!();
+        }
+        tokens.push(Token {
+            kind: TokKind::Punct,
+            text,
+            line: tline,
+            col: tcol,
+            depth: tok_depth,
+            in_test: false,
+        });
+        last_token_line = tline;
+    }
+
+    mark_test_scopes(&mut tokens, is_test_file);
+    LexedFile {
+        path: path.to_string(),
+        tokens,
+        comments,
+        is_test_file,
+    }
+}
+
+/// If position `i` starts a raw-string prefix (`r"`, `r#...#"`, `br"`, `br#"`),
+/// returns (index of the opening quote, number of hashes).
+fn raw_string_hashes(chars: &[char], i: usize) -> Option<(usize, usize)> {
+    let mut j = i;
+    if chars.get(j) == Some(&'b') {
+        j += 1;
+    }
+    if chars.get(j) != Some(&'r') {
+        return None;
+    }
+    j += 1;
+    let mut hashes = 0usize;
+    while chars.get(j) == Some(&'#') {
+        hashes += 1;
+        j += 1;
+    }
+    if chars.get(j) == Some(&'"') {
+        Some((j, hashes))
+    } else {
+        None
+    }
+}
+
+/// True when the quote at `i` is followed by `hashes` hash characters.
+fn closes_raw(chars: &[char], i: usize, hashes: usize) -> bool {
+    (1..=hashes).all(|k| chars.get(i + k) == Some(&'#'))
+}
+
+/// Marks tokens inside test scopes: items annotated `#[cfg(test)]` or `#[test]`,
+/// and `mod tests { ... }` bodies. Test files mark everything.
+fn mark_test_scopes(tokens: &mut [Token], is_test_file: bool) {
+    if is_test_file {
+        for t in tokens.iter_mut() {
+            t.in_test = true;
+        }
+        return;
+    }
+    let n = tokens.len();
+    let mut regions: Vec<(usize, usize)> = Vec::new();
+    let mut i = 0usize;
+    while i < n {
+        // `#[cfg(test)]` / `#[test]` attribute.
+        let attr_is_test = tokens[i].is_punct("#")
+            && i + 2 < n
+            && tokens[i + 1].is_punct("[")
+            && ((tokens[i + 2].is_ident("cfg")
+                && i + 4 < n
+                && tokens[i + 3].is_punct("(")
+                && tokens[i + 4].is_ident("test"))
+                || tokens[i + 2].is_ident("test"));
+        // `mod tests` (any module literally named `tests`).
+        let mod_tests = tokens[i].is_ident("mod") && i + 1 < n && tokens[i + 1].is_ident("tests");
+        if !(attr_is_test || mod_tests) {
+            i += 1;
+            continue;
+        }
+        let item_depth = tokens[i].depth;
+        // Find the annotated item's body: the first `{` at `item_depth` before a
+        // terminating `;` at `item_depth` (e.g. `#[cfg(test)] use ...;` has none).
+        let mut j = i + 1;
+        let mut start = None;
+        while j < n && tokens[j].depth >= item_depth {
+            if tokens[j].depth == item_depth {
+                if tokens[j].is_punct("{") {
+                    start = Some(j);
+                    break;
+                }
+                if tokens[j].is_punct(";") {
+                    break;
+                }
+            }
+            j += 1;
+        }
+        if let Some(s) = start {
+            let mut k = s + 1;
+            while k < n && !(tokens[k].is_punct("}") && tokens[k].depth == item_depth) {
+                k += 1;
+            }
+            regions.push((i, k.min(n - 1)));
+            i = s + 1; // nested test scopes inside are already covered
+        } else {
+            i = j.max(i + 1);
+        }
+    }
+    for (a, b) in regions {
+        for t in tokens.iter_mut().take(b + 1).skip(a) {
+            t.in_test = true;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex("x.rs", src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn strips_comments_strings_and_chars() {
+        let f = lex(
+            "x.rs",
+            "let s = \"partial_cmp\"; // partial_cmp\nlet c = 'u'; /* unsafe */ let l: &'a u8;",
+        );
+        let names: Vec<&str> = f
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(names, vec!["let", "s", "let", "c", "let", "l", "u8"]);
+        assert_eq!(f.comments.len(), 2);
+        assert!(f.comments[0].trailing);
+        assert_eq!(f.comments[0].text.trim(), "partial_cmp");
+        let lifetimes: Vec<&str> = f
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(lifetimes, vec!["'a"]);
+    }
+
+    #[test]
+    fn raw_strings_and_nested_block_comments() {
+        let f = lex(
+            "x.rs",
+            "let a = r#\"un\"safe\"#; /* outer /* inner */ still */ let b = r\"x\";",
+        );
+        assert_eq!(idents("let a = r#\"y\"#;"), vec!["let", "a"]);
+        let names: Vec<&str> = f
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(names, vec!["let", "a", "let", "b"]);
+        assert_eq!(f.comments.len(), 1);
+    }
+
+    #[test]
+    fn tuple_field_access_keeps_method_name_separate() {
+        // The motivating edge case: `a.0.partial_cmp(b)` must yield an ident token
+        // `partial_cmp`, not a number token `0.partial_cmp`.
+        assert!(idents("a.0.partial_cmp(&b.0)").contains(&"partial_cmp".to_string()));
+        // And numeric literals still lex as one token.
+        let f = lex("x.rs", "let x = 1.5e-3f64 + 0x1F + 2usize;");
+        let nums: Vec<&str> = f
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Number)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(nums, vec!["1.5e-3f64", "0x1F", "2usize"]);
+    }
+
+    #[test]
+    fn brace_depth_tracks_matching_pairs() {
+        let f = lex("x.rs", "fn f() { if x { y(); } }");
+        let open: Vec<u32> = f
+            .tokens
+            .iter()
+            .filter(|t| t.is_punct("{"))
+            .map(|t| t.depth)
+            .collect();
+        let close: Vec<u32> = f
+            .tokens
+            .iter()
+            .filter(|t| t.is_punct("}"))
+            .map(|t| t.depth)
+            .collect();
+        assert_eq!(open, vec![0, 1]);
+        assert_eq!(close, vec![1, 0]);
+    }
+
+    #[test]
+    fn test_scopes_cover_cfg_test_and_mod_tests() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n fn t() { spawn(); }\n}\n";
+        let f = lex("x.rs", src);
+        let spawn = f.tokens.iter().find(|t| t.is_ident("spawn")).unwrap();
+        assert!(spawn.in_test);
+        let live = f.tokens.iter().find(|t| t.is_ident("live")).unwrap();
+        assert!(!live.in_test);
+    }
+
+    #[test]
+    fn cfg_test_on_use_statement_does_not_swallow_the_file() {
+        let src = "#[cfg(test)]\nuse foo::bar;\nfn live() {}\n";
+        let f = lex("x.rs", src);
+        let live = f.tokens.iter().find(|t| t.is_ident("live")).unwrap();
+        assert!(!live.in_test);
+    }
+
+    #[test]
+    fn tests_directory_files_are_all_test_scope() {
+        let f = lex("tests/it.rs", "fn main() {}");
+        assert!(f.is_test_file);
+        assert!(f.tokens.iter().all(|t| t.in_test));
+    }
+}

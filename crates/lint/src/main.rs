@@ -1,0 +1,123 @@
+//! CLI entry point. `cargo run -p usp-lint` from the repo root lints the whole
+//! tree; see `--help` for flags. Exit codes: 0 clean, 1 findings, 2 usage or
+//! I/O error.
+
+use usp_lint::{allowlist, fix, lint_workspace, rule_counts, Workspace};
+
+const USAGE: &str = "\
+usp-lint — the workspace's invariants as machine-checked rules (DESIGN §6)
+
+USAGE:
+    cargo run -p usp-lint [--] [ROOT] [--fix] [--allowlist]
+
+ARGS:
+    ROOT         workspace root to lint (default: current directory)
+
+FLAGS:
+    --fix        insert `// ordering:` / `// SAFETY:` TODO stubs at finding
+                 sites (advisory: the lint stays red until a human replaces
+                 each TODO with the actual invariant)
+    --allowlist  print the repo-level allowlist entries and exit
+    -h, --help   print this help
+";
+
+fn main() {
+    std::process::exit(run());
+}
+
+fn run() -> i32 {
+    let mut root: Option<std::path::PathBuf> = None;
+    let mut do_fix = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--fix" => do_fix = true,
+            "--allowlist" => {
+                if allowlist::REPO_ALLOWLIST.is_empty() {
+                    println!("repo allowlist is empty");
+                }
+                for e in allowlist::REPO_ALLOWLIST {
+                    println!(
+                        "{}: {}{} — {}",
+                        e.rule,
+                        e.path_prefix,
+                        e.item.map(|i| format!(" `{i}`")).unwrap_or_default(),
+                        e.reason
+                    );
+                }
+                return 0;
+            }
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                return 0;
+            }
+            "--" => {}
+            other if other.starts_with('-') => {
+                eprintln!("unknown flag `{other}`\n\n{USAGE}");
+                return 2;
+            }
+            path => {
+                if root.replace(path.into()).is_some() {
+                    eprintln!("more than one ROOT argument\n\n{USAGE}");
+                    return 2;
+                }
+            }
+        }
+    }
+    let root = root.unwrap_or_else(|| std::path::PathBuf::from("."));
+    if !root.join("Cargo.toml").is_file() {
+        eprintln!(
+            "error: {} does not look like a workspace root (no Cargo.toml)",
+            root.display()
+        );
+        return 2;
+    }
+
+    let ws = match Workspace::load(&root) {
+        Ok(ws) => ws,
+        Err(e) => {
+            eprintln!(
+                "error: failed to load workspace under {}: {e}",
+                root.display()
+            );
+            return 2;
+        }
+    };
+    let findings = lint_workspace(&ws);
+
+    for f in &findings {
+        println!("{f}");
+    }
+    if !findings.is_empty() {
+        println!();
+    }
+    println!(
+        "usp-lint: {} file(s), {} manifest(s)",
+        ws.files.len(),
+        ws.manifests.len()
+    );
+    for (rule, n) in rule_counts(&findings) {
+        println!("  {rule:<32} {n}");
+    }
+
+    if do_fix {
+        match fix::apply(&root, &findings) {
+            Ok(0) => println!("--fix: nothing to fix"),
+            Ok(n) => println!(
+                "--fix: inserted {n} TODO stub(s) — replace each TODO with the actual \
+                 invariant; the lint stays red until then"
+            ),
+            Err(e) => {
+                eprintln!("error: --fix failed: {e}");
+                return 2;
+            }
+        }
+    }
+
+    if findings.is_empty() {
+        println!("usp-lint: clean");
+        0
+    } else {
+        println!("usp-lint: {} finding(s)", findings.len());
+        1
+    }
+}

@@ -1,0 +1,106 @@
+//! Minimal `Cargo.toml` reader — just enough structure for the `layering` rule:
+//! the package name plus the dependency names declared in `[dependencies]`,
+//! `[dev-dependencies]` and `[build-dependencies]`.
+//!
+//! Hand-rolled on purpose: the linter is zero-dependency, and the workspace's
+//! manifests are plain `key = value` / `key.workspace = true` tables (no inline
+//! multi-table exotica), so a line-oriented scan is faithful.
+
+/// One dependency edge as declared in a manifest section.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Dep {
+    pub name: String,
+    /// 1-based line of the declaration.
+    pub line: u32,
+    pub dev: bool,
+}
+
+#[derive(Debug, Clone)]
+pub struct Manifest {
+    /// Repo-relative path with `/` separators.
+    pub path: String,
+    /// `[package] name`, empty for a virtual manifest.
+    pub package: String,
+    pub deps: Vec<Dep>,
+}
+
+/// Parses manifest text. Unknown sections are ignored.
+pub fn parse(path: &str, text: &str) -> Manifest {
+    #[derive(PartialEq)]
+    enum Section {
+        Package,
+        Deps { dev: bool },
+        Other,
+    }
+    let mut section = Section::Other;
+    let mut package = String::new();
+    let mut deps = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.starts_with('#') || line.is_empty() {
+            continue;
+        }
+        if line.starts_with('[') {
+            // Strip any trailing comment, then match the table header exactly.
+            let header = line.split('#').next().unwrap_or("").trim();
+            section = match header {
+                "[package]" => Section::Package,
+                "[dependencies]" => Section::Deps { dev: false },
+                "[dev-dependencies]" => Section::Deps { dev: true },
+                "[build-dependencies]" => Section::Deps { dev: false },
+                _ => Section::Other,
+            };
+            continue;
+        }
+        let Some(eq) = line.find('=') else { continue };
+        let key = line[..eq].trim();
+        match section {
+            Section::Package if key == "name" => {
+                package = line[eq + 1..].trim().trim_matches('"').to_string();
+            }
+            Section::Deps { dev } => {
+                // `serde.workspace = true` and `serde = { ... }` both name `serde`.
+                let name = key.split('.').next().unwrap_or(key).trim().to_string();
+                if !name.is_empty() {
+                    deps.push(Dep {
+                        name,
+                        line: (i + 1) as u32,
+                        dev,
+                    });
+                }
+            }
+            _ => {}
+        }
+    }
+    Manifest {
+        path: path.to_string(),
+        package,
+        deps,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_package_and_sections() {
+        let m = parse(
+            "crates/x/Cargo.toml",
+            "[package]\nname = \"usp-x\"\n\n[dependencies]\nusp-linalg.workspace = true\nrand = { path = \"../rand\" }\n\n[dev-dependencies]\nproptest.workspace = true\n\n[lints]\nworkspace = true\n",
+        );
+        assert_eq!(m.package, "usp-x");
+        let names: Vec<(&str, bool)> = m.deps.iter().map(|d| (d.name.as_str(), d.dev)).collect();
+        assert_eq!(
+            names,
+            vec![("usp-linalg", false), ("rand", false), ("proptest", true)]
+        );
+    }
+
+    #[test]
+    fn ignores_lints_workspace_key() {
+        // `[lints] workspace = true` must not read as a dependency named `workspace`.
+        let m = parse("x", "[lints]\nworkspace = true\n");
+        assert!(m.deps.is_empty());
+    }
+}

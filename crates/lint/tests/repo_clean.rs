@@ -1,0 +1,29 @@
+//! The gate the CI step enforces: the real tree, as checked in, has zero
+//! findings. Any rule regression shows up here (and in `cargo run -p usp-lint`)
+//! with full spans before it ever reaches CI.
+
+use usp_lint::{lint_workspace, rule_counts, Workspace};
+
+#[test]
+fn repository_is_lint_clean() {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..");
+    let ws = Workspace::load(&root).expect("workspace loads");
+    assert!(
+        ws.files
+            .iter()
+            .any(|f| f.path == "crates/linalg/src/kernel.rs"),
+        "workspace walk found the kernel — wrong root?"
+    );
+    let findings = lint_workspace(&ws);
+    if !findings.is_empty() {
+        for f in &findings {
+            eprintln!("{f}");
+        }
+        for (rule, n) in rule_counts(&findings) {
+            eprintln!("  {rule:<32} {n}");
+        }
+        panic!("{} lint finding(s) in the tree — see above", findings.len());
+    }
+}

@@ -79,6 +79,7 @@ pub fn mse(predictions: &Matrix, targets: &Matrix) -> (f32, Matrix) {
     let mut loss = 0.0f32;
     for (g, &t) in grad.as_mut_slice().iter_mut().zip(targets.as_slice()) {
         let diff = *g - t;
+        // lint:allow(scoring-outside-kernel): training loss, not an online scoring path
         loss += diff * diff;
         *g = 2.0 * diff / n;
     }

@@ -541,7 +541,7 @@ mod tests {
         let mut exact: Vec<(usize, f32)> = (0..data.rows())
             .map(|i| (i, distance::squared_euclidean(&q, data.row(i))))
             .collect();
-        exact.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+        exact.sort_by(|a, b| usp_linalg::topk::nan_class_cmp(a.1, b.1));
         let near: f32 = exact[..20]
             .iter()
             .map(|&(i, _)| pq.adc_distance(&table, &codes[i * 4..(i + 1) * 4]))

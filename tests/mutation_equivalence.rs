@@ -408,6 +408,8 @@ fn mutated_micro_batcher_survives_submits_racing_drop() {
         .map(|t| {
             let batcher = Arc::clone(&batcher);
             let queries = queries.clone();
+            // lint:allow(raw-thread-spawn): this test drives the batcher from real
+            // concurrent submitters; routing through the pool would serialize them
             std::thread::spawn(move || {
                 (0..20)
                     .map(|i| {

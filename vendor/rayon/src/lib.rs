@@ -168,11 +168,18 @@ pub mod pool {
         /// Claims and executes blocks until the region is exhausted or cancelled.
         /// Called by the submitter and by every pool worker that picked up a ticket.
         fn work(&self) {
+            // ordering: SeqCst throughout the region protocol — correctness of
+            // `wait_done` needs a single total order over `next`, `stop` and
+            // `active` so "active incremented before any claim" and "claim
+            // observed before decrement" hold across all participants.
             self.active.fetch_add(1, Ordering::SeqCst);
             loop {
+                // ordering: SeqCst — see the protocol note at the top of work().
                 if self.stop.load(Ordering::SeqCst) {
                     break;
                 }
+                // ordering: SeqCst claim; totally ordered with the `active`
+                // updates above/below so a claim never races past wait_done().
                 let i = self.next.fetch_add(1, Ordering::SeqCst);
                 if i >= self.nblocks {
                     break;
@@ -187,22 +194,32 @@ pub mod pool {
                         *slot = Some(payload);
                     }
                     drop(slot);
+                    // ordering: SeqCst cancellation — must be ordered before this
+                    // worker's `active` decrement so exhausted() and the stored
+                    // panic payload are both visible to the waiter.
                     self.stop.store(true, Ordering::SeqCst);
                     break;
                 }
             }
+            // ordering: SeqCst — totally ordered after every claim this worker
+            // made, so `active == 0` in wait_done() proves no block is running.
             self.active.fetch_sub(1, Ordering::SeqCst);
             let _guard = self.done.lock().unwrap();
             self.done_cv.notify_all();
         }
 
         fn exhausted(&self) -> bool {
+            // ordering: SeqCst — part of the region protocol's total order
+            // (see work()); a weaker load could see exhaustion before a claim.
             self.stop.load(Ordering::SeqCst) || self.next.load(Ordering::SeqCst) >= self.nblocks
         }
 
         /// Blocks until no thread can still be executing (or later claim) a block.
         fn wait_done(&self) {
             let mut guard = self.done.lock().unwrap();
+            // ordering: SeqCst — with the total order established in work(),
+            // exhausted-and-zero-active proves no thread can claim or still be
+            // running a block, which is exactly what the caller relies on.
             while !(self.exhausted() && self.active.load(Ordering::SeqCst) == 0) {
                 guard = self.done_cv.wait(guard).unwrap();
             }
@@ -292,8 +309,10 @@ pub mod pool {
         helpers: usize,
         effective: usize,
     ) -> ActiveRegion {
-        // Erase the borrow's lifetime at the raw-pointer level (a trait-object pointer
-        // in the struct field defaults to `+ 'static`); soundness argument on `Region`.
+        // SAFETY: this only erases the borrow's lifetime at the raw-pointer level (a
+        // trait-object pointer in the struct field defaults to `+ 'static`); every
+        // dereference is bounded to the borrow's real lifetime by the completion
+        // protocol — see the soundness argument on `Region` and `# Safety` above.
         let run_block: *const (dyn Fn(usize) + Sync) = unsafe {
             std::mem::transmute::<
                 *const (dyn Fn(usize) + Sync + '_),
@@ -420,9 +439,9 @@ pub mod pool {
         // Helpers install this override so user code reading `current_num_threads()`
         // inside a block sees the same value no matter which thread executes the block.
         let effective = effective_pool_size();
-        // SAFETY: `finish()` is called before `run_block` (and the slots/results it
-        // borrows) leaves scope, and blocks until no pool thread can touch it again.
         let payload = {
+            // SAFETY: `finish()` is called before `run_block` (and the slots/results it
+            // borrows) leaves scope, and blocks until no pool thread can touch it again.
             let active = unsafe { submit(&run_block, nblocks, workers - 1, effective) };
             active.finish()
         };
@@ -514,9 +533,9 @@ where
         let r = f();
         *rb_slot.lock().unwrap() = Some(r);
     };
-    // SAFETY: `finish()` runs before `run_block`'s borrows (b_slot/rb_slot) expire and
-    // blocks until no pool thread can touch them again.
     let payload_b = {
+        // SAFETY: `finish()` runs before `run_block`'s borrows (b_slot/rb_slot) expire
+        // and blocks until no pool thread can touch them again.
         let active = unsafe { pool::submit(&run_block, 1, 1, effective) };
         let ra = catch_unwind(AssertUnwindSafe(oper_a));
         let payload_b = active.finish();
@@ -1330,8 +1349,11 @@ mod tests {
         crate::with_num_threads(4, || {
             (0..4usize).into_par_iter().for_each(|_| {
                 ids.lock().unwrap().insert(std::thread::current().id());
+                // ordering: SeqCst test barrier — only the counter value matters,
+                // but SeqCst keeps the fixture trivially free of ordering doubt.
                 arrived.fetch_add(1, Ordering::SeqCst);
                 let deadline = Instant::now() + Duration::from_secs(10);
+                // ordering: SeqCst — see the barrier note above.
                 while arrived.load(Ordering::SeqCst) < 2 {
                     assert!(
                         Instant::now() < deadline,
@@ -1387,8 +1409,11 @@ mod tests {
             Mutex::new(std::collections::HashSet::new());
         (0..4usize).into_par_iter().for_each(|_| {
             ids.lock().unwrap().insert(std::thread::current().id());
+            // ordering: SeqCst test barrier — only the counter value matters,
+            // but SeqCst keeps the fixture trivially free of ordering doubt.
             arrived.fetch_add(1, Ordering::SeqCst);
             let deadline = Instant::now() + Duration::from_secs(10);
+            // ordering: SeqCst — see the barrier note above.
             while arrived.load(Ordering::SeqCst) < required {
                 assert!(
                     Instant::now() < deadline,
@@ -1467,8 +1492,11 @@ mod tests {
         let r = std::panic::catch_unwind(AssertUnwindSafe(|| {
             crate::with_num_threads(4, || {
                 (0..4usize).into_par_iter().for_each(|_| {
+                    // ordering: SeqCst test barrier — only the counter value
+                    // matters; SeqCst keeps the fixture free of ordering doubt.
                     arrived.fetch_add(1, Ordering::SeqCst);
                     let deadline = Instant::now() + Duration::from_secs(10);
+                    // ordering: SeqCst — see the barrier note above.
                     while arrived.load(Ordering::SeqCst) < 2 {
                         assert!(Instant::now() < deadline, "no second thread arrived");
                         std::thread::sleep(Duration::from_millis(1));

@@ -1,0 +1,261 @@
+//! Network-ingress smoke benchmark: loopback TCP against the epoll event loop.
+//!
+//! Builds a K-means partition index over a synthetic SIFT-like dataset, spawns
+//! the ingress on an ephemeral port, measures the closed-loop wire capacity
+//! (one pipelined connection, unbounded appetite), then replays an open-loop
+//! query stream at 0.5×/1×/2× of that capacity and records served QPS, p99
+//! reply latency and shed rate per offered rate into `BENCH_ingress.json`.
+//!
+//! The 2× run is the backpressure demonstration: the pending queue must stay
+//! at its cap (high-water mark ≤ queue_cap) and the overload must surface as
+//! explicit `SHED` replies, not as growing buffers or slow collapse. CI runs
+//! this in release mode with `USP_NUM_THREADS=4` and `USP_ASSERT_INGRESS_QPS`
+//! set to the minimum fraction of closed-loop capacity the server must still
+//! serve while overloaded 2×.
+
+use std::collections::HashMap;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use usp_baselines::KMeansPartitioner;
+use usp_index::PartitionIndex;
+use usp_linalg::Distance;
+use usp_serve::protocol::{encode_query, FrameDecoder, OP_REPLY_QUERY, OP_SHED};
+use usp_serve::{IngressConfig, IngressHandle, QueryEngine, QueryOptions};
+
+struct RunStats {
+    offered_qps: f64,
+    served_qps: f64,
+    p99_ms: f64,
+    shed_rate: f64,
+    queue_hwm: u64,
+}
+
+/// Single-threaded nonblocking open-loop client: sends queries paced at
+/// `rate_qps` for `duration`, reading replies as they arrive, then drains the
+/// tail. `rate_qps = f64::INFINITY` degenerates to a closed-loop firehose with
+/// a bounded pipeline window (the capacity probe).
+fn run_client(
+    addr: std::net::SocketAddr,
+    queries: &[Vec<f32>],
+    rate_qps: f64,
+    duration: Duration,
+) -> (u64, u64, Vec<f64>, f64) {
+    const WINDOW: usize = 64; // firehose mode: max outstanding requests
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.set_nodelay(true).expect("nodelay");
+    stream.set_nonblocking(true).expect("nonblocking");
+
+    let mut decoder = FrameDecoder::new();
+    let mut out: Vec<u8> = Vec::new();
+    let mut out_pos = 0usize;
+    let mut sent: u64 = 0;
+    let mut sent_at: HashMap<u32, Instant> = HashMap::new();
+    let mut served: u64 = 0;
+    let mut shed: u64 = 0;
+    let mut latencies_ms: Vec<f64> = Vec::new();
+    let mut read_buf = [0u8; 64 * 1024];
+
+    let start = Instant::now();
+    let deadline = start + duration;
+    loop {
+        let now = Instant::now();
+        let sending = now < deadline;
+        if sending {
+            // Due count under the pacing schedule (or window refill when
+            // firehosing at infinite rate).
+            let due = if rate_qps.is_finite() {
+                (start.elapsed().as_secs_f64() * rate_qps) as u64
+            } else {
+                served + shed + WINDOW as u64
+            };
+            while sent < due {
+                let rid = sent as u32;
+                encode_query(&mut out, rid, &queries[sent as usize % queries.len()]);
+                sent_at.insert(rid, Instant::now());
+                sent += 1;
+            }
+        }
+        // Flush whatever the socket will take without blocking.
+        while out_pos < out.len() {
+            match stream.write(&out[out_pos..]) {
+                Ok(0) => panic!("server closed the connection mid-benchmark"),
+                Ok(n) => out_pos += n,
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(e) => panic!("write failed: {e}"),
+            }
+        }
+        if out_pos == out.len() {
+            out.clear();
+            out_pos = 0;
+        }
+        // Drain replies.
+        match stream.read(&mut read_buf) {
+            Ok(0) => panic!("server hung up mid-benchmark"),
+            Ok(n) => decoder.push(&read_buf[..n]),
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {}
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) => panic!("read failed: {e}"),
+        }
+        while let Some(frame) = decoder.next_frame().expect("well-formed server stream") {
+            let t0 = sent_at
+                .remove(&frame.request_id)
+                .expect("reply to a request we sent");
+            match frame.opcode {
+                OP_REPLY_QUERY => {
+                    served += 1;
+                    latencies_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+                }
+                OP_SHED => shed += 1,
+                other => panic!("unexpected reply opcode {other:#x}"),
+            }
+        }
+        if !sending && sent_at.is_empty() && out_pos == out.len() {
+            break;
+        }
+        if !sending && start.elapsed() > duration + Duration::from_secs(10) {
+            panic!(
+                "{} replies still outstanding after drain grace",
+                sent_at.len()
+            );
+        }
+        std::thread::sleep(Duration::from_micros(50));
+    }
+    (served, shed, latencies_ms, start.elapsed().as_secs_f64())
+}
+
+fn p99(latencies_ms: &mut [f64]) -> f64 {
+    if latencies_ms.is_empty() {
+        return 0.0;
+    }
+    latencies_ms.sort_by(|a, b| usp_linalg::topk::nan_class_cmp_f64(*a, *b));
+    latencies_ms[(latencies_ms.len() - 1).min(latencies_ms.len() * 99 / 100)]
+}
+
+fn main() {
+    let threads = rayon::current_num_threads();
+    let host_cpus = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+
+    // Workload: 8k base points, 26 bins, probe 6, k = 10.
+    let (n, dim, n_queries, bins, probes, k) = (8_000, 24, 512, 26, 6, 10);
+    let split = usp_data::synthetic::sift_like(n + n_queries, dim, 7).split_queries(n_queries);
+    let data = split.base.points();
+    let queries: Vec<Vec<f32>> = (0..split.queries.rows())
+        .map(|qi| split.queries.row(qi).to_vec())
+        .collect();
+
+    let partitioner = KMeansPartitioner::fit(data, bins, 11);
+    let index = Arc::new(PartitionIndex::build(
+        partitioner,
+        data,
+        Distance::SquaredEuclidean,
+    ));
+    let engine = Arc::new(QueryEngine::new(index));
+    let mut config = IngressConfig::new(QueryOptions::new(k, probes));
+    config.max_batch = 32;
+    config.max_delay = Duration::from_millis(1);
+    let queue_cap = 8 * config.max_batch as u64;
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind ephemeral port");
+    let handle = IngressHandle::spawn(engine, listener, config).expect("spawn ingress");
+    let addr = handle.local_addr();
+    let run_secs = Duration::from_millis(1500);
+
+    // --- closed-loop capacity probe -------------------------------------------------
+    let (cap_served, cap_shed, mut cap_lat, cap_elapsed) =
+        run_client(addr, &queries, f64::INFINITY, run_secs);
+    let capacity_qps = cap_served as f64 / cap_elapsed;
+    let cap_p99 = p99(&mut cap_lat);
+    eprintln!(
+        "ingress capacity: {capacity_qps:.0} qps served, {cap_shed} shed, p99 {cap_p99:.2} ms"
+    );
+
+    // --- open-loop runs at 0.5x / 1x / 2x capacity ----------------------------------
+    let mut runs: Vec<RunStats> = Vec::new();
+    for factor in [0.5, 1.0, 2.0] {
+        let offered = capacity_qps * factor;
+        let (served, shed, mut lat, elapsed) = run_client(addr, &queries, offered, run_secs);
+        let snap = handle.stats();
+        runs.push(RunStats {
+            offered_qps: offered,
+            served_qps: served as f64 / elapsed,
+            p99_ms: p99(&mut lat),
+            shed_rate: shed as f64 / (served + shed) as f64,
+            queue_hwm: snap.queue_depth_hwm,
+        });
+        let r = runs.last().expect("just pushed");
+        eprintln!(
+            "ingress {factor}x: offered {offered:.0} qps, served {:.0} qps, \
+             p99 {:.2} ms, shed {:.1}%, queue hwm {}",
+            r.served_qps,
+            r.p99_ms,
+            r.shed_rate * 100.0,
+            r.queue_hwm
+        );
+    }
+    let overload = &runs[2];
+
+    // Backpressure invariants, asserted unconditionally: the queue never grows
+    // past its cap, and 2x overload surfaces as explicit SHED replies.
+    assert!(
+        overload.queue_hwm <= queue_cap,
+        "pending queue exceeded its cap under overload: hwm {} > {queue_cap}",
+        overload.queue_hwm
+    );
+    assert!(
+        overload.shed_rate > 0.0,
+        "2x overload produced no SHED replies — backpressure is not engaging"
+    );
+
+    let run_json = |r: &RunStats| {
+        format!(
+            "{{ \"offered_qps\": {:.1}, \"served_qps\": {:.1}, \"p99_ms\": {:.3}, \
+             \"shed_rate\": {:.4}, \"queue_depth_hwm\": {} }}",
+            r.offered_qps, r.served_qps, r.p99_ms, r.shed_rate, r.queue_hwm
+        )
+    };
+    let json = format!(
+        "{{\n  \"host_cpus\": {host_cpus},\n  \"pool_threads\": {threads},\n  \
+         \"workload\": \"{n} base x {dim}d, {bins} bins, probes={probes}, k={k}, \
+         max_batch=32, queue_cap={queue_cap}\",\n  \
+         \"closed_loop\": {{ \"qps\": {capacity_qps:.1}, \"p99_ms\": {cap_p99:.3} }},\n  \
+         \"half_capacity\": {},\n  \"at_capacity\": {},\n  \"twice_capacity\": {},\n  \
+         \"note\": \"twice_capacity is the backpressure demo: queue_depth_hwm <= queue_cap \
+         and shed_rate > 0 are asserted\"\n}}\n",
+        run_json(&runs[0]),
+        run_json(&runs[1]),
+        run_json(&runs[2]),
+    );
+    std::fs::write("BENCH_ingress.json", &json).expect("write BENCH_ingress.json");
+    print!("{json}");
+
+    // Regression gate (CI sets USP_ASSERT_INGRESS_QPS, a fraction like 0.5):
+    // under 2x overload the server must still serve at least that fraction of
+    // its closed-loop capacity — shedding is load control, not collapse.
+    if let Ok(min) = std::env::var("USP_ASSERT_INGRESS_QPS") {
+        let min: f64 = min
+            .trim()
+            .parse()
+            .expect("USP_ASSERT_INGRESS_QPS must be a number");
+        let ratio = overload.served_qps / capacity_qps;
+        if threads >= 2 && host_cpus >= threads {
+            assert!(
+                ratio >= min,
+                "served qps under 2x overload is {ratio:.2}x of capacity, below the \
+                 required {min}x"
+            );
+            eprintln!("ingress overload assertion passed (>= {min}x of capacity)");
+        } else {
+            eprintln!(
+                "skipping ingress qps assertion: {host_cpus} host cpus cannot back \
+                 {threads} threads"
+            );
+        }
+    }
+
+    handle.shutdown();
+}

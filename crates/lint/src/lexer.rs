@@ -1,8 +1,10 @@
 //! A hand-rolled Rust lexer sufficient for rule matching: it strips comments,
-//! strings and char literals out of the token stream (recording comments on the
-//! side, because several rules key on them), distinguishes char literals from
-//! lifetimes, tracks brace depth, and marks which tokens sit inside test scopes
-//! (`#[cfg(test)]` items, `mod tests`, `#[test]` functions, files under `tests/`).
+//! strings and char literals out of the token stream (recording comments *and*
+//! string literals on the side, because several rules key on them — e.g. the
+//! lock-poisoning rule inspects `expect("...")` messages), distinguishes char
+//! literals from lifetimes, tracks brace depth, and marks which tokens sit inside
+//! test scopes (`#[cfg(test)]` items, `mod tests`, `#[test]` functions, files
+//! under `tests/`).
 //!
 //! It is *not* a parser: rules match on spanned token patterns, which is exactly
 //! the right altitude for convention checks ("no `partial_cmp().unwrap()`",
@@ -60,6 +62,18 @@ pub struct Comment {
     pub trailing: bool,
 }
 
+/// A string literal, kept out of the token stream but recorded for rules that
+/// inspect message text (`expect("... poisoned ...")`).
+#[derive(Debug, Clone)]
+pub struct StrLit {
+    /// 1-based line the literal starts on.
+    pub line: u32,
+    /// 1-based column of the opening quote (or prefix).
+    pub col: u32,
+    /// Body without quotes/prefix; escape sequences are kept verbatim.
+    pub text: String,
+}
+
 /// One lexed source file.
 #[derive(Debug)]
 pub struct LexedFile {
@@ -67,6 +81,7 @@ pub struct LexedFile {
     pub path: String,
     pub tokens: Vec<Token>,
     pub comments: Vec<Comment>,
+    pub strings: Vec<StrLit>,
     pub is_test_file: bool,
 }
 
@@ -93,6 +108,7 @@ pub fn lex(path: &str, text: &str) -> LexedFile {
     let chars: Vec<char> = text.chars().collect();
     let mut tokens: Vec<Token> = Vec::new();
     let mut comments: Vec<Comment> = Vec::new();
+    let mut strings: Vec<StrLit> = Vec::new();
     let mut i = 0usize;
     let mut line: u32 = 1;
     let mut col: u32 = 1;
@@ -187,6 +203,7 @@ pub fn lex(path: &str, text: &str) -> LexedFile {
                 bump!();
             }
             bump!(); // the opening `"`
+            let mut body = String::new();
             loop {
                 if i >= chars.len() {
                     break;
@@ -198,8 +215,14 @@ pub fn lex(path: &str, text: &str) -> LexedFile {
                     }
                     break;
                 }
+                body.push(chars[i]);
                 bump!();
             }
+            strings.push(StrLit {
+                line: tline,
+                col: tcol,
+                text: body,
+            });
             continue;
         }
         if c == '"' || (c == 'b' && chars.get(i + 1) == Some(&'"')) {
@@ -207,10 +230,13 @@ pub fn lex(path: &str, text: &str) -> LexedFile {
                 bump!();
             }
             bump!(); // opening quote
+            let mut body = String::new();
             while i < chars.len() {
                 if chars[i] == '\\' {
+                    body.push(chars[i]);
                     bump!();
                     if i < chars.len() {
+                        body.push(chars[i]);
                         bump!();
                     }
                     continue;
@@ -219,8 +245,14 @@ pub fn lex(path: &str, text: &str) -> LexedFile {
                     bump!();
                     break;
                 }
+                body.push(chars[i]);
                 bump!();
             }
+            strings.push(StrLit {
+                line: tline,
+                col: tcol,
+                text: body,
+            });
             continue;
         }
         // Char literal vs lifetime. `b'x'` is always a char literal.
@@ -403,6 +435,7 @@ pub fn lex(path: &str, text: &str) -> LexedFile {
         path: path.to_string(),
         tokens,
         comments,
+        strings,
         is_test_file,
     }
 }

@@ -2,13 +2,13 @@
 //! tree; see `--help` for flags. Exit codes: 0 clean, 1 findings, 2 usage or
 //! I/O error.
 
-use usp_lint::{allowlist, fix, lint_workspace, rule_counts, Workspace};
+use usp_lint::{allowlist, findings_to_json, fix, lint_workspace, rule_counts, Workspace};
 
 const USAGE: &str = "\
 usp-lint — the workspace's invariants as machine-checked rules (DESIGN §6)
 
 USAGE:
-    cargo run -p usp-lint [--] [ROOT] [--fix] [--allowlist]
+    cargo run -p usp-lint [--] [ROOT] [--fix] [--json] [--allowlist]
 
 ARGS:
     ROOT         workspace root to lint (default: current directory)
@@ -17,6 +17,8 @@ FLAGS:
     --fix        insert `// ordering:` / `// SAFETY:` TODO stubs at finding
                  sites (advisory: the lint stays red until a human replaces
                  each TODO with the actual invariant)
+    --json       print findings as a JSON array on stdout (summary lines go
+                 to stderr); exit codes unchanged
     --allowlist  print the repo-level allowlist entries and exit
     -h, --help   print this help
 ";
@@ -28,9 +30,11 @@ fn main() {
 fn run() -> i32 {
     let mut root: Option<std::path::PathBuf> = None;
     let mut do_fix = false;
+    let mut do_json = false;
     for arg in std::env::args().skip(1) {
         match arg.as_str() {
             "--fix" => do_fix = true,
+            "--json" => do_json = true,
             "--allowlist" => {
                 if allowlist::REPO_ALLOWLIST.is_empty() {
                     println!("repo allowlist is empty");
@@ -84,19 +88,33 @@ fn run() -> i32 {
     };
     let findings = lint_workspace(&ws);
 
-    for f in &findings {
-        println!("{f}");
-    }
-    if !findings.is_empty() {
-        println!();
-    }
-    println!(
-        "usp-lint: {} file(s), {} manifest(s)",
-        ws.files.len(),
-        ws.manifests.len()
-    );
-    for (rule, n) in rule_counts(&findings) {
-        println!("  {rule:<32} {n}");
+    if do_json {
+        // Findings own stdout so `usp-lint --json | jq` works; the human
+        // summary moves to stderr.
+        println!("{}", findings_to_json(&findings));
+        eprintln!(
+            "usp-lint: {} file(s), {} manifest(s)",
+            ws.files.len(),
+            ws.manifests.len()
+        );
+        for (rule, n) in rule_counts(&findings) {
+            eprintln!("  {rule:<32} {n}");
+        }
+    } else {
+        for f in &findings {
+            println!("{f}");
+        }
+        if !findings.is_empty() {
+            println!();
+        }
+        println!(
+            "usp-lint: {} file(s), {} manifest(s)",
+            ws.files.len(),
+            ws.manifests.len()
+        );
+        for (rule, n) in rule_counts(&findings) {
+            println!("  {rule:<32} {n}");
+        }
     }
 
     if do_fix {
@@ -113,11 +131,15 @@ fn run() -> i32 {
         }
     }
 
-    if findings.is_empty() {
-        println!("usp-lint: clean");
-        0
+    let verdict = if findings.is_empty() {
+        "usp-lint: clean".to_string()
     } else {
-        println!("usp-lint: {} finding(s)", findings.len());
-        1
+        format!("usp-lint: {} finding(s)", findings.len())
+    };
+    if do_json {
+        eprintln!("{verdict}");
+    } else {
+        println!("{verdict}");
     }
+    i32::from(!findings.is_empty())
 }

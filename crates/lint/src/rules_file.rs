@@ -145,9 +145,14 @@ pub fn scoring_outside_kernel(file: &LexedFile, findings: &mut Vec<Finding>) {
 
 // --------------------------------------------------------------- raw-thread-spawn
 
-/// Places allowed to create OS threads: the pool shim (its whole point) and the
-/// `MicroBatcher` flusher (one deliberately long-lived bridge thread).
-const SPAWN_ALLOWED: &[&str] = &["vendor/rayon/", "crates/serve/src/batcher.rs"];
+/// Places allowed to create OS threads: the pool shim (its whole point), the
+/// `MicroBatcher` flusher (one deliberately long-lived bridge thread), and the
+/// ingress event loop (one long-lived epoll thread per listener).
+const SPAWN_ALLOWED: &[&str] = &[
+    "vendor/rayon/",
+    "crates/serve/src/batcher.rs",
+    "crates/serve/src/ingress.rs",
+];
 
 /// Everything parallel routes through the persistent pool (DESIGN §2.1): block
 /// boundaries never depend on thread count, panics propagate, and serving pays
@@ -316,6 +321,84 @@ pub fn unsafe_needs_safety_comment(file: &LexedFile, findings: &mut Vec<Finding>
                  doc section) stating the invariant that makes it sound"
             ),
         ));
+    }
+}
+
+// ---------------------------------------------------------------- lock-poisoning
+
+/// Sync-primitive acquisition methods whose `Err` is the poison flag. The empty
+/// argument list in the match below separates these from `io::Read::read(&mut
+/// buf)` / `io::Write::write(&buf)`, which always take an argument.
+const LOCK_METHODS: &[&str] = &["lock", "read", "write"];
+
+/// PR 9's remotely-reachable-panic sweep: one request thread panicking while
+/// holding a stats mutex poisoned it, and every later `.lock().unwrap()` turned
+/// a single bad request into a whole-process cascade. The convention (DESIGN §6)
+/// is a deliberate choice per lock:
+///
+/// * invariant-free state (counters, pending queues) recovers with
+///   `unwrap_or_else(PoisonError::into_inner)` — the data is valid no matter
+///   where the holder died;
+/// * protocol-carrying locks stay loud with `expect("... poisoned ...")` — the
+///   message must say "poison" so the panic reads as the deliberate verdict it
+///   is, not a shrug.
+///
+/// This rule flags `.lock()`/`.read()`/`.write()` (empty parens — sync
+/// primitives, not `io::Read`/`io::Write`) followed by bare `.unwrap()`, or by
+/// `.expect(...)` whose message never mentions poisoning. Test scopes are
+/// exempt: a test panicking on a poisoned lock is a fine way to fail.
+pub fn lock_poisoning(file: &LexedFile, findings: &mut Vec<Finding>) {
+    let toks = &file.tokens;
+    for i in 1..toks.len().saturating_sub(4) {
+        let t = &toks[i];
+        if t.in_test || t.kind != TokKind::Ident || !LOCK_METHODS.contains(&t.text.as_str()) {
+            continue;
+        }
+        if !(toks[i - 1].is_punct(".")
+            && toks[i + 1].is_punct("(")
+            && toks[i + 2].is_punct(")")
+            && toks[i + 3].is_punct("."))
+        {
+            continue;
+        }
+        let next = &toks[i + 4];
+        if next.is_ident("unwrap") {
+            findings.push(finding(
+                "lock-poisoning",
+                file,
+                t,
+                format!(
+                    "`.{}().unwrap()` cascades one poisoned lock into every later \
+                     caller: recover invariant-free state with \
+                     `unwrap_or_else(PoisonError::into_inner)`, or make the panic a \
+                     verdict with `expect(\"... poisoned ...\")` (DESIGN §6)",
+                    t.text
+                ),
+            ));
+        } else if next.is_ident("expect") {
+            // The message is the first string literal after the `expect` token;
+            // `expect` takes exactly one argument, so no other literal can
+            // intervene.
+            let msg = file
+                .strings
+                .iter()
+                .find(|s| (s.line, s.col) > (next.line, next.col));
+            let justified = msg.is_some_and(|s| s.text.to_ascii_lowercase().contains("poison"));
+            if !justified {
+                findings.push(finding(
+                    "lock-poisoning",
+                    file,
+                    t,
+                    format!(
+                        "`.{}().expect(..)` without \"poison\" in the message: if \
+                         panicking on a poisoned lock is the deliberate verdict, say so \
+                         (`expect(\"... poisoned ...\")`); otherwise recover with \
+                         `unwrap_or_else(PoisonError::into_inner)` (DESIGN §6)",
+                        t.text
+                    ),
+                ));
+            }
+        }
     }
 }
 
@@ -546,6 +629,52 @@ mod tests {
     fn unsafe_allow_pragma_suppresses() {
         let f = lint_one(
             "// lint:allow(unsafe-needs-safety-comment): fixture exercising the pragma path\nfn f(p: *const u8) -> u8 { unsafe { *p } }",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    // ---- lock-poisoning
+
+    #[test]
+    fn lock_poisoning_fires_on_bare_unwrap() {
+        for method in ["lock", "read", "write"] {
+            let f = lint_one(&format!("fn f(m: &M) {{ m.{method}().unwrap(); }}"));
+            assert_eq!(f.len(), 1, "{method}: {f:?}");
+            assert_eq!(f[0].rule, "lock-poisoning");
+        }
+    }
+
+    #[test]
+    fn lock_poisoning_fires_on_expect_without_poison_in_message() {
+        let f = lint_one("fn f(m: &Mutex<u64>) { m.lock().expect(\"boom\"); }");
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "lock-poisoning");
+    }
+
+    #[test]
+    fn lock_poisoning_conforming_sites_do_not_fire() {
+        // The two sanctioned forms: recovery and a poison-naming verdict.
+        let f = lint_one(
+            "fn f(m: &Mutex<u64>) { m.lock().unwrap_or_else(std::sync::PoisonError::into_inner); }",
+        );
+        assert!(f.is_empty(), "{f:?}");
+        let f = lint_one("fn f(m: &Mutex<u64>) { m.lock().expect(\"mutation lock poisoned\"); }");
+        assert!(f.is_empty(), "{f:?}");
+        // io::Read/Write take a buffer argument — non-empty parens never match.
+        let f = lint_one(
+            "fn f(s: &mut TcpStream, buf: &mut [u8]) { s.read(buf).unwrap(); s.write(buf).unwrap(); }",
+        );
+        assert!(f.is_empty(), "{f:?}");
+        // Test scopes may panic however they like.
+        let f =
+            lint_one("#[cfg(test)]\nmod tests {\n fn t(m: &Mutex<u64>) { m.lock().unwrap(); }\n}");
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn lock_poisoning_allow_pragma_suppresses() {
+        let f = lint_one(
+            "fn f(m: &M) {\n // lint:allow(lock-poisoning): fixture exercising the pragma path\n m.lock().unwrap();\n}",
         );
         assert!(f.is_empty(), "{f:?}");
     }

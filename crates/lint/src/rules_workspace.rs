@@ -92,6 +92,7 @@ const ALLOWED_DEPS: &[(&str, &[&str])] = &[
 const VENDOR_DEPS: &[(&str, &[&str])] = &[
     ("bytes", &[]),
     ("criterion", &[]),
+    ("mio", &[]),
     ("proptest", &["rand"]),
     ("rand", &[]),
     ("rayon", &[]),

@@ -11,13 +11,52 @@
 
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::mpsc;
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
 
 use usp_index::SearchResult;
 use usp_linalg::Matrix;
 
 use crate::engine::{BatchEngine, QueryOptions};
+
+/// Why [`MicroBatcher::try_submit`] refused a query. Every variant is a *per-query*
+/// failure: rejecting one query never affects queries already pending or co-batched
+/// with it — the property the network ingress relies on to contain one bad client's
+/// blast radius.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The query's length does not match the engine's indexed dimensionality.
+    DimsMismatch { got: usize, want: usize },
+    /// The flusher thread died in a previous flush (the engine panicked under a
+    /// batch); the original panic message is carried along.
+    EnginePanicked(String),
+    /// The batcher is shutting down; the query was not enqueued.
+    ShutDown,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::DimsMismatch { got, want } => {
+                write!(f, "query has {got} dims, engine serves {want}")
+            }
+            SubmitError::EnginePanicked(msg) => write!(f, "flusher thread panicked: {msg}"),
+            SubmitError::ShutDown => write!(f, "batcher is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// Lock the batcher state, recovering from poisoning. The state holds no
+/// cross-field invariant a mid-update panic could break — `pending` is a list of
+/// independently-valid (query, sender) pairs and the flags are plain bools — and
+/// the one panic site that matters (an engine panic under a batch) is already
+/// recorded out-of-band via `panicked`, so recovery here loses nothing. See
+/// DESIGN.md §6 ("lock-poisoning convention").
+fn lock_state(state: &Mutex<State>) -> MutexGuard<'_, State> {
+    state.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 struct Shared<E: BatchEngine> {
     engine: Arc<E>,
@@ -80,49 +119,72 @@ impl<E: BatchEngine + 'static> MicroBatcher<E> {
     }
 
     /// Enqueues a query; the returned receiver yields the answer once the query's
-    /// micro-batch is flushed. `query.len()` must equal the indexed dimensionality.
+    /// micro-batch is flushed.
     ///
-    /// # Panics
-    ///
-    /// If the flusher thread died in a previous flush (the engine panicked under a
-    /// batch), the panic is resurfaced here instead of silently enqueueing a query
-    /// nothing will ever serve.
-    pub fn submit(&self, query: Vec<f32>) -> mpsc::Receiver<SearchResult> {
-        assert_eq!(
-            query.len(),
-            self.shared.engine.dims(),
-            "MicroBatcher: query dimensionality mismatch"
-        );
+    /// Every rejection is per-query — a refused submission never disturbs queries
+    /// already pending. This is the entry point for callers (like the network
+    /// ingress) that must translate a bad query into an error *reply* rather than
+    /// a panic: pre-fix, a wrong-length query sailed through `submit` and blew up
+    /// the flusher's `Matrix::from_vec`, failing every innocent query co-batched
+    /// with it.
+    pub fn try_submit(&self, query: Vec<f32>) -> Result<mpsc::Receiver<SearchResult>, SubmitError> {
+        let want = self.shared.engine.dims();
+        if query.len() != want {
+            return Err(SubmitError::DimsMismatch {
+                got: query.len(),
+                want,
+            });
+        }
         let (tx, rx) = mpsc::channel();
-        let mut state = self.shared.state.lock().unwrap();
+        let mut state = lock_state(&self.shared.state);
         if let Some(msg) = state.panicked.clone() {
-            // Release the lock before panicking: poisoning the mutex here would turn
-            // every later `lock().unwrap()` (submit, pending, Drop) into a confusing
-            // `PoisonError` panic instead of this message.
-            drop(state);
-            panic!("MicroBatcher: flusher thread panicked: {msg}");
+            return Err(SubmitError::EnginePanicked(msg));
         }
         if state.shutdown {
-            // Defensive (unreachable through safe code: `Drop` takes `&mut self`, so
-            // no `&self` caller can race it): drop `tx` so the receiver reports
-            // `RecvError` instead of blocking on a flush that will never come.
-            return rx;
+            return Err(SubmitError::ShutDown);
         }
         state.pending.push((query, tx));
         drop(state);
         self.shared.cv.notify_all();
-        rx
+        Ok(rx)
+    }
+
+    /// Enqueues a query; the returned receiver yields the answer once the query's
+    /// micro-batch is flushed. `query.len()` must equal the indexed dimensionality.
+    ///
+    /// # Panics
+    ///
+    /// On dimensionality mismatch, and if the flusher thread died in a previous
+    /// flush (the engine panicked under a batch) — the panic is resurfaced here
+    /// instead of silently enqueueing a query nothing will ever serve. Callers
+    /// that need error values instead of panics use [`try_submit`](Self::try_submit).
+    pub fn submit(&self, query: Vec<f32>) -> mpsc::Receiver<SearchResult> {
+        match self.try_submit(query) {
+            Ok(rx) => rx,
+            Err(SubmitError::DimsMismatch { got, want }) => panic!(
+                "MicroBatcher: query dimensionality mismatch (got {got}, engine serves {want})"
+            ),
+            Err(SubmitError::EnginePanicked(msg)) => {
+                panic!("MicroBatcher: flusher thread panicked: {msg}")
+            }
+            Err(SubmitError::ShutDown) => {
+                // Defensive (unreachable through safe code: `Drop` takes `&mut self`,
+                // so no `&self` caller can race it): a dead receiver reports
+                // `RecvError` instead of blocking on a flush that will never come.
+                mpsc::channel().1
+            }
+        }
     }
 
     /// Number of queries waiting for the next flush (diagnostic).
     pub fn pending(&self) -> usize {
-        self.shared.state.lock().unwrap().pending.len()
+        lock_state(&self.shared.state).pending.len()
     }
 }
 
 impl<E: BatchEngine + 'static> Drop for MicroBatcher<E> {
     fn drop(&mut self) {
-        self.shared.state.lock().unwrap().shutdown = true;
+        lock_state(&self.shared.state).shutdown = true;
         self.shared.cv.notify_all();
         if let Some(handle) = self.flusher.take() {
             if let Err(payload) = handle.join() {
@@ -141,10 +203,13 @@ impl<E: BatchEngine + 'static> Drop for MicroBatcher<E> {
 fn flusher_loop<E: BatchEngine>(shared: &Shared<E>) {
     loop {
         let batch = {
-            let mut state = shared.state.lock().unwrap();
+            let mut state = lock_state(&shared.state);
             // Sleep until there is something to serve (or we are asked to exit).
             while state.pending.is_empty() && !state.shutdown {
-                state = shared.cv.wait(state).unwrap();
+                state = shared
+                    .cv
+                    .wait(state)
+                    .unwrap_or_else(PoisonError::into_inner);
             }
             if state.pending.is_empty() && state.shutdown {
                 return;
@@ -157,7 +222,10 @@ fn flusher_loop<E: BatchEngine>(shared: &Shared<E>) {
                 if now >= deadline {
                     break;
                 }
-                let (guard, _timeout) = shared.cv.wait_timeout(state, deadline - now).unwrap();
+                let (guard, _timeout) = shared
+                    .cv
+                    .wait_timeout(state, deadline - now)
+                    .unwrap_or_else(PoisonError::into_inner);
                 state = guard;
             }
             // Drain at most max_batch queries (submissions racing in during a flush can
@@ -170,6 +238,17 @@ fn flusher_loop<E: BatchEngine>(shared: &Shared<E>) {
 
         // Serve outside the lock so new submissions keep flowing during the flush.
         let dim = shared.engine.dims();
+        // Defense in depth behind `try_submit`'s dims check: a wrong-length row
+        // reaching this point must cost only its own query, never the co-batched
+        // ones. Drop mismatched entries (their receivers observe `RecvError`)
+        // instead of letting `Matrix::from_vec` panic over the whole batch.
+        let batch: Vec<_> = batch
+            .into_iter()
+            .filter(|(query, _)| query.len() == dim)
+            .collect();
+        if batch.is_empty() {
+            continue;
+        }
         let mut flat = Vec::with_capacity(batch.len() * dim);
         for (query, _) in &batch {
             flat.extend_from_slice(query);
@@ -192,7 +271,7 @@ fn flusher_loop<E: BatchEngine>(shared: &Shared<E>) {
                     .map(|s| s.to_string())
                     .or_else(|| payload.downcast_ref::<String>().cloned())
                     .unwrap_or_else(|| "non-string panic payload".to_string());
-                let mut state = shared.state.lock().unwrap();
+                let mut state = lock_state(&shared.state);
                 state.panicked = Some(msg);
                 state.pending.clear();
                 drop(state);
@@ -307,6 +386,68 @@ mod tests {
             snap.batches, 3,
             "overfilled queue must drain in max_batch slices"
         );
+    }
+
+    #[test]
+    fn wrong_dims_is_rejected_per_query_without_a_co_batch_blast_radius() {
+        // Pre-fix, a wrong-length query reached the flusher, whose
+        // `Matrix::from_vec(batch.len(), dims, flat)` panicked — killing the
+        // flusher thread and failing every innocent query co-batched with it.
+        // Post-fix the bad query is refused at submission with a per-query error
+        // and everything around it is served normally.
+        let engine = engine();
+        let opts = QueryOptions::new(3, 2);
+        let batcher = MicroBatcher::new(
+            Arc::clone(&engine),
+            opts,
+            8,
+            Duration::from_millis(20), // wide window: good + bad share a batch
+        );
+        let good_a = batcher.try_submit(vec![0.1, 0.2, 0.3]).unwrap();
+        let err = batcher
+            .try_submit(vec![1.0, 2.0]) // 2 dims against a 3-dim engine
+            .expect_err("wrong dims must be refused");
+        assert_eq!(err, SubmitError::DimsMismatch { got: 2, want: 3 });
+        let err = batcher.try_submit(vec![]).expect_err("zero dims too");
+        assert_eq!(err, SubmitError::DimsMismatch { got: 0, want: 3 });
+        let good_b = batcher.try_submit(vec![-1.0, 0.0, 1.0]).unwrap();
+        // Both good queries get served, and bit-identically to the direct path.
+        assert_eq!(
+            good_a.recv().expect("co-batched query must survive"),
+            engine.index().search(&[0.1, 0.2, 0.3], opts.k, opts.probes)
+        );
+        assert_eq!(
+            good_b.recv().expect("co-batched query must survive"),
+            engine
+                .index()
+                .search(&[-1.0, 0.0, 1.0], opts.k, opts.probes)
+        );
+    }
+
+    #[test]
+    fn flusher_drops_wrong_dims_rows_instead_of_panicking() {
+        // Defense in depth: force a wrong-length row into `pending` directly
+        // (bypassing try_submit's check) and pin that the flusher serves the
+        // rest of the batch instead of dying in `Matrix::from_vec`.
+        let engine = engine();
+        let opts = QueryOptions::new(2, 2);
+        let batcher = MicroBatcher::new(Arc::clone(&engine), opts, 8, Duration::from_millis(20));
+        let good = batcher.try_submit(vec![0.5, 0.5, 0.5]).unwrap();
+        let (bad_tx, bad_rx) = mpsc::channel();
+        lock_state(&batcher.shared.state)
+            .pending
+            .push((vec![9.0], bad_tx));
+        batcher.shared.cv.notify_all();
+        assert_eq!(
+            good.recv()
+                .expect("good query must survive a smuggled bad row"),
+            engine.index().search(&[0.5, 0.5, 0.5], opts.k, opts.probes)
+        );
+        // The smuggled row's receiver observes a clean disconnect, not a hang.
+        assert!(bad_rx.recv().is_err());
+        // The flusher is still alive: later submissions are served.
+        let later = batcher.try_submit(vec![1.0, 1.0, 1.0]).unwrap();
+        assert!(later.recv().is_ok());
     }
 
     /// An engine whose every batch panics — the failure mode behind the old hang.

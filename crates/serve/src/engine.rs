@@ -68,6 +68,25 @@ pub trait BatchEngine: Send + Sync {
         // `rayon::pool_worker_count()` observes the effect either way.
         rayon::prespawn_workers(rayon::current_num_threads().saturating_sub(1));
     }
+
+    /// Inserts a point through the engine's streaming write path, returning its id —
+    /// or `None` when this engine does not support online writes (the default). The
+    /// network ingress maps `None` to an error reply rather than a panic.
+    fn insert(&self, _point: &[f32]) -> Option<usize> {
+        None
+    }
+
+    /// Tombstones a point, returning whether this call deleted it. Engines without
+    /// online writes report `false` (the default).
+    fn delete(&self, _id: usize) -> bool {
+        false
+    }
+
+    /// Serving statistics accumulated so far (an all-zero snapshot by default, for
+    /// engines that keep none).
+    fn stats(&self) -> StatsSnapshot {
+        StatsSnapshot::default()
+    }
 }
 
 /// A batched query-serving engine over a [`PartitionIndex`].
@@ -243,6 +262,18 @@ impl<P: Partitioner> BatchEngine for QueryEngine<P> {
 
     fn serve_batch(&self, queries: &Matrix, opts: &QueryOptions) -> Vec<SearchResult> {
         QueryEngine::serve_batch(self, queries, opts)
+    }
+
+    fn insert(&self, point: &[f32]) -> Option<usize> {
+        Some(QueryEngine::insert(self, point))
+    }
+
+    fn delete(&self, id: usize) -> bool {
+        QueryEngine::delete(self, id)
+    }
+
+    fn stats(&self) -> StatsSnapshot {
+        QueryEngine::stats(self)
     }
 }
 

@@ -1,0 +1,888 @@
+//! Network ingress: a single-threaded readiness event loop in front of the batcher.
+//!
+//! One thread owns a level-triggered epoll loop (via the vendored `mio` shim)
+//! accepting TCP connections and speaking the length-prefixed protocol of
+//! [`crate::protocol`]. Decoded queries are admitted into a [`MicroBatcher`] —
+//! the same ingress bridge the in-process callers use, so a monolithic
+//! [`crate::QueryEngine`] and a [`crate::ShardedEngine`] are both servable
+//! unchanged — while inserts, deletes and stats execute inline through the
+//! [`BatchEngine`] trait.
+//!
+//! The load-management invariants, in order of importance:
+//!
+//! * **Bounded pending queue.** At most `queue_cap` queries (default
+//!   `8 × max_batch`) are in flight between admission and reply. A query
+//!   arriving past the cap is answered immediately with a `SHED` frame carrying
+//!   a retry-after hint — the overload signal is explicit and cheap, never
+//!   unbounded buffering.
+//! * **A slow reader never blocks the loop.** Replies go into a per-connection
+//!   write buffer flushed opportunistically; when a kernel buffer fills, the
+//!   connection is registered for writability and the loop moves on. Once a
+//!   connection's buffered replies exceed `max_conn_buffer`, its *reads* are
+//!   paused (readable interest dropped) until the backlog halves — per-client
+//!   backpressure instead of server-side memory growth.
+//! * **Per-connection fairness.** Buffered frames drain round-robin, one frame
+//!   per connection per round, with a rotating starting position — a client
+//!   pipelining thousands of requests cannot starve its neighbours.
+//! * **One bad client costs only itself.** Frame-level garbage gets a
+//!   `MALFORMED` reply on a healthy connection; unrecoverable framing garbage
+//!   closes that connection (after flushing the reply); and a query the engine
+//!   cannot serve becomes an error *reply* — the batcher's [`try_submit`]
+//!   validation (not a panic) is what keeps the blast radius per-query.
+//!
+//! [`try_submit`]: MicroBatcher::try_submit
+
+use std::collections::HashMap;
+use std::io::{self, Read, Write};
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::Duration;
+
+use mio::{Events, Interest, Poll, Token};
+use usp_index::SearchResult;
+
+use crate::batcher::{MicroBatcher, SubmitError};
+use crate::engine::{BatchEngine, QueryOptions};
+use crate::protocol::{
+    encode_delete_reply, encode_error, encode_insert_reply, encode_malformed, encode_query_reply,
+    encode_shed, encode_stats_reply, parse_request, FrameDecoder, Request,
+};
+use crate::stats::{ServeStats, StatsSnapshot};
+
+/// The listener's token; connections use 1.. from a monotone counter.
+const LISTENER: Token = Token(0);
+/// Per-`read` chunk size. Level-triggered readiness re-reports leftovers, so the
+/// value only trades syscalls against per-tick latency.
+const READ_CHUNK: usize = 64 * 1024;
+/// Poll timeout while queries are in flight (their replies arrive via the
+/// batcher's channels, not via epoll, so the loop must tick to collect them).
+const POLL_BUSY: Duration = Duration::from_millis(1);
+/// Poll timeout when idle (bounds shutdown latency).
+const POLL_IDLE: Duration = Duration::from_millis(20);
+
+/// Configuration for [`IngressHandle::spawn`].
+#[derive(Debug, Clone)]
+pub struct IngressConfig {
+    /// Serving knobs applied to every query admitted through this ingress.
+    pub opts: QueryOptions,
+    /// Micro-batch size bound (see [`MicroBatcher::new`]).
+    pub max_batch: usize,
+    /// Micro-batching window (see [`MicroBatcher::new`]).
+    pub max_delay: Duration,
+    /// Pending-queue capacity; `0` means the default `8 × max_batch`. Queries
+    /// arriving while the queue is full are answered with `SHED`.
+    pub queue_cap: usize,
+    /// Retry-after hint carried in `SHED` replies, milliseconds.
+    pub retry_after_ms: u32,
+    /// Per-connection buffered-reply bound past which the connection's reads are
+    /// paused until the backlog drains below half.
+    pub max_conn_buffer: usize,
+}
+
+impl IngressConfig {
+    /// Defaults tuned for micro-batched point lookups: batches of 32 with a 1 ms
+    /// window, an 8×-batch pending queue, 10 ms retry hint, 1 MiB write bound.
+    pub fn new(opts: QueryOptions) -> Self {
+        Self {
+            opts,
+            max_batch: 32,
+            max_delay: Duration::from_millis(1),
+            queue_cap: 0,
+            retry_after_ms: 10,
+            max_conn_buffer: 1 << 20,
+        }
+    }
+
+    fn effective_queue_cap(&self) -> usize {
+        if self.queue_cap == 0 {
+            8 * self.max_batch
+        } else {
+            self.queue_cap
+        }
+    }
+}
+
+/// A running ingress loop. Dropping the handle shuts the loop down and joins it;
+/// [`shutdown`](Self::shutdown) does the same but propagates a loop panic.
+pub struct IngressHandle {
+    local_addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    stats: Arc<ServeStats>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl IngressHandle {
+    /// Starts the ingress loop on `listener` (which may be bound to port 0 — use
+    /// [`local_addr`](Self::local_addr) to discover the ephemeral port), serving
+    /// `engine` under `config`.
+    pub fn spawn<E: BatchEngine + 'static>(
+        engine: Arc<E>,
+        listener: std::net::TcpListener,
+        config: IngressConfig,
+    ) -> io::Result<IngressHandle> {
+        assert!(config.max_batch >= 1, "ingress: max_batch must be >= 1");
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+        // Create and register the poller on the caller's thread so setup errors
+        // surface from `spawn` instead of killing the loop thread asynchronously.
+        let poll = Poll::new()?;
+        poll.register(&listener, LISTENER, Interest::READABLE)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stats = Arc::new(ServeStats::new(0));
+        let thread = {
+            let stop = Arc::clone(&stop);
+            let stats = Arc::clone(&stats);
+            std::thread::Builder::new()
+                .name("usp-serve-ingress".into())
+                .spawn(move || {
+                    Loop::new(engine, listener, poll, config, stop, stats).run();
+                })
+                .expect("ingress: failed to spawn event-loop thread")
+        };
+        Ok(IngressHandle {
+            local_addr,
+            stop,
+            stats,
+            thread: Some(thread),
+        })
+    }
+
+    /// The bound address (resolves port 0 to the actual ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Ingress-side counters: accepted/shed/malformed frames and the
+    /// pending-queue high-water mark (the serving fields are all zero — engine
+    /// counters live on the engine; `OP_STATS` replies merge both sides).
+    pub fn stats(&self) -> StatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// Stops the loop and joins it, resurfacing a loop panic (which `Drop`
+    /// would swallow to avoid a double panic).
+    pub fn shutdown(mut self) {
+        // ordering: Release pairs with the loop's Acquire load; anything the
+        // caller wrote before shutdown is visible to the loop's final ticks.
+        self.stop.store(true, Ordering::Release);
+        if let Some(thread) = self.thread.take() {
+            if let Err(payload) = thread.join() {
+                std::panic::resume_unwind(payload);
+            }
+        }
+    }
+}
+
+impl Drop for IngressHandle {
+    fn drop(&mut self) {
+        // ordering: Release — same edge as shutdown(); see there.
+        self.stop.store(true, Ordering::Release);
+        if let Some(thread) = self.thread.take() {
+            // Swallow a loop panic here: Drop may already be running during an
+            // unwind, where re-raising would abort. `shutdown()` propagates it.
+            let _ = thread.join();
+        }
+    }
+}
+
+/// Per-connection state.
+struct Conn {
+    stream: std::net::TcpStream,
+    decoder: FrameDecoder,
+    /// Buffered replies not yet accepted by the kernel; `out[out_pos..]` is live.
+    out: Vec<u8>,
+    out_pos: usize,
+    /// The interest currently registered with the poller (`None` = deregistered).
+    registered: Option<(bool, bool)>,
+    /// Peer closed its write side (or the stream failed): stop reading, keep
+    /// flushing replies already owed.
+    read_eof: bool,
+    /// Unrecoverable framing error: close as soon as the malformed reply drains.
+    closing: bool,
+    /// Reads paused because `buffered_out()` exceeded `max_conn_buffer`.
+    paused: bool,
+}
+
+impl Conn {
+    fn buffered_out(&self) -> usize {
+        self.out.len() - self.out_pos
+    }
+
+    fn queue_reply(&mut self, encode: impl FnOnce(&mut Vec<u8>)) {
+        // Compact the consumed prefix before growing the buffer further.
+        if self.out_pos > 4096 && self.out_pos * 2 > self.out.len() {
+            self.out.drain(..self.out_pos);
+            self.out_pos = 0;
+        }
+        encode(&mut self.out);
+    }
+
+    /// Writes as much buffered output as the kernel accepts. Returns `false` when
+    /// the connection died mid-write.
+    fn flush(&mut self) -> bool {
+        while self.out_pos < self.out.len() {
+            match self.stream.write(&self.out[self.out_pos..]) {
+                Ok(0) => return false,
+                Ok(n) => self.out_pos += n,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => return false,
+            }
+        }
+        if self.out_pos == self.out.len() {
+            self.out.clear();
+            self.out_pos = 0;
+        }
+        true
+    }
+}
+
+/// One admitted query awaiting its batched answer.
+struct InFlight {
+    token: usize,
+    request_id: u32,
+    rx: mpsc::Receiver<SearchResult>,
+}
+
+struct Loop<E: BatchEngine + 'static> {
+    engine: Arc<E>,
+    listener: std::net::TcpListener,
+    poll: Poll,
+    config: IngressConfig,
+    queue_cap: usize,
+    dims: usize,
+    stop: Arc<AtomicBool>,
+    stats: Arc<ServeStats>,
+    batcher: MicroBatcher<E>,
+    conns: HashMap<usize, Conn>,
+    next_token: usize,
+    /// Round-robin cursor: the token the next drain pass starts at.
+    rr_next: usize,
+    in_flight: Vec<InFlight>,
+}
+
+impl<E: BatchEngine + 'static> Loop<E> {
+    fn new(
+        engine: Arc<E>,
+        listener: std::net::TcpListener,
+        poll: Poll,
+        config: IngressConfig,
+        stop: Arc<AtomicBool>,
+        stats: Arc<ServeStats>,
+    ) -> Self {
+        let batcher = MicroBatcher::new(
+            Arc::clone(&engine),
+            config.opts,
+            config.max_batch,
+            config.max_delay,
+        );
+        let queue_cap = config.effective_queue_cap();
+        let dims = engine.dims();
+        engine.warm_up();
+        Self {
+            engine,
+            listener,
+            poll,
+            config,
+            queue_cap,
+            dims,
+            stop,
+            stats,
+            batcher,
+            conns: HashMap::new(),
+            next_token: LISTENER.0 + 1,
+            rr_next: LISTENER.0 + 1,
+            in_flight: Vec::new(),
+        }
+    }
+
+    fn run(mut self) {
+        let mut events = Events::with_capacity(256);
+        // ordering: Acquire pairs with the Release store in shutdown()/Drop —
+        // the loop observes everything written before the stop request.
+        while !self.stop.load(Ordering::Acquire) {
+            let timeout = if self.in_flight.is_empty() {
+                POLL_IDLE
+            } else {
+                POLL_BUSY
+            };
+            if self.poll.poll(&mut events, Some(timeout)).is_err() {
+                // A failed wait (beyond EINTR, which the shim swallows) means the
+                // poller fd itself is gone; nothing to serve without it.
+                return;
+            }
+            let mut accept = false;
+            for event in events.iter() {
+                if event.token() == LISTENER {
+                    accept = true;
+                } else if event.is_readable() || event.is_writable() {
+                    // Level-triggered: reads and writes both run to WouldBlock
+                    // every tick a connection is touched, so the two flags need
+                    // no separate handling here.
+                    self.service_conn(event.token().0);
+                }
+            }
+            if accept {
+                self.accept_new();
+            }
+            self.drain_frames();
+            self.collect_replies();
+            self.sync_all_interests();
+        }
+    }
+
+    fn accept_new(&mut self) {
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    let _ = stream.set_nodelay(true);
+                    let token = self.next_token;
+                    self.next_token += 1;
+                    if self
+                        .poll
+                        .register(&stream, Token(token), Interest::READABLE)
+                        .is_err()
+                    {
+                        continue;
+                    }
+                    self.conns.insert(
+                        token,
+                        Conn {
+                            stream,
+                            decoder: FrameDecoder::new(),
+                            out: Vec::new(),
+                            out_pos: 0,
+                            registered: Some((true, false)),
+                            read_eof: false,
+                            closing: false,
+                            paused: false,
+                        },
+                    );
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                // Transient per-connection accept failures (ECONNABORTED etc.):
+                // skip the connection, keep the listener.
+                Err(_) => return,
+            }
+        }
+    }
+
+    /// Reads newly-arrived bytes (unless paused) and flushes buffered replies
+    /// for one connection.
+    fn service_conn(&mut self, token: usize) {
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return; // closed earlier this tick; stale event
+        };
+        if !conn.read_eof && !conn.paused && !conn.closing {
+            let mut chunk = [0u8; READ_CHUNK];
+            loop {
+                match conn.stream.read(&mut chunk) {
+                    Ok(0) => {
+                        conn.read_eof = true;
+                        break;
+                    }
+                    Ok(n) => {
+                        conn.decoder.push(&chunk[..n]);
+                        // Bound per-tick intake: past a full frame of buffered
+                        // bytes, let the drain pass catch up before reading more
+                        // (level-triggered readiness re-reports the rest).
+                        if conn.decoder.buffered() > crate::protocol::MAX_FRAME_LEN as usize {
+                            break;
+                        }
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        conn.read_eof = true;
+                        break;
+                    }
+                }
+            }
+        }
+        if !conn.flush() {
+            conn.read_eof = true;
+            conn.out.clear();
+            conn.out_pos = 0;
+        }
+    }
+
+    /// Drains decoded frames round-robin: one frame per connection per round,
+    /// starting each pass at a rotating token, until a full round yields nothing.
+    fn drain_frames(&mut self) {
+        let mut tokens: Vec<usize> = self.conns.keys().copied().collect();
+        if tokens.is_empty() {
+            return;
+        }
+        tokens.sort_unstable();
+        let start = tokens.iter().position(|&t| t >= self.rr_next).unwrap_or(0);
+        tokens.rotate_left(start);
+        self.rr_next = tokens[0].wrapping_add(1);
+        loop {
+            let mut any = false;
+            for &token in &tokens {
+                if self.take_one_frame(token) {
+                    any = true;
+                }
+            }
+            if !any {
+                return;
+            }
+        }
+    }
+
+    /// Decodes and dispatches at most one frame from `token`. Returns whether a
+    /// frame was consumed.
+    fn take_one_frame(&mut self, token: usize) -> bool {
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return false;
+        };
+        let frame = match conn.decoder.next_frame() {
+            Ok(Some(frame)) => frame,
+            Ok(None) => return false,
+            Err(fatal) => {
+                // The stream cannot be resynchronised: answer once (request id 0,
+                // the reserved "framing itself" id) and close after the flush.
+                if !conn.closing {
+                    let reason = fatal.to_string();
+                    conn.queue_reply(|out| encode_malformed(out, 0, &reason));
+                    conn.closing = true;
+                    self.stats.record_frames(0, 0, 1);
+                }
+                return false;
+            }
+        };
+        match parse_request(&frame, self.dims) {
+            Err(malformed) => {
+                conn.queue_reply(|out| {
+                    encode_malformed(out, malformed.request_id, &malformed.reason)
+                });
+                self.stats.record_frames(0, 0, 1);
+            }
+            Ok(Request::Query { request_id, row }) => {
+                if self.in_flight.len() >= self.queue_cap {
+                    let retry = self.config.retry_after_ms;
+                    conn.queue_reply(|out| encode_shed(out, request_id, retry));
+                    self.stats.record_frames(0, 1, 0);
+                } else {
+                    match self.batcher.try_submit(row) {
+                        Ok(rx) => {
+                            self.in_flight.push(InFlight {
+                                token,
+                                request_id,
+                                rx,
+                            });
+                            self.stats.record_frames(1, 0, 0);
+                            self.stats.record_queue_depth(self.in_flight.len() as u64);
+                        }
+                        // Dims mismatches were rejected by `parse_request`; what
+                        // remains (engine panicked, shutdown race) is a serving
+                        // failure, answered as an error reply.
+                        Err(e @ (SubmitError::EnginePanicked(_) | SubmitError::ShutDown)) => {
+                            let reason = e.to_string();
+                            conn.queue_reply(|out| encode_error(out, request_id, &reason));
+                            self.stats.record_frames(0, 0, 0);
+                        }
+                        Err(SubmitError::DimsMismatch { got, want }) => {
+                            let reason = SubmitError::DimsMismatch { got, want }.to_string();
+                            conn.queue_reply(|out| encode_malformed(out, request_id, &reason));
+                            self.stats.record_frames(0, 0, 1);
+                        }
+                    }
+                }
+            }
+            Ok(Request::Insert { request_id, row }) => {
+                self.stats.record_frames(1, 0, 0);
+                match self.engine.insert(&row) {
+                    Some(id) => {
+                        conn.queue_reply(|out| encode_insert_reply(out, request_id, id as u64));
+                    }
+                    None => {
+                        conn.queue_reply(|out| {
+                            encode_error(out, request_id, "engine does not support online inserts")
+                        });
+                    }
+                }
+            }
+            Ok(Request::Delete { request_id, id }) => {
+                self.stats.record_frames(1, 0, 0);
+                let deleted = self.engine.delete(id as usize);
+                conn.queue_reply(|out| encode_delete_reply(out, request_id, deleted));
+            }
+            Ok(Request::Stats { request_id }) => {
+                self.stats.record_frames(1, 0, 0);
+                // Serving counters from the engine, frame counters from here.
+                let mut snap = self.engine.stats();
+                let ingress = self.stats.snapshot();
+                snap.accepted_frames = ingress.accepted_frames;
+                snap.shed_frames = ingress.shed_frames;
+                snap.malformed_frames = ingress.malformed_frames;
+                snap.queue_depth_hwm = ingress.queue_depth_hwm;
+                let json = serde_json::to_string(&snap).unwrap_or_else(|_| "{}".into());
+                conn.queue_reply(|out| encode_stats_reply(out, request_id, json.as_bytes()));
+            }
+        }
+        true
+    }
+
+    /// Collects finished batched answers and queues their replies.
+    fn collect_replies(&mut self) {
+        let mut i = 0;
+        while i < self.in_flight.len() {
+            let entry = &self.in_flight[i];
+            let outcome = match entry.rx.try_recv() {
+                Ok(result) => Some(Ok(result)),
+                Err(mpsc::TryRecvError::Disconnected) => Some(Err(())),
+                Err(mpsc::TryRecvError::Empty) => None,
+            };
+            match outcome {
+                None => i += 1,
+                Some(done) => {
+                    let entry = self.in_flight.swap_remove(i);
+                    if let Some(conn) = self.conns.get_mut(&entry.token) {
+                        match done {
+                            Ok(result) => conn.queue_reply(|out| {
+                                encode_query_reply(out, entry.request_id, &result)
+                            }),
+                            // The batcher dropped the sender: the flusher died or
+                            // shut down under this query.
+                            Err(()) => conn.queue_reply(|out| {
+                                encode_error(out, entry.request_id, "query dropped by the engine")
+                            }),
+                        }
+                    }
+                    // else: the connection is gone; the answer has no reader.
+                }
+            }
+        }
+    }
+
+    /// Flushes, applies pause/resume backpressure, fixes poller registrations,
+    /// and reaps finished connections.
+    fn sync_all_interests(&mut self) {
+        let max_buf = self.config.max_conn_buffer;
+        let mut dead = Vec::new();
+        for (&token, conn) in &mut self.conns {
+            if !conn.flush() {
+                conn.read_eof = true;
+                conn.out.clear();
+                conn.out_pos = 0;
+            }
+            let buffered = conn.buffered_out();
+            if conn.paused {
+                conn.paused = buffered > max_buf / 2;
+            } else {
+                conn.paused = buffered > max_buf;
+            }
+            let done_writing = buffered == 0;
+            if done_writing && (conn.closing || conn.read_eof) {
+                // `read_eof` connections may still owe in-flight answers; those
+                // are discarded at collect time once the conn is gone, so only
+                // reap when nothing is owed.
+                let owes = !conn.closing && self.in_flight.iter().any(|e| e.token == token);
+                if !owes {
+                    dead.push(token);
+                    continue;
+                }
+            }
+            let want_read = !conn.read_eof && !conn.closing && !conn.paused;
+            let want_write = !done_writing;
+            let want = if want_read || want_write {
+                Some((want_read, want_write))
+            } else {
+                // Nothing to wait for (e.g. EOF peer owed an in-flight answer):
+                // deregister so a level-triggered EOF can't spin the loop.
+                None
+            };
+            if want != conn.registered {
+                let ok = match want {
+                    Some((r, w)) => {
+                        let interest = match (r, w) {
+                            (true, true) => Interest::READABLE.add(Interest::WRITABLE),
+                            (true, false) => Interest::READABLE,
+                            _ => Interest::WRITABLE,
+                        };
+                        if conn.registered.is_some() {
+                            self.poll.reregister(&conn.stream, Token(token), interest)
+                        } else {
+                            self.poll.register(&conn.stream, Token(token), interest)
+                        }
+                    }
+                    None => self.poll.deregister(&conn.stream),
+                };
+                if ok.is_ok() {
+                    conn.registered = want;
+                } else {
+                    dead.push(token);
+                }
+            }
+        }
+        for token in dead {
+            if let Some(conn) = self.conns.remove(&token) {
+                if conn.registered.is_some() {
+                    let _ = self.poll.deregister(&conn.stream);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::QueryEngine;
+    use crate::protocol::{
+        self, encode_delete, encode_insert, encode_query, encode_stats, parse_reply, read_frame,
+        Reply,
+    };
+    use std::net::{TcpListener, TcpStream};
+    use usp_index::partitioner::RoundRobinPartitioner;
+    use usp_index::PartitionIndex;
+    use usp_linalg::{Distance, Matrix};
+
+    fn engine() -> Arc<QueryEngine<RoundRobinPartitioner>> {
+        let n = 80;
+        let data: Vec<f32> = (0..n * 3)
+            .map(|i| ((i * 41 % 89) as f32) / 8.0 - 5.0)
+            .collect();
+        let data = Matrix::from_vec(n, 3, data);
+        Arc::new(QueryEngine::new(Arc::new(PartitionIndex::build(
+            RoundRobinPartitioner::new(8),
+            &data,
+            Distance::SquaredEuclidean,
+        ))))
+    }
+
+    fn spawn_ingress(
+        engine: Arc<QueryEngine<RoundRobinPartitioner>>,
+        config: IngressConfig,
+    ) -> IngressHandle {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        IngressHandle::spawn(engine, listener, config).unwrap()
+    }
+
+    fn expect_reply(stream: &mut TcpStream, request_id: u32) -> Reply {
+        let frame = read_frame(stream).expect("a reply frame");
+        assert_eq!(frame.request_id, request_id);
+        parse_reply(&frame).expect("a conforming reply")
+    }
+
+    #[test]
+    fn queries_over_the_wire_match_direct_answers() {
+        let engine = engine();
+        let opts = QueryOptions::new(4, 3);
+        let handle = spawn_ingress(Arc::clone(&engine), IngressConfig::new(opts));
+        let mut stream = TcpStream::connect(handle.local_addr()).unwrap();
+        for (rid, q) in [
+            vec![0.5f32, -1.0, 2.0],
+            vec![3.0, 3.0, 3.0],
+            vec![-4.5, 0.25, 1.0],
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            let mut wire = Vec::new();
+            encode_query(&mut wire, rid as u32, &q);
+            stream.write_all(&wire).unwrap();
+            match expect_reply(&mut stream, rid as u32) {
+                Reply::Query(result) => {
+                    assert_eq!(result, engine.query(&q, &opts), "request {rid}")
+                }
+                other => panic!("unexpected reply {other:?}"),
+            }
+        }
+        let snap = handle.stats();
+        assert_eq!(snap.accepted_frames, 3);
+        assert_eq!(snap.shed_frames, 0);
+        assert_eq!(snap.malformed_frames, 0);
+        assert!(snap.queue_depth_hwm >= 1);
+        handle.shutdown();
+    }
+
+    #[test]
+    fn pipelined_requests_are_answered_by_request_id() {
+        let engine = engine();
+        let opts = QueryOptions::new(3, 2);
+        let handle = spawn_ingress(Arc::clone(&engine), IngressConfig::new(opts));
+        let mut stream = TcpStream::connect(handle.local_addr()).unwrap();
+        // Write a whole pipeline before reading anything.
+        let queries: Vec<Vec<f32>> = (0..12)
+            .map(|i| vec![i as f32 * 0.4 - 2.0, (i % 3) as f32, 1.0])
+            .collect();
+        let mut wire = Vec::new();
+        for (rid, q) in queries.iter().enumerate() {
+            encode_query(&mut wire, 100 + rid as u32, q);
+        }
+        stream.write_all(&wire).unwrap();
+        let mut answers = HashMap::new();
+        for _ in 0..queries.len() {
+            let frame = read_frame(&mut stream).unwrap();
+            match parse_reply(&frame).unwrap() {
+                Reply::Query(result) => {
+                    assert!(answers.insert(frame.request_id, result).is_none())
+                }
+                other => panic!("unexpected reply {other:?}"),
+            }
+        }
+        for (rid, q) in queries.iter().enumerate() {
+            assert_eq!(
+                answers[&(100 + rid as u32)],
+                engine.query(q, &opts),
+                "pipelined request {rid}"
+            );
+        }
+        handle.shutdown();
+    }
+
+    #[test]
+    fn mutations_and_stats_flow_through_the_wire() {
+        let engine = engine();
+        let handle = spawn_ingress(
+            Arc::clone(&engine),
+            IngressConfig::new(QueryOptions::new(2, 2)),
+        );
+        let mut stream = TcpStream::connect(handle.local_addr()).unwrap();
+
+        let mut wire = Vec::new();
+        encode_insert(&mut wire, 1, &[9.0, 9.0, 9.0]);
+        stream.write_all(&wire).unwrap();
+        let inserted_id = match expect_reply(&mut stream, 1) {
+            Reply::Insert(id) => id,
+            other => panic!("unexpected reply {other:?}"),
+        };
+        assert_eq!(inserted_id, 80);
+
+        let mut wire = Vec::new();
+        encode_delete(&mut wire, 2, inserted_id);
+        stream.write_all(&wire).unwrap();
+        assert_eq!(expect_reply(&mut stream, 2), Reply::Delete(true));
+        let mut wire = Vec::new();
+        encode_delete(&mut wire, 3, inserted_id);
+        stream.write_all(&wire).unwrap();
+        assert_eq!(expect_reply(&mut stream, 3), Reply::Delete(false));
+
+        let mut wire = Vec::new();
+        encode_stats(&mut wire, 4);
+        stream.write_all(&wire).unwrap();
+        let json = match expect_reply(&mut stream, 4) {
+            Reply::Stats(json) => json,
+            other => panic!("unexpected reply {other:?}"),
+        };
+        let snap: StatsSnapshot = serde_json::from_str(&json).expect("stats reply parses");
+        assert_eq!((snap.inserts, snap.deletes), (1, 1));
+        // The stats frame itself is the 4th accepted frame.
+        assert_eq!(snap.accepted_frames, 4);
+        handle.shutdown();
+    }
+
+    #[test]
+    fn garbage_opcode_gets_a_malformed_reply_and_the_connection_survives() {
+        let engine = engine();
+        let opts = QueryOptions::new(2, 2);
+        let handle = spawn_ingress(Arc::clone(&engine), IngressConfig::new(opts));
+        let mut stream = TcpStream::connect(handle.local_addr()).unwrap();
+        let mut wire = Vec::new();
+        protocol::encode_frame(&mut wire, 7, 0x4242, b"junk");
+        encode_query(&mut wire, 8, &[1.0, 1.0, 1.0]);
+        stream.write_all(&wire).unwrap();
+        assert!(matches!(expect_reply(&mut stream, 7), Reply::Malformed(_)));
+        match expect_reply(&mut stream, 8) {
+            Reply::Query(result) => assert_eq!(result, engine.query(&[1.0, 1.0, 1.0], &opts)),
+            other => panic!("unexpected reply {other:?}"),
+        }
+        assert_eq!(handle.stats().malformed_frames, 1);
+        handle.shutdown();
+    }
+
+    #[test]
+    fn framing_garbage_closes_the_connection_after_one_reply() {
+        let engine = engine();
+        let handle = spawn_ingress(engine, IngressConfig::new(QueryOptions::new(2, 2)));
+        let mut stream = TcpStream::connect(handle.local_addr()).unwrap();
+        // frame_len = 3: a runt no resynchronisation can recover from.
+        stream.write_all(&3u32.to_le_bytes()).unwrap();
+        stream.write_all(&[0, 0, 0]).unwrap();
+        let frame = read_frame(&mut stream).unwrap();
+        assert_eq!(frame.request_id, 0);
+        assert!(matches!(parse_reply(&frame).unwrap(), Reply::Malformed(_)));
+        // The server closes: the next read observes EOF.
+        let mut rest = Vec::new();
+        stream.read_to_end(&mut rest).unwrap();
+        assert!(rest.is_empty());
+        handle.shutdown();
+    }
+
+    #[test]
+    fn overload_is_shed_with_a_retry_hint_and_a_bounded_queue() {
+        let engine = engine();
+        let opts = QueryOptions::new(2, 2);
+        let mut config = IngressConfig::new(opts);
+        // A tiny queue and a wide batching window guarantee the cap is hit.
+        config.max_batch = 2;
+        config.queue_cap = 2;
+        config.max_delay = Duration::from_millis(50);
+        config.retry_after_ms = 33;
+        let handle = spawn_ingress(Arc::clone(&engine), config);
+        let mut stream = TcpStream::connect(handle.local_addr()).unwrap();
+        let mut wire = Vec::new();
+        for rid in 0..30u32 {
+            encode_query(&mut wire, rid, &[0.5, 0.5, 0.5]);
+        }
+        stream.write_all(&wire).unwrap();
+        let expect = engine.query(&[0.5, 0.5, 0.5], &opts);
+        let (mut served, mut shed) = (0, 0);
+        for _ in 0..30 {
+            let frame = read_frame(&mut stream).unwrap();
+            match parse_reply(&frame).unwrap() {
+                Reply::Query(result) => {
+                    assert_eq!(result, expect);
+                    served += 1;
+                }
+                Reply::Shed { retry_after_ms } => {
+                    assert_eq!(retry_after_ms, 33);
+                    shed += 1;
+                }
+                other => panic!("unexpected reply {other:?}"),
+            }
+        }
+        assert!(served >= 2, "at least the queue capacity must be served");
+        assert!(shed > 0, "30 pipelined queries against cap 2 must shed");
+        let snap = handle.stats();
+        assert_eq!(snap.accepted_frames, served);
+        assert_eq!(snap.shed_frames, shed);
+        assert!(
+            snap.queue_depth_hwm <= 2,
+            "queue depth {} exceeded its cap",
+            snap.queue_depth_hwm
+        );
+        handle.shutdown();
+    }
+
+    #[test]
+    fn an_abruptly_dropped_client_does_not_disturb_others() {
+        let engine = engine();
+        let opts = QueryOptions::new(3, 2);
+        let handle = spawn_ingress(Arc::clone(&engine), IngressConfig::new(opts));
+        // Client A submits and vanishes without reading.
+        {
+            let mut doomed = TcpStream::connect(handle.local_addr()).unwrap();
+            let mut wire = Vec::new();
+            encode_query(&mut wire, 1, &[1.0, 2.0, 3.0]);
+            doomed.write_all(&wire).unwrap();
+        }
+        // Client B is served normally afterwards.
+        let mut stream = TcpStream::connect(handle.local_addr()).unwrap();
+        let mut wire = Vec::new();
+        encode_query(&mut wire, 2, &[0.0, 1.0, -1.0]);
+        stream.write_all(&wire).unwrap();
+        match expect_reply(&mut stream, 2) {
+            Reply::Query(result) => assert_eq!(result, engine.query(&[0.0, 1.0, -1.0], &opts)),
+            other => panic!("unexpected reply {other:?}"),
+        }
+        handle.shutdown();
+    }
+}

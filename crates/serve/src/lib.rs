@@ -19,6 +19,12 @@
 //!   when full or when the batching window closes) so point lookups ride the same
 //!   batched path; generic over [`engine::BatchEngine`], so it feeds monolithic and
 //!   sharded engines alike;
+//! * [`ingress::IngressHandle`] — a single-threaded epoll event loop (vendored `mio`
+//!   shim) speaking the length-prefixed binary protocol of [`protocol`] over TCP,
+//!   feeding the batcher with explicit backpressure: a bounded pending queue past
+//!   which queries get `SHED` replies with a retry hint, round-robin frame draining
+//!   across connections, and per-connection write buffering so one slow reader never
+//!   blocks the loop;
 //! * determinism: batch answers are **bit-identical** to per-query
 //!   [`AnnSearcher`](usp_index::AnnSearcher) results for any pool size — batching and
 //!   sharding are execution strategies, never a semantic change
@@ -28,10 +34,13 @@
 
 pub mod batcher;
 pub mod engine;
+pub mod ingress;
+pub mod protocol;
 pub mod shard;
 pub mod stats;
 
-pub use batcher::MicroBatcher;
+pub use batcher::{MicroBatcher, SubmitError};
 pub use engine::{BatchEngine, QueryEngine, QueryOptions};
+pub use ingress::{IngressConfig, IngressHandle};
 pub use shard::{ShardMap, ShardedEngine};
 pub use stats::StatsSnapshot;

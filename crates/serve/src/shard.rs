@@ -1090,6 +1090,18 @@ impl<P: Partitioner> BatchEngine for ShardedEngine<P> {
     fn serve_batch(&self, queries: &Matrix, opts: &QueryOptions) -> Vec<SearchResult> {
         ShardedEngine::serve_batch(self, queries, opts)
     }
+
+    fn insert(&self, point: &[f32]) -> Option<usize> {
+        Some(ShardedEngine::insert(self, point))
+    }
+
+    fn delete(&self, id: usize) -> bool {
+        ShardedEngine::delete(self, id)
+    }
+
+    fn stats(&self) -> StatsSnapshot {
+        ShardedEngine::stats(self)
+    }
 }
 
 #[cfg(test)]

@@ -7,7 +7,7 @@
 //! error of at most 1/64 ≈ 1.6% (values below 128 µs are exact). Counters and the
 //! mean stay exact — they are tracked as plain sums next to the histogram.
 
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard, PoisonError};
 
 use serde::{Deserialize, Serialize};
 
@@ -128,6 +128,14 @@ struct Inner {
     latencies: LatencyHistogram,
     /// `bin_probes[b]` = how many times bin `b` was probed (its candidates scanned).
     bin_probes: Vec<u64>,
+    /// Network-ingress frames admitted into the serving path.
+    accepted_frames: u64,
+    /// Network-ingress frames refused with a `SHED` reply (queue at capacity).
+    shed_frames: u64,
+    /// Network-ingress frames answered with a malformed-frame reply.
+    malformed_frames: u64,
+    /// High-water mark of the ingress pending queue depth.
+    queue_depth_hwm: u64,
 }
 
 impl ServeStats {
@@ -143,8 +151,23 @@ impl ServeStats {
                 deletes: 0,
                 latencies: LatencyHistogram::new(),
                 bin_probes: vec![0; bins],
+                accepted_frames: 0,
+                shed_frames: 0,
+                malformed_frames: 0,
+                queue_depth_hwm: 0,
             }),
         }
+    }
+
+    /// Locks the counters, recovering a poisoned mutex. Everything behind this
+    /// lock is invariant-free telemetry — monotone counters and a histogram whose
+    /// per-bucket increments are independent — so a recording thread that panicked
+    /// mid-update can at worst under-count by its own partial record. Pre-fix, the
+    /// `lock().unwrap()` here turned that one panic into a cascade: every later
+    /// `snapshot()`/record on *any* thread re-panicked on `PoisonError`. See
+    /// DESIGN.md §6 ("lock-poisoning convention").
+    fn lock(&self) -> MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
     /// Folds one served batch into the counters. `candidates_scanned` counts exact
@@ -158,7 +181,7 @@ impl ServeStats {
         compressed_scanned: u64,
         busy_us: u64,
     ) {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.lock();
         inner.queries += latencies_us.len() as u64;
         inner.batches += 1;
         inner.candidates_scanned += candidates_scanned;
@@ -174,17 +197,32 @@ impl ServeStats {
 
     /// Counts one point inserted through the engine's write path.
     pub(crate) fn record_insert(&self) {
-        self.inner.lock().unwrap().inserts += 1;
+        self.lock().inserts += 1;
     }
 
     /// Counts one point deleted (tombstoned) through the engine's write path.
     pub(crate) fn record_delete(&self) {
-        self.inner.lock().unwrap().deletes += 1;
+        self.lock().deletes += 1;
+    }
+
+    /// Folds ingress frame dispositions into the counters (one call per event
+    /// keeps the ingress loop branch-free; the lock is uncontended there).
+    pub(crate) fn record_frames(&self, accepted: u64, shed: u64, malformed: u64) {
+        let mut inner = self.lock();
+        inner.accepted_frames += accepted;
+        inner.shed_frames += shed;
+        inner.malformed_frames += malformed;
+    }
+
+    /// Raises the pending-queue high-water mark to `depth` if it exceeds it.
+    pub(crate) fn record_queue_depth(&self, depth: u64) {
+        let mut inner = self.lock();
+        inner.queue_depth_hwm = inner.queue_depth_hwm.max(depth);
     }
 
     /// A point-in-time summary of everything recorded so far.
     pub(crate) fn snapshot(&self) -> StatsSnapshot {
-        let inner = self.inner.lock().unwrap();
+        let inner = self.lock();
         let busy_secs = inner.busy_us as f64 / 1e6;
         StatsSnapshot {
             queries: inner.queries,
@@ -206,12 +244,16 @@ impl ServeStats {
             inserts: inner.inserts,
             deletes: inner.deletes,
             bin_probes: inner.bin_probes.clone(),
+            accepted_frames: inner.accepted_frames,
+            shed_frames: inner.shed_frames,
+            malformed_frames: inner.malformed_frames,
+            queue_depth_hwm: inner.queue_depth_hwm,
         }
     }
 
     /// Clears every counter (the bin-probe vector keeps its length).
     pub(crate) fn reset(&self) {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.lock();
         let bins = inner.bin_probes.len();
         *inner = Inner {
             queries: 0,
@@ -223,6 +265,10 @@ impl ServeStats {
             deletes: 0,
             latencies: LatencyHistogram::new(),
             bin_probes: vec![0; bins],
+            accepted_frames: 0,
+            shed_frames: 0,
+            malformed_frames: 0,
+            queue_depth_hwm: 0,
         };
     }
 }
@@ -236,7 +282,7 @@ fn ratio(num: f64, den: f64) -> f64 {
 }
 
 /// Point-in-time serving summary, serialisable for benchmark reports.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct StatsSnapshot {
     /// Queries answered.
     pub queries: u64,
@@ -268,6 +314,20 @@ pub struct StatsSnapshot {
     /// Per-bin probe counts (`bin_probes[b]` = times bin `b`'s candidates were
     /// scanned) — the skew diagnostic for sharding decisions.
     pub bin_probes: Vec<u64>,
+    /// Network-ingress frames admitted into the serving path (0 when the engine
+    /// is driven directly, without an ingress in front).
+    #[serde(default)]
+    pub accepted_frames: u64,
+    /// Network-ingress frames refused with a `SHED` reply (queue at capacity).
+    #[serde(default)]
+    pub shed_frames: u64,
+    /// Network-ingress frames answered with a malformed-frame reply.
+    #[serde(default)]
+    pub malformed_frames: u64,
+    /// High-water mark of the ingress pending queue depth — bounded by the
+    /// configured queue capacity whenever backpressure is working.
+    #[serde(default)]
+    pub queue_depth_hwm: u64,
 }
 
 #[cfg(test)]
@@ -354,7 +414,7 @@ mod tests {
         assert_eq!(snap.batches, 2);
         assert_eq!(snap.p50_latency_us, 5);
         // p100 must land on the outlier's bucket.
-        let inner = stats.inner.lock().unwrap();
+        let inner = stats.lock();
         let p100 = inner.latencies.percentile(1.0);
         drop(inner);
         let rel_err = (1_000_000f64 - p100 as f64) / 1_000_000f64;
@@ -431,6 +491,67 @@ mod tests {
         stats.reset();
         let snap = stats.snapshot();
         assert_eq!((snap.inserts, snap.deletes), (0, 0));
+    }
+
+    #[test]
+    fn poisoned_mutex_no_longer_cascades_into_snapshot_panics() {
+        // Pre-fix regression: a panic on any recording thread while holding the
+        // stats lock poisoned the mutex, and every later `snapshot()`/record on
+        // *any* thread re-panicked on `PoisonError` — one engine panic became a
+        // process-wide telemetry outage. Poison the lock deliberately and pin
+        // that recording and snapshotting keep working.
+        let stats = ServeStats::new(2);
+        stats.record_batch(&[10, 20], [0usize].into_iter(), 5, 0, 30);
+        let poison = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = stats.lock();
+            panic!("recording thread dies mid-update");
+        }));
+        assert!(poison.is_err());
+        assert!(
+            stats.inner.is_poisoned(),
+            "the panic must have poisoned the lock"
+        );
+        // All of these panicked pre-fix:
+        let snap = stats.snapshot();
+        assert_eq!(snap.queries, 2);
+        stats.record_batch(&[30], [1usize].into_iter(), 5, 0, 10);
+        stats.record_insert();
+        stats.record_delete();
+        stats.record_frames(1, 2, 3);
+        stats.record_queue_depth(9);
+        let snap = stats.snapshot();
+        assert_eq!(snap.queries, 3);
+        assert_eq!((snap.inserts, snap.deletes), (1, 1));
+        assert_eq!(
+            (
+                snap.accepted_frames,
+                snap.shed_frames,
+                snap.malformed_frames
+            ),
+            (1, 2, 3)
+        );
+        assert_eq!(snap.queue_depth_hwm, 9);
+        stats.reset();
+        assert_eq!(stats.snapshot().queries, 0);
+    }
+
+    #[test]
+    fn frame_counters_accumulate_and_track_the_high_water_mark() {
+        let stats = ServeStats::new(1);
+        stats.record_frames(5, 0, 1);
+        stats.record_frames(3, 2, 0);
+        stats.record_queue_depth(4);
+        stats.record_queue_depth(11);
+        stats.record_queue_depth(7); // hwm keeps the max, not the latest
+        let snap = stats.snapshot();
+        assert_eq!(snap.accepted_frames, 8);
+        assert_eq!(snap.shed_frames, 2);
+        assert_eq!(snap.malformed_frames, 1);
+        assert_eq!(snap.queue_depth_hwm, 11);
+        stats.reset();
+        let snap = stats.snapshot();
+        assert_eq!(snap.accepted_frames, 0);
+        assert_eq!(snap.queue_depth_hwm, 0);
     }
 
     #[test]

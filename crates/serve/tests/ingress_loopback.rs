@@ -1,0 +1,264 @@
+//! End-to-end loopback tests for the TCP ingress: real sockets, mixed
+//! well-behaved/abusive/pipelined clients, and a 2× overload run proving the
+//! pending queue stays bounded while answers remain bit-identical to direct
+//! [`QueryEngine::query`] calls.
+
+use std::collections::HashMap;
+use std::io::Write;
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+use usp_index::partitioner::RoundRobinPartitioner;
+use usp_index::PartitionIndex;
+use usp_linalg::{Distance, Matrix};
+use usp_serve::protocol::{encode_frame, encode_query, parse_reply, read_frame, Reply, OP_QUERY};
+use usp_serve::{IngressConfig, IngressHandle, QueryEngine, QueryOptions, ShardMap, ShardedEngine};
+
+const DIMS: usize = 6;
+
+fn index() -> Arc<PartitionIndex<RoundRobinPartitioner>> {
+    let n = 400;
+    let data: Vec<f32> = (0..n * DIMS)
+        .map(|i| ((i * 37 % 113) as f32) / 7.0 - 8.0)
+        .collect();
+    let data = Matrix::from_vec(n, DIMS, data);
+    Arc::new(PartitionIndex::build(
+        RoundRobinPartitioner::new(10),
+        &data,
+        Distance::SquaredEuclidean,
+    ))
+}
+
+fn queries(n: usize) -> Vec<Vec<f32>> {
+    (0..n)
+        .map(|i| {
+            (0..DIMS)
+                .map(|d| ((i * 13 + d * 29) % 97) as f32 / 6.0 - 8.0)
+                .collect()
+        })
+        .collect()
+}
+
+fn spawn_on_ephemeral<E: usp_serve::BatchEngine + 'static>(
+    engine: Arc<E>,
+    config: IngressConfig,
+) -> IngressHandle {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind ephemeral port");
+    IngressHandle::spawn(engine, listener, config).expect("spawn ingress")
+}
+
+/// One connection, writes the whole pipeline, then reads every reply. Returns
+/// replies keyed by request id.
+fn run_pipelined_client(
+    addr: std::net::SocketAddr,
+    queries: &[(u32, Vec<f32>)],
+) -> HashMap<u32, Reply> {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    let mut wire = Vec::new();
+    for (rid, q) in queries {
+        encode_query(&mut wire, *rid, q);
+    }
+    stream.write_all(&wire).expect("write pipeline");
+    let mut replies = HashMap::new();
+    for _ in 0..queries.len() {
+        let frame = read_frame(&mut stream).expect("reply frame");
+        let reply = parse_reply(&frame).expect("conforming reply");
+        assert!(
+            replies.insert(frame.request_id, reply).is_none(),
+            "duplicate reply for request {}",
+            frame.request_id
+        );
+    }
+    replies
+}
+
+#[test]
+fn mixed_clients_get_isolated_correct_answers() {
+    let index = index();
+    let opts = QueryOptions::new(5, 4);
+    let engine = Arc::new(QueryEngine::new(Arc::clone(&index)));
+    let handle = spawn_on_ephemeral(Arc::clone(&engine), IngressConfig::new(opts));
+    let addr = handle.local_addr();
+
+    let all = queries(48);
+    let (seq_q, rest) = all.split_at(16);
+    let (pipe_q, abusive_q) = rest.split_at(16);
+
+    // lint:allow(raw-thread-spawn): concurrent TCP clients need real threads
+    let seq = std::thread::spawn({
+        let seq_q = seq_q.to_vec();
+        move || {
+            // Well-behaved client: one request at a time, reads each reply.
+            let mut stream = TcpStream::connect(addr).expect("connect");
+            let mut replies = HashMap::new();
+            for (rid, q) in seq_q.iter().enumerate() {
+                let mut wire = Vec::new();
+                encode_query(&mut wire, rid as u32, q);
+                stream.write_all(&wire).expect("write");
+                let frame = read_frame(&mut stream).expect("reply");
+                assert_eq!(
+                    frame.request_id, rid as u32,
+                    "sequential client is synchronous"
+                );
+                replies.insert(frame.request_id, parse_reply(&frame).expect("reply"));
+            }
+            replies
+        }
+    });
+    // lint:allow(raw-thread-spawn): concurrent TCP clients need real threads
+    let pipe = std::thread::spawn({
+        let pipe_q: Vec<(u32, Vec<f32>)> = pipe_q
+            .iter()
+            .enumerate()
+            .map(|(i, q)| (1000 + i as u32, q.clone()))
+            .collect();
+        move || run_pipelined_client(addr, &pipe_q)
+    });
+    // lint:allow(raw-thread-spawn): concurrent TCP clients need real threads
+    let abusive = std::thread::spawn({
+        let abusive_q = abusive_q.to_vec();
+        move || {
+            // Abusive client: interleaves garbage with good queries on one
+            // connection. Frame-level garbage earns Malformed replies; the
+            // good queries on the same connection still get real answers.
+            let mut stream = TcpStream::connect(addr).expect("connect");
+            let mut replies = HashMap::new();
+            for (i, q) in abusive_q.iter().enumerate() {
+                let rid = 2000 + 3 * i as u32;
+                let mut wire = Vec::new();
+                encode_frame(&mut wire, rid, 0x7777, b"junk");
+                encode_frame(&mut wire, rid + 1, OP_QUERY, &[1, 2, 3]); // truncated row
+                encode_query(&mut wire, rid + 2, q);
+                stream.write_all(&wire).expect("write");
+                for _ in 0..3 {
+                    let frame = read_frame(&mut stream).expect("reply");
+                    replies.insert(frame.request_id, parse_reply(&frame).expect("reply"));
+                }
+            }
+            replies
+        }
+    });
+
+    let seq_replies = seq.join().expect("sequential client");
+    let pipe_replies = pipe.join().expect("pipelined client");
+    let abusive_replies = abusive.join().expect("abusive client");
+
+    for (rid, q) in seq_q.iter().enumerate() {
+        match &seq_replies[&(rid as u32)] {
+            Reply::Query(result) => assert_eq!(result, &engine.query(q, &opts), "seq {rid}"),
+            other => panic!("sequential client got {other:?}"),
+        }
+    }
+    for (i, q) in pipe_q.iter().enumerate() {
+        match &pipe_replies[&(1000 + i as u32)] {
+            Reply::Query(result) => assert_eq!(result, &engine.query(q, &opts), "pipe {i}"),
+            other => panic!("pipelined client got {other:?}"),
+        }
+    }
+    for (i, q) in abusive_q.iter().enumerate() {
+        let rid = 2000 + 3 * i as u32;
+        assert!(
+            matches!(abusive_replies[&rid], Reply::Malformed(_)),
+            "garbage opcode {i}: {:?}",
+            abusive_replies[&rid]
+        );
+        assert!(
+            matches!(abusive_replies[&(rid + 1)], Reply::Malformed(_)),
+            "truncated row {i}: {:?}",
+            abusive_replies[&(rid + 1)]
+        );
+        match &abusive_replies[&(rid + 2)] {
+            Reply::Query(result) => assert_eq!(result, &engine.query(q, &opts), "abusive {i}"),
+            other => panic!("abusive client's good query got {other:?}"),
+        }
+    }
+
+    let snap = handle.stats();
+    assert_eq!(snap.accepted_frames, 48, "every valid query accepted");
+    assert_eq!(snap.malformed_frames, 32, "every garbage frame rejected");
+    assert_eq!(snap.shed_frames, 0, "no overload in this test");
+    handle.shutdown();
+}
+
+#[test]
+fn sharded_engine_is_served_bit_identically() {
+    let index = index();
+    let opts = QueryOptions::new(4, 3);
+    let monolith = QueryEngine::new(Arc::clone(&index));
+    let sharded = Arc::new(ShardedEngine::new(
+        Arc::clone(&index),
+        ShardMap::uniform(index.num_bins(), 3),
+    ));
+    let handle = spawn_on_ephemeral(sharded, IngressConfig::new(opts));
+
+    let qs: Vec<(u32, Vec<f32>)> = queries(24)
+        .into_iter()
+        .enumerate()
+        .map(|(i, q)| (i as u32, q))
+        .collect();
+    let replies = run_pipelined_client(handle.local_addr(), &qs);
+    for (rid, q) in &qs {
+        match &replies[rid] {
+            Reply::Query(result) => {
+                assert_eq!(result, &monolith.query(q, &opts), "request {rid}")
+            }
+            other => panic!("unexpected reply {other:?}"),
+        }
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn two_x_overload_sheds_explicitly_and_stays_bounded() {
+    let index = index();
+    let opts = QueryOptions::new(4, 3);
+    let engine = Arc::new(QueryEngine::new(Arc::clone(&index)));
+    // A deliberately slow server: at most 4 queries per 20ms window. The
+    // client pipelines 120 queries instantly — far beyond 2× that capacity —
+    // so the bounded queue must shed most of them.
+    let mut config = IngressConfig::new(opts);
+    config.max_batch = 4;
+    config.max_delay = Duration::from_millis(20);
+    config.queue_cap = 8;
+    config.retry_after_ms = 7;
+    let handle = spawn_on_ephemeral(Arc::clone(&engine), config);
+
+    let qs: Vec<(u32, Vec<f32>)> = queries(120)
+        .into_iter()
+        .enumerate()
+        .map(|(i, q)| (i as u32, q))
+        .collect();
+    let replies = run_pipelined_client(handle.local_addr(), &qs);
+
+    let mut served = 0u64;
+    let mut shed = 0u64;
+    for (rid, q) in &qs {
+        match &replies[rid] {
+            Reply::Query(result) => {
+                served += 1;
+                // Overload changes *which* queries are answered, never the bits
+                // of the answers themselves.
+                assert_eq!(result, &engine.query(q, &opts), "request {rid}");
+            }
+            Reply::Shed { retry_after_ms } => {
+                shed += 1;
+                assert_eq!(*retry_after_ms, 7, "shed reply carries the retry hint");
+            }
+            other => panic!("unexpected reply {other:?}"),
+        }
+    }
+    assert_eq!(served + shed, 120, "every request is answered one way");
+    assert!(served >= 8, "the queue's worth of queries is served");
+    assert!(shed > 0, "2x overload must shed");
+
+    let snap = handle.stats();
+    assert_eq!(snap.accepted_frames, served);
+    assert_eq!(snap.shed_frames, shed);
+    assert!(
+        snap.queue_depth_hwm <= 8,
+        "pending queue never exceeds its cap: hwm = {}",
+        snap.queue_depth_hwm
+    );
+    handle.shutdown();
+}

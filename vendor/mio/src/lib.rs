@@ -1,0 +1,334 @@
+//! Offline stand-in for the subset of `mio` used by `usp-serve`'s network ingress:
+//! a readiness poller over Linux `epoll`, with mio-0.6-style direct registration
+//! (`Poll::register`/`reregister`/`deregister` instead of the 0.8 `Registry`
+//! split — the ingress loop is single-threaded, so the split buys nothing).
+//!
+//! The build environment has no crates.io access and therefore no `libc` crate;
+//! the three `epoll` entry points (plus `close`) are declared directly against the
+//! C library every Linux Rust binary already links. Readiness is **level-triggered**
+//! (no `EPOLLET`): a socket with unread bytes or writable space keeps reporting
+//! until the condition clears, so a handler that processes *some* of the data and
+//! returns is always woken again — the simplest loop shape to keep correct.
+//!
+//! Deviation from real mio, on purpose: error/hang-up conditions (`EPOLLERR`,
+//! `EPOLLHUP`, `EPOLLRDHUP`) are folded into [`Event::is_readable`] /
+//! [`Event::is_writable`] instead of dedicated accessors, so the caller's next
+//! `read`/`write` observes the failure (`Ok(0)` or an error) and handles it on its
+//! normal path. mio 0.6 behaved the same way.
+
+use std::io;
+use std::os::raw::c_int;
+use std::os::unix::io::{AsRawFd, RawFd};
+use std::time::Duration;
+
+// Linux ABI constants (asm-generic/x86_64 values; stable kernel ABI).
+const EPOLL_CLOEXEC: c_int = 0o2000000;
+const EPOLL_CTL_ADD: c_int = 1;
+const EPOLL_CTL_DEL: c_int = 2;
+const EPOLL_CTL_MOD: c_int = 3;
+const EPOLLIN: u32 = 0x001;
+const EPOLLOUT: u32 = 0x004;
+const EPOLLERR: u32 = 0x008;
+const EPOLLHUP: u32 = 0x010;
+const EPOLLRDHUP: u32 = 0x2000;
+
+/// Kernel `struct epoll_event`. On x86-64 the kernel declares it packed
+/// (`__attribute__((packed))`); on other architectures it uses natural alignment.
+/// Fields are only ever read by value (never by reference), so the packed layout
+/// is safe to use from Rust.
+#[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+#[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+#[derive(Clone, Copy)]
+struct EpollEvent {
+    events: u32,
+    data: u64,
+}
+
+extern "C" {
+    fn epoll_create1(flags: c_int) -> c_int;
+    fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+    fn epoll_wait(epfd: c_int, events: *mut EpollEvent, maxevents: c_int, timeout: c_int) -> c_int;
+    fn close(fd: c_int) -> c_int;
+}
+
+/// Caller-chosen identifier attached to a registration and echoed in every
+/// [`Event`] for it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Token(pub usize);
+
+/// Readiness interest set: [`Interest::READABLE`], [`Interest::WRITABLE`], or
+/// their combination via [`Interest::add`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interest(u32);
+
+impl Interest {
+    pub const READABLE: Interest = Interest(EPOLLIN | EPOLLRDHUP);
+    pub const WRITABLE: Interest = Interest(EPOLLOUT);
+
+    /// Union of two interest sets (`READABLE.add(WRITABLE)`).
+    // Real mio names this `add` (not a `BitOr` impl); keep the signature identical.
+    #[allow(clippy::should_implement_trait)]
+    #[must_use]
+    pub fn add(self, other: Interest) -> Interest {
+        Interest(self.0 | other.0)
+    }
+}
+
+/// An epoll instance. `register`/`reregister`/`deregister` take `&self` (the
+/// kernel serialises `epoll_ctl`); `poll` takes `&mut self` like mio's.
+#[derive(Debug)]
+pub struct Poll {
+    epfd: RawFd,
+}
+
+impl Poll {
+    /// Creates a new epoll instance (close-on-exec).
+    pub fn new() -> io::Result<Poll> {
+        // SAFETY: epoll_create1 takes no pointers; a negative return is an error
+        // reported through errno, checked below.
+        let epfd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+        if epfd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(Poll { epfd })
+    }
+
+    fn ctl(&self, op: c_int, fd: RawFd, event: Option<EpollEvent>) -> io::Result<()> {
+        let mut ev = event.unwrap_or(EpollEvent { events: 0, data: 0 });
+        // SAFETY: `ev` lives across the call and the kernel only reads it for
+        // ADD/MOD (DEL ignores the pointer); `fd` and `self.epfd` are open
+        // descriptors owned by the caller / this Poll.
+        let rc = unsafe { epoll_ctl(self.epfd, op, fd, &mut ev) };
+        if rc < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(())
+    }
+
+    /// Starts watching `source` for `interest`, tagging its events with `token`.
+    pub fn register(
+        &self,
+        source: &impl AsRawFd,
+        token: Token,
+        interest: Interest,
+    ) -> io::Result<()> {
+        self.ctl(
+            EPOLL_CTL_ADD,
+            source.as_raw_fd(),
+            Some(EpollEvent {
+                events: interest.0,
+                data: token.0 as u64,
+            }),
+        )
+    }
+
+    /// Replaces the interest/token of an already-registered `source`.
+    pub fn reregister(
+        &self,
+        source: &impl AsRawFd,
+        token: Token,
+        interest: Interest,
+    ) -> io::Result<()> {
+        self.ctl(
+            EPOLL_CTL_MOD,
+            source.as_raw_fd(),
+            Some(EpollEvent {
+                events: interest.0,
+                data: token.0 as u64,
+            }),
+        )
+    }
+
+    /// Stops watching `source` entirely.
+    pub fn deregister(&self, source: &impl AsRawFd) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_DEL, source.as_raw_fd(), None)
+    }
+
+    /// Blocks until at least one registered source is ready, `timeout` elapses
+    /// (`None` = forever), or a signal arrives (`EINTR` is swallowed and reported
+    /// as zero events, like mio). Ready events replace `events`' previous
+    /// contents.
+    pub fn poll(&mut self, events: &mut Events, timeout: Option<Duration>) -> io::Result<()> {
+        // Round sub-millisecond timeouts *up* so `Some(50µs)` cannot spin as an
+        // accidental busy-wait at timeout 0.
+        let timeout_ms: c_int = match timeout {
+            None => -1,
+            Some(d) => {
+                let ms = d.as_millis();
+                let ms = if ms == 0 && d.as_nanos() > 0 { 1 } else { ms };
+                ms.min(c_int::MAX as u128) as c_int
+            }
+        };
+        events.len = 0;
+        // SAFETY: `events.buf` is a live allocation of `capacity()` EpollEvents;
+        // the kernel writes at most `maxevents` entries and the return value is
+        // the count of initialised entries, recorded as `events.len` below.
+        let rc = unsafe {
+            epoll_wait(
+                self.epfd,
+                events.buf.as_mut_ptr(),
+                events.buf.len() as c_int,
+                timeout_ms,
+            )
+        };
+        if rc < 0 {
+            let err = io::Error::last_os_error();
+            if err.kind() == io::ErrorKind::Interrupted {
+                return Ok(());
+            }
+            return Err(err);
+        }
+        events.len = rc as usize;
+        Ok(())
+    }
+}
+
+impl Drop for Poll {
+    fn drop(&mut self) {
+        // SAFETY: `epfd` was returned by epoll_create1 and is closed exactly once
+        // (Drop runs once); the result is ignored as there is no way to report it.
+        unsafe {
+            close(self.epfd);
+        }
+    }
+}
+
+/// Buffer `Poll::poll` fills with ready events. (No `Debug` impl: the kernel
+/// event struct is packed on x86-64, and a derived impl would take references to
+/// its fields.)
+pub struct Events {
+    buf: Vec<EpollEvent>,
+    len: usize,
+}
+
+impl Events {
+    /// A buffer receiving at most `capacity` events per poll call (level-triggered
+    /// registrations re-report anything that did not fit).
+    pub fn with_capacity(capacity: usize) -> Events {
+        Events {
+            buf: vec![EpollEvent { events: 0, data: 0 }; capacity.max(1)],
+            len: 0,
+        }
+    }
+
+    /// The events delivered by the last poll, in kernel order.
+    pub fn iter(&self) -> impl Iterator<Item = Event> + '_ {
+        self.buf[..self.len].iter().map(|e| Event {
+            // Copy out of the (possibly packed) kernel struct by value.
+            events: e.events,
+            token: Token(e.data as usize),
+        })
+    }
+}
+
+/// One readiness event: which registration (token) and which directions.
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    events: u32,
+    token: Token,
+}
+
+impl Event {
+    pub fn token(&self) -> Token {
+        self.token
+    }
+
+    /// Readable — including error/hang-up conditions, so the caller's next `read`
+    /// observes `Ok(0)` or the error on its normal path.
+    pub fn is_readable(&self) -> bool {
+        self.events & (EPOLLIN | EPOLLRDHUP | EPOLLHUP | EPOLLERR) != 0
+    }
+
+    /// Writable — including error conditions, surfaced by the next `write`.
+    pub fn is_writable(&self) -> bool {
+        self.events & (EPOLLOUT | EPOLLHUP | EPOLLERR) != 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+    use std::net::{TcpListener, TcpStream};
+
+    fn poll_until(
+        poll: &mut Poll,
+        events: &mut Events,
+        mut pred: impl FnMut(&Event) -> bool,
+    ) -> bool {
+        // Bounded retries: readiness on loopback is fast but not instant.
+        for _ in 0..100 {
+            poll.poll(events, Some(Duration::from_millis(20))).unwrap();
+            if events.iter().any(|e| pred(&e)) {
+                return true;
+            }
+        }
+        false
+    }
+
+    #[test]
+    fn listener_reports_readable_on_pending_connection() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        listener.set_nonblocking(true).unwrap();
+        let addr = listener.local_addr().unwrap();
+
+        let mut poll = Poll::new().unwrap();
+        let mut events = Events::with_capacity(8);
+        poll.register(&listener, Token(7), Interest::READABLE)
+            .unwrap();
+
+        // Nothing pending yet: a short poll returns no events.
+        poll.poll(&mut events, Some(Duration::from_millis(5)))
+            .unwrap();
+        assert_eq!(events.iter().count(), 0);
+
+        let _client = TcpStream::connect(addr).unwrap();
+        assert!(
+            poll_until(&mut poll, &mut events, |e| e.token() == Token(7)
+                && e.is_readable()),
+            "listener never became readable after a connect"
+        );
+    }
+
+    #[test]
+    fn stream_readiness_follows_reregistration_and_deregistration() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        server.set_nonblocking(true).unwrap();
+
+        let mut poll = Poll::new().unwrap();
+        let mut events = Events::with_capacity(8);
+
+        // A fresh connected socket is writable but not readable.
+        poll.register(
+            &server,
+            Token(1),
+            Interest::READABLE.add(Interest::WRITABLE),
+        )
+        .unwrap();
+        assert!(poll_until(&mut poll, &mut events, |e| e.token()
+            == Token(1)
+            && e.is_writable()));
+        assert!(!events
+            .iter()
+            .any(|e| e.is_readable() && e.token() == Token(1)));
+
+        // Reregister for reads only, then make it readable.
+        poll.reregister(&server, Token(2), Interest::READABLE)
+            .unwrap();
+        (&client).write_all(b"ping").unwrap();
+        assert!(
+            poll_until(&mut poll, &mut events, |e| e.token() == Token(2)
+                && e.is_readable()),
+            "reregistered stream never reported readable"
+        );
+
+        // After deregistration the readable socket reports nothing.
+        poll.deregister(&server).unwrap();
+        poll.poll(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert_eq!(events.iter().count(), 0);
+    }
+}

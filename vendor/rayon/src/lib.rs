@@ -189,7 +189,7 @@ pub mod pool {
                 // points to is alive (see the struct docs).
                 let run_block = unsafe { &*self.run_block };
                 if let Err(payload) = catch_unwind(AssertUnwindSafe(|| run_block(i))) {
-                    let mut slot = self.panic.lock().unwrap();
+                    let mut slot = self.panic.lock().expect("region panic-slot lock poisoned");
                     if slot.is_none() {
                         *slot = Some(payload);
                     }
@@ -204,7 +204,7 @@ pub mod pool {
             // ordering: SeqCst — totally ordered after every claim this worker
             // made, so `active == 0` in wait_done() proves no block is running.
             self.active.fetch_sub(1, Ordering::SeqCst);
-            let _guard = self.done.lock().unwrap();
+            let _guard = self.done.lock().expect("region done lock poisoned");
             self.done_cv.notify_all();
         }
 
@@ -216,7 +216,7 @@ pub mod pool {
 
         /// Blocks until no thread can still be executing (or later claim) a block.
         fn wait_done(&self) {
-            let mut guard = self.done.lock().unwrap();
+            let mut guard = self.done.lock().expect("region done lock poisoned");
             // ordering: SeqCst — with the total order established in work(),
             // exhausted-and-zero-active proves no thread can claim or still be
             // running a block, which is exactly what the caller relies on.
@@ -264,7 +264,7 @@ pub mod pool {
         let pool = pool();
         loop {
             let region = {
-                let mut st = pool.state.lock().unwrap();
+                let mut st = pool.state.lock().expect("pool state lock poisoned");
                 loop {
                     if let Some(r) = st.tickets.pop_front() {
                         break r;
@@ -291,7 +291,11 @@ pub mod pool {
         pub(crate) fn finish(self) -> Option<Box<dyn std::any::Any + Send>> {
             enter_region(|| self.region.work());
             self.region.wait_done();
-            self.region.panic.lock().unwrap().take()
+            self.region
+                .panic
+                .lock()
+                .expect("region panic-slot lock poisoned")
+                .take()
         }
     }
 
@@ -331,7 +335,7 @@ pub mod pool {
             done_cv: Condvar::new(),
         });
         let pool = pool();
-        let mut st = pool.state.lock().unwrap();
+        let mut st = pool.state.lock().expect("pool state lock poisoned");
         // A concurrent shutdown_pool() is draining the workers; wait for it to complete
         // so this region gets freshly-spawned helpers instead of none.
         while st.shutting_down {
@@ -363,7 +367,7 @@ pub mod pool {
     /// [`crate::prespawn_workers`]).
     pub(crate) fn prespawn(n: usize) {
         let pool = pool();
-        let mut st = pool.state.lock().unwrap();
+        let mut st = pool.state.lock().expect("pool state lock poisoned");
         while st.shutting_down {
             st = pool.cv.wait(st).unwrap();
         }
@@ -373,7 +377,11 @@ pub mod pool {
     /// Number of persistent worker threads currently alive (see
     /// [`crate::pool_worker_count`]).
     pub(crate) fn worker_count() -> usize {
-        pool().state.lock().unwrap().workers
+        pool()
+            .state
+            .lock()
+            .expect("pool state lock poisoned")
+            .workers
     }
 
     /// Joins every persistent worker and resets the pool (shim-only; see
@@ -382,7 +390,7 @@ pub mod pool {
     pub(crate) fn shutdown() {
         let pool = pool();
         let handles = {
-            let mut st = pool.state.lock().unwrap();
+            let mut st = pool.state.lock().expect("pool state lock poisoned");
             st.shutting_down = true;
             std::mem::take(&mut st.handles)
         };
@@ -390,7 +398,7 @@ pub mod pool {
         for h in handles {
             let _ = h.join();
         }
-        let mut st = pool.state.lock().unwrap();
+        let mut st = pool.state.lock().expect("pool state lock poisoned");
         st.workers = 0;
         st.shutting_down = false;
         drop(st);
@@ -429,11 +437,11 @@ pub mod pool {
         let run_block = |i: usize| {
             let piece = slots[i]
                 .lock()
-                .unwrap()
+                .expect("input slot lock poisoned")
                 .take()
                 .expect("rayon shim: block dispatched twice");
             let r = fold(piece);
-            *results[i].lock().unwrap() = Some(r);
+            *results[i].lock().expect("result slot lock poisoned") = Some(r);
         };
 
         // Helpers install this override so user code reading `current_num_threads()`
@@ -527,11 +535,11 @@ where
     let run_block = |_i: usize| {
         let f = b_slot
             .lock()
-            .unwrap()
+            .expect("input slot lock poisoned")
             .take()
             .expect("rayon shim: join block dispatched twice");
         let r = f();
-        *rb_slot.lock().unwrap() = Some(r);
+        *rb_slot.lock().expect("result slot lock poisoned") = Some(r);
     };
     let payload_b = {
         // SAFETY: `finish()` runs before `run_block`'s borrows (b_slot/rb_slot) expire

@@ -81,6 +81,16 @@ pub fn de_field<T: Deserialize>(v: &Value, name: &str) -> Result<T, Error> {
     }
 }
 
+/// Derive-macro helper for `#[serde(default)]` fields: a missing field becomes
+/// `T::default()` instead of an error (used to keep old serialized snapshots
+/// readable after a struct gains fields).
+pub fn de_field_or_default<T: Deserialize + Default>(v: &Value, name: &str) -> Result<T, Error> {
+    match v.get(name) {
+        Some(inner) => T::from_value(inner),
+        None => Ok(T::default()),
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Serialize impls for primitives and std containers.
 // ---------------------------------------------------------------------------

@@ -6,7 +6,8 @@
 //!
 //! Supported shapes — exactly what this workspace derives:
 //! * structs with named fields (honouring `#[serde(skip)]`: omitted on write,
-//!   `Default`-filled on read);
+//!   `Default`-filled on read; and `#[serde(default)]`: `Default`-filled when
+//!   absent on read, so old serialized snapshots stay readable);
 //! * enums with unit, newtype and struct variants (externally tagged, like real serde).
 //!
 //! Generics, tuple structs and multi-field tuple variants are rejected with a clear
@@ -97,6 +98,11 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
                 if f.skip {
                     inits.push_str(&format!(
                         "{name}: ::std::default::Default::default(),\n",
+                        name = f.name
+                    ));
+                } else if f.default {
+                    inits.push_str(&format!(
+                        "{name}: ::serde::de_field_or_default(v, \"{name}\")?,\n",
                         name = f.name
                     ));
                 } else {
@@ -196,6 +202,7 @@ enum Shape {
 struct Field {
     name: String,
     skip: bool,
+    default: bool,
 }
 
 struct Variant {
@@ -271,12 +278,16 @@ fn parse_fields(body: TokenStream) -> Vec<Field> {
     while i < tokens.len() {
         // Collect attributes for this field.
         let mut skip = false;
+        let mut default = false;
         loop {
             match tokens.get(i) {
                 Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
                     if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
-                        if attr_is_serde_skip(&g.stream()) {
+                        if attr_has_serde_flag(&g.stream(), "skip") {
                             skip = true;
+                        }
+                        if attr_has_serde_flag(&g.stream(), "default") {
+                            default = true;
                         }
                     }
                     i += 2;
@@ -322,7 +333,11 @@ fn parse_fields(body: TokenStream) -> Vec<Field> {
             }
             i += 1;
         }
-        fields.push(Field { name, skip });
+        fields.push(Field {
+            name,
+            skip,
+            default,
+        });
     }
     fields
 }
@@ -411,13 +426,13 @@ fn count_top_level_types(stream: TokenStream) -> usize {
     count
 }
 
-/// True for `[serde(... skip ...)]` attribute bodies.
-fn attr_is_serde_skip(stream: &TokenStream) -> bool {
+/// True for `[serde(... flag ...)]` attribute bodies carrying the bare `flag` ident.
+fn attr_has_serde_flag(stream: &TokenStream, flag: &str) -> bool {
     let tokens: Vec<TokenTree> = stream.clone().into_iter().collect();
     match (tokens.first(), tokens.get(1)) {
         (Some(TokenTree::Ident(id)), Some(TokenTree::Group(args))) if id.to_string() == "serde" => {
             args.stream().into_iter().any(|t| match t {
-                TokenTree::Ident(arg) => arg.to_string() == "skip",
+                TokenTree::Ident(arg) => arg.to_string() == flag,
                 _ => false,
             })
         }

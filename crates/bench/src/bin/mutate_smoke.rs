@@ -71,11 +71,13 @@ fn main() {
         if target > inserted {
             let t0 = Instant::now();
             for j in inserted..target {
-                engine.insert(pool.row(j));
+                engine.insert(pool.row(j)).expect("pool rows match dims");
                 if j % 10 == 9 {
                     // Tombstone a live base point so the stage also exercises the
                     // live-run CSR filtering, not just membin tails.
-                    assert!(engine.delete(deleted * 7 % n), "base delete must succeed");
+                    engine
+                        .delete(deleted * 7 % n)
+                        .expect("base delete must succeed");
                     deleted += 1;
                 }
             }

@@ -16,6 +16,9 @@
 //!   [`scoring::CodeQuantizer`] interface quantizers implement to plug into it;
 //! * [`mutation`] — the streaming write path: per-bin membins, tombstones, and the
 //!   compaction bookkeeping behind `PartitionIndex::{insert, delete, compact}`;
+//! * [`wal`] — crash consistency for that write path: length-prefixed checksummed
+//!   records appended before every ack, torn-tail-tolerant recovery
+//!   (`PartitionIndex::recover`), and the checkpoint/truncate compaction protocol;
 //! * [`rerank`] — brute-force re-ranking of a candidate list;
 //! * [`balance`] — partition balance statistics (the computational-cost side of the loss).
 
@@ -26,9 +29,13 @@ pub mod partitioner;
 pub mod rerank;
 pub mod scoring;
 pub mod searcher;
+pub mod wal;
 
-pub use mutation::{CompactionReport, MutationStats};
-pub use partition_index::PartitionIndex;
+pub use mutation::{CompactionReport, MutationError, MutationStats};
+pub use partition_index::{PartitionIndex, RecoveryReport};
 pub use partitioner::Partitioner;
 pub use scoring::{CodeQuantizer, Scoring};
 pub use searcher::{AnnSearcher, SearchResult};
+pub use wal::{
+    FaultPlan, FileStorage, MemStorage, SyncPolicy, Wal, WalError, WalRecord, WalStats, WalStorage,
+};

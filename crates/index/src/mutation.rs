@@ -23,10 +23,61 @@
 //! operation. A clean index never touches the lock on the query path — an atomic
 //! flag short-circuits straight to the immutable CSR scan.
 
+use std::fmt;
 use std::ops::Deref;
 use std::sync::RwLockReadGuard;
 
 use serde::{Deserialize, Serialize};
+
+use crate::wal::WalError;
+
+/// Why a mutation was refused — the one error type every write path (searcher,
+/// `QueryEngine`, `ShardedEngine`, TCP ingress) speaks, so "bad id" means the same
+/// thing at every layer. Validation runs *before* the WAL append, so a refused
+/// mutation reaches neither the log nor the in-memory state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MutationError {
+    /// The inserted row's dimensionality does not match the index.
+    DimsMismatch { got: usize, want: usize },
+    /// The deleted id was never assigned (out of range).
+    UnknownId { id: usize },
+    /// The deleted id is already tombstoned.
+    AlreadyDeleted { id: usize },
+    /// The engine's index does not support online mutations.
+    Unsupported,
+    /// The write-ahead append failed: the mutation was **not** applied and must
+    /// not be acked (see [`crate::wal`] for the poison/recovery discipline).
+    Wal(WalError),
+}
+
+impl fmt::Display for MutationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MutationError::DimsMismatch { got, want } => {
+                write!(f, "point dim {got} != index dim {want}")
+            }
+            MutationError::UnknownId { id } => write!(f, "id {id} out of range"),
+            MutationError::AlreadyDeleted { id } => write!(f, "id {id} already deleted"),
+            MutationError::Unsupported => write!(f, "engine does not support online mutations"),
+            MutationError::Wal(e) => write!(f, "wal append failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MutationError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MutationError::Wal(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<WalError> for MutationError {
+    fn from(e: WalError) -> Self {
+        MutationError::Wal(e)
+    }
+}
 
 /// One bin's append-only in-memory delta: plain rows in insertion order, their
 /// global ids, and per-row tombstones.

@@ -31,7 +31,7 @@
 //! is untouched by construction: it is the same code path as before the enum existed.
 
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, Mutex, MutexGuard, RwLock};
 
 use rayon::prelude::*;
 use usp_linalg::kernel::AdcTable;
@@ -39,10 +39,11 @@ use usp_linalg::topk::TopK;
 use usp_linalg::{kernel, Distance, Matrix};
 
 use crate::balance::BalanceStats;
-use crate::mutation::{CompactionReport, DeltaView, MutationState, MutationStats};
+use crate::mutation::{CompactionReport, DeltaView, MutationError, MutationState, MutationStats};
 use crate::partitioner::Partitioner;
 use crate::scoring::{CodeQuantizer, Scoring};
 use crate::searcher::{AnnSearcher, SearchResult};
+use crate::wal::{Wal, WalError, WalRecord, WalStats};
 
 /// Default [`PartitionIndex::needs_compaction`] threshold: compact once the delta
 /// (inserts + base tombstones) reaches 10% of the base point count.
@@ -94,6 +95,25 @@ pub struct PartitionIndex<P: Partitioner> {
     mutated: AtomicBool,
     /// [`Self::needs_compaction`] fires when the delta fraction reaches this.
     compaction_threshold: f64,
+    /// Optional write-ahead log for the delta ([`crate::wal`]). `Mutex<Option<..>>`
+    /// rather than a plain field so compaction can move the log onto the rebuilt
+    /// index through `&self` (engines hold the index behind an `Arc`). Lock order:
+    /// the `mutation` write lock is taken first, then this — append order in the
+    /// log therefore equals apply order in the state.
+    wal: Mutex<Option<Wal>>,
+}
+
+/// What [`PartitionIndex::recover`] replayed from the log.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Insert records replayed into the delta.
+    pub replayed_inserts: u64,
+    /// Delete records replayed into the delta.
+    pub replayed_deletes: u64,
+    /// Bytes dropped as the (at most one) torn tail record.
+    pub torn_tail_bytes: u64,
+    /// Compaction epoch the log opened with (0 for a never-compacted log).
+    pub epoch: u64,
 }
 
 impl<P: Partitioner> PartitionIndex<P> {
@@ -178,6 +198,7 @@ impl<P: Partitioner> PartitionIndex<P> {
             mutation: RwLock::new(MutationState::new(dim, n, m)),
             mutated: AtomicBool::new(false),
             compaction_threshold: DEFAULT_COMPACTION_THRESHOLD,
+            wal: Mutex::new(None),
         }
     }
 
@@ -822,18 +843,29 @@ impl<P: Partitioner> PartitionIndex<P> {
         DeltaView(self.mutation.read().expect("mutation lock poisoned"))
     }
 
+    /// Locks the WAL slot (loud on poison: a panic mid-append leaves counters in
+    /// an unknown state, which must not be silently reused).
+    fn wal_slot(&self) -> MutexGuard<'_, Option<Wal>> {
+        self.wal.lock().expect("wal lock poisoned")
+    }
+
     /// Inserts a point: routes it through the trained partitioner into its bin's
     /// membin and returns its global id (`base_n + insertion number`). The point is
     /// visible to every subsequent scan; it gets no code until [`Self::compact`]
     /// folds it into the CSR arrays (membins are exact-scanned).
-    pub fn insert(&self, point: &[f32]) -> usize {
-        assert_eq!(
-            point.len(),
-            self.data.cols(),
-            "insert: point dim {} != index dim {}",
-            point.len(),
-            self.data.cols()
-        );
+    ///
+    /// With a WAL attached ([`Self::with_wal`] / [`Self::recover`]), the record is
+    /// appended — and synced, per the log's [`crate::wal::SyncPolicy`] — *before*
+    /// the in-memory state mutates: an `Err` means the index is untouched and the
+    /// caller must not ack.
+    pub fn try_insert(&self, point: &[f32]) -> Result<usize, MutationError> {
+        let dim = self.data.cols();
+        if point.len() != dim {
+            return Err(MutationError::DimsMismatch {
+                got: point.len(),
+                want: dim,
+            });
+        }
         let bin = self.partitioner.assign(point);
         assert!(
             bin < self.num_bins(),
@@ -841,39 +873,85 @@ impl<P: Partitioner> PartitionIndex<P> {
             self.num_bins()
         );
         let mut state = self.mutation.write().expect("mutation lock poisoned");
+        if let Some(w) = self.wal_slot().as_mut() {
+            w.append(&WalRecord::Insert {
+                row: point.to_vec(),
+            })?;
+        }
         let id = state.base_n() + state.total_inserts();
         state.push_insert(bin, u32::try_from(id).expect("id exceeds u32"), point);
         drop(state);
         // ordering: Release publishes the delta written above (under the lock,
         // now dropped) to any reader whose is_mutated() Acquire-load sees `true`.
         self.mutated.store(true, Ordering::Release);
-        id
+        Ok(id)
     }
 
-    /// Tombstones a point by global id (base or inserted). Returns false when the id
-    /// is out of range or already deleted. The point stops appearing in results
-    /// immediately; its storage is reclaimed by [`Self::compact`].
-    pub fn delete(&self, id: usize) -> bool {
+    /// Panicking convenience form of [`Self::try_insert`] for offline call sites
+    /// that treat a refused insert as programmer error; serving paths use the
+    /// `try_` form and surface the typed error.
+    pub fn insert(&self, point: &[f32]) -> usize {
+        match self.try_insert(point) {
+            Ok(id) => id,
+            Err(e) => panic!("insert: {e}"),
+        }
+    }
+
+    /// Tombstones a point by global id (base or inserted), with the same
+    /// append-before-apply WAL contract as [`Self::try_insert`]: the id is
+    /// validated first, so a refused delete reaches neither the log nor the state.
+    pub fn try_delete(&self, id: usize) -> Result<(), MutationError> {
         let mut state = self.mutation.write().expect("mutation lock poisoned");
-        let deleted = if id < state.base_n() {
+        // Resolve the tombstone slot and check liveness *before* logging: a dead
+        // or unknown id must never produce a record (replaying one is corruption).
+        enum Slot {
+            Csr { bin: usize, pos: usize },
+            Membin,
+        }
+        let slot = if id < state.base_n() {
             let b = self.assignments[id];
             let pos = self
                 .bucket(b)
                 .binary_search(&(id as u32))
                 .expect("assigned bin's bucket holds the id");
-            state.tombstone_csr(b, self.bin_offsets[b] + pos)
+            let at = self.bin_offsets[b] + pos;
+            if state.csr_deleted()[at] {
+                return Err(MutationError::AlreadyDeleted { id });
+            }
+            Slot::Csr { bin: b, pos: at }
         } else if id < state.base_n() + state.total_inserts() {
-            state.tombstone_insert(id)
+            let (bin, row) = state.insert_locs()[id - state.base_n()];
+            if state.membin(bin as usize).deleted()[row as usize] {
+                return Err(MutationError::AlreadyDeleted { id });
+            }
+            Slot::Membin
         } else {
-            false
+            return Err(MutationError::UnknownId { id });
         };
-        drop(state);
-        if deleted {
-            // ordering: Release pairs with the Acquire load in is_mutated(),
-            // publishing the tombstone recorded above.
-            self.mutated.store(true, Ordering::Release);
+        if let Some(w) = self.wal_slot().as_mut() {
+            w.append(&WalRecord::Delete { id: id as u64 })?;
         }
-        deleted
+        let fresh = match slot {
+            Slot::Csr { bin, pos } => state.tombstone_csr(bin, pos),
+            Slot::Membin => state.tombstone_insert(id),
+        };
+        debug_assert!(fresh, "liveness was checked under this same write lock");
+        drop(state);
+        // ordering: Release pairs with the Acquire load in is_mutated(),
+        // publishing the tombstone recorded above.
+        self.mutated.store(true, Ordering::Release);
+        Ok(())
+    }
+
+    /// Boolean convenience form of [`Self::try_delete`]: false for an unknown or
+    /// already-tombstoned id. A WAL failure still panics — an un-appendable
+    /// mutation must never look like a routine "id not found".
+    pub fn delete(&self, id: usize) -> bool {
+        match self.try_delete(id) {
+            Ok(()) => true,
+            Err(MutationError::UnknownId { .. } | MutationError::AlreadyDeleted { .. }) => false,
+            Err(e) => panic!("delete: {e}"),
+        }
     }
 
     /// Sets the delta fraction at which [`Self::needs_compaction`] fires
@@ -986,14 +1064,141 @@ impl<P: Partitioner> PartitionIndex<P> {
         (new, report)
     }
 
-    /// Compacts in place: replaces this index with [`Self::compacted`]'s result.
+    /// [`Self::compacted`] plus the WAL checkpoint/handoff protocol, through
+    /// `&self` (for callers holding the index behind an `Arc`, like
+    /// `ShardedEngine::compact_and_rebalance`): builds the compacted twin, writes
+    /// `CompactionCheckpoint{epoch + 1}` by atomically replacing the log
+    /// (write-new → sync → rename), and moves the log onto the new index. On
+    /// `Err` this index and its log are unchanged (the replace is atomic), so the
+    /// delta is still fully recoverable.
+    ///
+    /// Like [`Self::compacted`], the caller must ensure no writer races this call:
+    /// a mutation landing between the delta snapshot and the log replace would be
+    /// dropped from both.
+    pub fn compacted_with_checkpoint(&self) -> Result<(Self, CompactionReport), MutationError>
+    where
+        P: Clone,
+    {
+        let (mut new, report) = self.compacted();
+        let mut slot = self.wal_slot();
+        if let Some(w) = slot.as_mut() {
+            w.checkpoint(w.epoch() + 1)?;
+        }
+        *new.wal.get_mut().expect("wal lock poisoned") = slot.take();
+        Ok((new, report))
+    }
+
+    /// Compacts in place: replaces this index with [`Self::compacted`]'s result,
+    /// running the WAL checkpoint protocol when a log is attached. On `Err` the
+    /// index is unchanged.
+    pub fn try_compact(&mut self) -> Result<CompactionReport, MutationError>
+    where
+        P: Clone,
+    {
+        let (new, report) = self.compacted_with_checkpoint()?;
+        *self = new;
+        Ok(report)
+    }
+
+    /// Panicking convenience form of [`Self::try_compact`] (a checkpoint that
+    /// cannot reach storage leaves no safe way to discard the delta).
     pub fn compact(&mut self) -> CompactionReport
     where
         P: Clone,
     {
-        let (new, report) = self.compacted();
-        *self = new;
-        report
+        match self.try_compact() {
+            Ok(report) => report,
+            Err(e) => panic!("compact: {e}"),
+        }
+    }
+
+    /// Attaches a write-ahead log to a **clean** index: every subsequent
+    /// insert/delete is appended (and synced per the log's policy) before it is
+    /// applied or acked. To resume from a log that already holds records, use
+    /// [`Self::recover`] instead — this method is for fresh logs (empty, or just a
+    /// checkpoint from the compaction protocol).
+    pub fn with_wal(self, wal: Wal) -> Self {
+        assert!(
+            !self.is_mutated(),
+            "with_wal: attach the log before mutating (or recover from it)"
+        );
+        *self.wal_slot() = Some(wal);
+        self
+    }
+
+    /// Replays `wal` into `base` — a clean index over the last checkpointed point
+    /// set — rebuilding a delta bit-identical to the pre-crash in-memory state,
+    /// then re-attaches the log so serving can resume appending where it left off.
+    ///
+    /// At most one torn tail record is tolerated (truncated in storage and
+    /// reported); a checksum mismatch mid-log, an unknown record kind, a
+    /// mid-log checkpoint, or a record that replays inconsistently against `base`
+    /// (wrong dims, dead id) is a loud [`WalError::Corrupt`] — recovery never
+    /// papers over a log that disagrees with its index.
+    pub fn recover(base: Self, mut wal: Wal) -> Result<(Self, RecoveryReport), WalError> {
+        assert!(
+            !base.is_mutated(),
+            "recover: the base index must be clean (the log holds the whole delta)"
+        );
+        let records = wal.read_for_recovery()?;
+        let mut report = RecoveryReport {
+            torn_tail_bytes: wal.stats().torn_tail_bytes,
+            ..RecoveryReport::default()
+        };
+        let corrupt = |i: usize, reason: String| WalError::Corrupt {
+            offset: 0,
+            reason: format!("record {i}: {reason}"),
+        };
+        for (i, rec) in records.iter().enumerate() {
+            match rec {
+                WalRecord::CompactionCheckpoint { epoch } => {
+                    if i != 0 {
+                        return Err(corrupt(
+                            i,
+                            "checkpoint record past the log start (the checkpoint \
+                             protocol only ever writes it first)"
+                                .into(),
+                        ));
+                    }
+                    wal.set_epoch(*epoch);
+                    report.epoch = *epoch;
+                }
+                WalRecord::Insert { row } => {
+                    base.try_insert(row)
+                        .map_err(|e| corrupt(i, format!("insert replay refused: {e}")))?;
+                    report.replayed_inserts += 1;
+                }
+                WalRecord::Delete { id } => {
+                    let id = usize::try_from(*id)
+                        .map_err(|_| corrupt(i, "delete id exceeds usize".into()))?;
+                    base.try_delete(id)
+                        .map_err(|e| corrupt(i, format!("delete replay refused: {e}")))?;
+                    report.replayed_deletes += 1;
+                }
+            }
+        }
+        *base.wal_slot() = Some(wal);
+        Ok((base, report))
+    }
+
+    /// The attached log's counters, if a WAL is attached (`ServeStats` overlays
+    /// these into its snapshot).
+    pub fn wal_stats(&self) -> Option<WalStats> {
+        self.wal_slot().as_ref().map(|w| w.stats())
+    }
+
+    /// True when a write-ahead log is attached.
+    pub fn has_wal(&self) -> bool {
+        self.wal_slot().is_some()
+    }
+
+    /// Syncs the attached log now — the durability point of
+    /// [`crate::wal::SyncPolicy::OnFlush`]. A no-op without a WAL.
+    pub fn wal_flush(&self) -> Result<(), MutationError> {
+        match self.wal_slot().as_mut() {
+            Some(w) => w.flush().map_err(MutationError::from),
+            None => Ok(()),
+        }
     }
 
     /// Full query: probe bins, scan their contiguous candidate rows, return the top `k`
@@ -1468,6 +1673,39 @@ mod tests {
         assert_eq!(idx.search(&[1.95], 1, 1).ids, vec![id]);
         assert!(idx.delete(id));
         assert!(!idx.search(&[1.95], 5, 4).ids.contains(&id));
+    }
+
+    #[test]
+    fn try_mutations_refuse_with_typed_errors_and_mutate_nothing() {
+        // The searcher-level refusal contract every serving path inherits:
+        // validation runs before any state change (or WAL append), and each
+        // refusal is a distinct `MutationError` value.
+        let data = line_data(4, 5);
+        let idx = PartitionIndex::build(
+            GridPartitioner { bins: 4 },
+            &data,
+            Distance::SquaredEuclidean,
+        );
+        assert_eq!(
+            idx.try_insert(&[1.0, 2.0]),
+            Err(MutationError::DimsMismatch { got: 2, want: 1 })
+        );
+        assert_eq!(
+            idx.try_delete(999),
+            Err(MutationError::UnknownId { id: 999 })
+        );
+        assert!(!idx.is_mutated(), "refusals must not dirty the index");
+        assert_eq!(idx.try_delete(3), Ok(()));
+        assert_eq!(
+            idx.try_delete(3),
+            Err(MutationError::AlreadyDeleted { id: 3 })
+        );
+        let id = idx.try_insert(&[0.5]).expect("dims match");
+        assert_eq!(idx.try_delete(id), Ok(()));
+        assert_eq!(
+            idx.try_delete(id),
+            Err(MutationError::AlreadyDeleted { id })
+        );
     }
 
     #[test]

@@ -28,7 +28,7 @@ use lexer::LexedFile;
 use manifest::Manifest;
 
 /// Names of every shipped rule, in report order.
-pub const RULES: [&str; 9] = [
+pub const RULES: [&str; 10] = [
     "nan-unsafe-cmp",
     "scoring-outside-kernel",
     "raw-thread-spawn",
@@ -37,6 +37,7 @@ pub const RULES: [&str; 9] = [
     "lock-poisoning",
     "layering",
     "vendored-shim-drift",
+    "module-cycle",
     "lint-pragma",
 ];
 
@@ -251,6 +252,7 @@ pub fn lint_workspace(ws: &Workspace) -> Vec<Finding> {
     }
     rules_workspace::layering(ws, &mut findings);
     rules_workspace::vendored_shim_drift(ws, &mut findings);
+    rules_workspace::module_cycle(ws, &mut findings);
 
     // Inline pragmas. `undocumented-atomic-ordering` consumes its own pragmas
     // (a lint:allow alone must not silence a missing `// ordering:` comment on

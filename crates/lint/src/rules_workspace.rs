@@ -395,6 +395,189 @@ pub fn vendored_shim_drift(ws: &Workspace, findings: &mut Vec<Finding>) {
     }
 }
 
+// ----------------------------------------------------------------- module-cycle
+
+/// Module-granularity import-cycle detection. `cargo` rejects crate cycles but
+/// happily compiles mutually-importing *modules* inside one crate — which is
+/// how a layered crate quietly turns into a ball no refactor can split. The
+/// rule builds, per workspace crate, the graph of direct `src/<m>.rs` modules
+/// with an edge `a → b` for every non-test `crate::b` path in `a`, and reports
+/// each strongly-connected component of two or more modules once, anchored at
+/// the offending import in the alphabetically first member.
+///
+/// Scope: direct children of `crates/<c>/src/` only. `lib.rs`/`main.rs` are
+/// crate roots, not modules; `src/bin/` targets and `tests/` are their own
+/// crate roots and cannot participate in a library-module cycle.
+pub fn module_cycle(ws: &Workspace, findings: &mut Vec<Finding>) {
+    use std::collections::BTreeMap;
+
+    let mut crates: BTreeMap<&str, Vec<&crate::lexer::LexedFile>> = BTreeMap::new();
+    for f in &ws.files {
+        let Some(rest) = f.path.strip_prefix("crates/") else {
+            continue;
+        };
+        let mut it = rest.splitn(2, '/');
+        let (Some(cr), Some(tail)) = (it.next(), it.next()) else {
+            continue;
+        };
+        let Some(m) = tail.strip_prefix("src/") else {
+            continue;
+        };
+        if !m.ends_with(".rs") || m.contains('/') {
+            continue; // bin targets and nested dirs are separate roots
+        }
+        crates.entry(cr).or_default().push(f);
+    }
+
+    for (cr, files) in crates {
+        let stem = |f: &crate::lexer::LexedFile| {
+            f.path
+                .rsplit('/')
+                .next()
+                .unwrap_or("")
+                .trim_end_matches(".rs")
+                .to_string()
+        };
+        let mut names: Vec<String> = files
+            .iter()
+            .map(|f| stem(f))
+            .filter(|s| s != "lib" && s != "main")
+            .collect();
+        names.sort_unstable();
+        let id = |n: &str| names.iter().position(|x| x == n);
+
+        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); names.len()];
+        // First `crate::<to>` site per edge, for anchoring the finding.
+        let mut site: BTreeMap<(usize, usize), (String, u32, u32)> = BTreeMap::new();
+        for f in &files {
+            let Some(from) = id(&stem(f)) else {
+                continue; // lib.rs / main.rs import freely: the root is no module
+            };
+            let toks = &f.tokens;
+            let mut add = |to: usize, line: u32, col: u32| {
+                if to != from {
+                    if !adj[from].contains(&to) {
+                        adj[from].push(to);
+                    }
+                    site.entry((from, to))
+                        .or_insert((f.path.clone(), line, col));
+                }
+            };
+            for i in 0..toks.len() {
+                if toks[i].in_test || !toks[i].is_ident("crate") {
+                    continue;
+                }
+                if !toks.get(i + 1).is_some_and(|t| t.is_punct("::")) {
+                    continue;
+                }
+                match toks.get(i + 2) {
+                    Some(t) if t.kind == TokKind::Ident => {
+                        if let Some(to) = id(&t.text) {
+                            add(to, toks[i].line, toks[i].col);
+                        }
+                    }
+                    // `use crate::{a, b::Thing}` — every group member that
+                    // names a sibling module is an edge.
+                    Some(t) if t.is_punct("{") => {
+                        let d = t.depth;
+                        for t2 in &toks[i + 3..] {
+                            if t2.is_punct("}") && t2.depth == d {
+                                break;
+                            }
+                            if t2.kind == TokKind::Ident {
+                                if let Some(to) = id(&t2.text) {
+                                    add(to, toks[i].line, toks[i].col);
+                                }
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+
+        for scc in strongly_connected(&adj) {
+            if scc.len() < 2 {
+                continue;
+            }
+            let mut members = scc.clone();
+            members.sort_unstable();
+            // Anchor at the first member's first import of another member.
+            let (path, line, col) = members
+                .iter()
+                .find_map(|&a| members.iter().find_map(|&b| site.get(&(a, b))).cloned())
+                .unwrap_or_else(|| (format!("crates/{cr}"), 1, 1));
+            let list = members
+                .iter()
+                .map(|&i| format!("`{}`", names[i]))
+                .collect::<Vec<_>>()
+                .join(", ");
+            findings.push(Finding {
+                rule: "module-cycle",
+                path,
+                line,
+                col,
+                message: format!(
+                    "modules {list} of `crates/{cr}` import each other in a cycle \
+                     (via `crate::…` paths); intra-crate modules must stay acyclic — \
+                     hoist the shared items into a leaf module or merge the pair"
+                ),
+            });
+        }
+    }
+}
+
+/// Tarjan's strongly-connected components, iterative (the graphs are tiny, but
+/// the linter must not assume so). Components are returned in discovery order;
+/// singletons are included and filtered by the caller.
+fn strongly_connected(adj: &[Vec<usize>]) -> Vec<Vec<usize>> {
+    let n = adj.len();
+    let (mut index, mut low, mut on_stack) = (vec![usize::MAX; n], vec![0usize; n], vec![false; n]);
+    let (mut stack, mut out, mut next) = (Vec::new(), Vec::new(), 0usize);
+    // Explicit DFS frames: (node, next-child-position).
+    for root in 0..n {
+        if index[root] != usize::MAX {
+            continue;
+        }
+        let mut frames = vec![(root, 0usize)];
+        while let Some(&mut (v, ref mut child)) = frames.last_mut() {
+            if *child == 0 {
+                index[v] = next;
+                low[v] = next;
+                next += 1;
+                stack.push(v);
+                on_stack[v] = true;
+            }
+            if let Some(&w) = adj[v].get(*child) {
+                *child += 1;
+                if index[w] == usize::MAX {
+                    frames.push((w, 0));
+                } else if on_stack[w] {
+                    low[v] = low[v].min(index[w]);
+                }
+                continue;
+            }
+            frames.pop();
+            if let Some(&(p, _)) = frames.last() {
+                low[p] = low[p].min(low[v]);
+            }
+            if low[v] == index[v] {
+                let mut comp = Vec::new();
+                loop {
+                    let w = stack.pop().expect("tarjan stack underflow");
+                    on_stack[w] = false;
+                    comp.push(w);
+                    if w == v {
+                        break;
+                    }
+                }
+                out.push(comp);
+            }
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use crate::{lint_workspace, Finding, Workspace};
@@ -537,6 +720,93 @@ mod tests {
     fn shim_drift_skips_pub_crate_items() {
         let f = lint(
             &[("vendor/mini/src/lib.rs", "pub(crate) fn helper() {}\n")],
+            &[],
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    // ---- module-cycle
+
+    #[test]
+    fn module_cycle_fires_on_mutual_imports() {
+        let f = lint(
+            &[
+                ("crates/x/src/a.rs", "use crate::b::Thing;\npub struct A;\n"),
+                ("crates/x/src/b.rs", "use crate::a::A;\npub struct Thing;\n"),
+            ],
+            &[],
+        );
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "module-cycle");
+        // Anchored at the alphabetically first member's import.
+        assert_eq!((f[0].path.as_str(), f[0].line), ("crates/x/src/a.rs", 1));
+        assert!(f[0].message.contains("`a`") && f[0].message.contains("`b`"));
+    }
+
+    #[test]
+    fn module_cycle_sees_brace_group_imports_and_longer_rings() {
+        // a → {b} via a grouped use, b → c, c → a: one three-module component.
+        let f = lint(
+            &[
+                ("crates/x/src/a.rs", "use crate::{b::Thing, util};\n"),
+                ("crates/x/src/b.rs", "use crate::c::C;\npub struct Thing;\n"),
+                ("crates/x/src/c.rs", "use crate::a::A;\npub struct C;\n"),
+                ("crates/x/src/util.rs", "pub fn u() {}\n"),
+            ],
+            &[],
+        );
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(
+            f[0].message.contains("`a`")
+                && f[0].message.contains("`b`")
+                && f[0].message.contains("`c`")
+                && !f[0].message.contains("`util`"),
+            "{f:?}"
+        );
+    }
+
+    #[test]
+    fn module_cycle_ignores_dags_roots_tests_and_cross_crate_names() {
+        let f = lint(
+            &[
+                // Plain DAG: a → b.
+                ("crates/x/src/a.rs", "use crate::b::Thing;\n"),
+                ("crates/x/src/b.rs", "pub struct Thing;\n"),
+                // The crate root imports everything — roots are not modules.
+                (
+                    "crates/x/src/lib.rs",
+                    "pub mod a;\npub mod b;\nuse crate::a::*;\nuse crate::b::*;\n",
+                ),
+                // A test module's back-import is not an architectural edge.
+                (
+                    "crates/x/src/c.rs",
+                    "#[cfg(test)]\nmod tests {\n use crate::a::*;\n #[test]\n fn t() {}\n}\n",
+                ),
+                // Same module names in another crate must not conflate graphs.
+                ("crates/y/src/b.rs", "use crate::a::A;\n"),
+                ("crates/y/src/a.rs", "pub struct A;\n"),
+                // Bin targets are separate crate roots.
+                (
+                    "crates/x/src/bin/tool.rs",
+                    "use crate::a::*;\nfn main() {}\n",
+                ),
+            ],
+            &[],
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn module_cycle_respects_inline_allow() {
+        let f = lint(
+            &[
+                (
+                    "crates/x/src/a.rs",
+                    "// lint:allow(module-cycle): fixture — intentional pair under migration\n\
+                     use crate::b::Thing;\npub struct A;\n",
+                ),
+                ("crates/x/src/b.rs", "use crate::a::A;\npub struct Thing;\n"),
+            ],
             &[],
         );
         assert!(f.is_empty(), "{f:?}");

@@ -4,7 +4,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use rayon::prelude::*;
-use usp_index::{PartitionIndex, Partitioner, SearchResult};
+use usp_index::{MutationError, PartitionIndex, Partitioner, SearchResult};
 use usp_linalg::Matrix;
 
 use crate::stats::{ServeStats, StatsSnapshot};
@@ -69,17 +69,22 @@ pub trait BatchEngine: Send + Sync {
         rayon::prespawn_workers(rayon::current_num_threads().saturating_sub(1));
     }
 
-    /// Inserts a point through the engine's streaming write path, returning its id —
-    /// or `None` when this engine does not support online writes (the default). The
-    /// network ingress maps `None` to an error reply rather than a panic.
-    fn insert(&self, _point: &[f32]) -> Option<usize> {
-        None
+    /// Inserts a point through the engine's streaming write path, returning its id.
+    /// Every refusal is a typed [`MutationError`] — wrong dims, a failed WAL append
+    /// (the mutation was not applied and must not be acked), or
+    /// [`MutationError::Unsupported`] for engines without online writes (the
+    /// default). The network ingress maps an `Err` to an error reply, never a
+    /// silent ack or a panic.
+    fn insert(&self, _point: &[f32]) -> Result<usize, MutationError> {
+        Err(MutationError::Unsupported)
     }
 
-    /// Tombstones a point, returning whether this call deleted it. Engines without
-    /// online writes report `false` (the default).
-    fn delete(&self, _id: usize) -> bool {
-        false
+    /// Tombstones a point. `Err(UnknownId)` / `Err(AlreadyDeleted)` are the routine
+    /// refusals; `Err(Wal(_))` means the delete reached neither the log nor the
+    /// index. Engines without online writes report [`MutationError::Unsupported`]
+    /// (the default).
+    fn delete(&self, _id: usize) -> Result<(), MutationError> {
+        Err(MutationError::Unsupported)
     }
 
     /// Serving statistics accumulated so far (an all-zero snapshot by default, for
@@ -127,23 +132,22 @@ impl<P: Partitioner> QueryEngine<P> {
     }
 
     /// Inserts a point through the index's streaming write path (see
-    /// [`PartitionIndex::insert`]) and returns its id. Subsequent queries on this
-    /// engine see the point immediately — `serve_batch` routes through the same
-    /// delta-aware scan as [`PartitionIndex::search`].
-    pub fn insert(&self, point: &[f32]) -> usize {
-        let id = self.index.insert(point);
+    /// [`PartitionIndex::try_insert`]) and returns its id. Subsequent queries on
+    /// this engine see the point immediately — `serve_batch` routes through the
+    /// same delta-aware scan as [`PartitionIndex::search`]. With a WAL attached,
+    /// `Ok` means the record is on the log (per its sync policy) — stats count only
+    /// applied mutations.
+    pub fn insert(&self, point: &[f32]) -> Result<usize, MutationError> {
+        let id = self.index.try_insert(point)?;
         self.stats.record_insert();
-        id
+        Ok(id)
     }
 
-    /// Tombstones a point (see [`PartitionIndex::delete`]); returns whether this call
-    /// deleted it.
-    pub fn delete(&self, id: usize) -> bool {
-        let deleted = self.index.delete(id);
-        if deleted {
-            self.stats.record_delete();
-        }
-        deleted
+    /// Tombstones a point (see [`PartitionIndex::try_delete`]).
+    pub fn delete(&self, id: usize) -> Result<(), MutationError> {
+        self.index.try_delete(id)?;
+        self.stats.record_delete();
+        Ok(())
     }
 
     /// Whether the index's outstanding delta crossed its compaction threshold (see
@@ -238,9 +242,15 @@ impl<P: Partitioner> QueryEngine<P> {
     }
 
     /// Serving statistics accumulated since construction (or the last
-    /// [`reset_stats`](Self::reset_stats)).
+    /// [`reset_stats`](Self::reset_stats)), with the index's WAL counters overlaid
+    /// when a log is attached (the log is the source of truth for durability
+    /// numbers — they survive engine-level `reset_stats`).
     pub fn stats(&self) -> StatsSnapshot {
-        self.stats.snapshot()
+        let mut snap = self.stats.snapshot();
+        if let Some(w) = self.index.wal_stats() {
+            snap.overlay_wal(&w);
+        }
+        snap
     }
 
     /// Clears the serving statistics.
@@ -264,11 +274,11 @@ impl<P: Partitioner> BatchEngine for QueryEngine<P> {
         QueryEngine::serve_batch(self, queries, opts)
     }
 
-    fn insert(&self, point: &[f32]) -> Option<usize> {
-        Some(QueryEngine::insert(self, point))
+    fn insert(&self, point: &[f32]) -> Result<usize, MutationError> {
+        QueryEngine::insert(self, point)
     }
 
-    fn delete(&self, id: usize) -> bool {
+    fn delete(&self, id: usize) -> Result<(), MutationError> {
         QueryEngine::delete(self, id)
     }
 
@@ -374,7 +384,7 @@ mod tests {
         let q = queries();
         let opts = QueryOptions::new(3, 2);
         // A point inserted through the engine is findable via the batched path...
-        let id = engine.insert(&[9.0, 9.0]);
+        let id = engine.insert(&[9.0, 9.0]).expect("dims match");
         assert_eq!(id, 40);
         let probe = Matrix::from_vec(1, 2, vec![9.1, 8.9]);
         let got = engine.serve_batch(&probe, &QueryOptions::new(1, 5));
@@ -384,10 +394,21 @@ mod tests {
         for qi in 0..q.rows() {
             assert_eq!(batch[qi], index.search(q.row(qi), 3, 2));
         }
-        // Deletes hide points; double-deletes and unknown ids count nothing.
-        assert!(engine.delete(7));
-        assert!(!engine.delete(7));
-        assert!(!engine.delete(999));
+        // Deletes hide points; double-deletes and unknown ids are typed refusals
+        // and count nothing.
+        assert_eq!(engine.delete(7), Ok(()));
+        assert_eq!(
+            engine.delete(7),
+            Err(MutationError::AlreadyDeleted { id: 7 })
+        );
+        assert_eq!(
+            engine.delete(999),
+            Err(MutationError::UnknownId { id: 999 })
+        );
+        assert_eq!(
+            engine.insert(&[1.0]),
+            Err(MutationError::DimsMismatch { got: 1, want: 2 })
+        );
         let after = engine.serve_batch(&q, &opts);
         for (qi, r) in after.iter().enumerate() {
             assert!(!r.ids.contains(&7), "tombstoned id returned at {qi}");

@@ -497,21 +497,41 @@ impl<E: BatchEngine + 'static> Loop<E> {
             }
             Ok(Request::Insert { request_id, row }) => {
                 self.stats.record_frames(1, 0, 0);
+                // The ack carries durability: `Ok` means the engine applied the
+                // insert *after* its WAL append (when a log is attached)
+                // succeeded. Any refusal — wrong dims, unsupported engine, a
+                // failed append — is an explicit error reply, never a silent ack,
+                // and the engine state was not mutated.
                 match self.engine.insert(&row) {
-                    Some(id) => {
+                    Ok(id) => {
                         conn.queue_reply(|out| encode_insert_reply(out, request_id, id as u64));
                     }
-                    None => {
-                        conn.queue_reply(|out| {
-                            encode_error(out, request_id, "engine does not support online inserts")
-                        });
+                    Err(e) => {
+                        let reason = e.to_string();
+                        conn.queue_reply(|out| encode_error(out, request_id, &reason));
                     }
                 }
             }
             Ok(Request::Delete { request_id, id }) => {
                 self.stats.record_frames(1, 0, 0);
-                let deleted = self.engine.delete(id as usize);
-                conn.queue_reply(|out| encode_delete_reply(out, request_id, deleted));
+                match self.engine.delete(id as usize) {
+                    // Routine refusals keep the boolean wire contract: "this call
+                    // did not delete" — the client can tell the id was bad, and
+                    // older clients keep parsing replies unchanged.
+                    Ok(()) => conn.queue_reply(|out| encode_delete_reply(out, request_id, true)),
+                    Err(
+                        usp_index::MutationError::UnknownId { .. }
+                        | usp_index::MutationError::AlreadyDeleted { .. },
+                    ) => {
+                        conn.queue_reply(|out| encode_delete_reply(out, request_id, false));
+                    }
+                    // A WAL failure (or unsupported engine) must never masquerade
+                    // as "id not found": the delete may be retried after recovery.
+                    Err(e) => {
+                        let reason = e.to_string();
+                        conn.queue_reply(|out| encode_error(out, request_id, &reason));
+                    }
+                }
             }
             Ok(Request::Stats { request_id }) => {
                 self.stats.record_frames(1, 0, 0);
@@ -776,6 +796,82 @@ mod tests {
         assert_eq!((snap.inserts, snap.deletes), (1, 1));
         // The stats frame itself is the 4th accepted frame.
         assert_eq!(snap.accepted_frames, 4);
+        handle.shutdown();
+    }
+
+    #[test]
+    fn wal_failures_become_error_replies_never_silent_acks() {
+        let n = 20;
+        let data: Vec<f32> = (0..n * 3).map(|i| (i % 7) as f32).collect();
+        let data = Matrix::from_vec(n, 3, data);
+        let storage = usp_index::MemStorage::new();
+        let index = PartitionIndex::build(
+            RoundRobinPartitioner::new(4),
+            &data,
+            Distance::SquaredEuclidean,
+        )
+        .with_wal(usp_index::Wal::new(
+            Box::new(storage.clone()),
+            usp_index::SyncPolicy::EveryRecord,
+        ));
+        let engine = Arc::new(QueryEngine::new(Arc::new(index)));
+        let handle = spawn_ingress(
+            Arc::clone(&engine),
+            IngressConfig::new(QueryOptions::new(2, 2)),
+        );
+        let mut stream = TcpStream::connect(handle.local_addr()).unwrap();
+
+        // A durable insert acks normally: the record is on storage by reply time.
+        let mut wire = Vec::new();
+        encode_insert(&mut wire, 1, &[1.0, 2.0, 3.0]);
+        stream.write_all(&wire).unwrap();
+        assert_eq!(expect_reply(&mut stream, 1), Reply::Insert(20));
+
+        // Break the device's sync: the append cannot be made durable, so the
+        // reply must be an explicit error — never a silent ack.
+        storage.set_plan(usp_index::FaultPlan {
+            fail_syncs: 1,
+            ..usp_index::FaultPlan::default()
+        });
+        let mut wire = Vec::new();
+        encode_insert(&mut wire, 2, &[4.0, 5.0, 6.0]);
+        stream.write_all(&wire).unwrap();
+        match expect_reply(&mut stream, 2) {
+            Reply::Error(reason) => {
+                assert!(reason.contains("wal append failed"), "{reason}")
+            }
+            other => panic!("a failed append must not ack: {other:?}"),
+        }
+
+        // Unknown-id deletes keep the boolean wire contract even while the log
+        // is poisoned: liveness is checked before the append, so the refusal is
+        // `Delete(false)`, not a WAL error.
+        let mut wire = Vec::new();
+        encode_delete(&mut wire, 3, 999);
+        stream.write_all(&wire).unwrap();
+        assert_eq!(expect_reply(&mut stream, 3), Reply::Delete(false));
+
+        // A dims-mismatched insert is refused at the protocol boundary, like
+        // every other path refuses it before mutating anything.
+        let mut wire = Vec::new();
+        encode_insert(&mut wire, 4, &[1.0, 2.0]);
+        stream.write_all(&wire).unwrap();
+        assert!(matches!(expect_reply(&mut stream, 4), Reply::Malformed(_)));
+
+        // The refused insert never mutated the engine, and the WAL counters
+        // surface the failure through the stats opcode.
+        let mut wire = Vec::new();
+        encode_stats(&mut wire, 5);
+        stream.write_all(&wire).unwrap();
+        let json = match expect_reply(&mut stream, 5) {
+            Reply::Stats(json) => json,
+            other => panic!("unexpected reply {other:?}"),
+        };
+        let snap: StatsSnapshot = serde_json::from_str(&json).expect("stats reply parses");
+        assert_eq!(snap.inserts, 1, "the refused insert must not count");
+        assert_eq!(snap.wal_appends, 2);
+        assert_eq!(snap.wal_sync_errors, 1);
+        assert_eq!(snap.malformed_frames, 1);
         handle.shutdown();
     }
 

@@ -43,7 +43,7 @@ use std::time::Instant;
 
 use rayon::prelude::*;
 use usp_index::mutation::{DeltaView, MutationState};
-use usp_index::{CompactionReport, PartitionIndex, Partitioner, SearchResult};
+use usp_index::{CompactionReport, MutationError, PartitionIndex, Partitioner, SearchResult};
 use usp_linalg::kernel::AdcTable;
 use usp_linalg::{kernel, topk, Matrix};
 
@@ -332,23 +332,22 @@ impl<P: Partitioner> ShardedEngine<P> {
     }
 
     /// Inserts a point through the routing index's streaming write path (see
-    /// [`PartitionIndex::insert`]). The point lands in its bin's membin, so it is
-    /// served by whichever shard owns that bin — shard copies themselves are
-    /// immutable CSR views and need no rebuild until compaction.
-    pub fn insert(&self, point: &[f32]) -> usize {
-        let id = self.index.insert(point);
+    /// [`PartitionIndex::try_insert`]). The point lands in its bin's membin, so it
+    /// is served by whichever shard owns that bin — shard copies themselves are
+    /// immutable CSR views and need no rebuild until compaction. With a WAL
+    /// attached, `Ok` means the record is on the log (append-before-ack).
+    pub fn insert(&self, point: &[f32]) -> Result<usize, MutationError> {
+        let id = self.index.try_insert(point)?;
         self.stats.record_insert();
-        id
+        Ok(id)
     }
 
-    /// Tombstones a point (see [`PartitionIndex::delete`]); returns whether this call
-    /// deleted it. The tombstone is consulted by every shard's delta scan.
-    pub fn delete(&self, id: usize) -> bool {
-        let deleted = self.index.delete(id);
-        if deleted {
-            self.stats.record_delete();
-        }
-        deleted
+    /// Tombstones a point (see [`PartitionIndex::try_delete`]). The tombstone is
+    /// consulted by every shard's delta scan.
+    pub fn delete(&self, id: usize) -> Result<(), MutationError> {
+        self.index.try_delete(id)?;
+        self.stats.record_delete();
+        Ok(())
     }
 
     /// Whether the routing index's outstanding delta crossed its compaction
@@ -359,23 +358,27 @@ impl<P: Partitioner> ShardedEngine<P> {
 
     /// The maintenance tick of a mutable sharded deployment: if the delta crossed
     /// the compaction threshold, folds it into a fresh index
-    /// ([`PartitionIndex::compacted`]) and swaps it in; then re-packs the bin→shard
-    /// map from the recorded probe loads and rebuilds the shard views either way
-    /// (the existing [`Self::rebalance_from_stats`] loop). Returns the compaction
-    /// report — with its id remapping — when a compaction ran.
-    pub fn compact_and_rebalance(&mut self) -> Option<CompactionReport>
+    /// ([`PartitionIndex::compacted_with_checkpoint`] — which also runs the WAL
+    /// checkpoint/truncate protocol and moves the log onto the new index) and
+    /// swaps it in; then re-packs the bin→shard map from the recorded probe loads
+    /// and rebuilds the shard views either way (the existing
+    /// [`Self::rebalance_from_stats`] loop). Returns the compaction report — with
+    /// its id remapping — when a compaction ran. On `Err` (a checkpoint that could
+    /// not reach storage) nothing is swapped: the old index, its delta, and its
+    /// log are all intact.
+    pub fn compact_and_rebalance(&mut self) -> Result<Option<CompactionReport>, MutationError>
     where
         P: Clone,
     {
         let report = if self.index.needs_compaction() {
-            let (compacted, report) = self.index.compacted();
+            let (compacted, report) = self.index.compacted_with_checkpoint()?;
             self.index = Arc::new(compacted);
             Some(report)
         } else {
             None
         };
         self.rebalance_from_stats();
-        report
+        Ok(report)
     }
 
     /// Answers one query immediately (recorded as a batch of one).
@@ -474,9 +477,14 @@ impl<P: Partitioner> ShardedEngine<P> {
         merged.into_iter().map(|(r, _)| r).collect()
     }
 
-    /// Serving statistics accumulated since construction (or the last reset).
+    /// Serving statistics accumulated since construction (or the last reset),
+    /// with the routing index's WAL counters overlaid when a log is attached.
     pub fn stats(&self) -> StatsSnapshot {
-        self.stats.snapshot()
+        let mut snap = self.stats.snapshot();
+        if let Some(w) = self.index.wal_stats() {
+            snap.overlay_wal(&w);
+        }
+        snap
     }
 
     /// Clears the serving statistics.
@@ -1091,11 +1099,11 @@ impl<P: Partitioner> BatchEngine for ShardedEngine<P> {
         ShardedEngine::serve_batch(self, queries, opts)
     }
 
-    fn insert(&self, point: &[f32]) -> Option<usize> {
-        Some(ShardedEngine::insert(self, point))
+    fn insert(&self, point: &[f32]) -> Result<usize, MutationError> {
+        ShardedEngine::insert(self, point)
     }
 
-    fn delete(&self, id: usize) -> bool {
+    fn delete(&self, id: usize) -> Result<(), MutationError> {
         ShardedEngine::delete(self, id)
     }
 
@@ -1316,19 +1324,25 @@ mod tests {
         let index = small_index();
         let mut engine = ShardedEngine::with_shards(Arc::clone(&index), 3);
         // Clean index: the tick rebalances but reports no compaction.
-        assert!(engine.compact_and_rebalance().is_none());
+        assert!(engine
+            .compact_and_rebalance()
+            .expect("no wal to fail")
+            .is_none());
         let inserts: Vec<Vec<f32>> = (0..7)
             .map(|i| vec![i as f32 * 0.25 - 1.0, 1.5 - i as f32 * 0.1])
             .collect();
         for p in &inserts {
-            engine.insert(p);
+            engine.insert(p).expect("dims match");
         }
-        assert!(engine.delete(5));
+        assert_eq!(engine.delete(5), Ok(()));
         assert!(
             engine.needs_compaction(),
             "7 inserts + 1 delete on 60 points"
         );
-        let report = engine.compact_and_rebalance().expect("compaction ran");
+        let report = engine
+            .compact_and_rebalance()
+            .expect("no wal to fail")
+            .expect("compaction ran");
         assert_eq!(report.live_points, 60 + 7 - 1);
         assert_eq!(report.merged_inserts, 7);
         assert!(!engine.index().is_mutated());
@@ -1355,6 +1369,30 @@ mod tests {
         for qi in 0..q.rows() {
             assert_eq!(got[qi], fresh.search(q.row(qi), 3, 4), "query {qi}");
         }
+    }
+
+    #[test]
+    fn mutation_refusals_are_typed_like_every_other_path() {
+        // The sharded write path must return the same `MutationError` values as
+        // the searcher and the unsharded engine — a shard boundary is never a
+        // semantic change, refusals included. Refused ops record no stats.
+        let index = small_index();
+        let engine = ShardedEngine::with_shards(Arc::clone(&index), 3);
+        assert_eq!(
+            engine.insert(&[1.0]),
+            Err(MutationError::DimsMismatch { got: 1, want: 2 })
+        );
+        assert_eq!(
+            engine.delete(10_000),
+            Err(MutationError::UnknownId { id: 10_000 })
+        );
+        assert_eq!(engine.delete(4), Ok(()));
+        assert_eq!(
+            engine.delete(4),
+            Err(MutationError::AlreadyDeleted { id: 4 })
+        );
+        let snap = engine.stats();
+        assert_eq!((snap.inserts, snap.deletes), (0, 1));
     }
 
     #[test]

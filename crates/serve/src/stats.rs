@@ -10,6 +10,7 @@
 use std::sync::{Mutex, MutexGuard, PoisonError};
 
 use serde::{Deserialize, Serialize};
+use usp_index::WalStats;
 
 /// Sub-bucket resolution bits of the latency histogram: each power-of-two octave is
 /// split into `2^SUB_BITS` linear sub-buckets, so a bucket's width is at most
@@ -248,6 +249,14 @@ impl ServeStats {
             shed_frames: inner.shed_frames,
             malformed_frames: inner.malformed_frames,
             queue_depth_hwm: inner.queue_depth_hwm,
+            // WAL counters live on the index's log, not here; engines overlay
+            // them via StatsSnapshot::overlay_wal when a log is attached.
+            wal_appends: 0,
+            wal_bytes: 0,
+            wal_sync_errors: 0,
+            wal_replayed_records: 0,
+            wal_torn_tail_bytes: 0,
+            wal_epoch: 0,
         }
     }
 
@@ -328,6 +337,39 @@ pub struct StatsSnapshot {
     /// configured queue capacity whenever backpressure is working.
     #[serde(default)]
     pub queue_depth_hwm: u64,
+    /// Write-ahead-log records appended (acked mutations reaching the log); 0 for
+    /// an engine without a WAL. Overlaid from the index's log — the durability
+    /// source of truth — so these survive engine-level stat resets.
+    #[serde(default)]
+    pub wal_appends: u64,
+    /// Framed bytes appended to the write-ahead log.
+    #[serde(default)]
+    pub wal_bytes: u64,
+    /// Failed WAL sync attempts (each one poisons the log until recovery).
+    #[serde(default)]
+    pub wal_sync_errors: u64,
+    /// Records replayed by the most recent `PartitionIndex::recover` on this log.
+    #[serde(default)]
+    pub wal_replayed_records: u64,
+    /// Bytes dropped as a torn tail by the most recent recovery.
+    #[serde(default)]
+    pub wal_torn_tail_bytes: u64,
+    /// The log's compaction epoch (bumped by every checkpoint).
+    #[serde(default)]
+    pub wal_epoch: u64,
+}
+
+impl StatsSnapshot {
+    /// Copies the index's WAL counters into this snapshot (engines call this when
+    /// a log is attached; see `QueryEngine::stats`).
+    pub fn overlay_wal(&mut self, w: &WalStats) {
+        self.wal_appends = w.appends;
+        self.wal_bytes = w.bytes;
+        self.wal_sync_errors = w.sync_errors;
+        self.wal_replayed_records = w.replayed_records;
+        self.wal_torn_tail_bytes = w.torn_tail_bytes;
+        self.wal_epoch = w.epoch;
+    }
 }
 
 #[cfg(test)]
